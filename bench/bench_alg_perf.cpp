@@ -1,0 +1,144 @@
+// google-benchmark microbenchmarks of the synthesis pipeline itself:
+// Algorithm 1 extraction, Algorithm 2 execution-time computation (naive vs
+// indexed), TraceIndex construction, DAG building and serialization
+// throughput. These quantify that model synthesis is an offline pass that
+// comfortably handles multi-minute traces.
+#include <benchmark/benchmark.h>
+
+#include "core/model_synthesis.hpp"
+#include "ebpf/tracers.hpp"
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace {
+
+using namespace tetra;
+
+/// One cached SYN trace reused by every benchmark.
+const trace::EventVector& syn_trace() {
+  static const trace::EventVector events = [] {
+    ros2::Context ctx;
+    ebpf::TracerSuite suite(ctx);
+    suite.start_init();
+    workloads::build_syn_app(ctx);
+    auto init_trace = suite.stop_init();
+    suite.start_runtime();
+    ctx.run_for(Duration::sec(30));
+    return trace::merge_sorted({init_trace, suite.stop_runtime()});
+  }();
+  return events;
+}
+
+void BM_TraceIndexBuild(benchmark::State& state) {
+  const auto& events = syn_trace();
+  for (auto _ : state) {
+    core::TraceIndex index(events);
+    benchmark::DoNotOptimize(index.nodes().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_TraceIndexBuild);
+
+void BM_Algorithm1Extraction(benchmark::State& state) {
+  const auto& events = syn_trace();
+  core::TraceIndex index(events);
+  for (auto _ : state) {
+    auto lists = core::extract_all_nodes(index);
+    benchmark::DoNotOptimize(lists.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_Algorithm1Extraction);
+
+void BM_Algorithm2Indexed(benchmark::State& state) {
+  const auto& events = syn_trace();
+  core::ExecTimeCalculator calc(events);
+  // Representative windows: every callback instance of the busiest PID.
+  std::vector<std::pair<TimePoint, TimePoint>> windows;
+  Pid pid = kInvalidPid;
+  TimePoint start;
+  for (const auto& e : events) {
+    if (e.type == trace::EventType::CallbackStart) {
+      pid = e.pid;
+      start = e.time;
+    } else if (e.type == trace::EventType::CallbackEnd && e.pid == pid) {
+      windows.push_back({start, e.time});
+    }
+  }
+  for (auto _ : state) {
+    Duration total = Duration::zero();
+    for (const auto& [from, to] : windows) {
+      total += calc.exec_time(from, to, pid);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_Algorithm2Indexed);
+
+void BM_Algorithm2NaivePaper(benchmark::State& state) {
+  const auto& events = syn_trace();
+  trace::EventVector sched;
+  for (const auto& e : events) {
+    if (e.type == trace::EventType::SchedSwitch) sched.push_back(e);
+  }
+  // One window in the middle of the trace.
+  const TimePoint mid{events[events.size() / 2].time};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exec_time_naive(
+        mid, mid + Duration::ms(5), events[events.size() / 2].pid, sched));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sched.size()));
+}
+BENCHMARK(BM_Algorithm2NaivePaper);
+
+void BM_FullSynthesis(benchmark::State& state) {
+  const auto& events = syn_trace();
+  core::ModelSynthesizer synthesizer;
+  for (auto _ : state) {
+    auto model = synthesizer.synthesize(events);
+    benchmark::DoNotOptimize(model.dag.vertex_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_FullSynthesis);
+
+void BM_DagMerge(benchmark::State& state) {
+  const auto& events = syn_trace();
+  core::ModelSynthesizer synthesizer;
+  const core::Dag dag = synthesizer.synthesize(events).dag;
+  for (auto _ : state) {
+    core::Dag merged;
+    for (int i = 0; i < 50; ++i) merged.merge(dag);
+    benchmark::DoNotOptimize(merged.vertex_count());
+  }
+}
+BENCHMARK(BM_DagMerge);
+
+void BM_TraceSerializeJsonl(benchmark::State& state) {
+  const auto& events = syn_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::to_jsonl(events).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_TraceSerializeJsonl);
+
+void BM_TraceParseJsonl(benchmark::State& state) {
+  const std::string text = trace::to_jsonl(syn_trace());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::events_from_jsonl(text).size());
+  }
+}
+BENCHMARK(BM_TraceParseJsonl);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Reproduces the §III-B claim: "if we record all sched_switch events, the
+// memory footprint of the trace data will be too high... We reduce the
+// memory footprint by an order of three or more by filtering these events
+// based on the PIDs of ROS2 nodes" (PIDs shared via BPF maps from P1).
+//
+// A busy machine (many non-ROS2 processes) is simulated; the kernel tracer
+// runs once unfiltered and once PID-filtered.
+//
+// Knobs: TETRA_DURATION (seconds, default 20), TETRA_BG (threads, default 24).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ebpf/tracers.hpp"
+#include "sched/interference.hpp"
+#include "support/string_utils.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace {
+
+struct FilterResult {
+  std::uint64_t seen = 0;
+  std::uint64_t recorded = 0;
+  std::size_t bytes = 0;
+};
+
+FilterResult run_once(bool filtered, tetra::Duration duration, int background) {
+  using namespace tetra;
+  ros2::Context::Config config;
+  config.num_cpus = 12;
+  ros2::Context ctx(config);
+  ebpf::TracerSuite::Options options;
+  options.kernel.filter_by_traced_pids = filtered;
+  ebpf::TracerSuite suite(ctx, options);
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  // The busy rest-of-machine: browsers, builds, telemetry...
+  Rng rng(4242);
+  sched::InterferenceConfig interference;
+  interference.busy = DurationDistribution::uniform(Duration::us(20),
+                                                    Duration::us(300));
+  interference.idle = DurationDistribution::uniform(Duration::us(50),
+                                                    Duration::us(800));
+  sched::spawn_interference(ctx.machine(), rng, background, interference);
+  suite.start_runtime();
+  ctx.run_for(duration);
+  auto events = suite.stop_runtime();
+  FilterResult result;
+  result.seen = suite.kernel_tracer().events_seen();
+  result.recorded = suite.kernel_tracer().events_recorded();
+  for (const auto& e : events) {
+    if (e.type == trace::EventType::SchedSwitch ||
+        e.type == trace::EventType::SchedWakeup) {
+      result.bytes += trace::approximate_record_size(e);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tetra;
+  bench::banner("§III-B ablation - kernel-trace PID filtering");
+
+  const Duration duration =
+      bench::env_seconds("TETRA_DURATION", Duration::sec(20));
+  const int background = bench::env_int("TETRA_BG", 24);
+  bench::note(format("SYN + %d background (non-ROS2) threads for %.0fs",
+                     background, duration.to_sec()));
+
+  const FilterResult unfiltered = run_once(false, duration, background);
+  const FilterResult filtered = run_once(true, duration, background);
+
+  std::printf("\n%-28s %16s %16s\n", "", "unfiltered", "PID-filtered");
+  std::printf("%-28s %16llu %16llu\n", "sched events seen",
+              static_cast<unsigned long long>(unfiltered.seen),
+              static_cast<unsigned long long>(filtered.seen));
+  std::printf("%-28s %16llu %16llu\n", "sched events recorded",
+              static_cast<unsigned long long>(unfiltered.recorded),
+              static_cast<unsigned long long>(filtered.recorded));
+  std::printf("%-28s %15.2fM %15.2fM\n", "kernel-trace bytes",
+              static_cast<double>(unfiltered.bytes) / 1e6,
+              static_cast<double>(filtered.bytes) / 1e6);
+  const double factor = static_cast<double>(unfiltered.bytes) /
+                        static_cast<double>(filtered.bytes > 0 ? filtered.bytes : 1);
+  std::printf("\nfootprint reduction factor: %.1fx (paper: 3x or more)\n",
+              factor);
+  return factor >= 3.0 ? 0 : 1;
+}

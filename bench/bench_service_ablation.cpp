@@ -1,0 +1,78 @@
+// Reproduces the §VI service-modeling argument: with one vertex for SV3
+// (invoked from SC3 and CL2), the DAG contains the spurious sub-chain
+// SC3 -> SV3 -> CL4; splitting the service per caller (the paper's
+// proposal) keeps the computation chains disjoint.
+//
+// Knobs: TETRA_DURATION (seconds, default 20).
+#include <cstdio>
+
+#include "analysis/chains.hpp"
+#include "bench_util.hpp"
+#include "core/model_synthesis.hpp"
+#include "ebpf/tracers.hpp"
+#include "support/string_utils.hpp"
+#include "trace/merge.hpp"
+#include "workloads/syn_app.hpp"
+
+int main() {
+  using namespace tetra;
+  bench::banner("§VI ablation - service modeling: n vertices vs 1 vertex");
+
+  const Duration duration =
+      bench::env_seconds("TETRA_DURATION", Duration::sec(20));
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  const auto app = workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(duration);
+  auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
+
+  auto chains_containing = [&](const core::Dag& dag, const std::string& a,
+                               const std::string& b) {
+    int count = 0;
+    for (const auto& chain : analysis::enumerate_chains(dag)) {
+      bool has_a = false, has_b = false;
+      for (const auto& key : chain) {
+        has_a |= key == a || key.rfind(a + "@", 0) == 0;
+        has_b |= key == b;
+      }
+      if (has_a && has_b) ++count;
+    }
+    return count;
+  };
+
+  const std::string sv3 = app.label_of.at("SV3");
+  const std::string sc3 = app.label_of.at("SC3");
+  const std::string cl3 = app.label_of.at("CL3");
+  const std::string cl4 = app.label_of.at("CL4");
+
+  core::SynthesisOptions split_options;  // paper's model (default)
+  core::SynthesisOptions single_options;
+  single_options.dag.split_service_per_caller = false;
+
+  const core::Dag split =
+      core::ModelSynthesizer(split_options).synthesize(events).dag;
+  const core::Dag single =
+      core::ModelSynthesizer(single_options).synthesize(events).dag;
+
+  std::printf("\n%-44s %10s %10s\n", "", "split (n)", "single (1)");
+  std::printf("%-44s %10zu %10zu\n", "DAG vertices", split.vertex_count(),
+              single.vertex_count());
+  std::printf("%-44s %10zu %10zu\n", "DAG edges", split.edge_count(),
+              single.edge_count());
+  const int split_good = chains_containing(split, sv3, cl3);
+  const int split_bad = chains_containing(split, sc3, cl4);
+  const int single_bad = chains_containing(single, sc3, cl4);
+  std::printf("%-44s %10d %10d\n", "chains with SC3 ... CL4 (spurious!)",
+              split_bad, single_bad);
+  std::printf("%-44s %10d %10d\n", "chains through SV3 ending at CL3",
+              split_good, chains_containing(single, sv3, cl3));
+
+  bench::note(format(
+      "\nWith a single SV3 vertex, %d spurious chain(s) pass SC3 -> SV3 -> "
+      "CL4; the paper's per-caller split removes them (%d).",
+      single_bad, split_bad));
+  return (split_bad == 0 && single_bad > 0) ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table II: measured best-case / average / worst-case execution
+// times (ms) of the six AVP-localization callbacks over 50 runs of 80 s,
+// with SYN running concurrently and its load varied per run.
+//
+// Knobs: TETRA_RUNS (default 50), TETRA_DURATION (seconds, default 80).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/export.hpp"
+#include "support/string_utils.hpp"
+#include "workloads/experiment.hpp"
+
+int main() {
+  using namespace tetra;
+  bench::banner("Table II - Execution times (ms) of callbacks in AVP localization");
+
+  workloads::CaseStudyConfig config;
+  config.runs = bench::env_int("TETRA_RUNS", 50);
+  config.run_duration = bench::env_seconds("TETRA_DURATION", Duration::sec(80));
+  bench::note(format("runs=%d, duration=%.0fs each, %d CPUs, SYN + AVP "
+                     "concurrent, SYN load varied per run",
+                     config.runs, config.run_duration.to_sec(),
+                     config.num_cpus));
+
+  int completed = 0;
+  const auto result = workloads::run_case_study(
+      config, [&](const workloads::RunResult& run) {
+        ++completed;
+        if (completed % 10 == 0) {
+          std::printf("  ... %d/%d runs (SYN load %.2f)\n", completed,
+                      config.runs, run.syn_load_factor);
+        }
+      });
+
+  TextTable table({"CB", "Node", "mBCET", "mACET", "mWCET", "paper mBCET",
+                   "paper mACET", "paper mWCET"});
+  for (const auto& [cb, row] : workloads::table2_reference()) {
+    const auto* vertex =
+        result.merged_dag.find_vertex(result.avp_labels.at(cb));
+    if (vertex == nullptr) {
+      std::printf("MISSING vertex for %s\n", cb.c_str());
+      return 1;
+    }
+    table.add_row({cb, vertex->node_name, format("%.2f", vertex->mbcet().to_ms()),
+                   format("%.2f", vertex->macet().to_ms()),
+                   format("%.2f", vertex->mwcet().to_ms()),
+                   format("%.2f", row.mbcet_ms), format("%.2f", row.macet_ms),
+                   format("%.2f", row.mwcet_ms)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // The paper's load observation: cb2 at 10 Hz averages ~27%% of a core.
+  const auto* cb2 = result.merged_dag.find_vertex(result.avp_labels.at("cb2"));
+  const double rate = static_cast<double>(cb2->instance_count) /
+                      result.observed_span.to_sec();
+  bench::note(format("cb2 average processor load: %.1f%% (paper: 27%%, LIDAR "
+                     "at %.1f Hz)",
+                     rate * cb2->macet().to_sec() * 100.0, rate));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the reproduction benches: environment-variable knobs
+// for run counts/durations (so CI can run fast while the full paper
+// configuration remains the default) and banner/printing utilities.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "support/time.hpp"
+
+namespace tetra::bench {
+
+/// Integer knob from the environment ("TETRA_RUNS=5"), else `fallback`.
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// Seconds knob from the environment, else `fallback`.
+inline Duration env_seconds(const char* name, Duration fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? Duration::sec(std::atoi(value)) : fallback;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace tetra::bench

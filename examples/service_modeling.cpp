@@ -1,0 +1,70 @@
+// Service modeling demo (paper §VI point iv): a motion-planning service
+// called by two different clients. With the paper's per-caller service
+// splitting the two computation chains stay disjoint; with the naive
+// single-vertex model a spurious chain appears that crosses from one
+// caller's request to the other caller's response.
+//
+//   $ ./service_modeling
+#include <cstdio>
+
+#include "analysis/chains.hpp"
+#include "core/model_synthesis.hpp"
+#include "ebpf/tracers.hpp"
+#include "trace/merge.hpp"
+
+int main() {
+  using namespace tetra;
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+
+  // A planner service invoked by both the behavior module (every 100 ms)
+  // and the teleop module (every 170 ms).
+  ros2::Node& planner = ctx.create_node({.name = "planner"});
+  planner.create_service(
+      "/plan", ros2::Plan::just(DurationDistribution::constant(Duration::ms(6))));
+
+  ros2::Node& behavior = ctx.create_node({.name = "behavior"});
+  ros2::Client& behavior_client = behavior.create_client(
+      "/plan", ros2::Plan::just(DurationDistribution::constant(Duration::ms(2))));
+  behavior.create_timer(Duration::ms(100),
+                        ros2::Plan::call_after(
+                            DurationDistribution::constant(Duration::ms(3)),
+                            behavior_client));
+
+  ros2::Node& teleop = ctx.create_node({.name = "teleop"});
+  ros2::Client& teleop_client = teleop.create_client(
+      "/plan", ros2::Plan::just(DurationDistribution::constant(Duration::ms(1))));
+  teleop.create_timer(Duration::ms(170),
+                      ros2::Plan::call_after(
+                          DurationDistribution::constant(Duration::ms(2)),
+                          teleop_client));
+
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(20));
+  auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
+
+  auto print_model = [](const char* title, const core::Dag& dag) {
+    std::printf("\n== %s ==\n", title);
+    std::printf("vertices: %zu, edges: %zu\n", dag.vertex_count(),
+                dag.edge_count());
+    for (const auto& chain : analysis::enumerate_chains(dag)) {
+      std::printf("  chain: %s\n", analysis::to_string(chain).c_str());
+    }
+  };
+
+  core::SynthesisOptions split;  // the paper's model (default)
+  print_model("per-caller service vertices (paper's proposal)",
+              core::ModelSynthesizer(split).synthesize(events).dag);
+
+  core::SynthesisOptions naive;
+  naive.dag.split_service_per_caller = false;
+  print_model("single service vertex (naive — note the spurious chains)",
+              core::ModelSynthesizer(naive).synthesize(events).dag);
+
+  std::printf(
+      "\nWith one /plan vertex, behavior's request appears to reach teleop's\n"
+      "response callback (and vice versa): 4 chains instead of the real 2.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "analysis/chains.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace tetra::analysis {
+
+std::vector<Chain> enumerate_chains(const core::Dag& dag,
+                                    std::size_t max_chains) {
+  std::vector<Chain> chains;
+  Chain current;
+  std::function<void(const std::string&)> dfs = [&](const std::string& key) {
+    current.push_back(key);
+    const auto outs = dag.out_edges(key);
+    if (outs.empty()) {
+      if (chains.size() >= max_chains) {
+        throw std::runtime_error("enumerate_chains: too many chains");
+      }
+      chains.push_back(current);
+    } else {
+      for (const auto* edge : outs) dfs(edge->to);
+    }
+    current.pop_back();
+  };
+  for (const auto* source : dag.sources()) dfs(source->key);
+  return chains;
+}
+
+std::vector<Chain> chains_through(const core::Dag& dag, const std::string& key,
+                                  std::size_t max_chains) {
+  std::vector<Chain> out;
+  for (auto& chain : enumerate_chains(dag, max_chains)) {
+    for (const auto& vertex : chain) {
+      if (vertex == key) {
+        out.push_back(chain);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+Duration accumulate(const core::Dag& dag, const Chain& chain, bool worst) {
+  Duration total = Duration::zero();
+  for (const auto& key : chain) {
+    const auto* vertex = dag.find_vertex(key);
+    if (vertex == nullptr) {
+      throw std::out_of_range("chain references unknown vertex " + key);
+    }
+    total += worst ? vertex->mwcet() : vertex->macet();
+  }
+  return total;
+}
+}  // namespace
+
+Duration chain_wcet(const core::Dag& dag, const Chain& chain) {
+  return accumulate(dag, chain, true);
+}
+
+Duration chain_acet(const core::Dag& dag, const Chain& chain) {
+  return accumulate(dag, chain, false);
+}
+
+std::string to_string(const Chain& chain) {
+  std::string out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i) out += " -> ";
+    out += chain[i];
+  }
+  return out;
+}
+
+}  // namespace tetra::analysis

@@ -1,0 +1,33 @@
+// Chain enumeration over the synthesized DAG. Computation chains (source
+// to sink paths) are the unit of end-to-end timing analysis in the ROS2
+// literature the paper targets ([1]-[5]); the service-vertex splitting
+// exists precisely to keep these chains correct.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace tetra::analysis {
+
+/// One source-to-sink path, as vertex keys in order.
+using Chain = std::vector<std::string>;
+
+/// Enumerates all simple source->sink paths. `max_chains` guards against
+/// pathological graphs (throws std::runtime_error when exceeded).
+std::vector<Chain> enumerate_chains(const core::Dag& dag,
+                                    std::size_t max_chains = 4096);
+
+/// All chains passing through the given vertex.
+std::vector<Chain> chains_through(const core::Dag& dag, const std::string& key,
+                                  std::size_t max_chains = 4096);
+
+/// Sum of mWCETs (mACETs) along a chain; AND junctions contribute zero.
+Duration chain_wcet(const core::Dag& dag, const Chain& chain);
+Duration chain_acet(const core::Dag& dag, const Chain& chain);
+
+/// Renders "A -> B -> C".
+std::string to_string(const Chain& chain);
+
+}  // namespace tetra::analysis

@@ -1,0 +1,49 @@
+#include "analysis/convergence.hpp"
+
+#include <algorithm>
+
+namespace tetra::analysis {
+
+const ConvergenceSeries ConvergenceTracker::kEmpty{};
+
+ConvergenceTracker::ConvergenceTracker(std::vector<std::string> tracked_keys)
+    : tracked_(std::move(tracked_keys)) {}
+
+void ConvergenceTracker::add_run(const core::Dag& run_dag) {
+  cumulative_.merge(run_dag);
+  ++runs_;
+  auto record = [this](const core::DagVertex& vertex) {
+    if (vertex.is_and_junction || vertex.stats.empty()) return;
+    series_[vertex.key].push_back(ConvergencePoint{
+        runs_, vertex.mbcet(), vertex.macet(), vertex.mwcet()});
+  };
+  if (tracked_.empty()) {
+    for (const auto& vertex : cumulative_.vertices()) record(vertex);
+  } else {
+    for (const auto& key : tracked_) {
+      if (const auto* vertex = cumulative_.find_vertex(key)) record(*vertex);
+    }
+  }
+}
+
+const ConvergenceSeries& ConvergenceTracker::series(const std::string& key) const {
+  auto it = series_.find(key);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+std::size_t ConvergenceTracker::mwcet_settling_run(const std::string& key,
+                                                   double tolerance) const {
+  const auto& s = series(key);
+  if (s.empty()) return 0;
+  const double final_value = static_cast<double>(s.back().mwcet.count_ns());
+  if (final_value <= 0.0) return 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double v = static_cast<double>(s[i].mwcet.count_ns());
+    if (std::abs(v - final_value) / final_value <= tolerance) {
+      return s[i].runs;
+    }
+  }
+  return 0;
+}
+
+}  // namespace tetra::analysis

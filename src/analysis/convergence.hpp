@@ -1,0 +1,52 @@
+// Convergence of measured timing attributes with the number of runs
+// (paper Fig. 4): as per-run DAGs are merged one by one, mBCET/mACET/mWCET
+// estimates stabilize; the paper reports mWCET of the front filter growing
+// ~10% over the first ~23 runs and then staying flat.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace tetra::analysis {
+
+struct ConvergencePoint {
+  std::size_t runs = 0;
+  Duration mbcet;
+  Duration macet;
+  Duration mwcet;
+};
+
+using ConvergenceSeries = std::vector<ConvergencePoint>;
+
+class ConvergenceTracker {
+ public:
+  /// Restrict tracking to these vertex keys (empty = track everything).
+  explicit ConvergenceTracker(std::vector<std::string> tracked_keys = {});
+
+  /// Merges one more run's DAG into the cumulative model and records the
+  /// current estimates of every tracked vertex.
+  void add_run(const core::Dag& run_dag);
+
+  std::size_t runs() const { return runs_; }
+  const core::Dag& cumulative() const { return cumulative_; }
+
+  /// Series for one vertex key (empty if never seen).
+  const ConvergenceSeries& series(const std::string& key) const;
+
+  /// Run index (1-based) after which the mWCET estimate stays within
+  /// `tolerance` (relative) of its final value; 0 if it never settles.
+  std::size_t mwcet_settling_run(const std::string& key,
+                                 double tolerance = 0.01) const;
+
+ private:
+  std::vector<std::string> tracked_;
+  core::Dag cumulative_;
+  std::size_t runs_ = 0;
+  std::map<std::string, ConvergenceSeries> series_;
+  static const ConvergenceSeries kEmpty;
+};
+
+}  // namespace tetra::analysis

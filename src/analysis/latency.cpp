@@ -1,0 +1,151 @@
+#include "analysis/latency.hpp"
+
+#include <algorithm>
+
+#include "core/exec_time.hpp"
+
+namespace tetra::analysis {
+
+const std::vector<TimePoint> InstanceTimeline::kNoWrites{};
+
+InstanceTimeline::InstanceTimeline(const trace::EventVector& events) {
+  trace::EventVector sorted = events;
+  trace::sort_by_time(sorted);
+
+  // Per-PID in-flight instance assembly, mirroring the single-threaded
+  // executor assumption: one open instance per PID at a time.
+  std::map<Pid, CallbackInstance> open;
+  for (const auto& event : sorted) {
+    switch (event.type) {
+      case trace::EventType::CallbackStart: {
+        CallbackInstance inst;
+        inst.pid = event.pid;
+        inst.kind = event.as<trace::CallbackPhaseInfo>().kind;
+        inst.start = event.time;
+        open[event.pid] = std::move(inst);
+        break;
+      }
+      case trace::EventType::TimerCall: {
+        auto it = open.find(event.pid);
+        if (it != open.end()) {
+          it->second.callback_id = event.as<trace::TimerCallInfo>().callback_id;
+        }
+        break;
+      }
+      case trace::EventType::Take: {
+        auto it = open.find(event.pid);
+        if (it != open.end()) {
+          const auto& info = event.as<trace::TakeInfo>();
+          it->second.callback_id = info.callback_id;
+          it->second.take = {info.topic, info.src_ts};
+        }
+        break;
+      }
+      case trace::EventType::DdsWrite: {
+        const auto& info = event.as<trace::DdsWriteInfo>();
+        writes_by_topic_[info.topic].push_back(info.src_ts);
+        auto it = open.find(event.pid);
+        if (it != open.end()) {
+          it->second.writes.push_back({info.topic, info.src_ts});
+        }
+        break;
+      }
+      case trace::EventType::CallbackEnd: {
+        auto it = open.find(event.pid);
+        if (it != open.end()) {
+          it->second.end = event.time;
+          const std::size_t index = instances_.size();
+          if (it->second.take.has_value()) {
+            consumers_[Key{it->second.take->first,
+                           it->second.take->second.count_ns()}]
+                .push_back(index);
+          }
+          instances_.push_back(std::move(it->second));
+          open.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+std::vector<const CallbackInstance*> InstanceTimeline::consumers_of(
+    const std::string& topic, TimePoint src_ts) const {
+  std::vector<const CallbackInstance*> out;
+  auto it = consumers_.find(Key{topic, src_ts.count_ns()});
+  if (it == consumers_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t index : it->second) out.push_back(&instances_[index]);
+  return out;
+}
+
+const std::vector<TimePoint>& InstanceTimeline::writes_on(
+    const std::string& topic) const {
+  auto it = writes_by_topic_.find(topic);
+  return it == writes_by_topic_.end() ? kNoWrites : it->second;
+}
+
+namespace {
+
+/// Follows one sample recursively to the deepest consumer end time.
+/// Returns the completion time of the chain for this sample, if the whole
+/// remaining topic sequence is traversed.
+std::optional<TimePoint> follow(const InstanceTimeline& timeline,
+                                const std::vector<std::string>& topics,
+                                std::size_t depth, TimePoint src_ts) {
+  const auto consumers = timeline.consumers_of(topics[depth], src_ts);
+  if (consumers.empty()) return std::nullopt;
+  std::optional<TimePoint> best;
+  for (const auto* instance : consumers) {
+    if (depth + 1 == topics.size()) {
+      // Last hop: the chain completes when the final consumer finishes.
+      if (!best.has_value() || instance->end > *best) best = instance->end;
+      continue;
+    }
+    // Find this instance's write on the next topic (if it produced one).
+    for (const auto& [topic, ts] : instance->writes) {
+      if (topic == topics[depth + 1]) {
+        auto completed = follow(timeline, topics, depth + 1, ts);
+        if (completed.has_value() && (!best.has_value() || *completed > *best)) {
+          best = completed;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ChainLatencyResult measure_chain_latency(const InstanceTimeline& timeline,
+                                         const std::vector<std::string>& topics) {
+  ChainLatencyResult result;
+  if (topics.empty()) return result;
+  for (TimePoint src_ts : timeline.writes_on(topics[0])) {
+    auto completed = follow(timeline, topics, 0, src_ts);
+    if (completed.has_value()) {
+      result.latencies.add(*completed - src_ts);
+      ++result.complete;
+    } else {
+      ++result.incomplete;
+    }
+  }
+  return result;
+}
+
+std::map<CallbackId, SampleSet> measure_waiting_times(
+    const trace::EventVector& events) {
+  core::ExecTimeCalculator calc(events);
+  InstanceTimeline timeline(events);
+  std::map<CallbackId, SampleSet> out;
+  for (const auto& instance : timeline.instances()) {
+    auto wakeup = calc.last_wakeup_before(instance.pid, instance.start);
+    if (!wakeup.has_value()) continue;
+    out[instance.callback_id].add(instance.start - *wakeup);
+  }
+  return out;
+}
+
+}  // namespace tetra::analysis

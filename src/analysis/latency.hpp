@@ -1,0 +1,83 @@
+// End-to-end latency measurement through source timestamps (paper §VII:
+// "We are logging the source timestamp of data on publisher and subscriber
+// sides using which we can traverse data flow through a computation chain
+// and calculate its end-to-end latency").
+//
+// The InstanceTimeline reconstructs per-instance detail (which sample each
+// callback instance consumed, which samples it wrote), then chains are
+// traversed sample-by-sample: write on topic[0] -> consuming instance ->
+// its write on topic[1] -> ... -> final consumer's end time.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "support/statistics.hpp"
+#include "support/time.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::analysis {
+
+/// One observed callback execution with its data-flow endpoints.
+struct CallbackInstance {
+  Pid pid = kInvalidPid;
+  CallbackId callback_id = kInvalidCallbackId;
+  CallbackKind kind = CallbackKind::Timer;
+  TimePoint start;
+  TimePoint end;
+  /// The (topic, srcTS) this instance consumed, if any.
+  std::optional<std::pair<std::string, TimePoint>> take;
+  /// The (topic, srcTS) samples this instance wrote.
+  std::vector<std::pair<std::string, TimePoint>> writes;
+};
+
+class InstanceTimeline {
+ public:
+  /// Builds the timeline from a merged trace (ROS2 events only needed).
+  explicit InstanceTimeline(const trace::EventVector& events);
+
+  const std::vector<CallbackInstance>& instances() const { return instances_; }
+
+  /// Instances that consumed the sample identified by (topic, srcTS).
+  std::vector<const CallbackInstance*> consumers_of(const std::string& topic,
+                                                    TimePoint src_ts) const;
+
+  /// All source timestamps written on `topic`, in time order.
+  const std::vector<TimePoint>& writes_on(const std::string& topic) const;
+
+ private:
+  using Key = std::pair<std::string, std::int64_t>;
+  std::vector<CallbackInstance> instances_;
+  std::map<Key, std::vector<std::size_t>> consumers_;
+  std::map<std::string, std::vector<TimePoint>> writes_by_topic_;
+  static const std::vector<TimePoint> kNoWrites;
+};
+
+struct ChainLatencyResult {
+  /// End-to-end latencies (ns) of completed traversals.
+  SampleSet latencies;
+  std::size_t complete = 0;
+  std::size_t incomplete = 0;
+
+  Duration min() const { return Duration{static_cast<std::int64_t>(latencies.min())}; }
+  Duration mean() const { return Duration{static_cast<std::int64_t>(latencies.mean())}; }
+  Duration max() const { return Duration{static_cast<std::int64_t>(latencies.max())}; }
+};
+
+/// Measures end-to-end latency along a topic chain: for every sample
+/// written on topics[0], follows consumption/production through each
+/// subsequent topic and reports (final consumer end - first write time).
+/// Traversals that die out (e.g. a sync member that was not the last to
+/// arrive and therefore never published) count as incomplete.
+ChainLatencyResult measure_chain_latency(const InstanceTimeline& timeline,
+                                         const std::vector<std::string>& topics);
+
+/// Per-callback waiting times (wakeup -> dispatch) aggregated from the
+/// sched_wakeup extension; keyed by callback id.
+std::map<CallbackId, SampleSet> measure_waiting_times(
+    const trace::EventVector& events);
+
+}  // namespace tetra::analysis

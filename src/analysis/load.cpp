@@ -1,0 +1,60 @@
+#include "analysis/load.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tetra::analysis {
+
+std::vector<CallbackLoad> per_callback_load(const core::Dag& dag,
+                                            Duration observed_span) {
+  if (observed_span <= Duration::zero()) {
+    throw std::invalid_argument("per_callback_load: span must be positive");
+  }
+  std::vector<CallbackLoad> out;
+  for (const auto& vertex : dag.vertices()) {
+    if (vertex.is_and_junction || vertex.stats.empty()) continue;
+    CallbackLoad load;
+    load.key = vertex.key;
+    load.node = vertex.node_name;
+    load.rate_hz = static_cast<double>(vertex.instance_count) /
+                   observed_span.to_sec();
+    load.macet = vertex.macet();
+    load.utilization = load.rate_hz * load.macet.to_sec();
+    out.push_back(std::move(load));
+  }
+  return out;
+}
+
+std::map<std::string, double> per_node_load(const core::Dag& dag,
+                                            Duration observed_span) {
+  std::map<std::string, double> out;
+  for (const auto& load : per_callback_load(dag, observed_span)) {
+    out[load.node] += load.utilization;
+  }
+  return out;
+}
+
+CoreBinding balance_node_loads(const std::map<std::string, double>& node_loads,
+                               int num_cores) {
+  if (num_cores <= 0) {
+    throw std::invalid_argument("balance_node_loads: need >= 1 core");
+  }
+  std::vector<std::pair<std::string, double>> sorted(node_loads.begin(),
+                                                     node_loads.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  CoreBinding binding;
+  binding.core_load.assign(static_cast<std::size_t>(num_cores), 0.0);
+  for (const auto& [node, load] : sorted) {
+    const auto least = std::min_element(binding.core_load.begin(),
+                                        binding.core_load.end());
+    const int core = static_cast<int>(least - binding.core_load.begin());
+    binding.node_to_core[node] = core;
+    *least += load;
+  }
+  binding.makespan =
+      *std::max_element(binding.core_load.begin(), binding.core_load.end());
+  return binding;
+}
+
+}  // namespace tetra::analysis

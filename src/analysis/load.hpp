@@ -1,0 +1,47 @@
+// Processor-load analysis and core-binding optimization from the measured
+// model — the paper's §VI use case: "balancing load across processor cores
+// or keeping the load below a certain threshold while determining core
+// bindings of ROS2 nodes".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+
+namespace tetra::analysis {
+
+struct CallbackLoad {
+  std::string key;
+  std::string node;
+  double rate_hz = 0.0;       ///< instances / observed span
+  Duration macet;             ///< measured average execution time
+  double utilization = 0.0;   ///< rate * mACET (fraction of one core)
+};
+
+/// Per-callback average processor load over `observed_span` of wall-clock
+/// per merged run (e.g. 50 runs x 80 s => span = 4000 s). AND junctions
+/// are skipped (zero execution time).
+std::vector<CallbackLoad> per_callback_load(const core::Dag& dag,
+                                            Duration observed_span);
+
+/// Sums callback loads per node (a node = one executor thread, so this is
+/// the thread's utilization).
+std::map<std::string, double> per_node_load(const core::Dag& dag,
+                                            Duration observed_span);
+
+struct CoreBinding {
+  std::map<std::string, int> node_to_core;
+  std::vector<double> core_load;
+  double makespan = 0.0;  ///< max core load
+};
+
+/// Greedy longest-processing-time bin packing of node loads onto
+/// `num_cores` cores: sorts nodes by load, assigns each to the least
+/// loaded core. A measured-model-driven heuristic for the core-binding
+/// use case.
+CoreBinding balance_node_loads(const std::map<std::string, double>& node_loads,
+                               int num_cores);
+
+}  // namespace tetra::analysis

@@ -1,0 +1,65 @@
+#include "analysis/response_time.hpp"
+
+#include <algorithm>
+
+namespace tetra::analysis {
+
+namespace {
+
+/// Largest mWCET among other (non-junction) callbacks of the same node:
+/// the non-preemptive blocking a just-released callback can suffer from
+/// the instance already running on its single-threaded executor.
+Duration blocking_term(const core::Dag& dag, const core::DagVertex& vertex) {
+  Duration worst = Duration::zero();
+  for (const auto& other : dag.vertices()) {
+    if (other.key == vertex.key || other.is_and_junction) continue;
+    if (other.node_name != vertex.node_name) continue;
+    worst = std::max(worst, other.mwcet());
+  }
+  return worst;
+}
+
+/// Sum of mWCETs of other same-node callbacks (each executes at most once
+/// from the ready set before the analyzed callback under wait-set order).
+Duration queueing_term(const core::Dag& dag, const core::DagVertex& vertex) {
+  Duration total = Duration::zero();
+  for (const auto& other : dag.vertices()) {
+    if (other.key == vertex.key || other.is_and_junction) continue;
+    if (other.node_name != vertex.node_name) continue;
+    total += other.mwcet();
+  }
+  return total;
+}
+
+}  // namespace
+
+ChainResponseEstimate estimate_chain_response(const core::Dag& dag,
+                                              const Chain& chain,
+                                              const ResponseTimeOptions& options) {
+  ChainResponseEstimate estimate;
+  estimate.chain = chain;
+  std::size_t hops = 0;
+  for (const auto& key : chain) {
+    const auto* vertex = dag.find_vertex(key);
+    if (vertex == nullptr || vertex->is_and_junction) continue;
+    estimate.execution += vertex->mwcet();
+    estimate.blocking += blocking_term(dag, *vertex);
+    if (options.include_queueing) {
+      estimate.queueing += queueing_term(dag, *vertex);
+    }
+    ++hops;
+  }
+  if (hops > 1) estimate.transport = options.dds_hop_bound * (hops - 1);
+  return estimate;
+}
+
+std::vector<ChainResponseEstimate> estimate_all_chains(
+    const core::Dag& dag, const ResponseTimeOptions& options) {
+  std::vector<ChainResponseEstimate> out;
+  for (const auto& chain : enumerate_chains(dag)) {
+    out.push_back(estimate_chain_response(dag, chain, options));
+  }
+  return out;
+}
+
+}  // namespace tetra::analysis

@@ -1,0 +1,79 @@
+#include "core/callback_record.hpp"
+
+#include <algorithm>
+
+namespace tetra::core {
+
+std::string annotate_topic(const std::string& topic, const std::string& suffix) {
+  std::string out = topic;
+  out += kTopicAnnotationSeparator;
+  out += suffix;
+  return out;
+}
+
+std::pair<std::string, std::string> split_annotated_topic(const std::string& topic) {
+  const auto pos = topic.find(kTopicAnnotationSeparator);
+  if (pos == std::string::npos) return {topic, {}};
+  return {topic.substr(0, pos), topic.substr(pos + 1)};
+}
+
+void CallbackRecord::add_instance(TimePoint start, Duration exec_time,
+                                  std::optional<Duration> wait_time) {
+  start_times.push_back(start);
+  exec_times.push_back(exec_time);
+  if (wait_time.has_value()) wait_times.push_back(*wait_time);
+  stats.add(exec_time);
+}
+
+void CallbackRecord::add_out_topic(const std::string& topic) {
+  if (std::find(out_topics.begin(), out_topics.end(), topic) == out_topics.end()) {
+    out_topics.push_back(topic);
+  }
+}
+
+std::optional<Duration> CallbackRecord::estimated_period() const {
+  if (kind != CallbackKind::Timer || start_times.size() < 2) return std::nullopt;
+  std::vector<std::int64_t> diffs;
+  diffs.reserve(start_times.size() - 1);
+  for (std::size_t i = 1; i < start_times.size(); ++i) {
+    diffs.push_back((start_times[i] - start_times[i - 1]).count_ns());
+  }
+  // Median is robust against dispatch jitter from executor contention.
+  std::nth_element(diffs.begin(), diffs.begin() + diffs.size() / 2, diffs.end());
+  return Duration{diffs[diffs.size() / 2]};
+}
+
+CallbackRecord& CallbackList::match_or_insert(const CallbackRecord& instance) {
+  for (auto& record : records) {
+    if (record.id != instance.id) continue;
+    if (record.kind == CallbackKind::Service &&
+        record.in_topic != instance.in_topic) {
+      continue;  // services additionally match on the annotated in-topic
+    }
+    return record;
+  }
+  CallbackRecord fresh;
+  fresh.kind = instance.kind;
+  fresh.id = instance.id;
+  fresh.pid = instance.pid;
+  fresh.node_name = instance.node_name;
+  fresh.in_topic = instance.in_topic;
+  fresh.is_sync_subscriber = instance.is_sync_subscriber;
+  records.push_back(std::move(fresh));
+  return records.back();
+}
+
+const CallbackRecord* CallbackList::find_by_label(const std::string& label) const {
+  for (const auto& record : records) {
+    if (record.label == label) return &record;
+  }
+  return nullptr;
+}
+
+std::size_t CallbackList::total_instances() const {
+  std::size_t total = 0;
+  for (const auto& record : records) total += record.instances();
+  return total;
+}
+
+}  // namespace tetra::core

@@ -1,0 +1,166 @@
+#include "core/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tetra::core {
+
+DagVertex& Dag::add_or_merge_vertex(const DagVertex& vertex) {
+  auto it = index_.find(vertex.key);
+  if (it == index_.end()) {
+    index_.emplace(vertex.key, vertices_.size());
+    vertices_.push_back(vertex);
+    return vertices_.back();
+  }
+  DagVertex& existing = vertices_[it->second];
+  existing.is_or_junction |= vertex.is_or_junction;
+  existing.is_sync_member |= vertex.is_sync_member;
+  for (const auto& topic : vertex.out_topics) {
+    if (std::find(existing.out_topics.begin(), existing.out_topics.end(),
+                  topic) == existing.out_topics.end()) {
+      existing.out_topics.push_back(topic);
+    }
+  }
+  if (existing.in_topic.empty()) existing.in_topic = vertex.in_topic;
+  existing.stats.merge(vertex.stats);
+  existing.instance_count += vertex.instance_count;
+  if (!existing.period.has_value()) existing.period = vertex.period;
+  return existing;
+}
+
+void Dag::add_edge(const std::string& from, const std::string& to,
+                   const std::string& topic) {
+  if (!has_vertex(from) || !has_vertex(to)) {
+    throw std::logic_error("Dag::add_edge: unknown endpoint " + from + " -> " +
+                           to);
+  }
+  DagEdge edge{from, to, topic};
+  if (edge_set_.insert(edge).second) {
+    edges_.push_back(std::move(edge));
+  }
+}
+
+bool Dag::has_vertex(const std::string& key) const {
+  return index_.count(key) > 0;
+}
+
+const DagVertex* Dag::find_vertex(const std::string& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &vertices_[it->second];
+}
+
+DagVertex* Dag::find_vertex(const std::string& key) {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &vertices_[it->second];
+}
+
+std::size_t Dag::index_of(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) throw std::out_of_range("Dag: unknown vertex " + key);
+  return it->second;
+}
+
+std::vector<const DagEdge*> Dag::out_edges(const std::string& key) const {
+  std::vector<const DagEdge*> out;
+  for (const auto& edge : edges_) {
+    if (edge.from == key) out.push_back(&edge);
+  }
+  return out;
+}
+
+std::vector<const DagEdge*> Dag::in_edges(const std::string& key) const {
+  std::vector<const DagEdge*> out;
+  for (const auto& edge : edges_) {
+    if (edge.to == key) out.push_back(&edge);
+  }
+  return out;
+}
+
+std::vector<const DagVertex*> Dag::sources() const {
+  std::vector<const DagVertex*> out;
+  for (const auto& vertex : vertices_) {
+    if (in_edges(vertex.key).empty()) out.push_back(&vertex);
+  }
+  return out;
+}
+
+std::vector<const DagVertex*> Dag::sinks() const {
+  std::vector<const DagVertex*> out;
+  for (const auto& vertex : vertices_) {
+    if (out_edges(vertex.key).empty()) out.push_back(&vertex);
+  }
+  return out;
+}
+
+bool Dag::is_acyclic() const {
+  // Kahn's algorithm.
+  std::map<std::string, std::size_t> in_degree;
+  for (const auto& vertex : vertices_) in_degree[vertex.key] = 0;
+  for (const auto& edge : edges_) ++in_degree[edge.to];
+  std::vector<std::string> frontier;
+  for (const auto& [key, deg] : in_degree) {
+    if (deg == 0) frontier.push_back(key);
+  }
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    std::string key = std::move(frontier.back());
+    frontier.pop_back();
+    ++visited;
+    for (const auto* edge : out_edges(key)) {
+      if (--in_degree[edge->to] == 0) frontier.push_back(edge->to);
+    }
+  }
+  return visited == vertices_.size();
+}
+
+void Dag::merge(const Dag& other) {
+  for (const auto& vertex : other.vertices()) {
+    add_or_merge_vertex(vertex);
+  }
+  for (const auto& edge : other.edges()) {
+    add_edge(edge.from, edge.to, edge.topic);
+  }
+}
+
+Dag merge_dags(const std::vector<Dag>& dags) {
+  Dag merged;
+  for (const auto& dag : dags) merged.merge(dag);
+  return merged;
+}
+
+void MultiModeDag::add_mode(const std::string& mode, Dag dag) {
+  by_mode_[mode] = std::move(dag);
+}
+
+void MultiModeDag::merge_into_mode(const std::string& mode, const Dag& dag) {
+  by_mode_[mode].merge(dag);
+}
+
+std::vector<std::string> MultiModeDag::modes() const {
+  std::vector<std::string> out;
+  out.reserve(by_mode_.size());
+  for (const auto& [mode, dag] : by_mode_) out.push_back(mode);
+  return out;
+}
+
+const Dag* MultiModeDag::mode_dag(const std::string& mode) const {
+  auto it = by_mode_.find(mode);
+  return it == by_mode_.end() ? nullptr : &it->second;
+}
+
+Dag MultiModeDag::combined() const {
+  Dag merged;
+  for (const auto& [mode, dag] : by_mode_) merged.merge(dag);
+  return merged;
+}
+
+std::vector<std::string> MultiModeDag::modes_of_vertex(
+    const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [mode, dag] : by_mode_) {
+    if (dag.has_vertex(key)) out.push_back(mode);
+  }
+  return out;
+}
+
+}  // namespace tetra::core

@@ -1,0 +1,122 @@
+// The synthesized timing model: a directed acyclic graph whose vertices
+// are callbacks (plus zero-execution-time AND junctions for message
+// synchronization) and whose edges are topic-matched precedence relations
+// (paper §IV, "DAG synthesis").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "support/statistics.hpp"
+#include "support/time.hpp"
+
+namespace tetra::core {
+
+struct DagVertex {
+  /// Stable unique key ("<node>/<kind><ordinal>", services additionally
+  /// suffixed with "@<caller label>", AND junctions "<node>/&<n>").
+  std::string key;
+  std::string node_name;
+  CallbackKind kind = CallbackKind::Timer;
+  bool is_and_junction = false;
+  /// More than one producer feeds this vertex's in-topic: the vertex
+  /// triggers when EITHER produces (paper's OR-junction marking).
+  bool is_or_junction = false;
+  bool is_sync_member = false;
+
+  std::string in_topic;                 ///< normalized-annotated; may be empty
+  std::vector<std::string> out_topics;  ///< normalized-annotated
+
+  /// Measured execution-time statistics; AND junctions have none (they
+  /// model zero-execution-time tasks).
+  ExecStats stats;
+  std::size_t instance_count = 0;
+  std::optional<Duration> period;  ///< estimated, timers only
+
+  Duration mbcet() const { return stats.empty() ? Duration::zero() : stats.mbcet(); }
+  Duration macet() const { return stats.empty() ? Duration::zero() : stats.macet(); }
+  Duration mwcet() const { return stats.empty() ? Duration::zero() : stats.mwcet(); }
+};
+
+struct DagEdge {
+  std::string from;   ///< vertex key
+  std::string to;     ///< vertex key
+  std::string topic;  ///< normalized-annotated topic carrying the relation
+
+  auto operator<=>(const DagEdge&) const = default;
+};
+
+class Dag {
+ public:
+  /// Adds a vertex; if the key exists, merges attributes and statistics
+  /// (union of out-topics, summed instances, merged ExecStats).
+  DagVertex& add_or_merge_vertex(const DagVertex& vertex);
+
+  /// Adds an edge if not already present. Endpoints must exist.
+  void add_edge(const std::string& from, const std::string& to,
+                const std::string& topic);
+
+  bool has_vertex(const std::string& key) const;
+  const DagVertex* find_vertex(const std::string& key) const;
+  DagVertex* find_vertex(const std::string& key);
+
+  const std::vector<DagVertex>& vertices() const { return vertices_; }
+  const std::vector<DagEdge>& edges() const { return edges_; }
+
+  std::size_t vertex_count() const { return vertices_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Outgoing / incoming adjacency by vertex key.
+  std::vector<const DagEdge*> out_edges(const std::string& key) const;
+  std::vector<const DagEdge*> in_edges(const std::string& key) const;
+
+  /// Vertices with no incoming edges (chain sources).
+  std::vector<const DagVertex*> sources() const;
+  /// Vertices with no outgoing edges (chain sinks).
+  std::vector<const DagVertex*> sinks() const;
+
+  /// True when the graph has no directed cycle.
+  bool is_acyclic() const;
+
+  /// Merges another DAG into this one (paper §V, option ii): vertex and
+  /// edge union; per-vertex statistics merged across runs.
+  void merge(const Dag& other);
+
+ private:
+  std::size_t index_of(const std::string& key) const;
+
+  std::vector<DagVertex> vertices_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<DagEdge> edges_;
+  std::set<DagEdge> edge_set_;
+};
+
+/// Merges many DAGs (one per run/trace) into a single model.
+Dag merge_dags(const std::vector<Dag>& dags);
+
+/// Multi-mode model (paper §V option iv): one DAG per operating mode
+/// (e.g. "city", "highway"), plus a combined view annotated with the
+/// modes each vertex appears in.
+class MultiModeDag {
+ public:
+  void add_mode(const std::string& mode, Dag dag);
+  /// Merges a run's DAG into the given mode (creates the mode if new).
+  void merge_into_mode(const std::string& mode, const Dag& dag);
+
+  std::vector<std::string> modes() const;
+  const Dag* mode_dag(const std::string& mode) const;
+
+  /// Union of all modes' DAGs.
+  Dag combined() const;
+  /// Modes in which the vertex appears.
+  std::vector<std::string> modes_of_vertex(const std::string& key) const;
+
+ private:
+  std::map<std::string, Dag> by_mode_;
+};
+
+}  // namespace tetra::core

@@ -1,0 +1,113 @@
+#include "core/exec_time.hpp"
+
+#include <algorithm>
+
+namespace tetra::core {
+
+Duration exec_time_naive(TimePoint start, TimePoint end, Pid pid,
+                         const trace::EventVector& sched_events) {
+  // Paper Alg. 2. Line numbering follows the pseudocode; the trailing
+  // "no event after end" case (the loop running out) is handled after the
+  // loop, which the pseudocode leaves implicit.
+  Duration exec_time = Duration::zero();   // line 1
+  TimePoint last_start = start;            // line 2
+  bool on_cpu = true;  // the CB start event is emitted from the running thread
+  for (const auto& event : sched_events) {  // line 3 (pre-sorted)
+    if (event.type != trace::EventType::SchedSwitch) continue;
+    const auto& info = event.as<trace::SchedSwitchInfo>();
+    if (start < event.time && event.time < end) {  // line 4
+      if (info.prev_pid == pid) {                  // line 5
+        exec_time += event.time - last_start;      // line 6
+        on_cpu = false;
+      } else if (info.next_pid == pid) {           // line 7
+        last_start = event.time;                   // line 8
+        on_cpu = true;
+      }
+    } else if (event.time > end) {                 // line 9
+      if (on_cpu) exec_time += end - last_start;   // line 10
+      return exec_time;                            // line 11
+    }
+  }
+  if (on_cpu) exec_time += end - last_start;
+  return exec_time;
+}
+
+ExecTimeCalculator::ExecTimeCalculator(const trace::EventVector& events) {
+  for (const auto& event : events) {
+    if (event.type == trace::EventType::SchedSwitch) {
+      const auto& info = event.as<trace::SchedSwitchInfo>();
+      if (info.prev_pid != kIdlePid) {
+        switches_[info.prev_pid].push_back(
+            Switch{event.time, false, info.prev_state});
+      }
+      if (info.next_pid != kIdlePid) {
+        switches_[info.next_pid].push_back(
+            Switch{event.time, true, trace::ThreadRunState::Runnable});
+      }
+    } else if (event.type == trace::EventType::SchedWakeup) {
+      wakeups_[event.as<trace::SchedWakeupInfo>().woken_pid].push_back(event.time);
+    }
+  }
+  for (auto& [pid, list] : switches_) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Switch& a, const Switch& b) { return a.time < b.time; });
+  }
+  for (auto& [pid, list] : wakeups_) {
+    std::sort(list.begin(), list.end());
+  }
+}
+
+const std::vector<ExecTimeCalculator::Switch>* ExecTimeCalculator::switches_for(
+    Pid pid) const {
+  auto it = switches_.find(pid);
+  return it == switches_.end() ? nullptr : &it->second;
+}
+
+Duration ExecTimeCalculator::exec_time(TimePoint start, TimePoint end,
+                                       Pid pid) const {
+  const auto* list = switches_for(pid);
+  if (list == nullptr) return end - start;  // never switched: ran throughout
+  Duration total = Duration::zero();
+  TimePoint last_start = start;
+  bool on_cpu = true;
+  auto it = std::upper_bound(
+      list->begin(), list->end(), start,
+      [](TimePoint t, const Switch& s) { return t < s.time; });
+  for (; it != list->end() && it->time < end; ++it) {
+    if (it->time <= start) continue;
+    if (!it->in) {
+      if (on_cpu) total += it->time - last_start;
+      on_cpu = false;
+    } else {
+      last_start = it->time;
+      on_cpu = true;
+    }
+  }
+  if (on_cpu) total += end - last_start;
+  return total;
+}
+
+std::optional<TimePoint> ExecTimeCalculator::last_wakeup_before(
+    Pid pid, TimePoint t) const {
+  auto it = wakeups_.find(pid);
+  if (it == wakeups_.end() || it->second.empty()) return std::nullopt;
+  const auto& list = it->second;
+  auto pos = std::upper_bound(list.begin(), list.end(), t);
+  if (pos == list.begin()) return std::nullopt;
+  return *(pos - 1);
+}
+
+std::size_t ExecTimeCalculator::preemptions_in(TimePoint start, TimePoint end,
+                                               Pid pid) const {
+  const auto* list = switches_for(pid);
+  if (list == nullptr) return 0;
+  std::size_t count = 0;
+  for (const auto& s : *list) {
+    if (s.time <= start) continue;
+    if (s.time >= end) break;
+    if (!s.in && s.prev_state == trace::ThreadRunState::Runnable) ++count;
+  }
+  return count;
+}
+
+}  // namespace tetra::core

@@ -1,0 +1,182 @@
+#include "core/export.hpp"
+
+#include <map>
+#include <set>
+
+#include "support/json_parser.hpp"
+#include "support/json_writer.hpp"
+#include "support/string_utils.hpp"
+
+namespace tetra::core {
+
+namespace {
+
+/// Pleasant categorical palette; nodes cycle through it.
+const char* kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                          "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+                          "#e31a1c", "#ff7f00"};
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string vertex_label(const DagVertex& v, const DotOptions& options) {
+  if (v.is_and_junction) return "&";
+  std::string label = v.key;
+  if (options.show_periods && v.period.has_value()) {
+    label += format("\\nT=%.1fms", v.period->to_ms());
+  }
+  if (options.show_timing && !v.stats.empty()) {
+    label += format("\\n[%.2f / %.2f / %.2f]ms", v.mbcet().to_ms(),
+                    v.macet().to_ms(), v.mwcet().to_ms());
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string to_dot(const Dag& dag, const DotOptions& options) {
+  std::string out = "digraph timing_model {\n";
+  out += "  rankdir=" + options.rankdir + ";\n";
+  out += "  node [shape=ellipse, style=filled, fontsize=10];\n";
+
+  // Group vertices by ROS2 node; each group becomes a cluster with one
+  // fill color — the paper's "CBs belonging to the same node are marked
+  // with a distinct color and border".
+  std::map<std::string, std::vector<const DagVertex*>> by_node;
+  for (const auto& v : dag.vertices()) by_node[v.node_name].push_back(&v);
+
+  std::size_t color_index = 0;
+  std::map<std::string, std::string> ids;
+  std::size_t next_id = 0;
+  for (const auto& [node, vertices] : by_node) {
+    const char* color = kPalette[color_index++ % (sizeof kPalette / sizeof *kPalette)];
+    out += format("  subgraph cluster_%zu {\n", color_index);
+    out += format("    label=\"%s\";\n    color=gray;\n", dot_escape(node).c_str());
+    for (const auto* v : vertices) {
+      std::string id = format("v%zu", next_id++);
+      ids[v->key] = id;
+      std::string shape = v->is_and_junction ? "diamond" : "ellipse";
+      std::string style = v->is_or_junction ? "filled,dashed" : "filled";
+      out += format("    %s [label=\"%s\", fillcolor=\"%s\", shape=%s, style=\"%s\"];\n",
+                    id.c_str(), dot_escape(vertex_label(*v, options)).c_str(),
+                    color, shape.c_str(), style.c_str());
+    }
+    out += "  }\n";
+  }
+  for (const auto& edge : dag.edges()) {
+    out += format("  %s -> %s [label=\"%s\", fontsize=8];\n",
+                  ids.at(edge.from).c_str(), ids.at(edge.to).c_str(),
+                  dot_escape(edge.topic).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_json(const Dag& dag) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("vertices").begin_array();
+  for (const auto& v : dag.vertices()) {
+    w.begin_object();
+    w.kv("key", v.key);
+    w.kv("node", v.node_name);
+    w.kv("kind", v.is_and_junction ? "and_junction" : to_string(v.kind));
+    w.kv("or_junction", v.is_or_junction);
+    w.kv("sync_member", v.is_sync_member);
+    w.kv("in_topic", v.in_topic);
+    w.key("out_topics").begin_array();
+    for (const auto& t : v.out_topics) w.value(t);
+    w.end_array();
+    w.kv("instances", static_cast<std::int64_t>(v.instance_count));
+    if (v.period.has_value()) w.kv("period_ns", v.period->count_ns());
+    if (!v.stats.empty()) {
+      w.key("exec_time_ns").begin_object();
+      w.kv("count", static_cast<std::int64_t>(v.stats.count()));
+      w.kv("min", v.stats.stats.min());
+      w.kv("mean", v.stats.stats.mean());
+      w.kv("max", v.stats.stats.max());
+      w.kv("variance", v.stats.stats.variance());
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("edges").begin_array();
+  for (const auto& e : dag.edges()) {
+    w.begin_object();
+    w.kv("from", e.from);
+    w.kv("to", e.to);
+    w.kv("topic", e.topic);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+Dag dag_from_json(const std::string& text) {
+  const JsonValue doc = parse_json(text);
+  Dag dag;
+  for (const auto& jv : doc.at("vertices").as_array()) {
+    DagVertex v;
+    v.key = jv.at("key").as_string();
+    v.node_name = jv.at("node").as_string();
+    const std::string kind = jv.at("kind").as_string();
+    if (kind == "and_junction") {
+      v.is_and_junction = true;
+    } else if (kind == "timer") {
+      v.kind = CallbackKind::Timer;
+    } else if (kind == "subscriber") {
+      v.kind = CallbackKind::Subscription;
+    } else if (kind == "service") {
+      v.kind = CallbackKind::Service;
+    } else if (kind == "client") {
+      v.kind = CallbackKind::Client;
+    }
+    v.is_or_junction = jv.get_bool_or("or_junction", false);
+    v.is_sync_member = jv.get_bool_or("sync_member", false);
+    v.in_topic = jv.get_string_or("in_topic", "");
+    for (const auto& t : jv.at("out_topics").as_array()) {
+      v.out_topics.push_back(t.as_string());
+    }
+    v.instance_count =
+        static_cast<std::size_t>(jv.get_int_or("instances", 0));
+    if (jv.contains("period_ns")) {
+      v.period = Duration{jv.at("period_ns").as_int()};
+    }
+    if (jv.contains("exec_time_ns")) {
+      const auto& s = jv.at("exec_time_ns");
+      v.stats.stats = RunningStats::from_summary(
+          static_cast<std::size_t>(s.at("count").as_int()),
+          s.at("min").as_double(), s.at("max").as_double(),
+          s.at("mean").as_double(), s.at("variance").as_double());
+    }
+    dag.add_or_merge_vertex(v);
+  }
+  for (const auto& je : doc.at("edges").as_array()) {
+    dag.add_edge(je.at("from").as_string(), je.at("to").as_string(),
+                 je.at("topic").as_string());
+  }
+  return dag;
+}
+
+std::string to_exec_time_table(const Dag& dag) {
+  TextTable table({"CB", "Node", "mBCET (ms)", "mACET (ms)", "mWCET (ms)",
+                   "instances"});
+  for (const auto& v : dag.vertices()) {
+    if (v.is_and_junction) continue;
+    table.add_row({v.key, v.node_name, format("%.2f", v.mbcet().to_ms()),
+                   format("%.2f", v.macet().to_ms()),
+                   format("%.2f", v.mwcet().to_ms()),
+                   format("%zu", v.instance_count)});
+  }
+  return table.to_string();
+}
+
+}  // namespace tetra::core

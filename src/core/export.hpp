@@ -1,0 +1,38 @@
+// Model exporters: Graphviz DOT (nodes colored per ROS2 node, edges
+// labeled with topics — the rendering style of the paper's Fig. 3) and a
+// JSON document for downstream analysis tools.
+#pragma once
+
+#include <string>
+
+#include "core/dag.hpp"
+
+namespace tetra::core {
+
+struct DotOptions {
+  /// Include mBCET/mACET/mWCET in vertex labels.
+  bool show_timing = true;
+  /// Include estimated periods on timer vertices.
+  bool show_periods = true;
+  /// Rankdir (LR matches the paper's horizontal chains).
+  std::string rankdir = "LR";
+};
+
+/// Renders the DAG as a Graphviz document. Callbacks of the same ROS2 node
+/// share a fill color and are grouped in a cluster; AND junctions render
+/// as small diamonds labeled "&"; OR junctions get a dashed border.
+std::string to_dot(const Dag& dag, const DotOptions& options = {});
+
+/// Serializes the DAG (vertices with statistics, edges with topics) as a
+/// JSON object {"vertices": [...], "edges": [...]}.
+std::string to_json(const Dag& dag);
+
+/// Parses a DAG back from to_json output (statistics are restored as
+/// count/min/mean/max summaries, sufficient for reports and merging).
+Dag dag_from_json(const std::string& text);
+
+/// Renders the per-callback execution-time table (the paper's Table II
+/// layout: CB, node, mBCET, mACET, mWCET in milliseconds).
+std::string to_exec_time_table(const Dag& dag);
+
+}  // namespace tetra::core

@@ -1,0 +1,322 @@
+#include "core/extract.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "support/string_utils.hpp"
+
+namespace tetra::core {
+
+const std::vector<std::size_t> TraceIndex::kEmpty{};
+
+namespace {
+
+bool is_ros2_event(const trace::TraceEvent& event) {
+  switch (event.type) {
+    case trace::EventType::SchedSwitch:
+    case trace::EventType::SchedWakeup:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+const char* ros2_request_suffix() { return "Request"; }
+const char* ros2_reply_suffix() { return "Reply"; }
+
+bool is_service_request_topic(const std::string& topic) {
+  return ends_with(topic, ros2_request_suffix());
+}
+
+bool is_service_reply_topic(const std::string& topic) {
+  return ends_with(topic, ros2_reply_suffix());
+}
+
+TraceIndex::TraceIndex(const trace::EventVector& events)
+    : events_(events), exec_calc_(events) {
+  trace::sort_by_time(events_);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& event = events_[i];
+    if (event.type == trace::EventType::RmwCreateNode) {
+      nodes_[event.pid] = event.as<trace::NodeInfo>().node_name;
+    }
+    if (is_ros2_event(event)) {
+      ros_by_pid_[event.pid].push_back(i);
+    }
+    if (event.type == trace::EventType::DdsWrite) {
+      const auto& info = event.as<trace::DdsWriteInfo>();
+      writes_.emplace(TopicTsKey{info.topic, info.src_ts.count_ns()}, i);
+    } else if (event.type == trace::EventType::Take) {
+      const auto& info = event.as<trace::TakeInfo>();
+      if (info.kind == trace::TakeKind::Response) {
+        take_responses_[TopicTsKey{info.topic, info.src_ts.count_ns()}]
+            .push_back(i);
+      }
+    }
+  }
+}
+
+const std::vector<std::size_t>& TraceIndex::ros_events_of(Pid pid) const {
+  auto it = ros_by_pid_.find(pid);
+  return it == ros_by_pid_.end() ? kEmpty : it->second;
+}
+
+const trace::TraceEvent* TraceIndex::find_write(const std::string& topic,
+                                                TimePoint src_ts) const {
+  auto it = writes_.find(TopicTsKey{topic, src_ts.count_ns()});
+  return it == writes_.end() ? nullptr : &events_[it->second];
+}
+
+std::vector<std::size_t> TraceIndex::find_take_responses(
+    const std::string& topic, TimePoint src_ts) const {
+  auto it = take_responses_.find(TopicTsKey{topic, src_ts.count_ns()});
+  return it == take_responses_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+const trace::TraceEvent* TraceIndex::next_take_type_erased(
+    Pid pid, std::size_t from) const {
+  for (std::size_t i = from; i < events_.size(); ++i) {
+    const auto& event = events_[i];
+    if (event.pid == pid && event.type == trace::EventType::TakeTypeErased) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+CallbackId find_caller(const TraceIndex& index,
+                       const trace::TraceEvent& take_request) {
+  // Step 1: the dds_write with the same topic and source timestamp as the
+  // take identifies the writing process and the write instant.
+  const auto& take_info = take_request.as<trace::TakeInfo>();
+  const trace::TraceEvent* write =
+      index.find_write(take_info.topic, take_info.src_ts);
+  if (write == nullptr) return kInvalidCallbackId;
+  const Pid writer_pid = write->pid;
+  const TimePoint write_time = write->time;
+
+  // Step 2: in the writer's event stream, the timer_call or take event
+  // that chronologically precedes the write and follows the last CB start
+  // identifies the caller callback.
+  const auto& writer_events = index.ros_events_of(writer_pid);
+  CallbackId caller = kInvalidCallbackId;
+  for (std::size_t idx : writer_events) {
+    const auto& event = index.events()[idx];
+    if (event.time > write_time) break;
+    switch (event.type) {
+      case trace::EventType::CallbackStart:
+        caller = kInvalidCallbackId;  // a new CB instance began
+        break;
+      case trace::EventType::TimerCall:
+        caller = event.as<trace::TimerCallInfo>().callback_id;
+        break;
+      case trace::EventType::Take:
+        caller = event.as<trace::TakeInfo>().callback_id;
+        break;
+      default:
+        break;
+    }
+    if (&event == write) break;
+  }
+  return caller;
+}
+
+CallbackId find_client(const TraceIndex& index, std::size_t write_event_index) {
+  const auto& write = index.events()[write_event_index];
+  const auto& info = write.as<trace::DdsWriteInfo>();
+  // All take_response events for this response — one per client node of
+  // the service (ncl of them). Only the caller's P14 evaluates true.
+  for (std::size_t take_idx :
+       index.find_take_responses(info.topic, info.src_ts)) {
+    const auto& take = index.events()[take_idx];
+    const trace::TraceEvent* p14 =
+        index.next_take_type_erased(take.pid, take_idx + 1);
+    if (p14 != nullptr && p14->as<trace::TakeTypeErasedInfo>().will_dispatch) {
+      return take.as<trace::TakeInfo>().callback_id;
+    }
+  }
+  return kInvalidCallbackId;
+}
+
+namespace {
+
+/// In-flight callback instance state (Alg. 1's CB.* working set).
+struct InFlight {
+  bool active = false;
+  CallbackKind kind = CallbackKind::Timer;
+  CallbackId id = kInvalidCallbackId;
+  TimePoint start;
+  std::string in_topic;
+  std::vector<std::string> out_topics;
+  bool is_sync_subscriber = false;
+
+  void reset() { *this = InFlight{}; }
+};
+
+std::string id_suffix(CallbackId id) {
+  return id == kInvalidCallbackId ? std::string(kUnknownAnnotation)
+                                  : hex_id(id);
+}
+
+}  // namespace
+
+CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
+                               const ExtractOptions& options) {
+  CallbackList list;
+  list.pid = pid;
+  auto node_it = index.nodes().find(pid);
+  list.node_name = node_it != index.nodes().end() ? node_it->second : "";
+
+  InFlight cb;
+  for (std::size_t idx : index.ros_events_of(pid)) {  // chronological
+    const auto& event = index.events()[idx];
+    switch (event.type) {
+      case trace::EventType::CallbackStart: {  // lines 3-5
+        cb.reset();
+        cb.active = true;
+        cb.kind = event.as<trace::CallbackPhaseInfo>().kind;
+        cb.start = event.time;
+        break;
+      }
+      case trace::EventType::TimerCall: {  // lines 6-7
+        if (!cb.active) break;
+        cb.id = event.as<trace::TimerCallInfo>().callback_id;
+        break;
+      }
+      case trace::EventType::Take: {  // lines 8-15
+        if (!cb.active) break;
+        const auto& info = event.as<trace::TakeInfo>();
+        cb.id = info.callback_id;
+        switch (info.kind) {
+          case trace::TakeKind::Response:  // lines 10-11
+            cb.in_topic = annotate_topic(info.topic, id_suffix(cb.id));
+            break;
+          case trace::TakeKind::Request:  // lines 12-13
+            cb.in_topic = annotate_topic(
+                info.topic, id_suffix(find_caller(index, event)));
+            break;
+          case trace::TakeKind::Data:  // lines 14-15
+            cb.in_topic = info.topic;
+            break;
+        }
+        break;
+      }
+      case trace::EventType::DdsWrite: {  // lines 16-23
+        if (!cb.active) break;
+        const auto& info = event.as<trace::DdsWriteInfo>();
+        std::string top_out;
+        if (is_service_request_topic(info.topic)) {  // lines 17-18
+          top_out = annotate_topic(info.topic, id_suffix(cb.id));
+        } else if (is_service_reply_topic(info.topic)) {  // lines 19-20
+          top_out =
+              annotate_topic(info.topic, id_suffix(find_client(index, idx)));
+        } else {  // lines 21-22
+          top_out = info.topic;
+        }
+        if (std::find(cb.out_topics.begin(), cb.out_topics.end(), top_out) ==
+            cb.out_topics.end()) {
+          cb.out_topics.push_back(top_out);
+        }
+        break;
+      }
+      case trace::EventType::TakeTypeErased: {  // lines 24-25
+        if (!event.as<trace::TakeTypeErasedInfo>().will_dispatch) {
+          cb.reset();
+        }
+        break;
+      }
+      case trace::EventType::SyncOperator: {  // lines 26-27
+        if (!cb.active) break;
+        cb.is_sync_subscriber = true;
+        break;
+      }
+      case trace::EventType::CallbackEnd: {  // lines 28-32
+        if (!cb.active) break;
+        const TimePoint end = event.time;
+        const Duration et = index.exec_calc().exec_time(cb.start, end, pid);
+
+        CallbackRecord instance;
+        instance.kind = cb.kind;
+        instance.id = cb.id;
+        instance.pid = pid;
+        instance.node_name = list.node_name;
+        instance.in_topic = cb.in_topic;
+        instance.is_sync_subscriber = cb.is_sync_subscriber;
+
+        CallbackRecord& record = list.match_or_insert(instance);
+        record.is_sync_subscriber |= cb.is_sync_subscriber;
+        for (const auto& topic : cb.out_topics) record.add_out_topic(topic);
+
+        std::optional<Duration> wait;
+        if (options.compute_waiting_times) {
+          if (auto wakeup = index.exec_calc().last_wakeup_before(pid, cb.start)) {
+            wait = cb.start - *wakeup;
+          }
+        }
+        record.add_instance(cb.start, et, wait);
+        cb.reset();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return list;
+}
+
+std::vector<CallbackList> extract_all_nodes(const TraceIndex& index,
+                                            const ExtractOptions& options) {
+  std::vector<CallbackList> lists;
+  lists.reserve(index.nodes().size());
+  for (const auto& [pid, name] : index.nodes()) {
+    lists.push_back(extract_callbacks(index, pid, options));
+  }
+  return lists;
+}
+
+void normalize_labels(std::vector<CallbackList>& lists) {
+  // Pass 1: assign a label to every distinct raw callback id, ordering by
+  // id within (node, kind) — heap allocation order is creation order, so
+  // ordinals are stable across runs.
+  std::map<CallbackId, std::string> label_of;
+  for (auto& list : lists) {
+    std::map<CallbackKind, std::vector<CallbackId>> ids_by_kind;
+    for (const auto& record : list.records) {
+      auto& ids = ids_by_kind[record.kind];
+      if (std::find(ids.begin(), ids.end(), record.id) == ids.end()) {
+        ids.push_back(record.id);
+      }
+    }
+    for (auto& [kind, ids] : ids_by_kind) {
+      std::sort(ids.begin(), ids.end());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        label_of[ids[i]] = list.node_name + "/" + to_short_string(kind) +
+                           std::to_string(i + 1);
+      }
+    }
+  }
+
+  // Pass 2: set record labels and rewrite topic annotations from raw ids
+  // to labels (unresolvable annotations keep the '?' marker).
+  auto rewrite = [&label_of](const std::string& topic) {
+    auto [plain, suffix] = split_annotated_topic(topic);
+    if (suffix.empty()) return topic;
+    if (suffix == kUnknownAnnotation) return topic;
+    const CallbackId id = std::strtoull(suffix.c_str(), nullptr, 16);
+    auto it = label_of.find(id);
+    return annotate_topic(plain,
+                          it == label_of.end() ? kUnknownAnnotation : it->second);
+  };
+  for (auto& list : lists) {
+    for (auto& record : list.records) {
+      record.label = label_of[record.id];
+      record.in_topic = rewrite(record.in_topic);
+      for (auto& topic : record.out_topics) topic = rewrite(topic);
+    }
+  }
+}
+
+}  // namespace tetra::core

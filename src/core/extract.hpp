@@ -1,0 +1,102 @@
+// Algorithm 1 (paper §IV): extracting every callback of a ROS2 node and
+// its architectural + timing attributes from the merged event trace.
+//
+// The extraction walks the node's ROS2 events chronologically. Because the
+// node uses a single-threaded executor, everything between a CB-start
+// event and the next CB-end event describes one callback instance. Service
+// request/response topics are annotated with caller/client identities via
+// the FindCaller/FindClient trace searches, so that multi-client services
+// later split into per-caller DAG vertices.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/callback_record.hpp"
+#include "core/exec_time.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::core {
+
+struct ExtractOptions {
+  /// Also compute waiting times from sched_wakeup events (paper §VII).
+  bool compute_waiting_times = false;
+};
+
+/// Topic-name suffix conventions by which Alg. 1 classifies dds_write
+/// events as service requests/responses (mirrors the rq/…Request and
+/// rr/…Reply naming of rmw implementations). The core module re-declares
+/// them to stay independent of the middleware substrate.
+const char* ros2_request_suffix();
+const char* ros2_reply_suffix();
+bool is_service_request_topic(const std::string& topic);
+bool is_service_reply_topic(const std::string& topic);
+
+/// Pre-built indices over one trace, shared by per-node extractions and by
+/// the caller/client resolution searches.
+class TraceIndex {
+ public:
+  explicit TraceIndex(const trace::EventVector& events);
+
+  const trace::EventVector& events() const { return events_; }
+
+  /// Indices (into events()) of ROS2 events of `pid`, time-ordered.
+  const std::vector<std::size_t>& ros_events_of(Pid pid) const;
+
+  /// Node name per PID from P1 events; empty map entry when unknown.
+  const std::map<Pid, std::string>& nodes() const { return nodes_; }
+
+  /// The dds_write event matching (topic, src_ts), if any.
+  const trace::TraceEvent* find_write(const std::string& topic,
+                                      TimePoint src_ts) const;
+
+  /// All take-response (P13) event indices matching (topic, src_ts).
+  std::vector<std::size_t> find_take_responses(const std::string& topic,
+                                               TimePoint src_ts) const;
+
+  /// The chronologically next P14 event of `pid` at/after index `from`.
+  const trace::TraceEvent* next_take_type_erased(Pid pid,
+                                                 std::size_t from) const;
+
+  const ExecTimeCalculator& exec_calc() const { return exec_calc_; }
+
+ private:
+  using TopicTsKey = std::pair<std::string, std::int64_t>;
+
+  trace::EventVector events_;  // sorted copy
+  std::map<Pid, std::vector<std::size_t>> ros_by_pid_;
+  std::map<TopicTsKey, std::size_t> writes_;
+  std::map<TopicTsKey, std::vector<std::size_t>> take_responses_;
+  std::map<Pid, std::string> nodes_;
+  ExecTimeCalculator exec_calc_;
+  static const std::vector<std::size_t> kEmpty;
+};
+
+/// FindCaller (Alg. 1, line 13): resolves which callback issued the
+/// service request that a take_request event consumed. Returns
+/// kInvalidCallbackId when unresolvable.
+CallbackId find_caller(const TraceIndex& index,
+                       const trace::TraceEvent& take_request);
+
+/// FindClient (Alg. 1, line 20): resolves which client callback a service
+/// response dds_write is dispatched to. Returns kInvalidCallbackId when
+/// unresolvable.
+CallbackId find_client(const TraceIndex& index, std::size_t write_event_index);
+
+/// Runs Algorithm 1 for one node. `pid` must be a node discovered via P1.
+CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
+                               const ExtractOptions& options = {});
+
+/// Convenience: extraction for every node discovered in the trace.
+std::vector<CallbackList> extract_all_nodes(const TraceIndex& index,
+                                            const ExtractOptions& options = {});
+
+/// Post-extraction normalization: assigns stable labels
+/// ("<node>/<kind><ordinal>", ordinals by callback-id order within the
+/// node) and rewrites topic annotations from run-specific raw callback ids
+/// to those labels. Required before cross-run DAG merging, since raw ids
+/// are pseudo-addresses that change run to run.
+void normalize_labels(std::vector<CallbackList>& lists);
+
+}  // namespace tetra::core

@@ -1,0 +1,62 @@
+// Top-level facade: traces in, timing model out. Wraps the extraction
+// (Alg. 1 + Alg. 2), label normalization and DAG synthesis behind one
+// call, and implements the multi-run / multi-mode merge strategies of the
+// deployment section (paper §V).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/callback_record.hpp"
+#include "core/dag.hpp"
+#include "core/dag_builder.hpp"
+#include "core/extract.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::core {
+
+/// The synthesized model of one trace (or one merged trace).
+struct TimingModel {
+  /// Per-node CBlists (normalized labels).
+  std::vector<CallbackList> node_callbacks;
+  /// The synthesized DAG, annotated with timing statistics.
+  Dag dag;
+
+  const CallbackRecord* find_callback(const std::string& label) const;
+};
+
+struct SynthesisOptions {
+  DagOptions dag;
+  ExtractOptions extract;
+};
+
+class ModelSynthesizer {
+ public:
+  ModelSynthesizer() = default;
+  explicit ModelSynthesizer(SynthesisOptions options) : options_(options) {}
+
+  /// Synthesizes the model from one event stream. The stream must contain
+  /// the P1 events (init trace), the runtime ROS2 events and the kernel
+  /// events — i.e. the merged output of the three tracers.
+  TimingModel synthesize(const trace::EventVector& events) const;
+
+  /// §V option (i): merge all traces first, synthesize once.
+  TimingModel synthesize_merged(const std::vector<trace::EventVector>& traces) const;
+
+  /// §V option (ii) — the paper's choice for its experiments: synthesize a
+  /// DAG per trace, then merge the DAGs (vertex/edge union, statistics
+  /// merged across runs).
+  Dag synthesize_and_merge(const std::vector<trace::EventVector>& traces) const;
+
+  /// §V option (iv): per-mode merging; `modes[i]` tags `traces[i]`.
+  MultiModeDag synthesize_multi_mode(
+      const std::vector<trace::EventVector>& traces,
+      const std::vector<std::string>& modes) const;
+
+  const SynthesisOptions& options() const { return options_; }
+
+ private:
+  SynthesisOptions options_;
+};
+
+}  // namespace tetra::core

@@ -1,0 +1,110 @@
+#include "dds/domain.hpp"
+
+namespace tetra::dds {
+
+void DataWriter::write(Pid writer_pid, std::size_t payload_bytes,
+                       std::uint64_t origin_tag, std::uint64_t target_tag) {
+  domain_->write_impl(topic_, writer_pid, payload_bytes, origin_tag, target_tag);
+}
+
+Domain::Domain(sim::Simulator& sim, Rng rng) : sim_(sim), rng_(std::move(rng)) {}
+
+DataWriter Domain::create_writer(const std::string& topic) {
+  topic_state(topic);
+  return DataWriter{*this, topic};
+}
+
+DataReader& Domain::create_reader(const std::string& topic, DeliverFn deliver) {
+  TopicState& state = topic_state(topic);
+  state.readers.push_back(std::unique_ptr<DataReader>(
+      new DataReader(topic, std::move(deliver))));
+  return *state.readers.back();
+}
+
+std::size_t Domain::reader_count(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.readers.size();
+}
+
+Domain::TopicState& Domain::topic_state(const std::string& topic) {
+  return topics_[topic];
+}
+
+void Domain::write_impl(const std::string& topic, Pid writer_pid,
+                        std::size_t payload_bytes, std::uint64_t origin_tag,
+                        std::uint64_t target_tag) {
+  TopicState& state = topic_state(topic);
+  Sample sample;
+  sample.topic = topic;
+  sample.src_ts = sim_.now();
+  sample.writer_pid = writer_pid;
+  sample.origin_tag = origin_tag;
+  sample.target_tag = target_tag;
+  sample.payload_bytes = payload_bytes;
+  sample.sequence = state.next_sequence++;
+  ++samples_written_;
+
+  // P16 fires once per write, in the writer's context, before the samples
+  // travel (the source timestamp is already assigned at this point).
+  if (hooks_.dds_write_impl) {
+    hooks_.dds_write_impl(sim_.now(), writer_pid, topic, sample.src_ts,
+                          payload_bytes);
+  }
+
+  // Fan out with an independently sampled latency per reader. Delivery is
+  // always via the event queue (even for zero latency) so readers never
+  // run inside the writer's context.
+  for (const auto& reader : state.readers) {
+    const Duration latency = latency_.sample(rng_);
+    DeliverFn deliver = reader->deliver_;
+    sim_.after(latency, [deliver = std::move(deliver), sample] {
+      deliver(sample);
+    });
+  }
+}
+
+PeriodicWriter::PeriodicWriter(Domain& domain, std::string topic, Pid pid,
+                               Duration period, Duration phase,
+                               std::size_t payload_bytes)
+    : domain_(domain),
+      writer_(domain.create_writer(topic)),
+      pid_(pid),
+      period_(period),
+      phase_(phase),
+      payload_bytes_(payload_bytes) {}
+
+PeriodicWriter::~PeriodicWriter() { *alive_ = false; }
+
+void PeriodicWriter::set_jitter(DurationDistribution jitter, Rng rng) {
+  jitter_ = jitter;
+  jitter_rng_ = std::move(rng);
+}
+
+void PeriodicWriter::start(TimePoint until) {
+  until_ = until;
+  epoch_ = domain_.simulator().now() + phase_;
+  tick(0);
+}
+
+void PeriodicWriter::tick(std::uint64_t k) {
+  // Writes are anchored to the drift-free grid epoch + k*period; jitter
+  // shifts individual writes without accumulating.
+  TimePoint nominal = epoch_ + period_ * static_cast<std::int64_t>(k);
+  if (nominal > until_) return;
+  TimePoint write_at = nominal;
+  if (jitter_.has_value()) {
+    const Duration offset = jitter_->sample(jitter_rng_);
+    write_at = nominal + offset;
+    if (write_at < domain_.simulator().now()) {
+      write_at = domain_.simulator().now();
+    }
+  }
+  domain_.simulator().at(write_at, [this, k, alive = alive_] {
+    if (!*alive) return;
+    writer_.write(pid_, payload_bytes_);
+    ++writes_;
+    tick(k + 1);
+  });
+}
+
+}  // namespace tetra::dds

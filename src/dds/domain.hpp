@@ -1,0 +1,154 @@
+// The simulated DDS domain: topics, writers, readers, a transport latency
+// model, and the dds_write_impl hook (probe P16). Mirrors Eclipse Cyclone
+// DDS as used by the paper via rmw_cyclonedds_cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dds/sample.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace tetra::dds {
+
+/// uprobe target for P16 (dds_write_impl in libddsc).
+struct DdsHooks {
+  /// (time, writer pid, topic, source timestamp, payload bytes)
+  std::function<void(TimePoint, Pid, const std::string&, TimePoint, std::size_t)>
+      dds_write_impl;
+};
+
+/// Delivery endpoint: invoked (after transport latency) once per sample.
+using DeliverFn = std::function<void(const Sample&)>;
+
+class Domain;
+
+/// Read side of one topic subscription. Thin: the consumer (ROS2 layer)
+/// owns the queueing; the reader only identifies the endpoint.
+class DataReader {
+ public:
+  const std::string& topic() const { return topic_; }
+
+ private:
+  friend class Domain;
+  DataReader(std::string topic, DeliverFn deliver)
+      : topic_(std::move(topic)), deliver_(std::move(deliver)) {}
+  std::string topic_;
+  DeliverFn deliver_;
+};
+
+/// Write side of one topic.
+class DataWriter {
+ public:
+  const std::string& topic() const { return topic_; }
+
+  /// Writes a sample: stamps src_ts with the current time, fires P16, and
+  /// schedules delivery to every reader after a sampled transport latency.
+  /// Tags are forwarded verbatim (services use them).
+  void write(Pid writer_pid, std::size_t payload_bytes = 64,
+             std::uint64_t origin_tag = kNoTag, std::uint64_t target_tag = kNoTag);
+
+ private:
+  friend class Domain;
+  DataWriter(Domain& domain, std::string topic)
+      : domain_(&domain), topic_(std::move(topic)) {}
+  Domain* domain_;
+  std::string topic_;
+};
+
+class Domain {
+ public:
+  Domain(sim::Simulator& sim, Rng rng);
+
+  /// Transport latency applied to every delivery (default 50–200 us).
+  void set_latency(DurationDistribution latency) { latency_ = latency; }
+
+  void set_hooks(DdsHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Creates a writer for `topic` (topic auto-created on first use).
+  DataWriter create_writer(const std::string& topic);
+
+  /// Registers a reader; `deliver` runs in simulation-event context after
+  /// the transport latency, once per written sample, in write order.
+  DataReader& create_reader(const std::string& topic, DeliverFn deliver);
+
+  /// Number of readers currently attached to `topic`.
+  std::size_t reader_count(const std::string& topic) const;
+
+  /// Total samples written so far (all topics).
+  std::uint64_t samples_written() const { return samples_written_; }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  friend class DataWriter;
+  struct TopicState {
+    std::vector<std::unique_ptr<DataReader>> readers;
+    std::uint64_t next_sequence = 1;
+  };
+
+  void write_impl(const std::string& topic, Pid writer_pid,
+                  std::size_t payload_bytes, std::uint64_t origin_tag,
+                  std::uint64_t target_tag);
+
+  TopicState& topic_state(const std::string& topic);
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  DurationDistribution latency_ =
+      DurationDistribution::uniform(Duration::us(50), Duration::us(200));
+  DdsHooks hooks_;
+  std::map<std::string, TopicState> topics_;
+  std::uint64_t samples_written_ = 0;
+};
+
+/// A periodic, *untraced* data source (sensor driver / rosbag replay): it
+/// writes to a topic from a PID that is not a ROS2 node, so its writes are
+/// invisible to Algorithm 1's node extraction — exactly how the AVP demo's
+/// raw LIDAR topics appear as dangling inputs in Fig. 3b.
+class PeriodicWriter {
+ public:
+  PeriodicWriter(Domain& domain, std::string topic, Pid pid, Duration period,
+                 Duration phase = Duration::zero(), std::size_t payload_bytes = 4096);
+
+  /// Adds per-tick timing jitter (sampled around zero; pass a distribution
+  /// spanning e.g. [-6ms, +6ms] to model sensor timing noise). The period
+  /// itself stays drift-free: jitter offsets each write from its nominal
+  /// slot rather than accumulating.
+  void set_jitter(DurationDistribution jitter, Rng rng);
+
+  /// Starts periodic publication until `until`.
+  void start(TimePoint until);
+
+  std::uint64_t writes_issued() const { return writes_; }
+
+  PeriodicWriter(const PeriodicWriter&) = delete;
+  PeriodicWriter& operator=(const PeriodicWriter&) = delete;
+  ~PeriodicWriter();
+
+ private:
+  void tick(std::uint64_t k);
+
+  Domain& domain_;
+  DataWriter writer_;
+  Pid pid_;
+  Duration period_;
+  Duration phase_;
+  std::size_t payload_bytes_;
+  TimePoint until_;
+  std::uint64_t writes_ = 0;
+  std::optional<DurationDistribution> jitter_;
+  Rng jitter_rng_{0};
+  TimePoint epoch_;
+  /// Guards scheduled tick events: flips to false on destruction so
+  /// in-flight simulator events become no-ops instead of dangling.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace tetra::dds

@@ -1,0 +1,34 @@
+// Data samples carried by the simulated DDS transport. A sample carries
+// exactly the metadata the paper's probes can observe (topic and source
+// timestamp) plus routing tags the middleware uses to reproduce service
+// semantics (which client issued a request, whom a response targets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/ids.hpp"
+#include "support/time.hpp"
+
+namespace tetra::dds {
+
+/// Tag value meaning "no specific origin/target".
+inline constexpr std::uint64_t kNoTag = 0;
+
+struct Sample {
+  std::string topic;
+  /// Source timestamp assigned by dds_write (what P6/P10/P13 read back).
+  TimePoint src_ts;
+  /// Writing process (used by FindCaller's write→caller resolution).
+  Pid writer_pid = kInvalidPid;
+  /// For service requests: the issuing client handle id.
+  std::uint64_t origin_tag = kNoTag;
+  /// For service responses: the client handle id the response answers.
+  std::uint64_t target_tag = kNoTag;
+  /// Payload size (bytes); affects nothing but footprint accounting.
+  std::size_t payload_bytes = 64;
+  /// Monotonic per-topic sequence number assigned by the topic.
+  std::uint64_t sequence = 0;
+};
+
+}  // namespace tetra::dds

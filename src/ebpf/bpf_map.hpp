@@ -1,0 +1,57 @@
+// BPF map analogue: bounded-capacity key/value store. The paper uses maps
+// for (i) stashing the srcTS out-parameter address between rmw_take entry
+// and exit, and (ii) sharing the traced-PID set between the ROS2-INIT
+// tracer and the sched_switch handler. Updates fail when the map is full,
+// exactly like BPF_HASH with max_entries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace tetra::ebpf {
+
+template <typename K, typename V>
+class BpfMap {
+ public:
+  explicit BpfMap(std::size_t max_entries = 10240) : max_entries_(max_entries) {}
+
+  /// Inserts or overwrites; returns false (E2BIG analogue) when inserting
+  /// a new key into a full map.
+  bool update(const K& key, V value) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second = std::move(value);
+      return true;
+    }
+    if (entries_.size() >= max_entries_) {
+      ++failed_updates_;
+      return false;
+    }
+    entries_.emplace(key, std::move(value));
+    return true;
+  }
+
+  std::optional<V> lookup(const K& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(const K& key) const { return entries_.count(key) > 0; }
+
+  bool erase(const K& key) { return entries_.erase(key) > 0; }
+
+  void clear() { entries_.clear(); }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+  std::uint64_t failed_updates() const { return failed_updates_; }
+
+ private:
+  std::size_t max_entries_;
+  std::unordered_map<K, V> entries_;
+  std::uint64_t failed_updates_ = 0;
+};
+
+}  // namespace tetra::ebpf

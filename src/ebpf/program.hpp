@@ -1,0 +1,69 @@
+// eBPF program bookkeeping: per-program run counts and simulated run time,
+// the numbers `bpftool prog show` reports and the paper's overhead
+// evaluation quotes (0.008 CPU cores on average for all probes together).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace tetra::ebpf {
+
+/// Cost model for one simulated eBPF program execution. Defaults are in
+/// line with published uprobe/tracepoint overhead measurements (uprobes
+/// cost ~1-2 us including the trap; tracepoints are tens of ns).
+struct ProbeCostModel {
+  Duration uprobe_run = Duration::ns(1500);
+  Duration uretprobe_run = Duration::ns(1800);
+  Duration tracepoint_run = Duration::ns(250);
+  Duration map_op = Duration::ns(60);
+  Duration perf_submit = Duration::ns(400);
+};
+
+enum class AttachType : std::uint8_t { Uprobe, Uretprobe, Tracepoint };
+
+/// One loaded program attached to one probe site.
+class Program {
+ public:
+  Program(std::string name, AttachType attach, std::string target)
+      : name_(std::move(name)), attach_(attach), target_(std::move(target)) {}
+
+  const std::string& name() const { return name_; }
+  AttachType attach_type() const { return attach_; }
+  const std::string& target() const { return target_; }
+
+  std::uint64_t run_count() const { return run_count_; }
+  Duration run_time() const { return run_time_; }
+
+  /// Records one execution: base cost by attach type plus per-operation
+  /// costs (map operations, perf submissions) the handler performed.
+  void account_run(const ProbeCostModel& model, int map_ops, int submits) {
+    ++run_count_;
+    switch (attach_) {
+      case AttachType::Uprobe: run_time_ += model.uprobe_run; break;
+      case AttachType::Uretprobe: run_time_ += model.uretprobe_run; break;
+      case AttachType::Tracepoint: run_time_ += model.tracepoint_run; break;
+    }
+    run_time_ += model.map_op * map_ops;
+    run_time_ += model.perf_submit * submits;
+  }
+
+ private:
+  std::string name_;
+  AttachType attach_;
+  std::string target_;
+  std::uint64_t run_count_ = 0;
+  Duration run_time_ = Duration::zero();
+};
+
+/// Flat listing of program statistics (bpftool-style).
+struct ProgramReport {
+  std::string name;
+  std::string target;
+  std::uint64_t run_count = 0;
+  Duration run_time = Duration::zero();
+};
+
+}  // namespace tetra::ebpf

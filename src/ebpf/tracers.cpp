@@ -1,0 +1,306 @@
+#include "ebpf/tracers.hpp"
+
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+
+namespace tetra::ebpf {
+
+// -------------------------------------------------------- Ros2InitTracer --
+
+Ros2InitTracer::Ros2InitTracer(ros2::Context& ctx,
+                               std::shared_ptr<PidMap> traced_pids,
+                               ProbeCostModel cost_model)
+    : ctx_(ctx), traced_pids_(std::move(traced_pids)), cost_model_(cost_model) {}
+
+void Ros2InitTracer::attach() {
+  attached_ = true;
+  ctx_.hooks().rmw_create_node = [this](TimePoint t, Pid pid,
+                                        const std::string& node_name) {
+    if (!attached_) return;
+    traced_pids_->update(pid, 1);
+    buffer_.push(trace::make_node_event(t, pid, node_name));
+    program_.account_run(cost_model_, /*map_ops=*/1, /*submits=*/1);
+  };
+}
+
+void Ros2InitTracer::detach() {
+  attached_ = false;
+  ctx_.hooks().rmw_create_node = nullptr;
+}
+
+std::vector<ProgramReport> Ros2InitTracer::program_reports() const {
+  return {{program_.name(), program_.target(), program_.run_count(),
+           program_.run_time()}};
+}
+
+// ---------------------------------------------------------- Ros2RtTracer --
+
+Ros2RtTracer::Ros2RtTracer(ros2::Context& ctx,
+                           std::shared_ptr<PidMap> traced_pids)
+    : Ros2RtTracer(ctx, std::move(traced_pids), Options{}) {}
+
+Ros2RtTracer::Ros2RtTracer(ros2::Context& ctx,
+                           std::shared_ptr<PidMap> traced_pids, Options options,
+                           ProbeCostModel cost_model)
+    : ctx_(ctx),
+      traced_pids_(std::move(traced_pids)),
+      options_(options),
+      cost_model_(cost_model),
+      buffer_(options.buffer_capacity) {
+  auto add = [this](const char* name, AttachType type, const char* target) {
+    programs_.emplace(name, Program{name, type, target});
+  };
+  add("tetra_execute_entry", AttachType::Uprobe, "rclcpp:execute_*");
+  add("tetra_execute_exit", AttachType::Uretprobe, "rclcpp:execute_*");
+  add("tetra_rcl_timer_call", AttachType::Uprobe, "rcl:rcl_timer_call");
+  add("tetra_rmw_take_entry", AttachType::Uprobe, "rmw_cyclonedds_cpp:rmw_take_*");
+  add("tetra_rmw_take_exit", AttachType::Uretprobe, "rmw_cyclonedds_cpp:rmw_take_*");
+  add("tetra_take_type_erased", AttachType::Uretprobe,
+      "rclcpp:take_type_erased_response");
+  add("tetra_msg_filter_op", AttachType::Uprobe, "message_filters:operator()");
+  add("tetra_dds_write", AttachType::Uprobe, "cyclonedds:dds_write_impl");
+}
+
+bool Ros2RtTracer::pid_allowed(Pid pid) const {
+  if (!options_.filter_by_traced_pids) return true;
+  return traced_pids_->contains(pid);
+}
+
+void Ros2RtTracer::submit(trace::TraceEvent event, Program& program,
+                          int map_ops) {
+  buffer_.push(std::move(event));
+  program.account_run(cost_model_, map_ops, /*submits=*/1);
+}
+
+void Ros2RtTracer::attach() {
+  attached_ = true;
+  ros2::Ros2Hooks& hooks = ctx_.hooks();
+
+  hooks.execute_callback = [this](TimePoint t, Pid pid, CallbackKind kind,
+                                  bool is_entry) {
+    if (!attached_ || !pid_allowed(pid)) return;
+    Program& program = programs_.at(is_entry ? "tetra_execute_entry"
+                                             : "tetra_execute_exit");
+    submit(is_entry ? trace::make_callback_start(t, pid, kind)
+                    : trace::make_callback_end(t, pid, kind),
+           program, /*map_ops=*/0);
+  };
+
+  hooks.rcl_timer_call = [this](TimePoint t, Pid pid, CallbackId id) {
+    if (!attached_ || !pid_allowed(pid)) return;
+    submit(trace::make_timer_call(t, pid, id),
+           programs_.at("tetra_rcl_timer_call"), /*map_ops=*/0);
+  };
+
+  // The srcTS technique (paper §III-A): the entry probe can read the
+  // callback id and topic from the arguments, but the source timestamp is
+  // an out-parameter — only its address is known. Stash argument data
+  // keyed by (pid, address); the uretprobe reads the value at the stashed
+  // address and assembles the full P6/P10/P13 event.
+  hooks.rmw_take_entry = [this](TimePoint, Pid pid, trace::TakeKind kind,
+                                std::uint64_t addr, CallbackId cb,
+                                const std::string& topic) {
+    if (!attached_ || !pid_allowed(pid)) return;
+    take_stash_.update(stash_key(pid, addr), StashValue{kind, cb, topic});
+    programs_.at("tetra_rmw_take_entry")
+        .account_run(cost_model_, /*map_ops=*/1, /*submits=*/0);
+  };
+
+  hooks.rmw_take_exit = [this](TimePoint t, Pid pid, trace::TakeKind kind,
+                               std::uint64_t addr, TimePoint src_ts) {
+    if (!attached_ || !pid_allowed(pid)) return;
+    Program& program = programs_.at("tetra_rmw_take_exit");
+    const StashKey key = stash_key(pid, addr);
+    auto stashed = take_stash_.lookup(key);
+    if (!stashed.has_value()) {
+      // Exit without a matching entry (tracer attached mid-call): drop.
+      program.account_run(cost_model_, /*map_ops=*/1, /*submits=*/0);
+      return;
+    }
+    take_stash_.erase(key);
+    submit(trace::make_take(t, pid, kind, stashed->callback_id, stashed->topic,
+                            src_ts),
+           program, /*map_ops=*/2);
+  };
+
+  hooks.take_type_erased_response = [this](TimePoint t, Pid pid, bool taken) {
+    if (!attached_ || !pid_allowed(pid)) return;
+    submit(trace::make_take_type_erased(t, pid, taken),
+           programs_.at("tetra_take_type_erased"), /*map_ops=*/0);
+  };
+
+  hooks.message_filter_operator = [this](TimePoint t, Pid pid, CallbackId id) {
+    if (!attached_ || !pid_allowed(pid)) return;
+    submit(trace::make_sync_operator(t, pid, id),
+           programs_.at("tetra_msg_filter_op"), /*map_ops=*/0);
+  };
+
+  ctx_.domain().set_hooks(dds::DdsHooks{
+      [this](TimePoint t, Pid pid, const std::string& topic, TimePoint src_ts,
+             std::size_t) {
+        if (!attached_ || !pid_allowed(pid)) return;
+        submit(trace::make_dds_write(t, pid, topic, src_ts),
+               programs_.at("tetra_dds_write"), /*map_ops=*/0);
+      }});
+}
+
+void Ros2RtTracer::detach() {
+  attached_ = false;
+  ros2::Ros2Hooks& hooks = ctx_.hooks();
+  hooks.execute_callback = nullptr;
+  hooks.rcl_timer_call = nullptr;
+  hooks.rmw_take_entry = nullptr;
+  hooks.rmw_take_exit = nullptr;
+  hooks.take_type_erased_response = nullptr;
+  hooks.message_filter_operator = nullptr;
+  ctx_.domain().set_hooks({});
+}
+
+std::vector<ProgramReport> Ros2RtTracer::program_reports() const {
+  std::vector<ProgramReport> out;
+  out.reserve(programs_.size());
+  for (const auto& [name, program] : programs_) {
+    out.push_back({program.name(), program.target(), program.run_count(),
+                   program.run_time()});
+  }
+  return out;
+}
+
+Duration Ros2RtTracer::total_run_time() const {
+  Duration total = Duration::zero();
+  for (const auto& [name, program] : programs_) total += program.run_time();
+  return total;
+}
+
+// ----------------------------------------------------------- KernelTracer --
+
+KernelTracer::KernelTracer(sched::Machine& machine,
+                           std::shared_ptr<PidMap> traced_pids)
+    : KernelTracer(machine, std::move(traced_pids), Options{}) {}
+
+KernelTracer::KernelTracer(sched::Machine& machine,
+                           std::shared_ptr<PidMap> traced_pids, Options options,
+                           ProbeCostModel cost_model)
+    : machine_(machine),
+      traced_pids_(std::move(traced_pids)),
+      options_(options),
+      cost_model_(cost_model),
+      buffer_(options.buffer_capacity) {}
+
+void KernelTracer::attach() {
+  attached_ = true;
+  sched::KernelHooks hooks;
+  hooks.sched_switch = [this](TimePoint t, const trace::SchedSwitchInfo& info) {
+    if (!attached_) return;
+    ++seen_;
+    int map_ops = 0;
+    bool record = true;
+    if (options_.filter_by_traced_pids) {
+      // In-kernel filtering: record only switches involving a traced PID.
+      map_ops = 2;
+      record = traced_pids_->contains(info.prev_pid) ||
+               traced_pids_->contains(info.next_pid);
+    }
+    if (record) {
+      buffer_.push(trace::make_sched_switch(t, info));
+      ++recorded_;
+    }
+    switch_program_.account_run(cost_model_, map_ops, record ? 1 : 0);
+  };
+  hooks.sched_wakeup = [this](TimePoint t, const trace::SchedWakeupInfo& info) {
+    if (!attached_ || !options_.record_wakeups) return;
+    ++seen_;
+    int map_ops = 0;
+    bool record = true;
+    if (options_.filter_by_traced_pids) {
+      map_ops = 1;
+      record = traced_pids_->contains(info.woken_pid);
+    }
+    if (record) {
+      buffer_.push(trace::make_sched_wakeup(t, info));
+      ++recorded_;
+    }
+    wakeup_program_.account_run(cost_model_, map_ops, record ? 1 : 0);
+  };
+  machine_.set_kernel_hooks(std::move(hooks));
+}
+
+void KernelTracer::detach() {
+  attached_ = false;
+  machine_.set_kernel_hooks({});
+}
+
+std::vector<ProgramReport> KernelTracer::program_reports() const {
+  return {{switch_program_.name(), switch_program_.target(),
+           switch_program_.run_count(), switch_program_.run_time()},
+          {wakeup_program_.name(), wakeup_program_.target(),
+           wakeup_program_.run_count(), wakeup_program_.run_time()}};
+}
+
+Duration KernelTracer::total_run_time() const {
+  return switch_program_.run_time() + wakeup_program_.run_time();
+}
+
+// ------------------------------------------------------------ TracerSuite --
+
+TracerSuite::TracerSuite(ros2::Context& ctx) : TracerSuite(ctx, Options{}) {}
+
+TracerSuite::TracerSuite(ros2::Context& ctx, Options options)
+    : ctx_(ctx), traced_pids_(std::make_shared<PidMap>(4096)) {
+  init_ = std::make_unique<Ros2InitTracer>(ctx_, traced_pids_,
+                                           options.cost_model);
+  rt_ = std::make_unique<Ros2RtTracer>(ctx_, traced_pids_, options.rt,
+                                        options.cost_model);
+  kernel_ = std::make_unique<KernelTracer>(ctx_.machine(), traced_pids_,
+                                           options.kernel, options.cost_model);
+}
+
+void TracerSuite::start_init() { init_->attach(); }
+
+trace::EventVector TracerSuite::stop_init() {
+  init_->detach();
+  trace::EventVector events = init_->buffer().drain();
+  bytes_collected_ += trace::binary_footprint_bytes(events);
+  events_collected_ += events.size();
+  return events;
+}
+
+void TracerSuite::start_runtime() {
+  runtime_started_ = ctx_.simulator().now();
+  rt_->buffer().clear();
+  kernel_->buffer().clear();
+  rt_->attach();
+  kernel_->attach();
+}
+
+trace::EventVector TracerSuite::stop_runtime() {
+  rt_->detach();
+  kernel_->detach();
+  traced_elapsed_ += ctx_.simulator().now() - runtime_started_;
+  trace::EventVector rt_events = rt_->buffer().drain();
+  trace::EventVector kernel_events = kernel_->buffer().drain();
+  bytes_collected_ += trace::binary_footprint_bytes(rt_events) +
+                      trace::binary_footprint_bytes(kernel_events);
+  events_collected_ += rt_events.size() + kernel_events.size();
+  return trace::merge_sorted({std::move(rt_events), std::move(kernel_events)});
+}
+
+OverheadReport TracerSuite::overhead_report() const {
+  OverheadReport report;
+  report.ebpf_run_time = init_->total_run_time() + rt_->total_run_time() +
+                         kernel_->total_run_time();
+  report.elapsed = traced_elapsed_;
+  report.app_busy_time = ctx_.machine().total_busy_time();
+  report.trace_bytes = bytes_collected_;
+  report.events = events_collected_;
+  return report;
+}
+
+std::vector<ProgramReport> TracerSuite::program_reports() const {
+  std::vector<ProgramReport> out = init_->program_reports();
+  for (auto& r : rt_->program_reports()) out.push_back(r);
+  for (auto& r : kernel_->program_reports()) out.push_back(r);
+  return out;
+}
+
+}  // namespace tetra::ebpf

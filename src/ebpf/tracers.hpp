@@ -1,0 +1,223 @@
+// The three tracers of the proposed framework (paper Fig. 1/Fig. 2):
+//
+//   TR_IN  (Ros2InitTracer)  — P1 only; discovers node names and the PIDs
+//                              of their executor threads.
+//   TR_RT  (Ros2RtTracer)    — P2..P16; runtime ROS2 events including the
+//                              srcTS entry/exit stash technique.
+//   TR_KN  (KernelTracer)    — sched_switch (+ sched_wakeup extension),
+//                              PID-filtered via the BPF map TR_IN fills.
+//
+// Each tracer owns a perf buffer and per-program accounting. A TracerSuite
+// wires all three to a ros2::Context and drives the Fig. 2 deployment
+// cycle (init session, then segmented runtime sessions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ebpf/bpf_map.hpp"
+#include "ebpf/program.hpp"
+#include "ros2/context.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace tetra::ebpf {
+
+/// PID set shared between tracers (BPF map semantics).
+using PidMap = BpfMap<Pid, std::uint8_t>;
+
+/// TR_IN: probes rmw_create_node (P1).
+class Ros2InitTracer {
+ public:
+  Ros2InitTracer(ros2::Context& ctx, std::shared_ptr<PidMap> traced_pids,
+                 ProbeCostModel cost_model = {});
+
+  /// Installs the P1 uprobe handler. Must run before nodes are created.
+  void attach();
+  void detach();
+  bool attached() const { return attached_; }
+
+  trace::TraceBuffer& buffer() { return buffer_; }
+  std::vector<ProgramReport> program_reports() const;
+  Duration total_run_time() const { return program_.run_time(); }
+
+ private:
+  ros2::Context& ctx_;
+  std::shared_ptr<PidMap> traced_pids_;
+  ProbeCostModel cost_model_;
+  Program program_{"tetra_p1_rmw_create_node", AttachType::Uprobe,
+                   "rmw_cyclonedds_cpp:rmw_create_node"};
+  trace::TraceBuffer buffer_{1u << 12};
+  bool attached_ = false;
+};
+
+/// TR_RT: probes P2..P16 across rclcpp / rcl / rmw / cyclonedds /
+/// message_filters. Optionally restricted to a PID set (the paper's
+/// "filter events pertaining to one or more ROS2 nodes" debug feature).
+class Ros2RtTracer {
+ public:
+  struct Options {
+    /// When true, only events whose PID is in the traced-PID map are
+    /// recorded (quick-debugging mode); default records all processes that
+    /// cross the probed libraries.
+    bool filter_by_traced_pids = false;
+    std::size_t buffer_capacity = 1u << 22;
+  };
+
+  Ros2RtTracer(ros2::Context& ctx, std::shared_ptr<PidMap> traced_pids);
+  Ros2RtTracer(ros2::Context& ctx, std::shared_ptr<PidMap> traced_pids,
+               Options options, ProbeCostModel cost_model = {});
+
+  void attach();
+  void detach();
+  bool attached() const { return attached_; }
+
+  trace::TraceBuffer& buffer() { return buffer_; }
+  std::vector<ProgramReport> program_reports() const;
+  Duration total_run_time() const;
+
+  /// Size of the in-flight srcTS stash map (should be ~0 when quiescent).
+  std::size_t stash_size() const { return take_stash_.size(); }
+
+ private:
+  struct StashValue {
+    trace::TakeKind kind;
+    CallbackId callback_id;
+    std::string topic;
+  };
+  /// Key: (pid, srcTS address). The address alone is not unique across
+  /// processes — each process has its own stack.
+  using StashKey = std::uint64_t;
+  static StashKey stash_key(Pid pid, std::uint64_t addr) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid)) << 48) ^
+           addr;
+  }
+
+  bool pid_allowed(Pid pid) const;
+  void submit(trace::TraceEvent event, Program& program, int map_ops);
+
+  ros2::Context& ctx_;
+  std::shared_ptr<PidMap> traced_pids_;
+  Options options_;
+  ProbeCostModel cost_model_;
+  BpfMap<StashKey, StashValue> take_stash_{1024};
+  std::map<std::string, Program> programs_;
+  trace::TraceBuffer buffer_;
+  bool attached_ = false;
+};
+
+/// TR_KN: sched_switch + sched_wakeup tracepoints with in-kernel PID
+/// filtering through the shared PID map (paper §III-B: reduces the trace
+/// footprint by orders of magnitude).
+class KernelTracer {
+ public:
+  struct Options {
+    bool filter_by_traced_pids = true;  ///< the ablation flips this off
+    bool record_wakeups = true;         ///< paper §VII extension
+    std::size_t buffer_capacity = 1u << 22;
+  };
+
+  KernelTracer(sched::Machine& machine, std::shared_ptr<PidMap> traced_pids);
+  KernelTracer(sched::Machine& machine, std::shared_ptr<PidMap> traced_pids,
+               Options options, ProbeCostModel cost_model = {});
+
+  void attach();
+  void detach();
+  bool attached() const { return attached_; }
+
+  trace::TraceBuffer& buffer() { return buffer_; }
+  std::vector<ProgramReport> program_reports() const;
+  Duration total_run_time() const;
+
+  /// Events seen at the tracepoint (pre-filter) vs recorded (post-filter).
+  std::uint64_t events_seen() const { return seen_; }
+  std::uint64_t events_recorded() const { return recorded_; }
+
+ private:
+  sched::Machine& machine_;
+  std::shared_ptr<PidMap> traced_pids_;
+  Options options_;
+  ProbeCostModel cost_model_;
+  Program switch_program_{"tetra_sched_switch", AttachType::Tracepoint,
+                          "sched:sched_switch"};
+  Program wakeup_program_{"tetra_sched_wakeup", AttachType::Tracepoint,
+                          "sched:sched_wakeup"};
+  trace::TraceBuffer buffer_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t recorded_ = 0;
+  bool attached_ = false;
+};
+
+/// Overall tracing overhead summary (paper §VI "Tracing overheads").
+struct OverheadReport {
+  Duration ebpf_run_time = Duration::zero();  ///< total eBPF CPU time
+  Duration elapsed = Duration::zero();        ///< observed wall-clock span
+  Duration app_busy_time = Duration::zero();  ///< CPU consumed by workload
+  std::size_t trace_bytes = 0;                ///< compact record footprint
+  std::uint64_t events = 0;
+
+  /// Average CPU cores consumed by the probes (bpftool-style).
+  double cpu_cores() const {
+    return elapsed > Duration::zero()
+               ? static_cast<double>(ebpf_run_time.count_ns()) /
+                     static_cast<double>(elapsed.count_ns())
+               : 0.0;
+  }
+  /// Probe CPU as a fraction of application CPU (paper: 0.3%).
+  double fraction_of_app_load() const {
+    return app_busy_time > Duration::zero()
+               ? static_cast<double>(ebpf_run_time.count_ns()) /
+                     static_cast<double>(app_busy_time.count_ns())
+               : 0.0;
+  }
+};
+
+/// Drives the Fig. 2 deployment: TR_IN before app start, then segmented
+/// TR_RT + TR_KN sessions whose traces land in a database or are returned
+/// per segment.
+class TracerSuite {
+ public:
+  struct Options {
+    Ros2RtTracer::Options rt;
+    KernelTracer::Options kernel;
+    ProbeCostModel cost_model;
+  };
+
+  explicit TracerSuite(ros2::Context& ctx);
+  TracerSuite(ros2::Context& ctx, Options options);
+
+  Ros2InitTracer& init_tracer() { return *init_; }
+  Ros2RtTracer& rt_tracer() { return *rt_; }
+  KernelTracer& kernel_tracer() { return *kernel_; }
+  std::shared_ptr<PidMap> traced_pids() { return traced_pids_; }
+
+  /// Starts TR_IN (call before creating nodes).
+  void start_init();
+  /// Stops TR_IN; returns the init trace (P1 events).
+  trace::EventVector stop_init();
+
+  /// Starts TR_RT and TR_KN with empty buffers (one session segment).
+  void start_runtime();
+  /// Stops both and returns their merged, time-sorted trace.
+  trace::EventVector stop_runtime();
+
+  /// Overhead accounting over everything recorded so far.
+  OverheadReport overhead_report() const;
+
+  std::vector<ProgramReport> program_reports() const;
+
+ private:
+  ros2::Context& ctx_;
+  std::shared_ptr<PidMap> traced_pids_;
+  std::unique_ptr<Ros2InitTracer> init_;
+  std::unique_ptr<Ros2RtTracer> rt_;
+  std::unique_ptr<KernelTracer> kernel_;
+  TimePoint runtime_started_;
+  Duration traced_elapsed_ = Duration::zero();
+  std::size_t bytes_collected_ = 0;
+  std::uint64_t events_collected_ = 0;
+};
+
+}  // namespace tetra::ebpf

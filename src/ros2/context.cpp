@@ -1,0 +1,44 @@
+#include "ros2/context.hpp"
+
+#include <stdexcept>
+
+namespace tetra::ros2 {
+
+Context::Context() : Context(Config{}) {}
+
+Context::Context(Config config)
+    : config_(config),
+      rng_(config.seed),
+      machine_(sim_, sched::Machine::Config{config.num_cpus, config.rr_slice,
+                                            config.first_pid}),
+      domain_(sim_, Rng{config.seed ^ 0xdd5'dd5ULL}) {
+  domain_.set_latency(config_.dds_latency);
+}
+
+Node& Context::create_node(NodeOptions options) {
+  if (node_by_name(options.name) != nullptr) {
+    throw std::invalid_argument("create_node: duplicate node name '" +
+                                options.name + "'");
+  }
+  nodes_.push_back(std::unique_ptr<Node>(new Node(*this, std::move(options))));
+  return *nodes_.back();
+}
+
+Node* Context::node_by_name(const std::string& name) {
+  for (auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
+void Context::run_for(Duration duration) {
+  sim_.run_until(sim_.now() + duration);
+}
+
+CallbackId Context::allocate_id_base() {
+  // Pseudo heap addresses: high, page-aligned-ish, randomized per run.
+  return 0x5600'0000'0000ULL +
+         (rng_.next_u64() & 0x00ff'ffff'f000ULL);
+}
+
+}  // namespace tetra::ros2

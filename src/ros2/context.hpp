@@ -1,0 +1,71 @@
+// The ROS2 context: owns the simulation executive, the machine, the DDS
+// domain, the hook registry and all nodes. One Context = one "system under
+// trace" (applications can span several nodes; several applications share
+// one Context, as AVP + SYN do in the paper's case study).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dds/domain.hpp"
+#include "ros2/hooks.hpp"
+#include "ros2/node.hpp"
+#include "sched/machine.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace tetra::ros2 {
+
+class Context {
+ public:
+  struct Config {
+    int num_cpus = 4;
+    Duration rr_slice = Duration::ms(4);
+    std::uint64_t seed = 0x7e74;
+    DurationDistribution dds_latency =
+        DurationDistribution::uniform(Duration::us(50), Duration::us(200));
+    Pid first_pid = 1000;
+  };
+
+  /// Default configuration.
+  Context();
+  explicit Context(Config config);
+
+  /// Creates a node and its executor thread; fires P1 (rmw_create_node).
+  /// Attach tracer hooks *before* creating nodes, exactly as the paper's
+  /// ROS2-INIT tracer must run before the applications start.
+  Node& create_node(NodeOptions options);
+
+  /// Hook registry: middleware reads it on every probe-site crossing, so
+  /// tracers can attach/detach at any time.
+  Ros2Hooks& hooks() { return hooks_; }
+  void set_hooks(Ros2Hooks hooks) { hooks_ = std::move(hooks); }
+
+  sim::Simulator& simulator() { return sim_; }
+  sched::Machine& machine() { return machine_; }
+  dds::Domain& domain() { return domain_; }
+  Rng& rng() { return rng_; }
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  Node* node_by_name(const std::string& name);
+
+  /// Advances simulation time by `duration` ("run the apps for N seconds").
+  void run_for(Duration duration);
+
+  /// Pseudo-address allocator for callback handles; randomized per run so
+  /// callback ids are NOT stable across runs (as with real heap addresses).
+  CallbackId allocate_id_base();
+
+ private:
+  Config config_;
+  Rng rng_;
+  sim::Simulator sim_;
+  sched::Machine machine_;
+  dds::Domain domain_;
+  Ros2Hooks hooks_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace tetra::ros2

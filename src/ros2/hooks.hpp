@@ -1,0 +1,59 @@
+// uprobe/uretprobe target sites in the simulated ROS2 stack.
+//
+// Each member mirrors one probed function from Table I of the paper. The
+// middleware invokes these hooks at exactly the points the paper's eBPF
+// programs attach to, passing what the program could read from function
+// arguments (entry) or return values / stashed pointers (exit). The eBPF
+// module attaches its tracer programs here; with no tracer attached the
+// hooks are empty and the middleware runs unobserved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/ids.hpp"
+#include "support/time.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::ros2 {
+
+struct Ros2Hooks {
+  /// P1 — rmw_create_node(node_name) in rmw_cyclonedds_cpp: fires when a
+  /// node is created; pid identifies the executor thread.
+  std::function<void(TimePoint, Pid, const std::string& node_name)>
+      rmw_create_node;
+
+  /// P2/P4, P5/P8, P9/P11, P12/P15 — execute_{timer, subscription, service,
+  /// client} entry (is_entry=true) and exit (false) in rclcpp.
+  std::function<void(TimePoint, Pid, CallbackKind, bool is_entry)>
+      execute_callback;
+
+  /// P3 — rcl_timer_call(timer_handle): exposes the timer callback id.
+  std::function<void(TimePoint, Pid, CallbackId)> rcl_timer_call;
+
+  /// Entry of rmw_take / rmw_take_request / rmw_take_response. The source
+  /// timestamp is an out-parameter whose value is unknown at entry; only
+  /// its address (`src_ts_addr`) can be stashed, plus what the arguments
+  /// expose (callback id and topic/service name).
+  std::function<void(TimePoint, Pid, trace::TakeKind, std::uint64_t src_ts_addr,
+                     CallbackId, const std::string& topic)>
+      rmw_take_entry;
+
+  /// Exit (uretprobe) of the same functions: the value now present at the
+  /// stashed address. P6/P10/P13 events are assembled by pairing this with
+  /// the entry stash.
+  std::function<void(TimePoint, Pid, trace::TakeKind, std::uint64_t src_ts_addr,
+                     TimePoint src_ts)>
+      rmw_take_exit;
+
+  /// P14 — uretprobe on rclcpp's take_type_erased_response: `taken` is the
+  /// return value; true means the local client callback will be dispatched.
+  std::function<void(TimePoint, Pid, bool taken)> take_type_erased_response;
+
+  /// P7 — message_filters' operator(): a subscriber callback participating
+  /// in data synchronization just consumed a sample.
+  std::function<void(TimePoint, Pid, CallbackId)> message_filter_operator;
+};
+
+}  // namespace tetra::ros2

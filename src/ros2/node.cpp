@@ -1,0 +1,375 @@
+#include "ros2/node.hpp"
+
+#include <stdexcept>
+
+#include "ros2/context.hpp"
+
+namespace tetra::ros2 {
+
+// ------------------------------------------------------------- Publisher --
+
+void Publisher::publish(std::size_t bytes) {
+  writer_.write(node_->pid(), bytes);
+}
+
+// ---------------------------------------------------------------- Client --
+
+void Client::async_call(std::size_t bytes) {
+  // The request carries the issuing client handle id; the service copies it
+  // into the response's target tag, which is what the P14 dispatch check
+  // compares against.
+  request_writer_.write(node_->pid(), bytes, /*origin_tag=*/id_,
+                        /*target_tag=*/dds::kNoTag);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+void Timer::tick() {
+  ++pending_;
+  ++fired_;
+  node_->notify();
+  node_->ctx_.simulator().after(period_, [this] { tick(); });
+}
+
+// ------------------------------------------------------------- SyncGroup --
+
+bool SyncGroup::complete() const {
+  for (const auto& slot : slots_) {
+    if (!slot.has_value()) return false;
+  }
+  return true;
+}
+
+int SyncGroup::member_index(const Subscription* sub) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == sub) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SyncGroup::record(const Subscription& sub, const dds::Sample& sample) {
+  const int idx = member_index(&sub);
+  if (idx < 0) throw std::logic_error("SyncGroup: subscription not a member");
+  slots_[static_cast<std::size_t>(idx)] = sample;  // keep-latest policy
+}
+
+void SyncGroup::clear() {
+  for (auto& slot : slots_) slot.reset();
+}
+
+// ------------------------------------------------------------------ Node --
+
+Node::Node(Context& ctx, NodeOptions options)
+    : ctx_(ctx), options_(std::move(options)), rng_(ctx.rng().fork()) {
+  sched::ThreadConfig tc;
+  tc.name = options_.name;
+  tc.priority = options_.priority;
+  tc.policy = options_.policy;
+  tc.affinity_mask = options_.affinity_mask;
+  thread_ = &ctx_.machine().create_thread(tc, [this] { run_loop(); });
+  // Pseudo-addresses: callback handles live on this process's heap, the
+  // srcTS out-parameter on its stack. Randomized per run.
+  id_base_ = ctx_.allocate_id_base();
+  stack_base_ = 0x7ffc'0000'0000ULL ^ (static_cast<std::uint64_t>(pid()) << 16);
+  if (ctx_.hooks().rmw_create_node) {
+    ctx_.hooks().rmw_create_node(ctx_.simulator().now(), pid(), options_.name);
+  }
+}
+
+Pid Node::pid() const { return thread_->pid(); }
+
+CallbackId Node::allocate_callback_id() {
+  // 0x60 spacing mimics rclcpp handle objects on the heap.
+  return id_base_ + (next_callback_slot_++) * 0x60;
+}
+
+std::uint64_t Node::stack_slot_for(trace::TakeKind kind) const {
+  return stack_base_ + static_cast<std::uint64_t>(kind) * 8;
+}
+
+Publisher& Node::create_publisher(const std::string& topic) {
+  publishers_.push_back(std::unique_ptr<Publisher>(
+      new Publisher(*this, ctx_.domain().create_writer(topic), topic)));
+  return *publishers_.back();
+}
+
+Timer& Node::create_timer(Duration period, Plan plan,
+                          std::optional<Duration> phase) {
+  if (period <= Duration::zero()) {
+    throw std::invalid_argument("create_timer: period must be positive");
+  }
+  timers_.push_back(std::unique_ptr<Timer>(new Timer(
+      *this, allocate_callback_id(), period, phase.value_or(period),
+      std::move(plan))));
+  Timer& timer = *timers_.back();
+  ctx_.simulator().after(timer.phase_, [&timer] { timer.tick(); });
+  return timer;
+}
+
+Subscription& Node::create_subscription(const std::string& topic, Plan plan) {
+  subscriptions_.push_back(std::unique_ptr<Subscription>(
+      new Subscription(*this, allocate_callback_id(), topic, std::move(plan))));
+  Subscription& sub = *subscriptions_.back();
+  ctx_.domain().create_reader(topic, [this, &sub](const dds::Sample& sample) {
+    sub.queue_.push_back(sample);
+    notify();
+  });
+  return sub;
+}
+
+Service& Node::create_service(const std::string& service_name, Plan plan) {
+  const std::string reply_topic = service_name + kServiceReplySuffix;
+  services_.push_back(std::unique_ptr<Service>(
+      new Service(*this, allocate_callback_id(), service_name, std::move(plan),
+                  ctx_.domain().create_writer(reply_topic))));
+  Service& service = *services_.back();
+  ctx_.domain().create_reader(service.request_topic_,
+                              [this, &service](const dds::Sample& sample) {
+                                service.queue_.push_back(sample);
+                                notify();
+                              });
+  return service;
+}
+
+Client& Node::create_client(const std::string& service_name, Plan plan) {
+  const std::string request_topic = service_name + kServiceRequestSuffix;
+  clients_.push_back(std::unique_ptr<Client>(
+      new Client(*this, allocate_callback_id(), service_name, std::move(plan),
+                 ctx_.domain().create_writer(request_topic))));
+  Client& client = *clients_.back();
+  // Every client's reader receives every response on the service's reply
+  // topic; the dispatch decision is made per-client at execution time
+  // (take_type_erased_response, P14).
+  ctx_.domain().create_reader(client.reply_topic_,
+                              [this, &client](const dds::Sample& sample) {
+                                client.queue_.push_back(sample);
+                                notify();
+                              });
+  return client;
+}
+
+SyncGroup& Node::create_sync_group(const std::vector<Subscription*>& members,
+                                   DurationDistribution fusion_demand,
+                                   Publisher& output, std::size_t output_bytes) {
+  if (members.size() < 2) {
+    throw std::invalid_argument("create_sync_group: needs >= 2 members");
+  }
+  for (Subscription* member : members) {
+    if (member == nullptr || member->node_ != this) {
+      throw std::invalid_argument(
+          "create_sync_group: members must belong to this node");
+    }
+    if (member->sync_ != nullptr) {
+      throw std::invalid_argument(
+          "create_sync_group: subscription already in a sync group");
+    }
+  }
+  sync_groups_.push_back(std::unique_ptr<SyncGroup>(
+      new SyncGroup(members, fusion_demand, output, output_bytes)));
+  SyncGroup& group = *sync_groups_.back();
+  for (Subscription* member : members) member->sync_ = &group;
+  return group;
+}
+
+void Node::notify() { thread_->wake(); }
+
+Node::Work Node::pick_work() {
+  // Foxy single-threaded executor wait-set order: timers first, then
+  // subscriptions, then services, then clients; registration order within
+  // each class; one callback instance per dispatch.
+  for (auto& timer : timers_) {
+    if (timer->pending_ > 0) return timer.get();
+  }
+  for (auto& sub : subscriptions_) {
+    if (!sub->queue_.empty()) return sub.get();
+  }
+  for (auto& service : services_) {
+    if (!service->queue_.empty()) return service.get();
+  }
+  for (auto& client : clients_) {
+    if (!client->queue_.empty()) return client.get();
+  }
+  return std::monostate{};
+}
+
+void Node::run_loop() {
+  Work work = pick_work();
+  if (std::holds_alternative<std::monostate>(work)) {
+    thread_->block([this] { run_loop(); });
+    return;
+  }
+  ++callbacks_executed_;
+  if (auto* timer = std::get_if<Timer*>(&work)) {
+    execute_timer(**timer);
+  } else if (auto* sub = std::get_if<Subscription*>(&work)) {
+    execute_subscription(**sub);
+  } else if (auto* service = std::get_if<Service*>(&work)) {
+    execute_service(**service);
+  } else if (auto* client = std::get_if<Client*>(&work)) {
+    execute_client(**client);
+  }
+}
+
+void Node::run_plan(const Plan& plan, std::shared_ptr<const dds::Sample> trigger,
+                    std::function<void()> done) {
+  // Chain the steps through thread_->compute. The shared state advances an
+  // index over the plan's steps; all callbacks run in this node's executor
+  // thread context.
+  struct Runner : std::enable_shared_from_this<Runner> {
+    Node* node;
+    const Plan* plan;
+    std::shared_ptr<const dds::Sample> trigger;
+    std::function<void()> done;
+    std::size_t index = 0;
+
+    void step() {
+      if (index >= plan->steps().size()) {
+        done();
+        return;
+      }
+      const PlanStep& s = plan->steps()[index];
+      ++index;
+      auto self = shared_from_this();
+      node->thread_->compute(s.demand.sample(node->rng_), [self, &s] {
+        if (s.action) {
+          ActionContext ctx(*self->node, self->trigger.get());
+          s.action(ctx);
+        }
+        self->step();
+      });
+    }
+  };
+  auto runner = std::make_shared<Runner>();
+  runner->node = this;
+  runner->plan = &plan;
+  runner->trigger = std::move(trigger);
+  runner->done = std::move(done);
+  runner->step();
+}
+
+void Node::emit_take(trace::TakeKind kind, CallbackId cb,
+                     const std::string& topic, TimePoint src_ts) {
+  const std::uint64_t addr = stack_slot_for(kind);
+  const TimePoint now = ctx_.simulator().now();
+  if (ctx_.hooks().rmw_take_entry) {
+    ctx_.hooks().rmw_take_entry(now, pid(), kind, addr, cb, topic);
+  }
+  if (ctx_.hooks().rmw_take_exit) {
+    ctx_.hooks().rmw_take_exit(now, pid(), kind, addr, src_ts);
+  }
+}
+
+void Node::execute_timer(Timer& timer) {
+  const TimePoint now = ctx_.simulator().now();
+  if (ctx_.hooks().execute_callback) {
+    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Timer, true);  // P2
+  }
+  if (ctx_.hooks().rcl_timer_call) {
+    ctx_.hooks().rcl_timer_call(now, pid(), timer.id_);  // P3
+  }
+  --timer.pending_;
+  run_plan(timer.plan_, nullptr, [this] {
+    if (ctx_.hooks().execute_callback) {
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+                                    CallbackKind::Timer, false);  // P4
+    }
+    run_loop();
+  });
+}
+
+void Node::execute_subscription(Subscription& sub) {
+  const TimePoint now = ctx_.simulator().now();
+  if (ctx_.hooks().execute_callback) {
+    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Subscription,
+                                  true);  // P5
+  }
+  auto sample = std::make_shared<const dds::Sample>(sub.queue_.front());
+  sub.queue_.pop_front();
+  emit_take(trace::TakeKind::Data, sub.id_, sub.topic_, sample->src_ts);  // P6
+  SyncGroup* sync = sub.sync_;
+  if (sync != nullptr) {
+    if (ctx_.hooks().message_filter_operator) {
+      ctx_.hooks().message_filter_operator(now, pid(), sub.id_);  // P7
+    }
+    sync->record(sub, *sample);
+  }
+  run_plan(sub.plan_, sample, [this, sync] {
+    // If this sample completed the synchronization set, the fusion result
+    // is produced inside this callback execution: extra compute demand,
+    // then the output publication — all before P8.
+    if (sync != nullptr && sync->complete()) {
+      thread_->compute(sync->fusion_demand_.sample(rng_), [this, sync] {
+        sync->output_->publish(sync->output_bytes_);
+        sync->clear();
+        if (ctx_.hooks().execute_callback) {
+          ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+                                        CallbackKind::Subscription, false);
+        }
+        run_loop();
+      });
+      return;
+    }
+    if (ctx_.hooks().execute_callback) {
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+                                    CallbackKind::Subscription, false);  // P8
+    }
+    run_loop();
+  });
+}
+
+void Node::execute_service(Service& service) {
+  const TimePoint now = ctx_.simulator().now();
+  if (ctx_.hooks().execute_callback) {
+    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Service, true);  // P9
+  }
+  auto request = std::make_shared<const dds::Sample>(service.queue_.front());
+  service.queue_.pop_front();
+  emit_take(trace::TakeKind::Request, service.id_, service.request_topic_,
+            request->src_ts);  // P10
+  Service* sv = &service;
+  run_plan(service.plan_, request, [this, sv, request] {
+    // The middleware sends the response as execute_service returns; the
+    // response write targets the requesting client (P16 on the reply topic).
+    sv->reply_writer_.write(pid(), /*payload_bytes=*/64, dds::kNoTag,
+                            /*target_tag=*/request->origin_tag);
+    if (ctx_.hooks().execute_callback) {
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+                                    CallbackKind::Service, false);  // P11
+    }
+    run_loop();
+  });
+}
+
+void Node::execute_client(Client& client) {
+  const TimePoint now = ctx_.simulator().now();
+  if (ctx_.hooks().execute_callback) {
+    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Client, true);  // P12
+  }
+  auto response = std::make_shared<const dds::Sample>(client.queue_.front());
+  client.queue_.pop_front();
+  emit_take(trace::TakeKind::Response, client.id_, client.reply_topic_,
+            response->src_ts);  // P13
+  const bool dispatch = response->target_tag == client.id_;
+  if (ctx_.hooks().take_type_erased_response) {
+    ctx_.hooks().take_type_erased_response(now, pid(), dispatch);  // P14
+  }
+  if (!dispatch) {
+    ++client.ignored_;
+    if (ctx_.hooks().execute_callback) {
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+                                    CallbackKind::Client, false);  // P15
+    }
+    run_loop();
+    return;
+  }
+  ++client.dispatched_;
+  run_plan(client.plan_, response, [this] {
+    if (ctx_.hooks().execute_callback) {
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+                                    CallbackKind::Client, false);  // P15
+    }
+    run_loop();
+  });
+}
+
+}  // namespace tetra::ros2

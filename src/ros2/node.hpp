@@ -1,0 +1,265 @@
+// ROS2 nodes with single-threaded executors, and the four callback kinds
+// the paper models: timers, subscriptions, services and clients. Services
+// are implemented over request/response topics (as in ROS2/DDS), and the
+// client-side dispatch check reproduces take_type_erased_response
+// semantics: every client of a service receives every response, but only
+// the caller's client callback is dispatched (probe P14).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dds/domain.hpp"
+#include "ros2/plan.hpp"
+#include "sched/machine.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+
+namespace tetra::ros2 {
+
+class Context;
+class Node;
+class SyncGroup;
+
+/// Suffixes used to derive service request/response topics from a service
+/// name ("/sv1" -> "/sv1Request", "/sv1Reply"), matching the paper's Fig 3a
+/// edge labels. Algorithm 1 classifies dds_write topics with these.
+inline constexpr const char* kServiceRequestSuffix = "Request";
+inline constexpr const char* kServiceReplySuffix = "Reply";
+
+/// Write side of a topic owned by a node.
+class Publisher {
+ public:
+  const std::string& topic() const { return topic_; }
+  /// Publishes from the owning node's context (fires P16).
+  void publish(std::size_t bytes = 64);
+
+ private:
+  friend class Node;
+  Publisher(Node& node, dds::DataWriter writer, std::string topic)
+      : node_(&node), writer_(std::move(writer)), topic_(std::move(topic)) {}
+  Node* node_;
+  dds::DataWriter writer_;
+  std::string topic_;
+};
+
+/// Periodic timer callback.
+class Timer {
+ public:
+  CallbackId id() const { return id_; }
+  Duration period() const { return period_; }
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  friend class Node;
+  Timer(Node& node, CallbackId id, Duration period, Duration phase, Plan plan)
+      : node_(&node), id_(id), period_(period), phase_(phase),
+        plan_(std::move(plan)) {}
+  void tick();
+
+  Node* node_;
+  CallbackId id_;
+  Duration period_;
+  Duration phase_;
+  Plan plan_;
+  int pending_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+/// Topic subscription callback.
+class Subscription {
+ public:
+  CallbackId id() const { return id_; }
+  const std::string& topic() const { return topic_; }
+  /// Sync group this subscription belongs to (nullptr if none).
+  SyncGroup* sync_group() const { return sync_; }
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  friend class Node;
+  friend class SyncGroup;
+  Subscription(Node& node, CallbackId id, std::string topic, Plan plan)
+      : node_(&node), id_(id), topic_(std::move(topic)), plan_(std::move(plan)) {}
+
+  Node* node_;
+  CallbackId id_;
+  std::string topic_;
+  Plan plan_;
+  std::deque<dds::Sample> queue_;
+  SyncGroup* sync_ = nullptr;
+};
+
+/// Service (server-side) callback. The middleware writes the response to
+/// the reply topic when the callback body finishes, targeting the client
+/// that issued the request.
+class Service {
+ public:
+  CallbackId id() const { return id_; }
+  const std::string& service_name() const { return service_name_; }
+  const std::string& request_topic() const { return request_topic_; }
+  const std::string& reply_topic() const { return reply_topic_; }
+
+ private:
+  friend class Node;
+  Service(Node& node, CallbackId id, std::string service_name, Plan plan,
+          dds::DataWriter reply_writer)
+      : node_(&node), id_(id), service_name_(service_name),
+        request_topic_(service_name + kServiceRequestSuffix),
+        reply_topic_(service_name + kServiceReplySuffix),
+        plan_(std::move(plan)), reply_writer_(std::move(reply_writer)) {}
+
+  Node* node_;
+  CallbackId id_;
+  std::string service_name_;
+  std::string request_topic_;
+  std::string reply_topic_;
+  Plan plan_;
+  dds::DataWriter reply_writer_;
+  std::deque<dds::Sample> queue_;
+};
+
+/// Client (caller-side) handle + response callback. `async_call` can be
+/// used directly or through ActionContext::call from another callback.
+class Client {
+ public:
+  CallbackId id() const { return id_; }
+  const std::string& service_name() const { return service_name_; }
+
+  /// Issues a request (fires P16 on the request topic). Must be called
+  /// from the owning node's executor context (i.e. from a plan action).
+  void async_call(std::size_t bytes = 64);
+
+  std::uint64_t dispatched_responses() const { return dispatched_; }
+  std::uint64_t ignored_responses() const { return ignored_; }
+
+ private:
+  friend class Node;
+  Client(Node& node, CallbackId id, std::string service_name, Plan plan,
+         dds::DataWriter request_writer)
+      : node_(&node), id_(id), service_name_(service_name),
+        reply_topic_(service_name + kServiceReplySuffix),
+        plan_(std::move(plan)), request_writer_(std::move(request_writer)) {}
+
+  Node* node_;
+  CallbackId id_;
+  std::string service_name_;
+  std::string reply_topic_;
+  Plan plan_;
+  dds::DataWriter request_writer_;
+  std::deque<dds::Sample> queue_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t ignored_ = 0;
+};
+
+/// message_filters-style synchronizer over m subscriptions of one node.
+/// The member whose sample completes the set runs the fusion demand and
+/// publishes the output inside its own callback execution — so a member
+/// that never arrives last shows no published topic in its CBlist entry,
+/// matching the paper's modeling note.
+class SyncGroup {
+ public:
+  bool complete() const;
+  std::size_t member_count() const { return members_.size(); }
+  int member_index(const Subscription* sub) const;
+
+ private:
+  friend class Node;
+  SyncGroup(std::vector<Subscription*> members,
+            DurationDistribution fusion_demand, Publisher& output,
+            std::size_t output_bytes)
+      : members_(std::move(members)), slots_(members_.size()),
+        fusion_demand_(fusion_demand), output_(&output),
+        output_bytes_(output_bytes) {}
+
+  void record(const Subscription& sub, const dds::Sample& sample);
+  void clear();
+
+  std::vector<Subscription*> members_;
+  std::vector<std::optional<dds::Sample>> slots_;
+  DurationDistribution fusion_demand_;
+  Publisher* output_;
+  std::size_t output_bytes_;
+};
+
+struct NodeOptions {
+  std::string name = "node";
+  int priority = 0;
+  sched::SchedPolicy policy = sched::SchedPolicy::RoundRobin;
+  std::uint64_t affinity_mask = ~0ULL;
+};
+
+/// One ROS2 node = one single-threaded executor thread (the paper's stated
+/// deployment assumption): callbacks of a node never overlap in time.
+class Node {
+ public:
+  const std::string& name() const { return options_.name; }
+  Pid pid() const;
+  Context& context() { return ctx_; }
+  Rng& rng() { return rng_; }
+  sched::Thread& thread() { return *thread_; }
+
+  Publisher& create_publisher(const std::string& topic);
+  Timer& create_timer(Duration period, Plan plan,
+                      std::optional<Duration> phase = std::nullopt);
+  Subscription& create_subscription(const std::string& topic, Plan plan);
+  Service& create_service(const std::string& service_name, Plan plan);
+  Client& create_client(const std::string& service_name, Plan plan);
+  SyncGroup& create_sync_group(const std::vector<Subscription*>& members,
+                               DurationDistribution fusion_demand,
+                               Publisher& output,
+                               std::size_t output_bytes = 4096);
+
+  /// Executed callback instances (all kinds), for test assertions.
+  std::uint64_t callbacks_executed() const { return callbacks_executed_; }
+
+ private:
+  friend class Context;
+  friend class Timer;
+  friend class Publisher;
+  friend class Client;
+  friend class ActionContext;
+
+  Node(Context& ctx, NodeOptions options);
+
+  // Executor ----------------------------------------------------------------
+  using Work = std::variant<std::monostate, Timer*, Subscription*, Service*,
+                            Client*>;
+  Work pick_work();
+  void run_loop();
+  void notify();
+  void run_plan(const Plan& plan, std::shared_ptr<const dds::Sample> trigger,
+                std::function<void()> done);
+  void execute_timer(Timer& timer);
+  void execute_subscription(Subscription& sub);
+  void execute_service(Service& service);
+  void execute_client(Client& client);
+
+  // Middleware helpers -------------------------------------------------------
+  void emit_take(trace::TakeKind kind, CallbackId cb, const std::string& topic,
+                 TimePoint src_ts);
+  CallbackId allocate_callback_id();
+  std::uint64_t stack_slot_for(trace::TakeKind kind) const;
+
+  Context& ctx_;
+  NodeOptions options_;
+  sched::Thread* thread_ = nullptr;
+  Rng rng_;
+  CallbackId next_callback_slot_ = 0;
+  CallbackId id_base_ = 0;
+  std::uint64_t stack_base_ = 0;
+  std::uint64_t callbacks_executed_ = 0;
+
+  std::vector<std::unique_ptr<Publisher>> publishers_;
+  std::vector<std::unique_ptr<Timer>> timers_;
+  std::vector<std::unique_ptr<Subscription>> subscriptions_;
+  std::vector<std::unique_ptr<Service>> services_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<SyncGroup>> sync_groups_;
+};
+
+}  // namespace tetra::ros2

@@ -1,0 +1,66 @@
+#include "ros2/plan.hpp"
+
+#include "ros2/context.hpp"
+#include "ros2/node.hpp"
+
+namespace tetra::ros2 {
+
+TimePoint ActionContext::now() const {
+  return node_->context().simulator().now();
+}
+
+Rng& ActionContext::rng() { return node_->rng(); }
+
+void ActionContext::publish(Publisher& pub, std::size_t bytes) {
+  pub.publish(bytes);
+}
+
+void ActionContext::call(Client& client, std::size_t bytes) {
+  client.async_call(bytes);
+}
+
+Plan& Plan::compute(DurationDistribution demand) {
+  steps_.push_back(PlanStep{demand, nullptr});
+  return *this;
+}
+
+Plan& Plan::then(Action action) {
+  if (!steps_.empty() && !steps_.back().action) {
+    steps_.back().action = std::move(action);
+  } else {
+    steps_.push_back(
+        PlanStep{DurationDistribution::constant(Duration::zero()),
+                 std::move(action)});
+  }
+  return *this;
+}
+
+Plan Plan::just(DurationDistribution demand) {
+  Plan plan;
+  plan.compute(demand);
+  return plan;
+}
+
+Plan Plan::publish_after(DurationDistribution demand, Publisher& pub,
+                         std::size_t bytes) {
+  Plan plan;
+  plan.compute(demand).then(
+      [&pub, bytes](ActionContext& ctx) { ctx.publish(pub, bytes); });
+  return plan;
+}
+
+Plan Plan::call_after(DurationDistribution demand, Client& client,
+                      std::size_t bytes) {
+  Plan plan;
+  plan.compute(demand).then(
+      [&client, bytes](ActionContext& ctx) { ctx.call(client, bytes); });
+  return plan;
+}
+
+Duration Plan::nominal_demand() const {
+  Duration total = Duration::zero();
+  for (const auto& step : steps_) total += step.demand.nominal();
+  return total;
+}
+
+}  // namespace tetra::ros2

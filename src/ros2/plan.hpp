@@ -1,0 +1,88 @@
+// Callback behaviour model. A Plan is a sequence of (compute demand,
+// action) steps: the executor consumes the demand on the simulated CPU and
+// then runs the action in the callback's own context — publishing data,
+// issuing service requests, and so on. Demands are distributions sampled
+// per invocation, which is how workloads reproduce measured execution-time
+// profiles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dds/sample.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace tetra::ros2 {
+
+class Node;
+class Publisher;
+class Client;
+
+/// What a callback body can do when one of its actions runs. Lives only
+/// for the duration of the action call.
+class ActionContext {
+ public:
+  ActionContext(Node& node, const dds::Sample* trigger)
+      : node_(&node), trigger_(trigger) {}
+
+  Node& node() { return *node_; }
+  TimePoint now() const;
+  Rng& rng();
+
+  /// Publishes a message through a publisher of this node (fires P16).
+  void publish(Publisher& pub, std::size_t bytes = 64);
+
+  /// Issues an asynchronous service request through a client handle of
+  /// this node (fires P16 on the request topic). The response later
+  /// triggers the client's callback.
+  void call(Client& client, std::size_t bytes = 64);
+
+  /// The sample that triggered this callback (nullptr for timers).
+  const dds::Sample* trigger() const { return trigger_; }
+
+ private:
+  Node* node_;
+  const dds::Sample* trigger_;
+};
+
+using Action = std::function<void(ActionContext&)>;
+
+struct PlanStep {
+  DurationDistribution demand = DurationDistribution::constant(Duration::zero());
+  Action action;  ///< may be empty (pure compute step)
+};
+
+/// Builder-style callback body: compute(...).then(...)... steps execute in
+/// order, each demand before its action.
+class Plan {
+ public:
+  Plan() = default;
+
+  /// Appends a compute step.
+  Plan& compute(DurationDistribution demand);
+  /// Attaches an action after the last compute step (or adds a zero-demand
+  /// step if the last step already has an action).
+  Plan& then(Action action);
+
+  /// A plan that only computes.
+  static Plan just(DurationDistribution demand);
+  /// Compute, then publish on `pub`.
+  static Plan publish_after(DurationDistribution demand, Publisher& pub,
+                            std::size_t bytes = 64);
+  /// Compute, then issue a service request via `client`.
+  static Plan call_after(DurationDistribution demand, Client& client,
+                         std::size_t bytes = 64);
+
+  const std::vector<PlanStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// Sum of nominal step demands (useful for load budgeting in workloads).
+  Duration nominal_demand() const;
+
+ private:
+  std::vector<PlanStep> steps_;
+};
+
+}  // namespace tetra::ros2

@@ -1,0 +1,50 @@
+#include "sched/interference.hpp"
+
+#include <memory>
+
+namespace tetra::sched {
+
+namespace {
+
+/// Self-perpetuating busy/sleep loop body. Owns its RNG stream.
+struct Loop : std::enable_shared_from_this<Loop> {
+  Loop(Thread& thread, Rng rng, InterferenceConfig config)
+      : thread(thread), rng(std::move(rng)), config(std::move(config)) {}
+
+  void step() {
+    auto self = shared_from_this();
+    thread.compute(config.busy.sample(rng), [self] {
+      self->thread.sleep_for(self->config.idle.sample(self->rng),
+                             [self] { self->step(); });
+    });
+  }
+
+  Thread& thread;
+  Rng rng;
+  InterferenceConfig config;
+};
+
+}  // namespace
+
+std::vector<Pid> spawn_interference(Machine& machine, Rng& rng, int count,
+                                    const InterferenceConfig& config) {
+  std::vector<Pid> pids;
+  pids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ThreadConfig tc;
+    tc.name = config.name + "-" + std::to_string(i);
+    tc.priority = config.priority;
+    tc.policy = config.policy;
+    tc.affinity_mask = config.affinity_mask;
+    // The loop object must exist before the entry continuation runs; the
+    // entry captures the shared_ptr, keeping the loop alive with the thread.
+    auto placeholder = std::make_shared<std::shared_ptr<Loop>>();
+    Thread& thread = machine.create_thread(
+        tc, [placeholder] { (*placeholder)->step(); });
+    *placeholder = std::make_shared<Loop>(thread, rng.fork(), config);
+    pids.push_back(thread.pid());
+  }
+  return pids;
+}
+
+}  // namespace tetra::sched

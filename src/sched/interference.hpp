@@ -1,0 +1,35 @@
+// Background (non-ROS2) processes. They serve two purposes in the
+// reproduction: (i) generating preemptions so Algorithm 2 is exercised on
+// fragmented callback executions, and (ii) producing the kernel-event
+// volume that the paper's PID filtering reduces "by an order of three or
+// more" (§III-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/machine.hpp"
+#include "support/rng.hpp"
+
+namespace tetra::sched {
+
+/// Configuration of one background busy/sleep thread.
+struct InterferenceConfig {
+  std::string name = "background";
+  int priority = 0;
+  SchedPolicy policy = SchedPolicy::RoundRobin;
+  std::uint64_t affinity_mask = ~0ULL;
+  /// Busy-burst length distribution.
+  DurationDistribution busy = DurationDistribution::uniform(
+      Duration::us(50), Duration::us(500));
+  /// Sleep length distribution between bursts.
+  DurationDistribution idle = DurationDistribution::uniform(
+      Duration::us(100), Duration::ms(2));
+};
+
+/// Spawns `count` background threads that loop busy-burst / sleep forever.
+/// Returns their PIDs (useful for assertions about PID filtering).
+std::vector<Pid> spawn_interference(Machine& machine, Rng& rng, int count,
+                                    const InterferenceConfig& config);
+
+}  // namespace tetra::sched

@@ -1,0 +1,369 @@
+#include "sched/machine.hpp"
+
+#include <stdexcept>
+
+namespace tetra::sched {
+
+// ---------------------------------------------------------------- Thread --
+
+void Thread::compute(Duration d, Continuation k) {
+  if (d < Duration::zero()) throw std::logic_error("compute: negative duration");
+  request_ = Request::Compute;
+  request_duration_ = d;
+  request_continuation_ = std::move(k);
+  machine_.request_from(*this);
+}
+
+void Thread::block(Continuation k) {
+  request_ = Request::Block;
+  request_continuation_ = std::move(k);
+  machine_.request_from(*this);
+}
+
+void Thread::sleep_for(Duration d, Continuation k) {
+  if (d < Duration::zero()) throw std::logic_error("sleep_for: negative duration");
+  request_ = Request::Sleep;
+  request_duration_ = d;
+  request_continuation_ = std::move(k);
+  machine_.request_from(*this);
+}
+
+void Thread::terminate() {
+  request_ = Request::Terminate;
+  machine_.request_from(*this);
+}
+
+void Thread::wake() { machine_.wake_internal(*this); }
+
+// --------------------------------------------------------------- Machine --
+
+Machine::Machine(sim::Simulator& sim, Config config)
+    : sim_(sim), config_(config), next_pid_(config.first_pid) {
+  if (config_.num_cpus <= 0 || config_.num_cpus > 64) {
+    throw std::invalid_argument("Machine: num_cpus must be in [1, 64]");
+  }
+  cpus_.resize(static_cast<std::size_t>(config_.num_cpus));
+  for (auto& cpu : cpus_) cpu.idle_since = sim_.now();
+}
+
+Thread& Machine::create_thread(ThreadConfig config, Thread::Continuation entry) {
+  if ((config.affinity_mask & ((config_.num_cpus >= 64)
+                                   ? ~0ULL
+                                   : ((1ULL << config_.num_cpus) - 1))) == 0) {
+    throw std::invalid_argument("create_thread: affinity excludes all CPUs");
+  }
+  auto thread = std::unique_ptr<Thread>(
+      new Thread(*this, next_pid_++, std::move(config)));
+  Thread& ref = *thread;
+  ref.pending_ = std::move(entry);
+  ref.state_ = ThreadState::Ready;
+  threads_.push_back(std::move(thread));
+  // First dispatch is deferred one event-queue hop so callers can finish
+  // wiring state that the entry continuation captures, and so threads can
+  // be created from any context.
+  Thread* created = &ref;
+  sim_.after(Duration::zero(), [this, created] {
+    if (created->state_ == ThreadState::Ready) {
+      make_ready(*created, /*to_front=*/false);
+    }
+  });
+  return ref;
+}
+
+Thread* Machine::thread_by_pid(Pid pid) {
+  for (auto& t : threads_) {
+    if (t->pid() == pid) return t.get();
+  }
+  return nullptr;
+}
+
+Thread* Machine::running_on(CpuId cpu) const {
+  return cpus_.at(static_cast<std::size_t>(cpu)).current;
+}
+
+Duration Machine::total_busy_time() const {
+  Duration total = Duration::zero();
+  for (const auto& t : threads_) total += t->cpu_time_;
+  for (const auto& cpu : cpus_) {
+    if (cpu.current != nullptr) total += sim_.now() - cpu.switched_in_at;
+  }
+  return total;
+}
+
+Duration Machine::idle_time(CpuId cpu) const {
+  const Cpu& c = cpus_.at(static_cast<std::size_t>(cpu));
+  Duration total = c.idle_accum;
+  if (c.current == nullptr) total += sim_.now() - c.idle_since;
+  return total;
+}
+
+void Machine::request_from(Thread& thread) {
+  if (!in_thread_context_ || context_thread_ != &thread) {
+    throw std::logic_error(
+        "Thread scheduling request outside the thread's running context");
+  }
+  // The request is staged in the thread; service() consumes it after the
+  // continuation returns.
+}
+
+void Machine::enqueue_ready(Thread& thread, bool to_front) {
+  auto& queue = ready_[thread.priority()];
+  if (to_front) {
+    queue.push_front(&thread);
+  } else {
+    queue.push_back(&thread);
+  }
+}
+
+Thread* Machine::pop_ready_for(CpuId cpu) {
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    auto& queue = it->second;
+    for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+      if (allowed_on(**qit, cpu)) {
+        Thread* t = *qit;
+        queue.erase(qit);
+        if (queue.empty()) ready_.erase(it);
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool Machine::has_ready_at_or_above(int priority, CpuId cpu) const {
+  for (const auto& [prio, queue] : ready_) {
+    if (prio < priority) break;
+    for (const Thread* t : queue) {
+      if (allowed_on(*t, cpu)) return true;
+    }
+  }
+  return false;
+}
+
+void Machine::remove_from_ready(Thread& thread) {
+  auto it = ready_.find(thread.priority());
+  if (it == ready_.end()) return;
+  auto& queue = it->second;
+  for (auto qit = queue.begin(); qit != queue.end(); ++qit) {
+    if (*qit == &thread) {
+      queue.erase(qit);
+      if (queue.empty()) ready_.erase(it);
+      return;
+    }
+  }
+}
+
+void Machine::make_ready(Thread& thread, bool to_front) {
+  // 1) Idle CPU?
+  for (std::size_t ci = 0; ci < cpus_.size(); ++ci) {
+    if (cpus_[ci].current == nullptr && allowed_on(thread, static_cast<CpuId>(ci))) {
+      switch_to(static_cast<CpuId>(ci), &thread, trace::ThreadRunState::Runnable);
+      service(static_cast<CpuId>(ci));
+      return;
+    }
+  }
+  // 2) Preemptable lower-priority thread?
+  CpuId victim_cpu = kInvalidCpu;
+  int victim_prio = thread.priority();
+  for (std::size_t ci = 0; ci < cpus_.size(); ++ci) {
+    Thread* cur = cpus_[ci].current;
+    if (cur != nullptr && allowed_on(thread, static_cast<CpuId>(ci)) &&
+        cur->priority() < victim_prio) {
+      victim_prio = cur->priority();
+      victim_cpu = static_cast<CpuId>(ci);
+    }
+  }
+  if (victim_cpu != kInvalidCpu) {
+    preempt(victim_cpu);  // victim returns to the front of its ready queue
+    switch_to(victim_cpu, &thread, trace::ThreadRunState::Runnable);
+    service(victim_cpu);
+    return;
+  }
+  // 3) Queue.
+  enqueue_ready(thread, to_front);
+}
+
+void Machine::service(CpuId cpu_id) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  while (true) {
+    Thread* t = cpu.current;
+    if (t == nullptr) return;  // idle
+    if (t->remaining_ > Duration::zero()) {
+      cpu.work_armed_at = sim_.now();
+      arm_completion(cpu_id);
+      if (t->policy() == SchedPolicy::RoundRobin) arm_slice(cpu_id);
+      return;
+    }
+    if (!t->pending_) {
+      throw std::logic_error("thread '" + t->name() +
+                             "' has no continuation to run");
+    }
+    Thread::Continuation k = std::move(t->pending_);
+    t->pending_ = nullptr;
+    t->request_ = Thread::Request::None;
+    in_thread_context_ = true;
+    context_thread_ = t;
+    k();
+    in_thread_context_ = false;
+    context_thread_ = nullptr;
+
+    switch (t->request_) {
+      case Thread::Request::Compute:
+        t->remaining_ = t->request_duration_;
+        t->pending_ = std::move(t->request_continuation_);
+        break;  // loop arms the completion
+      case Thread::Request::Block:
+        t->pending_ = std::move(t->request_continuation_);
+        t->state_ = ThreadState::Blocked;
+        switch_to(cpu_id, pop_ready_for(cpu_id), trace::ThreadRunState::Sleeping);
+        break;
+      case Thread::Request::Sleep: {
+        t->pending_ = std::move(t->request_continuation_);
+        t->state_ = ThreadState::Blocked;
+        const Duration delay = t->request_duration_;
+        Thread* sleeper = t;
+        switch_to(cpu_id, pop_ready_for(cpu_id), trace::ThreadRunState::Sleeping);
+        sim_.after(delay, [this, sleeper] { wake_internal(*sleeper); });
+        break;
+      }
+      case Thread::Request::Terminate:
+        t->state_ = ThreadState::Terminated;
+        switch_to(cpu_id, pop_ready_for(cpu_id), trace::ThreadRunState::Dead);
+        break;
+      case Thread::Request::None:
+        throw std::logic_error("thread '" + t->name() +
+                               "' continuation made no scheduling request");
+    }
+    t->request_ = Thread::Request::None;
+  }
+}
+
+void Machine::switch_to(CpuId cpu_id, Thread* next,
+                        trace::ThreadRunState prev_state) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  Thread* prev = cpu.current;
+  if (prev == next) return;
+
+  sim_.cancel(cpu.completion);
+  sim_.cancel(cpu.slice);
+
+  if (prev != nullptr) {
+    prev->cpu_time_ += sim_.now() - cpu.switched_in_at;
+  } else {
+    cpu.idle_accum += sim_.now() - cpu.idle_since;
+  }
+
+  emit_switch(cpu_id, prev, prev_state, next);
+  ++context_switches_;
+
+  cpu.current = next;
+  if (next != nullptr) {
+    next->state_ = ThreadState::Running;
+    cpu.switched_in_at = sim_.now();
+    cpu.work_armed_at = sim_.now();
+  } else {
+    cpu.idle_since = sim_.now();
+  }
+}
+
+void Machine::preempt(CpuId cpu_id) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  Thread* t = cpu.current;
+  if (t == nullptr) return;
+  sim_.cancel(cpu.completion);
+  sim_.cancel(cpu.slice);
+  if (t->remaining_ > Duration::zero()) {
+    const Duration done = sim_.now() - cpu.work_armed_at;
+    t->remaining_ = (done >= t->remaining_) ? Duration::zero()
+                                            : t->remaining_ - done;
+  }
+  t->state_ = ThreadState::Ready;
+  enqueue_ready(*t, /*to_front=*/true);
+  // Note: the caller immediately switches someone else in; prev accounting
+  // happens inside switch_to, so temporarily keep cpu.current as-is.
+}
+
+void Machine::arm_completion(CpuId cpu_id) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  Thread* expected = cpu.current;
+  cpu.completion = sim_.after(expected->remaining_, [this, cpu_id, expected] {
+    on_completion(cpu_id, expected);
+  });
+}
+
+void Machine::arm_slice(CpuId cpu_id) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  Thread* expected = cpu.current;
+  cpu.slice = sim_.after(config_.rr_slice, [this, cpu_id, expected] {
+    on_slice_expiry(cpu_id, expected);
+  });
+}
+
+void Machine::on_completion(CpuId cpu_id, Thread* expected) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  if (cpu.current != expected) return;  // stale (preempted meanwhile)
+  expected->remaining_ = Duration::zero();
+  sim_.cancel(cpu.slice);
+  service(cpu_id);
+}
+
+void Machine::on_slice_expiry(CpuId cpu_id, Thread* expected) {
+  Cpu& cpu = cpus_[static_cast<std::size_t>(cpu_id)];
+  if (cpu.current != expected) return;  // stale
+  if (has_ready_at_or_above(expected->priority(), cpu_id)) {
+    // Rotate: unlike an involuntary priority preemption, the thread used up
+    // its slice, so it goes to the back of its priority queue.
+    sim_.cancel(cpu.completion);
+    if (expected->remaining_ > Duration::zero()) {
+      const Duration done = sim_.now() - cpu.work_armed_at;
+      expected->remaining_ = (done >= expected->remaining_)
+                                 ? Duration::zero()
+                                 : expected->remaining_ - done;
+    }
+    expected->state_ = ThreadState::Ready;
+    enqueue_ready(*expected, /*to_front=*/false);
+    switch_to(cpu_id, pop_ready_for(cpu_id), trace::ThreadRunState::Runnable);
+    service(cpu_id);
+  } else {
+    arm_slice(cpu_id);
+  }
+}
+
+void Machine::wake_internal(Thread& thread) {
+  if (in_thread_context_) {
+    // A running continuation woke another thread directly. Defer via the
+    // event queue (same timestamp) so the scheduler is never reentered
+    // while a continuation is mid-flight.
+    Thread* target = &thread;
+    sim_.after(Duration::zero(), [this, target] { wake_internal(*target); });
+    return;
+  }
+  if (thread.state_ != ThreadState::Blocked) return;
+  thread.state_ = ThreadState::Ready;
+  ++wakeups_;
+  emit_wakeup(thread, kInvalidCpu);
+  make_ready(thread, /*to_front=*/false);
+}
+
+void Machine::emit_switch(CpuId cpu, Thread* prev,
+                          trace::ThreadRunState prev_state, Thread* next) {
+  if (!hooks_.sched_switch) return;
+  trace::SchedSwitchInfo info;
+  info.cpu = cpu;
+  info.prev_pid = prev != nullptr ? prev->pid() : kIdlePid;
+  info.prev_prio = prev != nullptr ? prev->priority() : 0;
+  info.prev_state = prev != nullptr ? prev_state : trace::ThreadRunState::Runnable;
+  info.next_pid = next != nullptr ? next->pid() : kIdlePid;
+  info.next_prio = next != nullptr ? next->priority() : 0;
+  hooks_.sched_switch(sim_.now(), info);
+}
+
+void Machine::emit_wakeup(Thread& thread, CpuId target) {
+  if (!hooks_.sched_wakeup) return;
+  trace::SchedWakeupInfo info;
+  info.woken_pid = thread.pid();
+  info.target_cpu = target;
+  hooks_.sched_wakeup(sim_.now(), info);
+}
+
+}  // namespace tetra::sched

@@ -1,0 +1,130 @@
+// The simulated multi-core machine and its preemptive priority scheduler.
+//
+// Faithfully reproduces the observable behaviour Algorithm 2 depends on:
+// every context switch on every CPU emits a sched_switch record carrying
+// (cpu, prev_pid, prev_prio, prev_state, next_pid, next_prio), and every
+// block->ready transition emits a sched_wakeup record. Threads are
+// dispatched to CPUs by priority, preempting lower-priority threads, with
+// optional round-robin slicing among equal priorities.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sched/thread.hpp"
+#include "sim/simulator.hpp"
+#include "support/ids.hpp"
+#include "support/time.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::sched {
+
+/// Kernel tracepoint callbacks. The eBPF kernel tracer attaches here; the
+/// raw hook sees *all* events (filtering happens in the tracer program,
+/// as in the paper).
+struct KernelHooks {
+  std::function<void(TimePoint, const trace::SchedSwitchInfo&)> sched_switch;
+  std::function<void(TimePoint, const trace::SchedWakeupInfo&)> sched_wakeup;
+};
+
+class Machine {
+ public:
+  struct Config {
+    int num_cpus = 4;
+    /// Round-robin slice for SchedPolicy::RoundRobin threads.
+    Duration rr_slice = Duration::ms(4);
+    /// First PID handed out (idle is kIdlePid).
+    Pid first_pid = 1000;
+  };
+
+  Machine(sim::Simulator& sim, Config config);
+
+  /// Creates a thread whose first continuation is `entry`; it becomes
+  /// ready immediately and may start running in the current event.
+  Thread& create_thread(ThreadConfig config, Thread::Continuation entry);
+
+  sim::Simulator& simulator() { return sim_; }
+  TimePoint now() const { return sim_.now(); }
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+
+  Thread* thread_by_pid(Pid pid);
+  const std::vector<std::unique_ptr<Thread>>& threads() const { return threads_; }
+
+  /// Tracepoint registration (single consumer each, like one attached
+  /// eBPF program; chain externally if needed).
+  void set_kernel_hooks(KernelHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// The thread currently on `cpu`, or nullptr when idle.
+  Thread* running_on(CpuId cpu) const;
+
+  // --- statistics ---------------------------------------------------------
+  std::uint64_t context_switches() const { return context_switches_; }
+  std::uint64_t wakeups() const { return wakeups_; }
+  /// Busy time summed over all threads, including in-flight segments.
+  Duration total_busy_time() const;
+  Duration idle_time(CpuId cpu) const;
+
+ private:
+  friend class Thread;
+
+  struct Cpu {
+    Thread* current = nullptr;      // nullptr = idle
+    TimePoint switched_in_at;       // when current got the CPU
+    TimePoint work_armed_at;        // when the pending completion was armed
+    TimePoint idle_since;           // when the CPU last became idle
+    Duration idle_accum = Duration::zero();
+    sim::EventHandle completion;
+    sim::EventHandle slice;
+  };
+
+  // Request handling (called by Thread).
+  void request_from(Thread& thread);
+
+  void enqueue_ready(Thread& thread, bool to_front);
+  Thread* pop_ready_for(CpuId cpu);
+  bool has_ready_at_or_above(int priority, CpuId cpu) const;
+  void remove_from_ready(Thread& thread);
+
+  /// Called when `thread` became ready: place it on an idle CPU, preempt a
+  /// lower-priority thread, or queue it.
+  void make_ready(Thread& thread, bool to_front);
+
+  /// Runs the current thread of `cpu` until it has pending compute or the
+  /// CPU goes idle. The heart of the scheduler.
+  void service(CpuId cpu);
+
+  void switch_to(CpuId cpu, Thread* next, trace::ThreadRunState prev_state);
+  void preempt(CpuId cpu);
+  void arm_completion(CpuId cpu);
+  void arm_slice(CpuId cpu);
+  void on_completion(CpuId cpu, Thread* expected);
+  void on_slice_expiry(CpuId cpu, Thread* expected);
+  void wake_internal(Thread& thread);
+
+  void emit_switch(CpuId cpu, Thread* prev, trace::ThreadRunState prev_state,
+                   Thread* next);
+  void emit_wakeup(Thread& thread, CpuId target);
+
+  bool allowed_on(const Thread& thread, CpuId cpu) const {
+    return (thread.affinity_mask() >> cpu) & 1ULL;
+  }
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::vector<Cpu> cpus_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  // Ready queues: highest priority first, FIFO within a priority.
+  std::map<int, std::deque<Thread*>, std::greater<>> ready_;
+  KernelHooks hooks_;
+  std::uint64_t context_switches_ = 0;
+  std::uint64_t wakeups_ = 0;
+  Pid next_pid_;
+  bool in_thread_context_ = false;
+  Thread* context_thread_ = nullptr;
+};
+
+}  // namespace tetra::sched

@@ -1,0 +1,90 @@
+// Simulated OS threads. A thread's "program" is written in continuation
+// style: from within its own running context it requests CPU time
+// (compute), blocks waiting for an external wake, sleeps, or terminates.
+// The Machine (scheduler) decides when it actually runs, emitting
+// sched_switch events exactly like the kernel tracepoint would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/ids.hpp"
+#include "support/time.hpp"
+
+namespace tetra::sched {
+
+class Machine;
+
+enum class ThreadState : std::uint8_t { Ready, Running, Blocked, Terminated };
+
+/// Scheduling classes supported by the simulated kernel. Fifo runs to
+/// block/preemption; RoundRobin additionally rotates among equal-priority
+/// ready threads on a fixed time slice (a CFS-lite stand-in).
+enum class SchedPolicy : std::uint8_t { Fifo, RoundRobin };
+
+struct ThreadConfig {
+  std::string name = "thread";
+  /// Higher value = more important (mapped to sched_switch's prio field).
+  int priority = 0;
+  SchedPolicy policy = SchedPolicy::RoundRobin;
+  /// Bitmask of CPUs this thread may run on (bit i = CPU i).
+  std::uint64_t affinity_mask = ~0ULL;
+};
+
+/// One simulated thread. Created via Machine::create_thread; lifetime is
+/// owned by the Machine.
+class Thread {
+ public:
+  using Continuation = std::function<void()>;
+
+  Pid pid() const { return pid_; }
+  const std::string& name() const { return config_.name; }
+  int priority() const { return config_.priority; }
+  SchedPolicy policy() const { return config_.policy; }
+  std::uint64_t affinity_mask() const { return config_.affinity_mask; }
+  ThreadState state() const { return state_; }
+
+  /// Total CPU time consumed so far (excludes current in-flight segment).
+  Duration cpu_time() const { return cpu_time_; }
+
+  /// --- Requests; callable only from this thread's running context ------
+
+  /// Consume `d` of CPU time, then continue at `k` (still on-CPU).
+  void compute(Duration d, Continuation k);
+  /// Give up the CPU until someone calls wake(); then continue at `k`.
+  void block(Continuation k);
+  /// Sleep for `d` of wall-clock time, then become ready and continue at `k`.
+  void sleep_for(Duration d, Continuation k);
+  /// End the thread.
+  void terminate();
+
+  /// --- External API -----------------------------------------------------
+
+  /// Makes a Blocked thread Ready (emits sched_wakeup); no-op otherwise.
+  void wake();
+
+ private:
+  friend class Machine;
+  Thread(Machine& machine, Pid pid, ThreadConfig config)
+      : machine_(machine), pid_(pid), config_(std::move(config)) {}
+
+  enum class Request : std::uint8_t { None, Compute, Block, Sleep, Terminate };
+
+  Machine& machine_;
+  Pid pid_;
+  ThreadConfig config_;
+  ThreadState state_ = ThreadState::Ready;
+
+  // Scheduling bookkeeping (owned by Machine).
+  Duration remaining_ = Duration::zero();  ///< compute left in current burst
+  Continuation pending_;                   ///< next continuation to run
+  Duration cpu_time_ = Duration::zero();
+
+  // Request staging set by compute()/block()/... and consumed by Machine.
+  Request request_ = Request::None;
+  Duration request_duration_ = Duration::zero();
+  Continuation request_continuation_;
+};
+
+}  // namespace tetra::sched

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+namespace tetra::sim {
+
+EventHandle EventQueue::schedule(TimePoint t, Action action) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Entry{t, next_seq_++, std::move(action), cancelled});
+  ++live_;
+  return EventHandle{cancelled};
+}
+
+void EventQueue::cancel(EventHandle& handle) {
+  if (handle.state_ && !*handle.state_) {
+    *handle.state_ = true;
+    --live_;
+  }
+  handle.state_.reset();
+}
+
+void EventQueue::drop_dead_prefix() {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  // The heap may hold a cancelled prefix; dropping it is observationally
+  // const (live events are unaffected).
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead_prefix();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top().time;
+}
+
+bool EventQueue::pop_and_run(TimePoint& now) {
+  drop_dead_prefix();
+  if (heap_.empty()) return false;
+  Entry top = heap_.top();
+  heap_.pop();
+  --live_;
+  *top.cancelled = true;  // marks as consumed so late cancels are no-ops
+  now = top.time;
+  top.action();
+  return true;
+}
+
+}  // namespace tetra::sim

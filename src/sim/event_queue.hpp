@@ -1,0 +1,73 @@
+// Discrete-event simulation core: a time-ordered queue of cancellable
+// events. Everything in the substrate (scheduler quanta, DDS delivery,
+// timer expiry) is driven by this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace tetra::sim {
+
+/// Opaque handle used to cancel a scheduled event. Default-constructed
+/// handles refer to nothing and are safe to cancel.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return state_ != nullptr && !*state_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;  // *state_ == true means cancelled
+};
+
+/// Min-heap of (time, insertion-sequence) ordered events. Ties are broken
+/// by insertion order so simulation outcomes are deterministic.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `t`; returns a cancellation handle.
+  EventHandle schedule(TimePoint t, Action action);
+
+  /// Marks the event as cancelled; it will be skipped when popped.
+  /// Cancelling an already-cancelled/run/empty handle is a no-op.
+  void cancel(EventHandle& handle);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; TimePoint::max() when empty.
+  TimePoint next_time() const;
+
+  /// Pops and runs the earliest live event; returns false if none.
+  /// `now` receives the event's timestamp before the action runs.
+  bool pop_and_run(TimePoint& now);
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_prefix();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace tetra::sim

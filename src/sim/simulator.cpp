@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace tetra::sim {
+
+EventHandle Simulator::at(TimePoint t, EventQueue::Action action) {
+  if (t < now_) {
+    throw std::logic_error("Simulator::at: scheduling in the past");
+  }
+  return queue_.schedule(t, std::move(action));
+}
+
+EventHandle Simulator::after(Duration delay, EventQueue::Action action) {
+  if (delay < Duration::zero()) {
+    throw std::logic_error("Simulator::after: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+void Simulator::run_until(TimePoint horizon) {
+  // now_ is passed by reference so the clock reads correctly *inside* the
+  // event actions, not just after they return.
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    if (!queue_.pop_and_run(now_)) break;
+    ++executed_;
+  }
+  if (horizon > now_) now_ = horizon;
+}
+
+void Simulator::run_to_completion() {
+  while (queue_.pop_and_run(now_)) {
+    ++executed_;
+  }
+}
+
+bool Simulator::step() {
+  if (!queue_.pop_and_run(now_)) return false;
+  ++executed_;
+  return true;
+}
+
+}  // namespace tetra::sim

@@ -1,0 +1,25 @@
+#include "support/ids.hpp"
+
+namespace tetra {
+
+const char* to_short_string(CallbackKind k) {
+  switch (k) {
+    case CallbackKind::Timer: return "T";
+    case CallbackKind::Subscription: return "SC";
+    case CallbackKind::Service: return "SV";
+    case CallbackKind::Client: return "CL";
+  }
+  return "?";
+}
+
+const char* to_string(CallbackKind k) {
+  switch (k) {
+    case CallbackKind::Timer: return "timer";
+    case CallbackKind::Subscription: return "subscriber";
+    case CallbackKind::Service: return "service";
+    case CallbackKind::Client: return "client";
+  }
+  return "unknown";
+}
+
+}  // namespace tetra

@@ -1,0 +1,45 @@
+// Identifier types shared across the tracing substrate and the synthesis
+// core. They deliberately mirror what the real tracer can observe: OS
+// process/thread ids, pseudo-address callback ids, and CPU indices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace tetra {
+
+/// OS process id. In ROS2's single-threaded-executor deployment each node
+/// maps to exactly one executor thread, whose id the tracer uses as the
+/// node identity (paper, probe P1).
+using Pid = std::int32_t;
+
+/// Callback identifier as the tracer would see it: the address of the
+/// rcl/rclcpp handle object. Unique within a process for one run, but NOT
+/// stable across runs — DAG merging must not rely on raw ids.
+using CallbackId = std::uint64_t;
+
+/// CPU index on the simulated machine.
+using CpuId = std::int32_t;
+
+/// Invalid-value sentinels.
+inline constexpr Pid kInvalidPid = -1;
+
+/// PID reported for an idle CPU (the kernel's swapper threads, pid 0).
+inline constexpr Pid kIdlePid = 0;
+inline constexpr CallbackId kInvalidCallbackId = 0;
+inline constexpr CpuId kInvalidCpu = -1;
+
+/// Kinds of ROS2 callbacks the paper's model distinguishes.
+enum class CallbackKind : std::uint8_t {
+  Timer,
+  Subscription,
+  Service,
+  Client,
+};
+
+/// Short label used in DAG dumps and reports ("T", "SC", "SV", "CL").
+const char* to_short_string(CallbackKind k);
+/// Full label ("timer", "subscriber", "service", "client").
+const char* to_string(CallbackKind k);
+
+}  // namespace tetra

@@ -1,0 +1,311 @@
+#include "support/json_parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace tetra {
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) throw std::logic_error("JsonValue: not a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (type_ == Type::Int) return int_;
+  if (type_ == Type::Double) return static_cast<std::int64_t>(double_);
+  throw std::logic_error("JsonValue: not a number");
+}
+
+double JsonValue::as_double() const {
+  if (type_ == Type::Double) return double_;
+  if (type_ == Type::Int) return static_cast<double>(int_);
+  throw std::logic_error("JsonValue: not a number");
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) throw std::logic_error("JsonValue: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (type_ != Type::Array) throw std::logic_error("JsonValue: not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  if (type_ != Type::Object) throw std::logic_error("JsonValue: not an object");
+  return object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw std::out_of_range("JsonValue: missing key " + key);
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  return is_object() && object_.count(key) > 0;
+}
+
+std::int64_t JsonValue::get_int_or(const std::string& key, std::int64_t fallback) const {
+  return contains(key) ? at(key).as_int() : fallback;
+}
+
+std::string JsonValue::get_string_or(const std::string& key, std::string fallback) const {
+  return contains(key) ? at(key).as_string() : std::move(fallback);
+}
+
+bool JsonValue::get_bool_or(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue{}; }
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue j;
+  j.type_ = Type::Bool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_int(std::int64_t v) {
+  JsonValue j;
+  j.type_ = Type::Int;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_double(double v) {
+  JsonValue j;
+  j.type_ = Type::Double;
+  j.double_ = v;
+  return j;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue j;
+  j.type_ = Type::String;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> v) {
+  JsonValue j;
+  j.type_ = Type::Array;
+  j.array_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> v) {
+  JsonValue j;
+  j.type_ = Type::Object;
+  j.object_ = std::move(v);
+  return j;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t pos) : text_(text), pos_(pos) {}
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        expect_word("true");
+        return JsonValue::make_bool(true);
+      case 'f':
+        expect_word("false");
+        return JsonValue::make_bool(false);
+      case 'n':
+        expect_word("null");
+        return JsonValue::make_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("expected keyword");
+    pos_ += word.size();
+  }
+
+  char next_char() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  std::string parse_string() {
+    if (next_char() != '"') fail("expected string");
+    std::string out;
+    while (true) {
+      char c = next_char();
+      if (c == '"') break;
+      if (c == '\\') {
+        char esc = next_char();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // Encode as UTF-8 (basic multilingual plane only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        // '-'/'+' only valid right after e/E, but we accept and let strtod
+        // validate; exponents and fractions force double parsing.
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected number");
+    const std::string token(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue::make_int(v);
+      }
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return JsonValue::make_double(d);
+  }
+
+  JsonValue parse_array() {
+    ++pos_;  // consume '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      char c = next_char();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  JsonValue parse_object() {
+    ++pos_;  // consume '{'
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      if (next_char() != ':') fail("expected ':'");
+      members.emplace(std::move(key), parse_value());
+      skip_ws();
+      char c = next_char();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  std::string_view text_;
+  std::size_t pos_;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  std::size_t pos = 0;
+  JsonValue v = parse_json_prefix(text, pos);
+  Parser tail(text, pos);
+  tail.skip_ws();
+  if (tail.pos() != text.size()) {
+    throw std::runtime_error("JSON parse error: trailing garbage at offset " +
+                             std::to_string(tail.pos()));
+  }
+  return v;
+}
+
+JsonValue parse_json_prefix(std::string_view text, std::size_t& pos) {
+  Parser p(text, pos);
+  JsonValue v = p.parse_value();
+  pos = p.pos();
+  return v;
+}
+
+}  // namespace tetra

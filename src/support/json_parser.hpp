@@ -1,0 +1,74 @@
+// Minimal recursive-descent JSON parser used to read traces and
+// configuration back from disk. Supports the full JSON grammar except
+// surrogate-pair escapes; numbers are parsed as double or int64.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tetra {
+
+/// A parsed JSON value (tree-owning).
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_int() const { return type_ == Type::Int; }
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::logic_error on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member access; throws std::out_of_range if missing.
+  const JsonValue& at(const std::string& key) const;
+  /// True if object has the member.
+  bool contains(const std::string& key) const;
+  /// Object member or `fallback` when missing.
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  std::string get_string_or(const std::string& key, std::string fallback) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool v);
+  static JsonValue make_int(std::int64_t v);
+  static JsonValue make_double(double v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> v);
+  static JsonValue make_object(std::map<std::string, JsonValue> v);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document; throws std::runtime_error with a position on
+/// malformed input. Trailing whitespace is allowed, trailing garbage is not.
+JsonValue parse_json(std::string_view text);
+
+/// Parses a prefix of `text` starting at `pos`, advancing `pos` past the
+/// value. Used for JSONL streams.
+JsonValue parse_json_prefix(std::string_view text, std::size_t& pos);
+
+}  // namespace tetra

@@ -1,0 +1,144 @@
+#include "support/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tetra {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prepare_for_value() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Ctx::Object && !pending_key_) {
+    throw std::logic_error("JsonWriter: value in object without key");
+  }
+  if (stack_.back() == Ctx::Array) {
+    if (!first_in_ctx_.back()) out_ += ',';
+    first_in_ctx_.back() = false;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_for_value();
+  out_ += '{';
+  stack_.push_back(Ctx::Object);
+  first_in_ctx_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Ctx::Object || pending_key_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  first_in_ctx_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_for_value();
+  out_ += '[';
+  stack_.push_back(Ctx::Array);
+  first_in_ctx_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Ctx::Array) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  first_in_ctx_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Ctx::Object || pending_key_) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (!first_in_ctx_.back()) out_ += ',';
+  first_in_ctx_.back() = false;
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prepare_for_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prepare_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prepare_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_for_value();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: document not closed");
+  }
+  return out_;
+}
+
+}  // namespace tetra

@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer used by the trace serializers and the DAG
+// exporters. Emits compact, valid JSON; no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tetra {
+
+/// Streaming writer that builds a JSON document into an internal string.
+/// Nesting is validated at runtime; misuse throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// The completed document; valid once all containers are closed.
+  const std::string& str() const;
+
+  /// Escapes a string for inclusion in JSON (without surrounding quotes).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Ctx : std::uint8_t { Object, Array };
+  void prepare_for_value();
+
+  std::string out_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_in_ctx_;
+  bool pending_key_ = false;
+};
+
+}  // namespace tetra

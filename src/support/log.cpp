@@ -1,0 +1,39 @@
+#include "support/log.hpp"
+
+#include <cstdio>
+
+namespace tetra {
+
+LogLevel Log::level_ = LogLevel::Warn;
+
+void Log::set_level(LogLevel level) { level_ = level; }
+
+LogLevel Log::level() { return level_; }
+
+bool Log::enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(level_);
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace tetra

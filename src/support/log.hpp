@@ -1,0 +1,28 @@
+// Leveled logging used by the substrate and the tracers. Quiet by default
+// (benchmarks and tests control verbosity explicitly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tetra {
+
+enum class LogLevel : std::uint8_t { Trace, Debug, Info, Warn, Error, Off };
+
+/// Process-wide log configuration.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level);
+
+  /// Writes one log line ("[level] component: message") to stderr.
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace tetra

@@ -1,0 +1,113 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tetra {
+
+DurationDistribution DurationDistribution::constant(Duration value) {
+  DurationDistribution d;
+  d.shape_ = Shape::Constant;
+  d.nominal_ = value;
+  d.min_ = value;
+  d.max_ = value;
+  return d;
+}
+
+DurationDistribution DurationDistribution::uniform(Duration lo, Duration hi) {
+  DurationDistribution d;
+  d.shape_ = Shape::Uniform;
+  d.nominal_ = Duration{(lo.count_ns() + hi.count_ns()) / 2};
+  d.min_ = lo;
+  d.max_ = hi;
+  return d;
+}
+
+DurationDistribution DurationDistribution::normal(Duration mean, Duration stddev,
+                                                  Duration lo, Duration hi) {
+  DurationDistribution d;
+  d.shape_ = Shape::Normal;
+  d.nominal_ = mean;
+  d.spread_ = stddev;
+  d.min_ = lo;
+  d.max_ = hi;
+  return d;
+}
+
+DurationDistribution DurationDistribution::lognormal(Duration median, double sigma,
+                                                     Duration lo, Duration hi) {
+  DurationDistribution d;
+  d.shape_ = Shape::LogNormal;
+  d.nominal_ = median;
+  d.sigma_ = sigma;
+  d.min_ = lo;
+  d.max_ = hi;
+  return d;
+}
+
+DurationDistribution DurationDistribution::mixture(const DurationDistribution& a,
+                                                   const DurationDistribution& b,
+                                                   double weight_a) {
+  DurationDistribution d;
+  d.shape_ = Shape::Mixture;
+  d.component_a_ = std::make_shared<DurationDistribution>(a);
+  d.component_b_ = std::make_shared<DurationDistribution>(b);
+  d.weight_a_ = weight_a;
+  d.min_ = std::min(a.min_, b.min_);
+  d.max_ = std::max(a.max_, b.max_);
+  d.nominal_ = Duration{static_cast<std::int64_t>(
+      weight_a * static_cast<double>(a.nominal_.count_ns()) +
+      (1.0 - weight_a) * static_cast<double>(b.nominal_.count_ns()))};
+  return d;
+}
+
+Duration DurationDistribution::sample(Rng& rng) const {
+  if (shape_ == Shape::Mixture) {
+    return rng.chance(weight_a_) ? component_a_->sample(rng)
+                                 : component_b_->sample(rng);
+  }
+  std::int64_t ns = 0;
+  switch (shape_) {
+    case Shape::Mixture:  // handled above; keeps -Wswitch exhaustive
+    case Shape::Constant:
+      ns = nominal_.count_ns();
+      break;
+    case Shape::Uniform:
+      ns = rng.uniform_int(min_.count_ns(), max_.count_ns());
+      break;
+    case Shape::Normal:
+      ns = static_cast<std::int64_t>(
+          rng.normal(static_cast<double>(nominal_.count_ns()),
+                     static_cast<double>(spread_.count_ns())));
+      break;
+    case Shape::LogNormal: {
+      const double mu = std::log(static_cast<double>(nominal_.count_ns()));
+      ns = static_cast<std::int64_t>(rng.lognormal(mu, sigma_));
+      break;
+    }
+  }
+  // Clamp to the declared bounds; negative values are legitimate for
+  // jitter distributions (bounds express the caller's validity range).
+  ns = std::clamp(ns, min_.count_ns(), max_.count_ns());
+  return Duration{ns};
+}
+
+DurationDistribution DurationDistribution::scaled(double factor) const {
+  auto scale = [factor](Duration d) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(d.count_ns()) * factor)};
+  };
+  DurationDistribution out = *this;
+  out.nominal_ = scale(nominal_);
+  out.spread_ = scale(spread_);
+  out.min_ = scale(min_);
+  out.max_ = scale(max_);
+  if (shape_ == Shape::Mixture) {
+    out.component_a_ =
+        std::make_shared<DurationDistribution>(component_a_->scaled(factor));
+    out.component_b_ =
+        std::make_shared<DurationDistribution>(component_b_->scaled(factor));
+  }
+  return out;
+}
+
+}  // namespace tetra

@@ -1,0 +1,150 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tetra {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+RunningStats RunningStats::from_summary(std::size_t count, double min,
+                                        double max, double mean,
+                                        double variance) {
+  RunningStats s;
+  s.n_ = count;
+  s.min_ = min;
+  s.max_ = max;
+  s.mean_ = mean;
+  s.m2_ = count >= 2 ? variance * static_cast<double>(count - 1) : 0.0;
+  return s;
+}
+
+void ExecStats::add(Duration sample) {
+  stats.add(static_cast<double>(sample.count_ns()));
+}
+
+void ExecStats::merge(const ExecStats& other) { stats.merge(other.stats); }
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::min() const {
+  if (empty()) throw std::logic_error("SampleSet::min on empty set");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (empty()) throw std::logic_error("SampleSet::max on empty set");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::mean() const {
+  if (empty()) throw std::logic_error("SampleSet::mean on empty set");
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::quantile(double q) const {
+  if (empty()) throw std::logic_error("SampleSet::quantile on empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= samples_.size()) return samples_.back();
+  return samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >=1 bin");
+  if (hi <= lo) throw std::invalid_argument("Histogram range empty");
+}
+
+void Histogram::add(double x) {
+  const double clamped = std::clamp(x, lo_, hi_);
+  auto idx = static_cast<std::size_t>((clamped - lo_) / (hi_ - lo_) *
+                                      static_cast<double>(counts_.size()));
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / peak;
+    std::snprintf(line, sizeof line, "[%10.3f, %10.3f) %8zu ", bin_low(i),
+                  bin_high(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tetra

@@ -1,0 +1,112 @@
+// Measurement statistics: the paper reports measured best-case (mBCET),
+// average (mACET) and worst-case (mWCET) execution times per callback, and
+// studies how those estimates evolve with the number of runs (Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace tetra {
+
+/// Streaming min/max/mean/stddev accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator into this one (parallel Welford merge);
+  /// used when DAGs from multiple runs are merged (paper §V option ii).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+  /// Reconstructs an accumulator from a stored summary (deserialization);
+  /// `variance` is the sample variance as reported by variance().
+  static RunningStats from_summary(std::size_t count, double min, double max,
+                                   double mean, double variance);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Execution-time statistics of one callback, in the units the paper
+/// reports (derived from nanosecond samples).
+struct ExecStats {
+  void add(Duration sample);
+  void merge(const ExecStats& other);
+
+  std::size_t count() const { return stats.count(); }
+  bool empty() const { return stats.empty(); }
+
+  /// Measured best-case execution time.
+  Duration mbcet() const { return Duration{static_cast<std::int64_t>(stats.min())}; }
+  /// Measured average execution time.
+  Duration macet() const { return Duration{static_cast<std::int64_t>(stats.mean())}; }
+  /// Measured worst-case execution time.
+  Duration mwcet() const { return Duration{static_cast<std::int64_t>(stats.max())}; }
+  Duration stddev() const { return Duration{static_cast<std::int64_t>(stats.stddev())}; }
+
+  RunningStats stats;
+};
+
+/// Fixed set of samples with exact quantiles; used where the full sample
+/// vector is retained (per-run analyses, convergence studies).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(Duration d) { add(static_cast<double>(d.count_ns())); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// Exact quantile by linear interpolation, q in [0, 1].
+  double quantile(double q) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Equal-width histogram over a fixed range; used in reports of
+/// execution-time profiles.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count_in_bin(std::size_t i) const { return counts_.at(i); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// Renders a compact ASCII bar chart (one line per bin).
+  std::string to_ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tetra

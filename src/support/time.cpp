@@ -1,0 +1,30 @@
+#include "support/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tetra {
+
+std::string to_string(Duration d) {
+  char buf[64];
+  const double ns = static_cast<double>(d.count_ns());
+  const double abs_ns = std::fabs(ns);
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d.count_ns()));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string to_string(TimePoint t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6fs", t.to_sec());
+  return buf;
+}
+
+}  // namespace tetra

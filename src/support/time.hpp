@@ -1,0 +1,86 @@
+// Strong time types used throughout TETRA.
+//
+// All simulation timestamps are nanoseconds on a single monotonic clock,
+// mirroring CLOCK_MONOTONIC timestamps that eBPF's bpf_ktime_get_ns()
+// reports. Strong types keep durations and absolute points from mixing.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace tetra {
+
+/// A span of time in nanoseconds. Signed so that differences are safe.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration ns(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration us(std::int64_t v) { return Duration{v * 1000}; }
+  static constexpr Duration ms(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration sec(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  /// Builds a duration from a floating-point millisecond count (rounded).
+  static constexpr Duration ms_f(double v) {
+    return Duration{static_cast<std::int64_t>(v * 1e6 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  /// Integer ratio of two durations (how many `o` fit into *this).
+  constexpr std::int64_t operator/(Duration o) const { return ns_ / o.ns_; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulation's monotonic clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr TimePoint zero() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.count_ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.count_ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ns_ - o.ns_}; }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.count_ns(); return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Renders a duration as a short human-readable string ("12.345ms").
+std::string to_string(Duration d);
+/// Renders a time point as seconds with millisecond precision ("1.234s").
+std::string to_string(TimePoint t);
+
+}  // namespace tetra

@@ -1,0 +1,110 @@
+#include "trace/database.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/json_parser.hpp"
+#include "support/json_writer.hpp"
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+
+namespace tetra::trace {
+
+void TraceDatabase::store(TraceKey key, EventVector events, std::string mode) {
+  segments_[std::move(key)] = Entry{std::move(events), std::move(mode)};
+}
+
+bool TraceDatabase::contains(const TraceKey& key) const {
+  return segments_.count(key) > 0;
+}
+
+const EventVector& TraceDatabase::get(const TraceKey& key) const {
+  auto it = segments_.find(key);
+  if (it == segments_.end()) {
+    throw std::out_of_range("TraceDatabase: no trace " + key.run + "/" +
+                            std::to_string(key.segment));
+  }
+  return it->second.events;
+}
+
+EventVector TraceDatabase::merged_run(const std::string& run) const {
+  std::vector<EventVector> parts;
+  for (const auto& [key, entry] : segments_) {
+    if (key.run == run) parts.push_back(entry.events);
+  }
+  return merge_sorted(parts);
+}
+
+EventVector TraceDatabase::merged_all() const {
+  std::vector<EventVector> parts;
+  parts.reserve(segments_.size());
+  for (const auto& [key, entry] : segments_) parts.push_back(entry.events);
+  return merge_sorted(parts);
+}
+
+std::vector<std::string> TraceDatabase::runs_for_mode(const std::string& mode) const {
+  std::set<std::string> unique;
+  for (const auto& [key, entry] : segments_) {
+    if (entry.mode == mode) unique.insert(key.run);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<std::string> TraceDatabase::runs() const {
+  std::set<std::string> unique;
+  for (const auto& [key, entry] : segments_) unique.insert(key.run);
+  return {unique.begin(), unique.end()};
+}
+
+std::size_t TraceDatabase::footprint_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : segments_) {
+    total += binary_footprint_bytes(entry.events);
+  }
+  return total;
+}
+
+void TraceDatabase::save_to_directory(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  JsonWriter index;
+  index.begin_array();
+  for (const auto& [key, entry] : segments_) {
+    const std::string file = key.run + "_" + std::to_string(key.segment) + ".jsonl";
+    write_jsonl_file((fs::path(directory) / file).string(), entry.events);
+    index.begin_object();
+    index.kv("run", key.run);
+    index.kv("segment", static_cast<std::int64_t>(key.segment));
+    index.kv("mode", entry.mode);
+    index.kv("file", file);
+    index.end_object();
+  }
+  index.end_array();
+  std::ofstream f(fs::path(directory) / "index.json", std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot write index.json in " + directory);
+  f << index.str();
+}
+
+TraceDatabase TraceDatabase::load_from_directory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::ifstream f(fs::path(directory) / "index.json");
+  if (!f) throw std::runtime_error("cannot read index.json in " + directory);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const JsonValue index = parse_json(ss.str());
+  TraceDatabase db;
+  for (const auto& item : index.as_array()) {
+    TraceKey key;
+    key.run = item.at("run").as_string();
+    key.segment = static_cast<int>(item.at("segment").as_int());
+    const std::string file = item.at("file").as_string();
+    db.store(key, read_jsonl_file((fs::path(directory) / file).string()),
+             item.get_string_or("mode", ""));
+  }
+  return db;
+}
+
+}  // namespace tetra::trace

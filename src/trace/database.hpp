@@ -1,0 +1,59 @@
+// Trace database (Fig. 2): traces collected over multiple sessions and
+// runs are stored under (run, segment) keys, optionally tagged with a mode
+// (e.g. "city", "highway") for multi-mode model synthesis.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace tetra::trace {
+
+/// Identifies one stored trace segment.
+struct TraceKey {
+  std::string run;      ///< e.g. "run-07"
+  int segment = 0;      ///< session segment index within the run
+  auto operator<=>(const TraceKey&) const = default;
+};
+
+class TraceDatabase {
+ public:
+  /// Stores a segment (overwrites an existing identical key).
+  void store(TraceKey key, EventVector events, std::string mode = "");
+
+  bool contains(const TraceKey& key) const;
+  const EventVector& get(const TraceKey& key) const;
+
+  /// All segments of one run merged chronologically (segments are stored
+  /// time-sorted by construction).
+  EventVector merged_run(const std::string& run) const;
+
+  /// Every stored segment merged into one stream (deployment option i).
+  EventVector merged_all() const;
+
+  /// Runs whose segments are tagged with `mode`.
+  std::vector<std::string> runs_for_mode(const std::string& mode) const;
+
+  std::vector<std::string> runs() const;
+  std::size_t segment_count() const { return segments_.size(); }
+
+  /// Total compact footprint of everything stored, in bytes.
+  std::size_t footprint_bytes() const;
+
+  /// Saves/loads every segment as JSONL files under `directory`
+  /// ("<run>_<segment>.jsonl" plus an index file). Throws on I/O errors.
+  void save_to_directory(const std::string& directory) const;
+  static TraceDatabase load_from_directory(const std::string& directory);
+
+ private:
+  struct Entry {
+    EventVector events;
+    std::string mode;
+  };
+  std::map<TraceKey, Entry> segments_;
+};
+
+}  // namespace tetra::trace

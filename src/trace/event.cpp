@@ -1,0 +1,171 @@
+#include "trace/event.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tetra::trace {
+
+std::string_view to_string(EventType t) {
+  switch (t) {
+    case EventType::RmwCreateNode: return "rmw_create_node";
+    case EventType::CallbackStart: return "cb_start";
+    case EventType::TimerCall: return "timer_call";
+    case EventType::Take: return "take";
+    case EventType::TakeTypeErased: return "take_type_erased";
+    case EventType::SyncOperator: return "sync_operator";
+    case EventType::CallbackEnd: return "cb_end";
+    case EventType::DdsWrite: return "dds_write";
+    case EventType::SchedSwitch: return "sched_switch";
+    case EventType::SchedWakeup: return "sched_wakeup";
+  }
+  return "?";
+}
+
+EventType event_type_from_string(std::string_view name) {
+  static constexpr EventType all[] = {
+      EventType::RmwCreateNode, EventType::CallbackStart, EventType::TimerCall,
+      EventType::Take,          EventType::TakeTypeErased, EventType::SyncOperator,
+      EventType::CallbackEnd,   EventType::DdsWrite,      EventType::SchedSwitch,
+      EventType::SchedWakeup};
+  for (EventType t : all) {
+    if (to_string(t) == name) return t;
+  }
+  throw std::invalid_argument("unknown event type: " + std::string(name));
+}
+
+TraceEvent make_node_event(TimePoint t, Pid pid, std::string node_name) {
+  return TraceEvent{t, pid, ProbeId::P1_RmwCreateNode, EventType::RmwCreateNode,
+                    NodeInfo{std::move(node_name)}};
+}
+
+TraceEvent make_callback_start(TimePoint t, Pid pid, CallbackKind kind) {
+  return TraceEvent{t, pid, start_probe_for(kind), EventType::CallbackStart,
+                    CallbackPhaseInfo{kind}};
+}
+
+TraceEvent make_callback_end(TimePoint t, Pid pid, CallbackKind kind) {
+  return TraceEvent{t, pid, end_probe_for(kind), EventType::CallbackEnd,
+                    CallbackPhaseInfo{kind}};
+}
+
+TraceEvent make_timer_call(TimePoint t, Pid pid, CallbackId id) {
+  return TraceEvent{t, pid, ProbeId::P3_RclTimerCall, EventType::TimerCall,
+                    TimerCallInfo{id}};
+}
+
+TraceEvent make_take(TimePoint t, Pid pid, TakeKind kind, CallbackId id,
+                     std::string topic, TimePoint src_ts) {
+  ProbeId probe = ProbeId::P6_RmwTakeInt;
+  if (kind == TakeKind::Request) probe = ProbeId::P10_RmwTakeRequest;
+  if (kind == TakeKind::Response) probe = ProbeId::P13_RmwTakeResponse;
+  return TraceEvent{t, pid, probe, EventType::Take,
+                    TakeInfo{kind, id, std::move(topic), src_ts}};
+}
+
+TraceEvent make_take_type_erased(TimePoint t, Pid pid, bool will_dispatch) {
+  return TraceEvent{t, pid, ProbeId::P14_TakeTypeErasedResponse,
+                    EventType::TakeTypeErased, TakeTypeErasedInfo{will_dispatch}};
+}
+
+TraceEvent make_sync_operator(TimePoint t, Pid pid, CallbackId id) {
+  return TraceEvent{t, pid, ProbeId::P7_MessageFilterOperator,
+                    EventType::SyncOperator, SyncOperatorInfo{id}};
+}
+
+TraceEvent make_dds_write(TimePoint t, Pid pid, std::string topic,
+                          TimePoint src_ts) {
+  return TraceEvent{t, pid, ProbeId::P16_DdsWriteImpl, EventType::DdsWrite,
+                    DdsWriteInfo{std::move(topic), src_ts}};
+}
+
+TraceEvent make_sched_switch(TimePoint t, SchedSwitchInfo info) {
+  return TraceEvent{t, info.prev_pid, ProbeId::SchedSwitch,
+                    EventType::SchedSwitch, info};
+}
+
+TraceEvent make_sched_wakeup(TimePoint t, SchedWakeupInfo info) {
+  return TraceEvent{t, info.woken_pid, ProbeId::SchedWakeup,
+                    EventType::SchedWakeup, info};
+}
+
+ProbeId start_probe_for(CallbackKind kind) {
+  switch (kind) {
+    case CallbackKind::Timer: return ProbeId::P2_ExecuteTimerEntry;
+    case CallbackKind::Subscription: return ProbeId::P5_ExecuteSubscriptionEntry;
+    case CallbackKind::Service: return ProbeId::P9_ExecuteServiceEntry;
+    case CallbackKind::Client: return ProbeId::P12_ExecuteClientEntry;
+  }
+  throw std::logic_error("bad callback kind");
+}
+
+ProbeId end_probe_for(CallbackKind kind) {
+  switch (kind) {
+    case CallbackKind::Timer: return ProbeId::P4_ExecuteTimerExit;
+    case CallbackKind::Subscription: return ProbeId::P8_ExecuteSubscriptionExit;
+    case CallbackKind::Service: return ProbeId::P11_ExecuteServiceExit;
+    case CallbackKind::Client: return ProbeId::P15_ExecuteClientExit;
+  }
+  throw std::logic_error("bad callback kind");
+}
+
+CallbackKind kind_for_phase_probe(ProbeId id) {
+  switch (id) {
+    case ProbeId::P2_ExecuteTimerEntry:
+    case ProbeId::P4_ExecuteTimerExit:
+      return CallbackKind::Timer;
+    case ProbeId::P5_ExecuteSubscriptionEntry:
+    case ProbeId::P8_ExecuteSubscriptionExit:
+      return CallbackKind::Subscription;
+    case ProbeId::P9_ExecuteServiceEntry:
+    case ProbeId::P11_ExecuteServiceExit:
+      return CallbackKind::Service;
+    case ProbeId::P12_ExecuteClientEntry:
+    case ProbeId::P15_ExecuteClientExit:
+      return CallbackKind::Client;
+    default:
+      throw std::invalid_argument("probe is not a callback phase probe");
+  }
+}
+
+void sort_by_time(EventVector& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+EventVector filter_by_pid(const EventVector& events, Pid pid) {
+  EventVector out;
+  out.reserve(events.size() / 4);
+  for (const auto& e : events) {
+    if (e.pid == pid) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t approximate_record_size(const TraceEvent& event) {
+  // Fixed header: timestamp (8) + pid (4) + probe (1) + type (1).
+  std::size_t size = 14;
+  if (const auto* node = std::get_if<NodeInfo>(&event.payload)) {
+    size += node->node_name.size() + 1;
+  } else if (std::holds_alternative<CallbackPhaseInfo>(event.payload)) {
+    size += 1;
+  } else if (std::holds_alternative<TimerCallInfo>(event.payload)) {
+    size += 8;
+  } else if (const auto* take = std::get_if<TakeInfo>(&event.payload)) {
+    size += 1 + 8 + take->topic.size() + 1 + 8;
+  } else if (std::holds_alternative<TakeTypeErasedInfo>(event.payload)) {
+    size += 1;
+  } else if (std::holds_alternative<SyncOperatorInfo>(event.payload)) {
+    size += 8;
+  } else if (const auto* write = std::get_if<DdsWriteInfo>(&event.payload)) {
+    size += write->topic.size() + 1 + 8;
+  } else if (std::holds_alternative<SchedSwitchInfo>(event.payload)) {
+    size += 4 + 4 + 4 + 1 + 4 + 4;
+  } else if (std::holds_alternative<SchedWakeupInfo>(event.payload)) {
+    size += 4 + 4;
+  }
+  return size;
+}
+
+}  // namespace tetra::trace

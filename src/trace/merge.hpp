@@ -1,0 +1,25 @@
+// Trace merging (Fig. 2): traces collected in segments and across runs can
+// be merged into one chronologically ordered stream before model synthesis
+// (deployment option i), or kept separate with DAG-level merging
+// (option ii). Both are supported; this header implements the trace side.
+#pragma once
+
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace tetra::trace {
+
+/// K-way merges already-time-sorted traces into one sorted stream.
+/// Ties keep the input order (earlier vector first) for determinism.
+EventVector merge_sorted(const std::vector<EventVector>& traces);
+
+/// Concatenates and sorts arbitrary traces (tolerates unsorted inputs).
+EventVector merge_unsorted(const std::vector<EventVector>& traces);
+
+/// Shifts all timestamps (and embedded source timestamps) by `offset`;
+/// needed when concatenating segments whose clocks restarted, so that the
+/// merged stream remains monotonic per run.
+EventVector shift_times(const EventVector& trace, Duration offset);
+
+}  // namespace tetra::trace

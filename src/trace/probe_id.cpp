@@ -1,0 +1,42 @@
+#include "trace/probe_id.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace tetra::trace {
+
+std::string_view to_string(ProbeId id) {
+  switch (id) {
+    case ProbeId::P1_RmwCreateNode: return "P1";
+    case ProbeId::P2_ExecuteTimerEntry: return "P2";
+    case ProbeId::P3_RclTimerCall: return "P3";
+    case ProbeId::P4_ExecuteTimerExit: return "P4";
+    case ProbeId::P5_ExecuteSubscriptionEntry: return "P5";
+    case ProbeId::P6_RmwTakeInt: return "P6";
+    case ProbeId::P7_MessageFilterOperator: return "P7";
+    case ProbeId::P8_ExecuteSubscriptionExit: return "P8";
+    case ProbeId::P9_ExecuteServiceEntry: return "P9";
+    case ProbeId::P10_RmwTakeRequest: return "P10";
+    case ProbeId::P11_ExecuteServiceExit: return "P11";
+    case ProbeId::P12_ExecuteClientEntry: return "P12";
+    case ProbeId::P13_RmwTakeResponse: return "P13";
+    case ProbeId::P14_TakeTypeErasedResponse: return "P14";
+    case ProbeId::P15_ExecuteClientExit: return "P15";
+    case ProbeId::P16_DdsWriteImpl: return "P16";
+    case ProbeId::SchedSwitch: return "sched_switch";
+    case ProbeId::SchedWakeup: return "sched_wakeup";
+  }
+  return "?";
+}
+
+ProbeId probe_id_from_string(std::string_view name) {
+  for (int i = 1; i <= 16; ++i) {
+    const auto id = static_cast<ProbeId>(i);
+    if (to_string(id) == name) return id;
+  }
+  if (name == "sched_switch") return ProbeId::SchedSwitch;
+  if (name == "sched_wakeup") return ProbeId::SchedWakeup;
+  throw std::invalid_argument("unknown probe id: " + std::string(name));
+}
+
+}  // namespace tetra::trace

@@ -1,0 +1,38 @@
+// Probe identities, matching Table I of the paper (P1..P16) plus the two
+// kernel tracepoints (sched_switch; sched_wakeup is the paper's proposed
+// extension). Every trace event carries the probe that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tetra::trace {
+
+enum class ProbeId : std::uint8_t {
+  P1_RmwCreateNode = 1,       ///< rmw_create_node: node name + executor PID
+  P2_ExecuteTimerEntry,       ///< rclcpp execute_timer entry: timer CB start
+  P3_RclTimerCall,            ///< rcl_timer_call: timer CB id
+  P4_ExecuteTimerExit,        ///< rclcpp execute_timer exit: timer CB end
+  P5_ExecuteSubscriptionEntry,///< execute_subscription entry: sub CB start
+  P6_RmwTakeInt,              ///< rmw_take w/ info exit: CB id, topic, srcTS
+  P7_MessageFilterOperator,   ///< message_filters operator(): sync subscriber
+  P8_ExecuteSubscriptionExit, ///< execute_subscription exit: sub CB end
+  P9_ExecuteServiceEntry,     ///< execute_service entry: service CB start
+  P10_RmwTakeRequest,         ///< rmw_take_request exit: CB id, service, srcTS
+  P11_ExecuteServiceExit,     ///< execute_service exit: service CB end
+  P12_ExecuteClientEntry,     ///< execute_client entry: client CB start
+  P13_RmwTakeResponse,        ///< rmw_take_response exit: CB id, service, srcTS
+  P14_TakeTypeErasedResponse, ///< take_type_erased_response exit: dispatch?
+  P15_ExecuteClientExit,      ///< execute_client exit: client CB end
+  P16_DdsWriteImpl,           ///< dds_write_impl: topic + srcTS
+  SchedSwitch,                ///< kernel tracepoint sched:sched_switch
+  SchedWakeup,                ///< kernel tracepoint sched:sched_wakeup
+};
+
+/// Short name as the tracer would label events ("P6", "sched_switch").
+std::string_view to_string(ProbeId id);
+
+/// Parses the short name back; throws std::invalid_argument on unknown.
+ProbeId probe_id_from_string(std::string_view name);
+
+}  // namespace tetra::trace

@@ -1,0 +1,38 @@
+// Trace (de)serialization. Two formats:
+//  - JSONL: one JSON object per event, human-readable, used by the trace
+//    database and for interoperability;
+//  - estimated binary footprint accounting used for the paper's trace-size
+//    numbers (the real tracer ships compact perf-buffer records).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "trace/event.hpp"
+
+namespace tetra::trace {
+
+/// Serializes one event as a single-line JSON object (no trailing newline).
+std::string to_jsonl(const TraceEvent& event);
+
+/// Parses one JSONL line back into an event; throws on malformed input.
+TraceEvent from_jsonl(std::string_view line);
+
+/// Serializes a whole vector, one event per line.
+std::string to_jsonl(const EventVector& events);
+
+/// Parses a JSONL document (empty lines ignored).
+EventVector events_from_jsonl(std::string_view text);
+
+/// Writes events to a file; throws std::runtime_error on I/O failure.
+void write_jsonl_file(const std::string& path, const EventVector& events);
+
+/// Reads events from a file; throws std::runtime_error on I/O failure.
+EventVector read_jsonl_file(const std::string& path);
+
+/// Sum of approximate_record_size over all events — the compact on-the-wire
+/// footprint the overhead evaluation reports.
+std::size_t binary_footprint_bytes(const EventVector& events);
+
+}  // namespace tetra::trace

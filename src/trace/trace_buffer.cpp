@@ -1,0 +1,30 @@
+#include "trace/trace_buffer.hpp"
+
+namespace tetra::trace {
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+bool TraceBuffer::push(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  events_.push_back(std::move(event));
+  return true;
+}
+
+EventVector TraceBuffer::drain() {
+  EventVector out;
+  out.swap(events_);
+  return out;
+}
+
+std::size_t TraceBuffer::footprint_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : events_) total += approximate_record_size(e);
+  return total;
+}
+
+void TraceBuffer::clear() { events_.clear(); }
+
+}  // namespace tetra::trace

@@ -1,0 +1,87 @@
+#include "workloads/experiment.hpp"
+
+#include "sched/interference.hpp"
+#include "trace/merge.hpp"
+
+namespace tetra::workloads {
+
+CaseStudyResult run_case_study(
+    const CaseStudyConfig& config,
+    const std::function<void(const RunResult&)>& per_run) {
+  CaseStudyResult result;
+  core::ModelSynthesizer synthesizer(config.synthesis);
+  Rng run_rng(config.seed);
+
+  for (int run = 0; run < config.runs; ++run) {
+    // Fresh context per run: new PIDs, new pseudo-addresses, new phases —
+    // as with real process restarts.
+    ros2::Context::Config ctx_config;
+    ctx_config.num_cpus = config.num_cpus;
+    ctx_config.seed = config.seed * 1000003ULL + static_cast<std::uint64_t>(run);
+    ros2::Context ctx(ctx_config);
+
+    ebpf::TracerSuite suite(ctx);
+    suite.start_init();
+
+    const double load_factor =
+        run_rng.uniform(config.syn_load_min, config.syn_load_max);
+
+    RunResult run_result;
+    run_result.run_index = run;
+    run_result.syn_load_factor = load_factor;
+
+    AvpApp avp;
+    SynApp syn;
+    if (config.with_avp) {
+      AvpOptions avp_options;
+      avp_options.run_duration = config.run_duration;
+      // Cache/memory contention responds convexly to co-runner load: only
+      // near-peak SYN loads push AVP execution times appreciably. This is
+      // what makes the cumulative mWCET keep creeping up until a run with
+      // near-maximal interference has occurred (paper Fig. 4: ~run 23).
+      const double span = config.syn_load_max - config.syn_load_min;
+      const double normalized =
+          span > 0.0 ? (load_factor - config.syn_load_min) / span : 0.0;
+      avp_options.contention = config.contention_coefficient * normalized *
+                               normalized * normalized;
+      avp = build_avp_localization(ctx, avp_options);
+    }
+    if (config.with_syn) {
+      syn = build_syn_app(ctx, SynOptions{load_factor});
+    }
+    if (config.interference_threads > 0) {
+      Rng interference_rng = ctx.rng().fork();
+      sched::spawn_interference(ctx.machine(), interference_rng,
+                                config.interference_threads,
+                                sched::InterferenceConfig{});
+    }
+
+    trace::EventVector init_trace = suite.stop_init();
+    suite.start_runtime();
+    ctx.run_for(config.run_duration);
+    trace::EventVector runtime_trace = suite.stop_runtime();
+
+    trace::EventVector merged =
+        trace::merge_sorted({std::move(init_trace), std::move(runtime_trace)});
+    run_result.model = synthesizer.synthesize(merged);
+    run_result.overhead = suite.overhead_report();
+    run_result.app_busy_time = ctx.machine().total_busy_time();
+    if (config.keep_traces) run_result.trace = std::move(merged);
+
+    result.merged_dag.merge(run_result.model.dag);
+    if (per_run) per_run(run_result);
+    result.runs.push_back(std::move(run_result));
+
+    if (config.with_avp && result.avp_labels.empty()) {
+      result.avp_labels = avp.label_of;
+      result.avp_chain_topics = avp.chain_topics;
+    }
+    if (config.with_syn && result.syn_labels.empty()) {
+      result.syn_labels = syn.label_of;
+    }
+  }
+  result.observed_span = config.run_duration * config.runs;
+  return result;
+}
+
+}  // namespace tetra::workloads

@@ -1,0 +1,80 @@
+#include "workloads/syn_app.hpp"
+
+namespace tetra::workloads {
+
+using ros2::Plan;
+
+SynApp build_syn_app(ros2::Context& ctx, const SynOptions& options) {
+  const double f = options.load_factor;
+  auto load = [f](double ms) {
+    return DurationDistribution::constant(Duration::ms_f(ms * f));
+  };
+
+  // --- nodes ---------------------------------------------------------------
+  ros2::Node& timers = ctx.create_node({.name = "syn_timers"});
+  ros2::Node& servers = ctx.create_node({.name = "syn_servers"});
+  ros2::Node& mixed = ctx.create_node({.name = "syn_mixed"});
+  ros2::Node& gateway = ctx.create_node({.name = "syn_gateway"});
+  ros2::Node& fusion = ctx.create_node({.name = "syn_fusion"});
+  ros2::Node& planning = ctx.create_node({.name = "syn_planning"});
+
+  // --- syn_timers: T2 (100 ms -> /t1), T3 (150 ms -> /t3, dangling) --------
+  ros2::Publisher& pub_t1 = timers.create_publisher("/t1");
+  ros2::Publisher& pub_t3 = timers.create_publisher("/t3");
+  timers.create_timer(Duration::ms(100), Plan::publish_after(load(3.0), pub_t1));
+  timers.create_timer(Duration::ms(150), Plan::publish_after(load(2.5), pub_t3));
+
+  // --- syn_servers: SV1 (/sv1), SV2 (/sv2) ----------------------------------
+  servers.create_service("/sv1", Plan::just(load(3.0)));
+  servers.create_service("/sv2", Plan::just(load(2.5)));
+
+  // --- syn_mixed: T1 (120 ms -> /f1), SC5 (/clp3 -> /f2), SV3 (/sv3) --------
+  ros2::Publisher& pub_f1 = mixed.create_publisher("/f1");
+  ros2::Publisher& pub_f2 = mixed.create_publisher("/f2");
+  mixed.create_timer(Duration::ms(120), Plan::publish_after(load(2.0), pub_f1));
+  mixed.create_subscription("/clp3", Plan::publish_after(load(2.0), pub_f2));
+  mixed.create_service("/sv3", Plan::just(load(4.0)));
+
+  // --- syn_gateway: SC1, SC4, CL1, CL2, CL4 ---------------------------------
+  // Creation order: CL4 (the /sv3 response handler) must exist before CL2,
+  // whose plan invokes it; ordinals therefore run CL1, CL4, CL2 and the
+  // label map below translates paper names.
+  ros2::Publisher& pub_clp3 = gateway.create_publisher("/clp3");
+  ros2::Client& cl1 = gateway.create_client(
+      "/sv1", Plan::publish_after(load(1.5), pub_clp3));
+  ros2::Client& cl4 = gateway.create_client("/sv3", Plan::just(load(1.2)));
+  ros2::Client& cl2 =
+      gateway.create_client("/sv2", Plan::call_after(load(2.0), cl4));
+  gateway.create_subscription("/t1", Plan::call_after(load(4.0), cl1));   // SC1
+  gateway.create_subscription("/clp3", Plan::call_after(load(3.0), cl2)); // SC4
+
+  // --- syn_fusion: SC2.1 + SC2.2 synchronized -> /f3 ------------------------
+  ros2::Publisher& pub_f3 = fusion.create_publisher("/f3");
+  ros2::Subscription& sc21 =
+      fusion.create_subscription("/f1", Plan::just(load(1.5)));
+  ros2::Subscription& sc22 =
+      fusion.create_subscription("/f2", Plan::just(load(1.2)));
+  fusion.create_sync_group({&sc21, &sc22}, load(2.0), pub_f3);
+
+  // --- syn_planning: SC3 (sub /f3 -> call /sv3), CL3 ------------------------
+  ros2::Client& cl3 = planning.create_client("/sv3", Plan::just(load(1.0)));
+  planning.create_subscription("/f3", Plan::call_after(load(5.0), cl3));  // SC3
+
+  // --- paper-name -> normalized-label map -----------------------------------
+  SynApp app;
+  app.label_of = {
+      {"T1", "syn_mixed/T1"},      {"T2", "syn_timers/T1"},
+      {"T3", "syn_timers/T2"},     {"SC1", "syn_gateway/SC1"},
+      {"SC2.1", "syn_fusion/SC1"}, {"SC2.2", "syn_fusion/SC2"},
+      {"SC3", "syn_planning/SC1"}, {"SC4", "syn_gateway/SC2"},
+      {"SC5", "syn_mixed/SC1"},    {"SV1", "syn_servers/SV1"},
+      {"SV2", "syn_servers/SV2"},  {"SV3", "syn_mixed/SV1"},
+      {"CL1", "syn_gateway/CL1"},  {"CL2", "syn_gateway/CL3"},
+      {"CL3", "syn_planning/CL1"}, {"CL4", "syn_gateway/CL2"},
+  };
+  app.main_chain_topics = {"/t1", "/sv1Request", "/sv1Reply", "/clp3", "/f2"};
+  app.fusion_chain_topics = {"/f1", "/f3"};
+  return app;
+}
+
+}  // namespace tetra::workloads

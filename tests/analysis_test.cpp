@@ -1,0 +1,243 @@
+// Tests for the analysis module: chain enumeration, end-to-end latency
+// through source timestamps, waiting times, load/core binding, the
+// simplified response-time estimate, and convergence tracking.
+#include <gtest/gtest.h>
+
+#include "analysis/chains.hpp"
+#include "analysis/convergence.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/load.hpp"
+#include "analysis/response_time.hpp"
+#include "core/dag_builder.hpp"
+#include "ebpf/tracers.hpp"
+#include "trace/merge.hpp"
+#include "workloads/avp_localization.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace tetra::analysis {
+namespace {
+
+core::Dag diamond_dag() {
+  core::Dag dag;
+  auto add = [&](const char* key, const char* node, double wcet_ms) {
+    core::DagVertex v;
+    v.key = key;
+    v.node_name = node;
+    v.stats.add(Duration::ms_f(wcet_ms / 2));
+    v.stats.add(Duration::ms_f(wcet_ms));
+    v.instance_count = 2;
+    dag.add_or_merge_vertex(v);
+  };
+  add("A", "n1", 2);
+  add("B", "n2", 4);
+  add("C", "n2", 6);
+  add("D", "n3", 8);
+  dag.add_edge("A", "B", "/ab");
+  dag.add_edge("A", "C", "/ac");
+  dag.add_edge("B", "D", "/bd");
+  dag.add_edge("C", "D", "/cd");
+  return dag;
+}
+
+TEST(ChainsTest, EnumeratesAllSourceSinkPaths) {
+  const auto chains = enumerate_chains(diamond_dag());
+  ASSERT_EQ(chains.size(), 2u);
+  EXPECT_EQ(to_string(chains[0]), "A -> B -> D");
+  EXPECT_EQ(to_string(chains[1]), "A -> C -> D");
+}
+
+TEST(ChainsTest, ChainsThroughVertex) {
+  const auto through_b = chains_through(diamond_dag(), "B");
+  ASSERT_EQ(through_b.size(), 1u);
+  EXPECT_EQ(through_b[0][1], "B");
+}
+
+TEST(ChainsTest, ChainWcetSumsVertices) {
+  const auto dag = diamond_dag();
+  const auto chains = enumerate_chains(dag);
+  EXPECT_EQ(chain_wcet(dag, chains[0]), Duration::ms(14));  // 2+4+8
+  EXPECT_EQ(chain_wcet(dag, chains[1]), Duration::ms(16));  // 2+6+8
+  EXPECT_EQ(chain_acet(dag, chains[0]),
+            Duration::ms_f(0.75 * 14));  // averages of {w/2, w}
+}
+
+TEST(ChainsTest, GuardAgainstExplosion) {
+  core::Dag dag;
+  // Ladder of diamonds: 2^20 paths — must throw, not hang.
+  std::string prev = "S";
+  core::DagVertex s;
+  s.key = "S";
+  dag.add_or_merge_vertex(s);
+  for (int i = 0; i < 20; ++i) {
+    const std::string a = "a" + std::to_string(i);
+    const std::string b = "b" + std::to_string(i);
+    const std::string join = "j" + std::to_string(i);
+    for (const auto& key : {a, b, join}) {
+      core::DagVertex v;
+      v.key = key;
+      dag.add_or_merge_vertex(v);
+    }
+    dag.add_edge(prev, a, "/");
+    dag.add_edge(prev, b, "/");
+    dag.add_edge(a, join, "/");
+    dag.add_edge(b, join, "/");
+    prev = join;
+  }
+  EXPECT_THROW(enumerate_chains(dag, 1000), std::runtime_error);
+}
+
+TEST(LoadTest, UtilizationFromRateAndAcet) {
+  const auto dag = diamond_dag();
+  // span 1s, 2 instances each: rate 2 Hz; util = rate * mACET.
+  const auto loads = per_callback_load(dag, Duration::sec(1));
+  ASSERT_EQ(loads.size(), 4u);
+  for (const auto& load : loads) {
+    EXPECT_NEAR(load.rate_hz, 2.0, 1e-9);
+    EXPECT_NEAR(load.utilization, load.rate_hz * load.macet.to_sec(), 1e-12);
+  }
+  const auto node_loads = per_node_load(dag, Duration::sec(1));
+  EXPECT_EQ(node_loads.size(), 3u);
+  EXPECT_GT(node_loads.at("n2"), node_loads.at("n1"));
+}
+
+TEST(LoadTest, BalanceNodeLoadsLpt) {
+  std::map<std::string, double> loads{
+      {"a", 0.6}, {"b", 0.5}, {"c", 0.3}, {"d", 0.2}};
+  const auto binding = balance_node_loads(loads, 2);
+  EXPECT_EQ(binding.node_to_core.size(), 4u);
+  // LPT: a->0, b->1, c->1, d->0 => loads 0.8 / 0.8.
+  EXPECT_NEAR(binding.makespan, 0.8, 1e-9);
+  EXPECT_THROW(balance_node_loads(loads, 0), std::invalid_argument);
+}
+
+TEST(ResponseTimeTest, TermsComposeAndBound) {
+  const auto dag = diamond_dag();
+  ResponseTimeOptions options;
+  options.dds_hop_bound = Duration::ms(1);
+  const auto chains = enumerate_chains(dag);
+  const auto estimate = estimate_chain_response(dag, chains[0], options);
+  EXPECT_EQ(estimate.execution, Duration::ms(14));
+  // Blocking: B and C share node n2 -> B's blocker is C (6ms); A and D
+  // are alone in their nodes (0 blocking).
+  EXPECT_EQ(estimate.blocking, Duration::ms(6));
+  EXPECT_EQ(estimate.queueing, Duration::ms(6));
+  EXPECT_EQ(estimate.transport, Duration::ms(2));
+  EXPECT_EQ(estimate.total(), Duration::ms(28));
+  // Estimate must dominate the raw chain WCET.
+  EXPECT_GE(estimate.total(), chain_wcet(dag, chains[0]));
+  const auto all = estimate_all_chains(dag, options);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(ConvergenceTest, SeriesGrowsAndSettles) {
+  ConvergenceTracker tracker({"X"});
+  Rng rng(5);
+  for (int run = 0; run < 30; ++run) {
+    core::Dag dag;
+    core::DagVertex v;
+    v.key = "X";
+    v.node_name = "n";
+    // Samples from a fixed range: cumulative mWCET is non-decreasing and
+    // approaches 10ms.
+    for (int i = 0; i < 50; ++i) {
+      v.stats.add(Duration::ms_f(rng.uniform(1.0, 10.0)));
+    }
+    v.instance_count = 50;
+    dag.add_or_merge_vertex(v);
+    tracker.add_run(dag);
+  }
+  const auto& series = tracker.series("X");
+  ASSERT_EQ(series.size(), 30u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].mwcet, series[i - 1].mwcet);
+    EXPECT_LE(series[i].mbcet, series[i - 1].mbcet);
+  }
+  EXPECT_NEAR(series.back().mwcet.to_ms(), 10.0, 0.3);
+  const std::size_t settle = tracker.mwcet_settling_run("X", 0.01);
+  EXPECT_GT(settle, 0u);
+  EXPECT_LT(settle, 30u);
+  EXPECT_EQ(tracker.mwcet_settling_run("unknown"), 0u);
+}
+
+TEST(LatencyTest, InstanceTimelineLinksTakesAndWrites) {
+  using namespace tetra::trace;
+  EventVector ev;
+  ev.push_back(make_callback_start(TimePoint{100}, 1, CallbackKind::Subscription));
+  ev.push_back(make_take(TimePoint{101}, 1, TakeKind::Data, 0x1, "/in",
+                         TimePoint{90}));
+  ev.push_back(make_dds_write(TimePoint{150}, 1, "/out", TimePoint{150}));
+  ev.push_back(make_callback_end(TimePoint{200}, 1, CallbackKind::Subscription));
+  InstanceTimeline timeline(ev);
+  ASSERT_EQ(timeline.instances().size(), 1u);
+  const auto& instance = timeline.instances()[0];
+  EXPECT_EQ(instance.take->first, "/in");
+  ASSERT_EQ(instance.writes.size(), 1u);
+  EXPECT_EQ(instance.writes[0].first, "/out");
+  EXPECT_EQ(timeline.consumers_of("/in", TimePoint{90}).size(), 1u);
+  EXPECT_TRUE(timeline.consumers_of("/in", TimePoint{91}).empty());
+}
+
+TEST(LatencyTest, SynChainLatencyMeasured) {
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  const auto app = workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(10));
+  auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
+  InstanceTimeline timeline(events);
+  const auto result = measure_chain_latency(timeline, app.main_chain_topics);
+  ASSERT_GT(result.complete, 10u);
+  // Chain compute alone: SC1(4)+SV1(3)+CL1(1.5)+SC5(2)+SC2.2(1.2+fusion)
+  // ~ 12-14ms plus transport/queueing: expect 10-80ms.
+  EXPECT_GT(result.mean(), Duration::ms(10));
+  EXPECT_LT(result.mean(), Duration::ms(80));
+  EXPECT_GE(result.max(), result.mean());
+  // The fusion hop completes only when /f1 arrives last — the dominant
+  // case here; incompletes are the AND-junction conditional-flow cases.
+  const auto fusion = measure_chain_latency(timeline, app.fusion_chain_topics);
+  EXPECT_GT(fusion.complete, 10u);
+}
+
+TEST(LatencyTest, AvpChainLatencyMeasured) {
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  workloads::AvpOptions options;
+  options.run_duration = Duration::sec(10);
+  const auto app = workloads::build_avp_localization(ctx, options);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(10));
+  auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
+  InstanceTimeline timeline(events);
+  const auto result = measure_chain_latency(timeline, app.chain_topics);
+  // Fusion only completes when the front sample arrives last, so some
+  // traversals are incomplete — but most complete.
+  EXPECT_GT(result.complete, 50u);
+  // cb2(27) + cb3(3.1) + cb5(8.5) + cb6(25) ≈ 64ms + waiting.
+  EXPECT_GT(result.mean(), Duration::ms(40));
+  EXPECT_LT(result.mean(), Duration::ms(200));
+}
+
+TEST(LatencyTest, WaitingTimesNonNegative) {
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(5));
+  auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
+  const auto waits = measure_waiting_times(events);
+  EXPECT_GT(waits.size(), 5u);
+  for (const auto& [cb, samples] : waits) {
+    EXPECT_GE(samples.min(), 0.0);
+    // Waiting under light load should be well under 50 ms.
+    EXPECT_LT(samples.quantile(0.5), Duration::ms(50).count_ns());
+  }
+}
+
+}  // namespace
+}  // namespace tetra::analysis

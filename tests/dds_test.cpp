@@ -1,0 +1,144 @@
+// Unit tests for the DDS transport: fan-out delivery, source timestamps,
+// latency model, write hook (P16), untraced periodic writers.
+#include <gtest/gtest.h>
+
+#include "dds/domain.hpp"
+#include "sim/simulator.hpp"
+
+namespace tetra::dds {
+namespace {
+
+TEST(DomainTest, DeliversToAllReaders) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{1});
+  domain.set_latency(DurationDistribution::constant(Duration::us(100)));
+  std::vector<int> got;
+  domain.create_reader("/t", [&](const Sample&) { got.push_back(1); });
+  domain.create_reader("/t", [&](const Sample&) { got.push_back(2); });
+  auto writer = domain.create_writer("/t");
+  writer.write(42);
+  sim.run_to_completion();
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(domain.reader_count("/t"), 2u);
+  EXPECT_EQ(domain.samples_written(), 1u);
+}
+
+TEST(DomainTest, SourceTimestampIsWriteTime) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{1});
+  domain.set_latency(DurationDistribution::constant(Duration::us(150)));
+  std::vector<Sample> received;
+  domain.create_reader("/t", [&](const Sample& s) { received.push_back(s); });
+  auto writer = domain.create_writer("/t");
+  sim.at(TimePoint{1'000'000}, [&] { writer.write(7); });
+  sim.run_to_completion();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].src_ts, TimePoint{1'000'000});
+  EXPECT_EQ(received[0].writer_pid, 7);
+  EXPECT_EQ(sim.now(), TimePoint{1'000'000} + Duration::us(150));
+}
+
+TEST(DomainTest, WriteHookFiresOncePerWrite) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{1});
+  int hook_count = 0;
+  std::string hook_topic;
+  domain.set_hooks(DdsHooks{[&](TimePoint, Pid, const std::string& topic,
+                                TimePoint, std::size_t) {
+    ++hook_count;
+    hook_topic = topic;
+  }});
+  domain.create_reader("/t", [](const Sample&) {});
+  domain.create_reader("/t", [](const Sample&) {});
+  auto writer = domain.create_writer("/t");
+  writer.write(1);
+  sim.run_to_completion();
+  EXPECT_EQ(hook_count, 1);  // one P16 event even with two subscribers
+  EXPECT_EQ(hook_topic, "/t");
+}
+
+TEST(DomainTest, TagsForwardedVerbatim) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{1});
+  Sample got;
+  domain.create_reader("/svRequest", [&](const Sample& s) { got = s; });
+  auto writer = domain.create_writer("/svRequest");
+  writer.write(9, 64, /*origin_tag=*/0xAB, /*target_tag=*/0xCD);
+  sim.run_to_completion();
+  EXPECT_EQ(got.origin_tag, 0xABu);
+  EXPECT_EQ(got.target_tag, 0xCDu);
+}
+
+TEST(DomainTest, SequenceNumbersPerTopic) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{1});
+  std::vector<std::uint64_t> seqs;
+  domain.create_reader("/a", [&](const Sample& s) { seqs.push_back(s.sequence); });
+  auto writer_a = domain.create_writer("/a");
+  auto writer_b = domain.create_writer("/b");
+  writer_a.write(1);
+  writer_b.write(1);  // different topic: independent numbering
+  writer_a.write(1);
+  sim.run_to_completion();
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(DomainTest, LatencyWithinConfiguredBounds) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{5});
+  domain.set_latency(
+      DurationDistribution::uniform(Duration::us(50), Duration::us(200)));
+  std::vector<Duration> latencies;
+  domain.create_reader("/t", [&](const Sample& s) {
+    latencies.push_back(sim.now() - s.src_ts);
+  });
+  auto writer = domain.create_writer("/t");
+  for (int i = 0; i < 100; ++i) {
+    sim.at(TimePoint{i * 1'000'000}, [&] { writer.write(1); });
+  }
+  sim.run_to_completion();
+  ASSERT_EQ(latencies.size(), 100u);
+  for (Duration latency : latencies) {
+    EXPECT_GE(latency, Duration::us(50));
+    EXPECT_LE(latency, Duration::us(200));
+  }
+}
+
+TEST(PeriodicWriterTest, WritesOnDriftFreeGrid) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{1});
+  std::vector<TimePoint> stamps;
+  domain.create_reader("/lidar", [&](const Sample& s) { stamps.push_back(s.src_ts); });
+  domain.set_latency(DurationDistribution::constant(Duration::zero()));
+  PeriodicWriter writer(domain, "/lidar", 500, Duration::ms(100),
+                        Duration::ms(10));
+  writer.start(TimePoint{Duration::ms(1000).count_ns()});
+  sim.run_to_completion();
+  // Ticks at 10, 110, ..., 910 ms: 10 writes.
+  ASSERT_EQ(writer.writes_issued(), 10u);
+  EXPECT_EQ(stamps[0], TimePoint{Duration::ms(10).count_ns()});
+  EXPECT_EQ(stamps[9], TimePoint{Duration::ms(910).count_ns()});
+}
+
+TEST(PeriodicWriterTest, JitterStaysAnchored) {
+  sim::Simulator sim;
+  Domain domain(sim, Rng{1});
+  std::vector<TimePoint> stamps;
+  domain.create_reader("/lidar", [&](const Sample& s) { stamps.push_back(s.src_ts); });
+  domain.set_latency(DurationDistribution::constant(Duration::zero()));
+  PeriodicWriter writer(domain, "/lidar", 500, Duration::ms(100));
+  writer.set_jitter(
+      DurationDistribution::uniform(Duration::ms(-6), Duration::ms(6)), Rng{9});
+  writer.start(TimePoint{Duration::sec(10).count_ns()});
+  sim.run_to_completion();
+  ASSERT_GT(stamps.size(), 50u);
+  for (std::size_t k = 0; k < stamps.size(); ++k) {
+    const auto nominal = Duration::ms(100) * static_cast<std::int64_t>(k);
+    const auto offset = stamps[k] - (TimePoint::zero() + nominal);
+    EXPECT_LE(offset, Duration::ms(6)) << "write " << k;
+    EXPECT_GE(offset, Duration::ms(-6)) << "write " << k;
+  }
+}
+
+}  // namespace
+}  // namespace tetra::dds

@@ -1,0 +1,218 @@
+// Unit tests for the eBPF tracing framework: BPF maps, the srcTS stash
+// technique, PID filtering, tracer lifecycle, overhead accounting.
+#include <gtest/gtest.h>
+
+#include "ebpf/bpf_map.hpp"
+#include "ebpf/tracers.hpp"
+#include "sched/interference.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace tetra::ebpf {
+namespace {
+
+TEST(BpfMapTest, UpdateLookupErase) {
+  BpfMap<int, std::string> map(4);
+  EXPECT_TRUE(map.update(1, "a"));
+  EXPECT_TRUE(map.update(1, "b"));  // overwrite
+  EXPECT_EQ(map.lookup(1).value(), "b");
+  EXPECT_FALSE(map.lookup(2).has_value());
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+}
+
+TEST(BpfMapTest, CapacityLimitCountsFailures) {
+  BpfMap<int, int> map(2);
+  EXPECT_TRUE(map.update(1, 1));
+  EXPECT_TRUE(map.update(2, 2));
+  EXPECT_FALSE(map.update(3, 3));  // full, new key rejected (E2BIG)
+  EXPECT_TRUE(map.update(1, 9));   // existing key still updatable
+  EXPECT_EQ(map.failed_updates(), 1u);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(ProgramTest, AccountsRunCosts) {
+  Program program("p", AttachType::Uprobe, "lib:fn");
+  ProbeCostModel model;
+  program.account_run(model, /*map_ops=*/2, /*submits=*/1);
+  EXPECT_EQ(program.run_count(), 1u);
+  EXPECT_EQ(program.run_time(),
+            model.uprobe_run + model.map_op * 2 + model.perf_submit);
+}
+
+class TracerFixture : public ::testing::Test {
+ protected:
+  ros2::Context ctx;
+  TracerSuite suite{ctx};
+};
+
+TEST_F(TracerFixture, InitTracerDiscoversNodesAndPids) {
+  suite.start_init();
+  ros2::Node& a = ctx.create_node({.name = "node_a"});
+  ros2::Node& b = ctx.create_node({.name = "node_b"});
+  auto init_trace = suite.stop_init();
+  ASSERT_EQ(init_trace.size(), 2u);
+  EXPECT_EQ(init_trace[0].as<trace::NodeInfo>().node_name, "node_a");
+  EXPECT_TRUE(suite.traced_pids()->contains(a.pid()));
+  EXPECT_TRUE(suite.traced_pids()->contains(b.pid()));
+}
+
+TEST_F(TracerFixture, NodesCreatedAfterInitStopAreInvisible) {
+  suite.start_init();
+  ctx.create_node({.name = "seen"});
+  auto trace = suite.stop_init();
+  ctx.create_node({.name = "unseen"});
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(suite.traced_pids()->size(), 1u);
+}
+
+TEST_F(TracerFixture, RuntimeTraceContainsAllProbeFamilies) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(2));
+  auto events = suite.stop_runtime();
+  std::map<trace::EventType, int> counts;
+  for (const auto& e : events) counts[e.type]++;
+  EXPECT_GT(counts[trace::EventType::CallbackStart], 0);
+  EXPECT_GT(counts[trace::EventType::CallbackEnd], 0);
+  EXPECT_GT(counts[trace::EventType::TimerCall], 0);
+  EXPECT_GT(counts[trace::EventType::Take], 0);
+  EXPECT_GT(counts[trace::EventType::TakeTypeErased], 0);
+  EXPECT_GT(counts[trace::EventType::SyncOperator], 0);
+  EXPECT_GT(counts[trace::EventType::DdsWrite], 0);
+  EXPECT_GT(counts[trace::EventType::SchedSwitch], 0);
+  EXPECT_GT(counts[trace::EventType::SchedWakeup], 0);
+  // Start/end pairing (the run boundary can clip at most one instance).
+  EXPECT_LE(std::abs(counts[trace::EventType::CallbackStart] -
+                     counts[trace::EventType::CallbackEnd]),
+            1);
+}
+
+TEST_F(TracerFixture, TraceIsChronological) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(1));
+  auto events = suite.stop_runtime();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+TEST_F(TracerFixture, StashEmptiesBetweenTakes) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(1));
+  suite.stop_runtime();
+  EXPECT_EQ(suite.rt_tracer().stash_size(), 0u);
+}
+
+TEST_F(TracerFixture, KernelTracerFiltersByTracedPids) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  // Background (non-ROS2) threads produce sched events that must be
+  // filtered out.
+  Rng rng(1);
+  auto background =
+      sched::spawn_interference(ctx.machine(), rng, 4, sched::InterferenceConfig{});
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(1));
+  auto events = suite.stop_runtime();
+  EXPECT_LT(suite.kernel_tracer().events_recorded(),
+            suite.kernel_tracer().events_seen());
+  for (const auto& e : events) {
+    if (e.type != trace::EventType::SchedSwitch) continue;
+    const auto& info = e.as<trace::SchedSwitchInfo>();
+    const bool involves_traced = suite.traced_pids()->contains(info.prev_pid) ||
+                                 suite.traced_pids()->contains(info.next_pid);
+    EXPECT_TRUE(involves_traced);
+    for (Pid bg : background) {
+      // Background<->background switches never appear.
+      EXPECT_FALSE(info.prev_pid == bg && info.next_pid == bg);
+    }
+  }
+}
+
+TEST_F(TracerFixture, UnfilteredKernelTracerSeesEverything) {
+  ros2::Context ctx2;
+  TracerSuite::Options options;
+  options.kernel.filter_by_traced_pids = false;
+  TracerSuite unfiltered(ctx2, options);
+  unfiltered.start_init();
+  workloads::build_syn_app(ctx2);
+  unfiltered.stop_init();
+  Rng rng(1);
+  sched::spawn_interference(ctx2.machine(), rng, 4, sched::InterferenceConfig{});
+  unfiltered.start_runtime();
+  ctx2.run_for(Duration::sec(1));
+  unfiltered.stop_runtime();
+  EXPECT_EQ(unfiltered.kernel_tracer().events_recorded(),
+            unfiltered.kernel_tracer().events_seen());
+}
+
+TEST_F(TracerFixture, DetachStopsRecording) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::ms(500));
+  auto first = suite.stop_runtime();
+  EXPECT_GT(first.size(), 0u);
+  // Tracers detached: running further must record nothing.
+  ctx.run_for(Duration::ms(500));
+  EXPECT_EQ(suite.rt_tracer().buffer().size(), 0u);
+  EXPECT_EQ(suite.kernel_tracer().buffer().size(), 0u);
+}
+
+TEST_F(TracerFixture, SegmentedSessionsConcatenate) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  std::size_t total = 0;
+  for (int segment = 0; segment < 3; ++segment) {
+    suite.start_runtime();
+    ctx.run_for(Duration::ms(400));
+    total += suite.stop_runtime().size();
+  }
+  EXPECT_GT(total, 100u);
+}
+
+TEST_F(TracerFixture, OverheadReportPlausible) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(2));
+  suite.stop_runtime();
+  const OverheadReport report = suite.overhead_report();
+  EXPECT_GT(report.events, 100u);
+  EXPECT_GT(report.trace_bytes, 1000u);
+  EXPECT_GT(report.ebpf_run_time, Duration::zero());
+  // The paper reports ~0.008 cores / 0.3% of app load; ours must be in the
+  // same ballpark (well under 5% of the application's CPU).
+  EXPECT_LT(report.fraction_of_app_load(), 0.05);
+  EXPECT_GT(report.cpu_cores(), 0.0);
+  EXPECT_LT(report.cpu_cores(), 0.05);
+}
+
+TEST_F(TracerFixture, ProgramReportsCoverAllProbes) {
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(1));
+  suite.stop_runtime();
+  const auto reports = suite.program_reports();
+  EXPECT_GE(reports.size(), 10u);  // P1 + 8 RT programs + 2 kernel programs
+  std::uint64_t total_runs = 0;
+  for (const auto& r : reports) total_runs += r.run_count;
+  EXPECT_GT(total_runs, 100u);
+}
+
+}  // namespace
+}  // namespace tetra::ebpf

@@ -1,0 +1,208 @@
+// Edge-case and failure-injection tests across module boundaries: clipped
+// traces, buffer overruns, executor backlog coalescing, same-node service
+// calls, and exporter options.
+#include <gtest/gtest.h>
+
+#include "core/export.hpp"
+#include "core/model_synthesis.hpp"
+#include "ebpf/tracers.hpp"
+#include "trace/merge.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace tetra {
+namespace {
+
+TEST(ClippedTraceTest, StartWithoutEndDropped) {
+  // Tracer detached mid-callback: the trailing instance has no end event
+  // and must not corrupt the extraction.
+  trace::EventVector ev;
+  ev.push_back(trace::make_node_event(TimePoint{0}, 1000, "n"));
+  ev.push_back(trace::make_callback_start(TimePoint{100}, 1000,
+                                          CallbackKind::Timer));
+  ev.push_back(trace::make_timer_call(TimePoint{101}, 1000, 0x10));
+  ev.push_back(trace::make_callback_end(TimePoint{200}, 1000,
+                                        CallbackKind::Timer));
+  ev.push_back(trace::make_callback_start(TimePoint{300}, 1000,
+                                          CallbackKind::Timer));
+  ev.push_back(trace::make_timer_call(TimePoint{301}, 1000, 0x10));
+  // ... trace ends here.
+  core::TraceIndex index(ev);
+  const auto list = core::extract_callbacks(index, 1000);
+  ASSERT_EQ(list.records.size(), 1u);
+  EXPECT_EQ(list.records[0].instances(), 1u);
+}
+
+TEST(ClippedTraceTest, UnknownPidYieldsEmptyList) {
+  trace::EventVector ev;
+  ev.push_back(trace::make_node_event(TimePoint{0}, 1000, "n"));
+  core::TraceIndex index(ev);
+  const auto list = core::extract_callbacks(index, 9999);
+  EXPECT_TRUE(list.records.empty());
+  EXPECT_TRUE(list.node_name.empty());
+}
+
+TEST(ClippedTraceTest, ServiceRequestFromOutsideWindowAnnotatedUnknown) {
+  // The service take refers to a request whose dds_write fell outside the
+  // trace window: FindCaller fails gracefully -> '?' annotation.
+  trace::EventVector ev;
+  ev.push_back(trace::make_node_event(TimePoint{0}, 1000, "server"));
+  ev.push_back(trace::make_callback_start(TimePoint{100}, 1000,
+                                          CallbackKind::Service));
+  ev.push_back(trace::make_take(TimePoint{101}, 1000, trace::TakeKind::Request,
+                                0x20, "/svRequest", TimePoint{50}));
+  ev.push_back(trace::make_callback_end(TimePoint{150}, 1000,
+                                        CallbackKind::Service));
+  core::TraceIndex index(ev);
+  const auto list = core::extract_callbacks(index, 1000);
+  ASSERT_EQ(list.records.size(), 1u);
+  EXPECT_EQ(list.records[0].in_topic,
+            std::string("/svRequest#") + core::kUnknownAnnotation);
+}
+
+TEST(BufferOverrunTest, RtTracerCountsDropsWhenBufferTiny) {
+  ros2::Context ctx;
+  auto pids = std::make_shared<ebpf::PidMap>(64);
+  ebpf::Ros2RtTracer::Options options;
+  options.buffer_capacity = 32;  // absurdly small: overruns guaranteed
+  ebpf::Ros2RtTracer tracer(ctx, pids, options);
+  tracer.attach();
+  workloads::build_syn_app(ctx);
+  ctx.run_for(Duration::sec(2));
+  EXPECT_EQ(tracer.buffer().size(), 32u);
+  EXPECT_GT(tracer.buffer().dropped(), 100u);
+}
+
+TEST(ExecutorBacklogTest, QueuedMessagesProcessedInOrderAfterBusyPeriod) {
+  // A slow subscriber accumulates a backlog; every message must still be
+  // processed exactly once, in publication order.
+  ros2::Context ctx;
+  ros2::Node& producer = ctx.create_node({.name = "fast"});
+  ros2::Publisher& pub = producer.create_publisher("/burst");
+  producer.create_timer(
+      Duration::ms(5),
+      ros2::Plan::publish_after(DurationDistribution::constant(Duration::us(50)),
+                                pub));
+  ros2::Node& consumer = ctx.create_node({.name = "slow"});
+  std::vector<std::uint64_t> seen;
+  ros2::Plan plan;
+  plan.compute(DurationDistribution::constant(Duration::ms(12)))
+      .then([&](ros2::ActionContext& actx) {
+        seen.push_back(actx.trigger()->sequence);
+      });
+  consumer.create_subscription("/burst", plan);
+  ctx.run_for(Duration::sec(1));
+  ASSERT_GT(seen.size(), 20u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], seen[i - 1] + 1);  // FIFO, no loss, no duplication
+  }
+}
+
+TEST(SameNodeServiceTest, ClientAndServiceInOneNode) {
+  // A node calling a service hosted in the same process: with the async
+  // client and single-threaded executor this must complete (no deadlock)
+  // and the DAG must show the self-contained chain.
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  ros2::Node& node = ctx.create_node({.name = "self"});
+  node.create_service("/local",
+                      ros2::Plan::just(DurationDistribution::constant(
+                          Duration::ms(2))));
+  ros2::Client& client = node.create_client(
+      "/local",
+      ros2::Plan::just(DurationDistribution::constant(Duration::ms(1))));
+  node.create_timer(Duration::ms(50),
+                    ros2::Plan::call_after(
+                        DurationDistribution::constant(Duration::ms(1)), client));
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(2));
+  auto model = core::ModelSynthesizer().synthesize(
+      trace::merge_sorted({init_trace, suite.stop_runtime()}));
+  EXPECT_GE(client.dispatched_responses(), 30u);
+  // timer -> service -> client: 3 callback vertices, one node.
+  EXPECT_EQ(model.dag.vertex_count(), 3u);
+  EXPECT_EQ(model.dag.edge_count(), 2u);
+}
+
+TEST(ExportOptionsTest, TimingAndPeriodsToggle) {
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(2));
+  auto model = core::ModelSynthesizer().synthesize(
+      trace::merge_sorted({init_trace, suite.stop_runtime()}));
+  core::DotOptions bare;
+  bare.show_timing = false;
+  bare.show_periods = false;
+  bare.rankdir = "TB";
+  const std::string dot = core::to_dot(model.dag, bare);
+  EXPECT_EQ(dot.find("ms]"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=TB"), std::string::npos);
+  // AND junction renders as a diamond labeled "&".
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+}
+
+TEST(ZeroDurationRunTest, SynthesisOfEmptyRuntimeTrace) {
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  // No runtime at all: model has nodes but no callbacks.
+  auto model = core::ModelSynthesizer().synthesize(init_trace);
+  EXPECT_EQ(model.node_callbacks.size(), 6u);
+  EXPECT_EQ(model.dag.vertex_count(), 0u);
+  for (const auto& list : model.node_callbacks) {
+    EXPECT_TRUE(list.records.empty());
+  }
+}
+
+TEST(SchedOnlyTraceTest, SynthesisIgnoresPureKernelTrace) {
+  trace::EventVector ev;
+  ev.push_back(trace::make_sched_switch(
+      TimePoint{10}, trace::SchedSwitchInfo{0, 1, 0,
+                                            trace::ThreadRunState::Runnable,
+                                            2, 0}));
+  auto model = core::ModelSynthesizer().synthesize(ev);
+  EXPECT_TRUE(model.node_callbacks.empty());
+  EXPECT_EQ(model.dag.vertex_count(), 0u);
+}
+
+TEST(SyncClearTest, SlotsClearAfterFusionAllowingNextRound) {
+  // Two rounds of synchronized inputs: two fusion outputs, proving the
+  // slots reset after each completed set.
+  ros2::Context ctx;
+  ros2::Node& src = ctx.create_node({.name = "src"});
+  ros2::Publisher& pa = src.create_publisher("/a");
+  ros2::Publisher& pb = src.create_publisher("/b");
+  src.create_timer(Duration::ms(40),
+                   ros2::Plan::publish_after(
+                       DurationDistribution::constant(Duration::us(100)), pa));
+  src.create_timer(Duration::ms(40),
+                   ros2::Plan::publish_after(
+                       DurationDistribution::constant(Duration::us(100)), pb),
+                   Duration::ms(50));
+  ros2::Node& fusion = ctx.create_node({.name = "fusion"});
+  ros2::Publisher& out = fusion.create_publisher("/out");
+  auto& sa = fusion.create_subscription(
+      "/a", ros2::Plan::just(DurationDistribution::constant(Duration::us(100))));
+  auto& sb = fusion.create_subscription(
+      "/b", ros2::Plan::just(DurationDistribution::constant(Duration::us(100))));
+  fusion.create_sync_group({&sa, &sb},
+                           DurationDistribution::constant(Duration::us(200)),
+                           out);
+  ros2::Node& sink = ctx.create_node({.name = "sink"});
+  auto& sub = sink.create_subscription(
+      "/out", ros2::Plan::just(DurationDistribution::constant(Duration::us(10))));
+  ctx.run_for(Duration::ms(400));
+  // ~8 rounds at 40 ms; each must produce exactly one fused output.
+  EXPECT_NEAR(static_cast<double>(sink.callbacks_executed() + sub.queued()),
+              8.0, 2.0);
+}
+
+}  // namespace
+}  // namespace tetra

@@ -1,0 +1,388 @@
+// End-to-end integration: run the workloads on the full substrate, trace
+// with the eBPF suite, synthesize models, and verify the paper's claimed
+// structural and timing properties (Fig. 3a, Fig. 3b scenarios).
+#include <gtest/gtest.h>
+
+#include "core/model_synthesis.hpp"
+#include "ebpf/tracers.hpp"
+#include "sched/interference.hpp"
+#include "trace/merge.hpp"
+#include "workloads/avp_localization.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace tetra {
+namespace {
+
+/// Traces one run of `builder` for `duration` and synthesizes the model.
+template <typename BuildFn>
+core::TimingModel trace_and_synthesize(ros2::Context& ctx, BuildFn&& builder,
+                                       Duration duration,
+                                       core::SynthesisOptions options = {}) {
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  builder(ctx);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(duration);
+  auto runtime_trace = suite.stop_runtime();
+  core::ModelSynthesizer synthesizer(options);
+  return synthesizer.synthesize(
+      trace::merge_sorted({init_trace, runtime_trace}));
+}
+
+// ---------------------------------------------------------------- SYN ----
+
+class SynModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ctx_ = new ros2::Context();
+    app_ = new workloads::SynApp();
+    model_ = new core::TimingModel(trace_and_synthesize(
+        *ctx_,
+        [&](ros2::Context& ctx) { *app_ = workloads::build_syn_app(ctx); },
+        Duration::sec(10)));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete app_;
+    delete ctx_;
+  }
+  const core::Dag& dag() { return model_->dag; }
+  std::string label(const std::string& paper_name) {
+    return app_->label_of.at(paper_name);
+  }
+  /// Services are keyed "<label>@<caller>"; true if any vertex carries the
+  /// label (exact, or as a per-caller copy).
+  bool has_callback_vertex(const std::string& lbl) {
+    if (dag().has_vertex(lbl)) return true;
+    for (const auto& v : dag().vertices()) {
+      if (v.key.rfind(lbl + "@", 0) == 0) return true;
+    }
+    return false;
+  }
+  static ros2::Context* ctx_;
+  static workloads::SynApp* app_;
+  static core::TimingModel* model_;
+};
+
+ros2::Context* SynModelTest::ctx_ = nullptr;
+workloads::SynApp* SynModelTest::app_ = nullptr;
+core::TimingModel* SynModelTest::model_ = nullptr;
+
+TEST_F(SynModelTest, SixNodesDiscovered) {
+  EXPECT_EQ(model_->node_callbacks.size(), 6u);
+}
+
+TEST_F(SynModelTest, SixteenCallbacksPlusServiceSplitPlusJunction) {
+  // 16 callbacks, SV3 duplicated (2 vertices), + 1 AND junction = 18.
+  EXPECT_EQ(dag().vertex_count(), 18u);
+  EXPECT_TRUE(dag().is_acyclic());
+}
+
+TEST_F(SynModelTest, ScenarioI_SameTypeCallbacksDistinguished) {
+  // T2,T3 in syn_timers; SC1,SC4 in syn_gateway; SV1,SV2 in syn_servers;
+  // CL2,CL4 in syn_gateway.
+  EXPECT_TRUE(dag().has_vertex(label("T2")));
+  EXPECT_TRUE(dag().has_vertex(label("T3")));
+  EXPECT_NE(label("T2"), label("T3"));
+  EXPECT_TRUE(dag().has_vertex(label("SC1")));
+  EXPECT_TRUE(dag().has_vertex(label("SC4")));
+  EXPECT_TRUE(has_callback_vertex(label("SV1")));
+  EXPECT_TRUE(has_callback_vertex(label("SV2")));
+  EXPECT_TRUE(dag().has_vertex(label("CL2")));
+  EXPECT_TRUE(dag().has_vertex(label("CL4")));
+}
+
+TEST_F(SynModelTest, ScenarioII_MixedKindNode) {
+  const auto* t1 = dag().find_vertex(label("T1"));
+  const auto* sc5 = dag().find_vertex(label("SC5"));
+  ASSERT_NE(t1, nullptr);
+  ASSERT_NE(sc5, nullptr);
+  EXPECT_EQ(t1->node_name, "syn_mixed");
+  EXPECT_EQ(sc5->node_name, "syn_mixed");
+  EXPECT_EQ(t1->kind, CallbackKind::Timer);
+  EXPECT_EQ(sc5->kind, CallbackKind::Subscription);
+}
+
+TEST_F(SynModelTest, ScenarioIII_Clp3HasTwoSubscribers) {
+  int clp3_edges = 0;
+  for (const auto& edge : dag().edges()) {
+    if (edge.topic == "/clp3") ++clp3_edges;
+  }
+  EXPECT_EQ(clp3_edges, 2);  // CL1 -> SC4 and CL1 -> SC5
+}
+
+TEST_F(SynModelTest, ScenarioIV_ServiceSplitIntoTwoVertices) {
+  // SV3 invoked from SC3 and CL2: two vertices keyed by caller.
+  const std::string sv3 = label("SV3");
+  const std::string via_sc3 = sv3 + "@" + label("SC3");
+  const std::string via_cl2 = sv3 + "@" + label("CL2");
+  ASSERT_TRUE(dag().has_vertex(via_sc3));
+  ASSERT_TRUE(dag().has_vertex(via_cl2));
+  // Disjoint chains: SC3's copy feeds CL3 only; CL2's copy feeds CL4 only.
+  const auto out_sc3 = dag().out_edges(via_sc3);
+  ASSERT_EQ(out_sc3.size(), 1u);
+  EXPECT_EQ(out_sc3[0]->to, label("CL3"));
+  const auto out_cl2 = dag().out_edges(via_cl2);
+  ASSERT_EQ(out_cl2.size(), 1u);
+  EXPECT_EQ(out_cl2[0]->to, label("CL4"));
+}
+
+TEST_F(SynModelTest, ScenarioV_SynchronizationJunction) {
+  ASSERT_TRUE(dag().has_vertex("syn_fusion/&"));
+  const auto* junction = dag().find_vertex("syn_fusion/&");
+  EXPECT_TRUE(junction->is_and_junction);
+  EXPECT_EQ(dag().in_edges("syn_fusion/&").size(), 2u);
+  const auto out = dag().out_edges("syn_fusion/&");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->to, label("SC3"));
+  EXPECT_EQ(out[0]->topic, "/f3");
+  // Members are marked sync subscribers.
+  EXPECT_TRUE(dag().find_vertex(label("SC2.1"))->is_sync_member);
+  EXPECT_TRUE(dag().find_vertex(label("SC2.2"))->is_sync_member);
+}
+
+TEST_F(SynModelTest, MeasuredTimesMatchDesignedConstantLoads) {
+  // SYN uses constant loads: measured execution times must equal the
+  // designed values (paper: "By comparing the measured with the designed
+  // execution times, we have validated our framework's ability to measure
+  // accurately").
+  const struct {
+    const char* name;
+    double ms;
+  } expectations[] = {{"T1", 2.0},  {"T2", 3.0},   {"SC1", 4.0}, {"SC3", 5.0},
+                      {"SV1", 3.0}, {"SV2", 2.5},  {"CL1", 1.5}, {"CL3", 1.0},
+                      {"SC4", 3.0}, {"SC5", 2.0}};
+  for (const auto& expectation : expectations) {
+    std::string key = label(expectation.name);
+    const auto* vertex = dag().find_vertex(key);
+    // Service vertices are keyed per caller.
+    if (vertex == nullptr) {
+      for (const auto& v : dag().vertices()) {
+        if (v.key.rfind(key + "@", 0) == 0) {
+          vertex = &v;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(vertex, nullptr) << expectation.name;
+    EXPECT_NEAR(vertex->macet().to_ms(), expectation.ms, 0.01)
+        << expectation.name;
+    EXPECT_NEAR(vertex->mwcet().to_ms(), expectation.ms, 0.01)
+        << expectation.name;
+  }
+}
+
+TEST_F(SynModelTest, TimerPeriodsEstimated) {
+  const auto* t2 = dag().find_vertex(label("T2"));
+  ASSERT_TRUE(t2->period.has_value());
+  EXPECT_NEAR(t2->period->to_ms(), 100.0, 1.0);
+  const auto* t3 = dag().find_vertex(label("T3"));
+  EXPECT_NEAR(t3->period->to_ms(), 150.0, 1.5);
+}
+
+TEST_F(SynModelTest, DanglingT3TopicHasNoEdge) {
+  const auto* t3 = dag().find_vertex(label("T3"));
+  ASSERT_EQ(t3->out_topics.size(), 1u);
+  EXPECT_EQ(t3->out_topics[0], "/t3");
+  EXPECT_TRUE(dag().out_edges(label("T3")).empty());
+}
+
+// ---------------------------------------------------------------- AVP ----
+
+class AvpModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ctx_ = new ros2::Context();
+    app_ = new workloads::AvpApp();
+    model_ = new core::TimingModel(trace_and_synthesize(
+        *ctx_,
+        [&](ros2::Context& ctx) {
+          workloads::AvpOptions options;
+          options.run_duration = Duration::sec(20);
+          *app_ = workloads::build_avp_localization(ctx, options);
+        },
+        Duration::sec(20)));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete app_;
+    delete ctx_;
+  }
+  const core::Dag& dag() { return model_->dag; }
+  static ros2::Context* ctx_;
+  static workloads::AvpApp* app_;
+  static core::TimingModel* model_;
+};
+
+ros2::Context* AvpModelTest::ctx_ = nullptr;
+workloads::AvpApp* AvpModelTest::app_ = nullptr;
+core::TimingModel* AvpModelTest::model_ = nullptr;
+
+TEST_F(AvpModelTest, SixCallbacksFiveNodesPlusJunction) {
+  EXPECT_EQ(model_->node_callbacks.size(), 5u);
+  EXPECT_EQ(dag().vertex_count(), 7u);  // 6 CBs + & junction
+  EXPECT_TRUE(dag().is_acyclic());
+}
+
+TEST_F(AvpModelTest, ChainStructureMatchesFig3b) {
+  const std::string cb1 = app_->label_of.at("cb1");
+  const std::string cb2 = app_->label_of.at("cb2");
+  const std::string cb5 = app_->label_of.at("cb5");
+  const std::string cb6 = app_->label_of.at("cb6");
+  // Raw topics are dangling inputs (sensor processes are not traced).
+  EXPECT_TRUE(dag().in_edges(cb1).empty());
+  EXPECT_TRUE(dag().in_edges(cb2).empty());
+  // Filters feed the fusion members; fusion routes through &.
+  ASSERT_TRUE(dag().has_vertex("point_cloud_fusion/&"));
+  const auto junction_out = dag().out_edges("point_cloud_fusion/&");
+  ASSERT_EQ(junction_out.size(), 1u);
+  EXPECT_EQ(junction_out[0]->to, cb5);
+  // Voxel grid feeds the localizer.
+  const auto cb5_out = dag().out_edges(cb5);
+  ASSERT_EQ(cb5_out.size(), 1u);
+  EXPECT_EQ(cb5_out[0]->to, cb6);
+  // The pose topic is a dangling output.
+  EXPECT_TRUE(dag().out_edges(cb6).empty());
+}
+
+TEST_F(AvpModelTest, UntracedSensorPidsAbsent) {
+  for (const auto& list : model_->node_callbacks) {
+    EXPECT_NE(list.pid, 501);
+    EXPECT_NE(list.pid, 502);
+  }
+}
+
+TEST_F(AvpModelTest, ExecutionTimesWithinTableIIEnvelope) {
+  for (const auto& [cb, row] : workloads::table2_reference()) {
+    const auto* vertex = dag().find_vertex(app_->label_of.at(cb));
+    ASSERT_NE(vertex, nullptr) << cb;
+    EXPECT_GE(vertex->mbcet().to_ms(), row.mbcet_ms * 0.9) << cb;
+    EXPECT_LE(vertex->mwcet().to_ms(), row.mwcet_ms * 1.1) << cb;
+    // 20s of a 50-run experiment: averages land near but not exactly on
+    // the reference; allow 30%.
+    EXPECT_NEAR(vertex->macet().to_ms(), row.macet_ms, row.macet_ms * 0.3)
+        << cb;
+  }
+}
+
+TEST_F(AvpModelTest, FusionLoadAsymmetry) {
+  // cb3 (front side) usually completes the sync pair and runs the fusion;
+  // cb4 rarely does: their averages must be clearly asymmetric.
+  const auto* cb3 = dag().find_vertex(app_->label_of.at("cb3"));
+  const auto* cb4 = dag().find_vertex(app_->label_of.at("cb4"));
+  EXPECT_GT(cb3->macet().to_ms(), 4 * cb4->macet().to_ms());
+}
+
+TEST_F(AvpModelTest, LidarRateIsTenHz) {
+  const auto* cb1 = dag().find_vertex(app_->label_of.at("cb1"));
+  // ~10 instances per second over 20 s.
+  EXPECT_NEAR(static_cast<double>(cb1->instance_count), 200.0, 10.0);
+}
+
+// --------------------------------------------------------- combined runs --
+
+TEST(CaseStudyTest, SmallCaseStudyMergesAcrossRuns) {
+  workloads::CaseStudyConfig config;
+  config.runs = 3;
+  config.run_duration = Duration::sec(5);
+  config.interference_threads = 1;
+  const auto result = workloads::run_case_study(config);
+  ASSERT_EQ(result.runs.size(), 3u);
+  // Merged DAG covers AVP (7 vertices) + SYN (18 vertices).
+  EXPECT_EQ(result.merged_dag.vertex_count(), 25u);
+  EXPECT_TRUE(result.merged_dag.is_acyclic());
+  // Instance counts accumulate across runs.
+  const auto* cb1 = result.merged_dag.find_vertex(
+      result.avp_labels.at("cb1"));
+  ASSERT_NE(cb1, nullptr);
+  EXPECT_GT(cb1->instance_count, 100u);
+  // Overheads stay small in every run.
+  for (const auto& run : result.runs) {
+    EXPECT_LT(run.overhead.fraction_of_app_load(), 0.05);
+  }
+}
+
+TEST(CaseStudyTest, MergeStrategiesAgreeStructurally) {
+  // §V option (i) — merge traces, then synthesize once — applies to
+  // *segments of one run* (PIDs and callback ids are stable while the
+  // applications keep running); across separate runs, ids and timestamps
+  // collide and the paper's option (ii), DAG-level merging, is the right
+  // tool. Both strategies must agree structurally on segmented traces.
+  ros2::Context ctx;
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  const trace::EventVector init_trace = suite.stop_init();
+  std::vector<trace::EventVector> segments;
+  for (int segment = 0; segment < 3; ++segment) {
+    suite.start_runtime();
+    ctx.run_for(Duration::sec(3));
+    segments.push_back(
+        trace::merge_sorted({init_trace, suite.stop_runtime()}));
+  }
+  core::ModelSynthesizer synthesizer;
+  const core::Dag from_traces = synthesizer.synthesize_merged(segments).dag;
+  const core::Dag from_dags = synthesizer.synthesize_and_merge(segments);
+  EXPECT_EQ(from_traces.vertex_count(), from_dags.vertex_count());
+  EXPECT_EQ(from_traces.edge_count(), from_dags.edge_count());
+  for (const auto& vertex : from_dags.vertices()) {
+    EXPECT_TRUE(from_traces.has_vertex(vertex.key)) << vertex.key;
+  }
+}
+
+TEST(CaseStudyTest, MultiModeSynthesis) {
+  workloads::CaseStudyConfig config;
+  config.runs = 2;
+  config.run_duration = Duration::sec(3);
+  config.with_avp = false;
+  config.interference_threads = 0;
+  config.keep_traces = true;
+  const auto result = workloads::run_case_study(config);
+  std::vector<trace::EventVector> traces;
+  for (const auto& run : result.runs) traces.push_back(run.trace.value());
+  core::ModelSynthesizer synthesizer;
+  const auto multi =
+      synthesizer.synthesize_multi_mode(traces, {"city", "highway"});
+  EXPECT_EQ(multi.modes().size(), 2u);
+  EXPECT_EQ(multi.mode_dag("city")->vertex_count(), 18u);
+  EXPECT_EQ(multi.combined().vertex_count(), 18u);
+  EXPECT_EQ(multi.modes_of_vertex(result.syn_labels.at("T1")).size(), 2u);
+}
+
+TEST(InterferenceRobustnessTest, MeasurementsExactUnderPreemption) {
+  // Heavy background load on few cores: SYN callbacks get preempted, yet
+  // Algorithm 2 must still recover the designed constant execution times.
+  ros2::Context::Config config;
+  config.num_cpus = 2;
+  ros2::Context ctx(config);
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  const auto app = workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  Rng rng(17);
+  sched::InterferenceConfig interference;
+  interference.priority = 1;  // preempts the default-priority executors
+  interference.busy = DurationDistribution::uniform(Duration::us(200),
+                                                    Duration::ms(2));
+  interference.idle = DurationDistribution::uniform(Duration::us(200),
+                                                    Duration::ms(3));
+  sched::spawn_interference(ctx.machine(), rng, 2, interference);
+  suite.start_runtime();
+  ctx.run_for(Duration::sec(10));
+  auto runtime_trace = suite.stop_runtime();
+  core::ModelSynthesizer synthesizer;
+  const auto model = synthesizer.synthesize(
+      trace::merge_sorted({init_trace, runtime_trace}));
+  const auto* t2 = model.dag.find_vertex(app.label_of.at("T2"));
+  ASSERT_NE(t2, nullptr);
+  EXPECT_NEAR(t2->macet().to_ms(), 3.0, 0.01);
+  EXPECT_NEAR(t2->mwcet().to_ms(), 3.0, 0.01);
+  const auto* sc1 = model.dag.find_vertex(app.label_of.at("SC1"));
+  ASSERT_NE(sc1, nullptr);
+  EXPECT_NEAR(sc1->macet().to_ms(), 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace tetra

@@ -1,0 +1,222 @@
+// Parameterized property tests: invariants that must hold across the
+// substrate/synthesis configuration space — measurement exactness under
+// arbitrary core counts and interference levels, trace well-formedness,
+// DAG-merge algebraic properties, and synthesis determinism.
+#include <gtest/gtest.h>
+
+#include "core/model_synthesis.hpp"
+#include "ebpf/tracers.hpp"
+#include "sched/interference.hpp"
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace tetra {
+namespace {
+
+struct SubstrateParam {
+  int cpus;
+  int interference_threads;
+  int interference_priority;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SubstrateParam>& info) {
+  return "cpus" + std::to_string(info.param.cpus) + "_bg" +
+         std::to_string(info.param.interference_threads) + "_prio" +
+         std::to_string(info.param.interference_priority) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+class SubstrateSweep : public ::testing::TestWithParam<SubstrateParam> {
+ protected:
+  /// Runs SYN under the parameterized substrate and returns (model, trace).
+  std::pair<core::TimingModel, trace::EventVector> run(Duration duration) {
+    const auto param = GetParam();
+    ros2::Context::Config config;
+    config.num_cpus = param.cpus;
+    config.seed = param.seed;
+    ctx_ = std::make_unique<ros2::Context>(config);
+    ebpf::TracerSuite suite(*ctx_);
+    suite.start_init();
+    app_ = workloads::build_syn_app(*ctx_);
+    auto init_trace = suite.stop_init();
+    if (param.interference_threads > 0) {
+      Rng rng(param.seed ^ 0xbeef);
+      sched::InterferenceConfig interference;
+      interference.priority = param.interference_priority;
+      sched::spawn_interference(ctx_->machine(), rng,
+                                param.interference_threads, interference);
+    }
+    suite.start_runtime();
+    ctx_->run_for(duration);
+    auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
+    core::ModelSynthesizer synthesizer;
+    return {synthesizer.synthesize(events), std::move(events)};
+  }
+
+  std::unique_ptr<ros2::Context> ctx_;
+  workloads::SynApp app_;
+};
+
+TEST_P(SubstrateSweep, MeasuredTimesEqualDesignedEverywhere) {
+  // The central promise of Alg. 2: measured execution time equals the
+  // designed (constant) demand regardless of preemption and contention.
+  auto [model, events] = run(Duration::sec(6));
+  const std::map<std::string, double> designed = {
+      {"T1", 2.0},  {"T2", 3.0},  {"T3", 2.5}, {"SC1", 4.0}, {"SC4", 3.0},
+      {"SC5", 2.0}, {"SV1", 3.0}, {"SV2", 2.5}, {"CL1", 1.5}, {"CL3", 1.0},
+      {"CL4", 1.2}, {"CL2", 2.0}};
+  for (const auto& [name, ms] : designed) {
+    const std::string lbl = app_.label_of.at(name);
+    const core::DagVertex* vertex = model.dag.find_vertex(lbl);
+    if (vertex == nullptr) {
+      for (const auto& v : model.dag.vertices()) {
+        if (v.key.rfind(lbl + "@", 0) == 0) {
+          vertex = &v;
+          break;
+        }
+      }
+    }
+    ASSERT_NE(vertex, nullptr) << name;
+    ASSERT_GT(vertex->instance_count, 0u) << name;
+    EXPECT_NEAR(vertex->mwcet().to_ms(), ms, 0.011) << name;
+    EXPECT_NEAR(vertex->mbcet().to_ms(), ms, 0.011) << name;
+  }
+}
+
+TEST_P(SubstrateSweep, TraceWellFormedPerPid) {
+  auto [model, events] = run(Duration::sec(4));
+  // Per PID: callback start/end strictly alternate (single-threaded
+  // executors), takes only inside callbacks.
+  std::map<Pid, bool> in_callback;
+  std::map<Pid, int> depth_errors;
+  for (const auto& e : events) {
+    switch (e.type) {
+      case trace::EventType::CallbackStart:
+        if (in_callback[e.pid]) ++depth_errors[e.pid];
+        in_callback[e.pid] = true;
+        break;
+      case trace::EventType::CallbackEnd:
+        if (!in_callback[e.pid]) ++depth_errors[e.pid];
+        in_callback[e.pid] = false;
+        break;
+      case trace::EventType::Take:
+      case trace::EventType::TimerCall:
+      case trace::EventType::SyncOperator:
+        if (!in_callback[e.pid]) ++depth_errors[e.pid];
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [pid, errors] : depth_errors) {
+    EXPECT_EQ(errors, 0) << "pid " << pid;
+  }
+}
+
+TEST_P(SubstrateSweep, DagStructureInvariantAcrossSubstrates) {
+  // Scheduling configuration affects timing, never structure.
+  auto [model, events] = run(Duration::sec(6));
+  EXPECT_EQ(model.dag.vertex_count(), 18u);
+  EXPECT_EQ(model.dag.edge_count(), 16u);
+  EXPECT_TRUE(model.dag.is_acyclic());
+}
+
+TEST_P(SubstrateSweep, SerializationRoundTripsWholeTrace) {
+  auto [model, events] = run(Duration::sec(2));
+  const auto restored = trace::events_from_jsonl(trace::to_jsonl(events));
+  ASSERT_EQ(restored.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); i += 37) {
+    EXPECT_EQ(restored[i], events[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Substrates, SubstrateSweep,
+    ::testing::Values(SubstrateParam{1, 0, 0, 11}, SubstrateParam{2, 0, 0, 12},
+                      SubstrateParam{2, 2, 1, 13}, SubstrateParam{4, 0, 0, 14},
+                      SubstrateParam{4, 4, 1, 15}, SubstrateParam{8, 2, 0, 16},
+                      SubstrateParam{12, 6, 1, 17}),
+    param_name);
+
+class DeterminismTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismTest, SameSeedSameModel) {
+  auto run_once = [&](std::uint64_t seed) {
+    ros2::Context::Config config;
+    config.seed = seed;
+    ros2::Context ctx(config);
+    ebpf::TracerSuite suite(ctx);
+    suite.start_init();
+    workloads::build_syn_app(ctx);
+    auto init_trace = suite.stop_init();
+    suite.start_runtime();
+    ctx.run_for(Duration::sec(3));
+    core::ModelSynthesizer synthesizer;
+    return synthesizer.synthesize(
+        trace::merge_sorted({init_trace, suite.stop_runtime()}));
+  };
+  const auto a = run_once(GetParam());
+  const auto b = run_once(GetParam());
+  ASSERT_EQ(a.dag.vertex_count(), b.dag.vertex_count());
+  for (const auto& vertex : a.dag.vertices()) {
+    const auto* other = b.dag.find_vertex(vertex.key);
+    ASSERT_NE(other, nullptr) << vertex.key;
+    EXPECT_EQ(vertex.instance_count, other->instance_count) << vertex.key;
+    if (!vertex.stats.empty()) {
+      EXPECT_EQ(vertex.mwcet(), other->mwcet()) << vertex.key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+class MergeAlgebraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeAlgebraTest, MergeIsOrderInsensitiveAndIdempotent) {
+  // Build per-run DAGs from differently seeded runs, then check that the
+  // merged model is independent of merge order and stable under re-merge.
+  std::vector<core::Dag> dags;
+  for (int i = 0; i < 3; ++i) {
+    ros2::Context::Config config;
+    config.seed = static_cast<std::uint64_t>(GetParam() * 100 + i);
+    ros2::Context ctx(config);
+    ebpf::TracerSuite suite(ctx);
+    suite.start_init();
+    workloads::build_syn_app(ctx);
+    auto init_trace = suite.stop_init();
+    suite.start_runtime();
+    ctx.run_for(Duration::sec(2));
+    core::ModelSynthesizer synthesizer;
+    dags.push_back(synthesizer
+                       .synthesize(trace::merge_sorted(
+                           {init_trace, suite.stop_runtime()}))
+                       .dag);
+  }
+  const core::Dag forward = core::merge_dags({dags[0], dags[1], dags[2]});
+  const core::Dag backward = core::merge_dags({dags[2], dags[1], dags[0]});
+  ASSERT_EQ(forward.vertex_count(), backward.vertex_count());
+  ASSERT_EQ(forward.edge_count(), backward.edge_count());
+  for (const auto& vertex : forward.vertices()) {
+    const auto* other = backward.find_vertex(vertex.key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(vertex.instance_count, other->instance_count);
+    if (!vertex.stats.empty()) {
+      EXPECT_EQ(vertex.mwcet(), other->mwcet());
+      EXPECT_EQ(vertex.mbcet(), other->mbcet());
+      EXPECT_NEAR(vertex.macet().to_ms(), other->macet().to_ms(), 1e-6);
+    }
+  }
+  // Re-merging an already merged DAG must not change structure.
+  core::Dag twice = forward;
+  twice.merge(forward);
+  EXPECT_EQ(twice.vertex_count(), forward.vertex_count());
+  EXPECT_EQ(twice.edge_count(), forward.edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, MergeAlgebraTest, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace tetra

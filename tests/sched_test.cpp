@@ -1,0 +1,310 @@
+// Unit tests for the scheduler simulator: dispatch, preemption, blocking,
+// round-robin slicing, affinity, and the sched_switch/sched_wakeup
+// tracepoint stream Algorithm 2 depends on.
+#include <gtest/gtest.h>
+
+#include "sched/interference.hpp"
+#include "sched/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace tetra::sched {
+namespace {
+
+struct Recorder {
+  std::vector<std::pair<TimePoint, trace::SchedSwitchInfo>> switches;
+  std::vector<std::pair<TimePoint, trace::SchedWakeupInfo>> wakeups;
+
+  KernelHooks hooks() {
+    return KernelHooks{
+        [this](TimePoint t, const trace::SchedSwitchInfo& info) {
+          switches.push_back({t, info});
+        },
+        [this](TimePoint t, const trace::SchedWakeupInfo& info) {
+          wakeups.push_back({t, info});
+        }};
+  }
+};
+
+TEST(MachineTest, SingleThreadComputesAndTerminates) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  Recorder rec;
+  machine.set_kernel_hooks(rec.hooks());
+  std::vector<std::int64_t> marks;
+  Thread* thread = nullptr;
+  thread = &machine.create_thread({.name = "worker"}, [&] {
+    thread->compute(Duration::ms(5), [&] {
+      marks.push_back(sim.now().count_ns());
+      thread->terminate();
+    });
+  });
+  sim.run_until(TimePoint{Duration::ms(100).count_ns()});
+  ASSERT_EQ(marks.size(), 1u);
+  EXPECT_EQ(marks[0], Duration::ms(5).count_ns());
+  EXPECT_EQ(thread->state(), ThreadState::Terminated);
+  EXPECT_EQ(thread->cpu_time(), Duration::ms(5));
+  // idle->worker and worker->idle switches.
+  ASSERT_EQ(rec.switches.size(), 2u);
+  EXPECT_EQ(rec.switches[0].second.prev_pid, kIdlePid);
+  EXPECT_EQ(rec.switches[0].second.next_pid, thread->pid());
+  EXPECT_EQ(rec.switches[1].second.prev_pid, thread->pid());
+  EXPECT_EQ(rec.switches[1].second.prev_state, trace::ThreadRunState::Dead);
+}
+
+TEST(MachineTest, HigherPriorityPreempts) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  Recorder rec;
+  machine.set_kernel_hooks(rec.hooks());
+
+  Thread* low = nullptr;
+  TimePoint low_done;
+  low = &machine.create_thread({.name = "low", .priority = 1}, [&] {
+    low->compute(Duration::ms(10), [&] {
+      low_done = sim.now();
+      low->terminate();
+    });
+  });
+  Thread* high = nullptr;
+  TimePoint high_done;
+  // High-priority thread wakes at t=3ms.
+  sim.at(TimePoint{Duration::ms(3).count_ns()}, [&] {
+    high = &machine.create_thread({.name = "high", .priority = 5}, [&] {
+      high->compute(Duration::ms(2), [&] {
+        high_done = sim.now();
+        high->terminate();
+      });
+    });
+  });
+  sim.run_until(TimePoint{Duration::ms(100).count_ns()});
+  EXPECT_EQ(high_done, TimePoint{Duration::ms(5).count_ns()});
+  // Low finishes its remaining 7 ms after the preemption: 3 + 2 + 7 = 12.
+  EXPECT_EQ(low_done, TimePoint{Duration::ms(12).count_ns()});
+  EXPECT_EQ(low->cpu_time(), Duration::ms(10));
+  EXPECT_EQ(high->cpu_time(), Duration::ms(2));
+  // The preemption must appear as prev_state Runnable.
+  bool saw_preemption = false;
+  for (const auto& [t, info] : rec.switches) {
+    if (info.prev_pid == low->pid() &&
+        info.prev_state == trace::ThreadRunState::Runnable) {
+      saw_preemption = true;
+    }
+  }
+  EXPECT_TRUE(saw_preemption);
+}
+
+TEST(MachineTest, TwoCpusRunInParallel) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 2});
+  std::vector<TimePoint> done;
+  for (int i = 0; i < 2; ++i) {
+    Thread** slot = new Thread*;
+    *slot = &machine.create_thread({.name = "w" + std::to_string(i)}, [&, slot] {
+      (*slot)->compute(Duration::ms(10), [&, slot] {
+        done.push_back(sim.now());
+        (*slot)->terminate();
+      });
+    });
+  }
+  sim.run_until(TimePoint{Duration::ms(100).count_ns()});
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], TimePoint{Duration::ms(10).count_ns()});
+  EXPECT_EQ(done[1], TimePoint{Duration::ms(10).count_ns()});
+}
+
+TEST(MachineTest, AffinityRestrictsPlacement) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 2});
+  // Both threads pinned to CPU 0: they serialize even though CPU 1 idles.
+  std::vector<TimePoint> done;
+  for (int i = 0; i < 2; ++i) {
+    Thread** slot = new Thread*;
+    *slot = &machine.create_thread(
+        {.name = "pinned" + std::to_string(i), .affinity_mask = 0b01}, [&, slot] {
+          (*slot)->compute(Duration::ms(10), [&, slot] {
+            done.push_back(sim.now());
+            (*slot)->terminate();
+          });
+        });
+  }
+  sim.run_until(TimePoint{Duration::ms(100).count_ns()});
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[1], TimePoint{Duration::ms(20).count_ns()});
+  EXPECT_GT(machine.idle_time(1), Duration::ms(90));
+}
+
+TEST(MachineTest, AffinityExcludingAllCpusThrows) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 2});
+  EXPECT_THROW(
+      machine.create_thread({.name = "bad", .affinity_mask = 0xF0}, [] {}),
+      std::invalid_argument);
+}
+
+TEST(MachineTest, BlockAndWake) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  Recorder rec;
+  machine.set_kernel_hooks(rec.hooks());
+  std::vector<std::string> log;
+  Thread* t = nullptr;
+  t = &machine.create_thread({.name = "blocker"}, [&] {
+    log.push_back("start");
+    t->block([&] {
+      log.push_back("woken@" + std::to_string(sim.now().count_ns()));
+      t->terminate();
+    });
+  });
+  sim.at(TimePoint{1000}, [&] { t->wake(); });
+  sim.run_until(TimePoint{2000});
+  EXPECT_EQ(log, (std::vector<std::string>{"start", "woken@1000"}));
+  ASSERT_EQ(rec.wakeups.size(), 1u);
+  EXPECT_EQ(rec.wakeups[0].second.woken_pid, t->pid());
+  EXPECT_EQ(rec.wakeups[0].first, TimePoint{1000});
+}
+
+TEST(MachineTest, WakeOnNonBlockedIsNoop) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  Thread* t = nullptr;
+  t = &machine.create_thread({.name = "w"}, [&] {
+    t->compute(Duration::ms(1), [&] { t->terminate(); });
+  });
+  sim.at(TimePoint{10}, [&] { t->wake(); });  // running: no-op
+  sim.run_until(TimePoint{Duration::ms(5).count_ns()});
+  EXPECT_EQ(machine.wakeups(), 0u);
+  EXPECT_EQ(t->state(), ThreadState::Terminated);
+}
+
+TEST(MachineTest, SleepForWakesItself) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  TimePoint resumed;
+  Thread* t = nullptr;
+  t = &machine.create_thread({.name = "sleeper"}, [&] {
+    t->sleep_for(Duration::ms(3), [&] {
+      resumed = sim.now();
+      t->terminate();
+    });
+  });
+  sim.run_until(TimePoint{Duration::ms(10).count_ns()});
+  EXPECT_EQ(resumed, TimePoint{Duration::ms(3).count_ns()});
+  EXPECT_EQ(machine.wakeups(), 1u);
+}
+
+TEST(MachineTest, RoundRobinSlicesEqualPriority) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1, .rr_slice = Duration::ms(4)});
+  Recorder rec;
+  machine.set_kernel_hooks(rec.hooks());
+  std::vector<TimePoint> done(2);
+  for (int i = 0; i < 2; ++i) {
+    Thread** slot = new Thread*;
+    *slot = &machine.create_thread(
+        {.name = "rr" + std::to_string(i), .policy = SchedPolicy::RoundRobin},
+        [&, slot, i] {
+          (*slot)->compute(Duration::ms(8), [&, slot, i] {
+            done[static_cast<std::size_t>(i)] = sim.now();
+            (*slot)->terminate();
+          });
+        });
+  }
+  sim.run_until(TimePoint{Duration::ms(100).count_ns()});
+  // With 4 ms slices over two 8 ms jobs: A(0-4) B(4-8) A(8-12) B(12-16).
+  EXPECT_EQ(done[0], TimePoint{Duration::ms(12).count_ns()});
+  EXPECT_EQ(done[1], TimePoint{Duration::ms(16).count_ns()});
+  // Rotation shows as Runnable switch-outs.
+  int rotations = 0;
+  for (const auto& [t, info] : rec.switches) {
+    if (info.prev_state == trace::ThreadRunState::Runnable &&
+        info.prev_pid != kIdlePid) {
+      ++rotations;
+    }
+  }
+  EXPECT_GE(rotations, 2);
+}
+
+TEST(MachineTest, FifoDoesNotSlice) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1, .rr_slice = Duration::ms(4)});
+  std::vector<TimePoint> done(2);
+  for (int i = 0; i < 2; ++i) {
+    Thread** slot = new Thread*;
+    *slot = &machine.create_thread(
+        {.name = "fifo" + std::to_string(i), .policy = SchedPolicy::Fifo},
+        [&, slot, i] {
+          (*slot)->compute(Duration::ms(8), [&, slot, i] {
+            done[static_cast<std::size_t>(i)] = sim.now();
+            (*slot)->terminate();
+          });
+        });
+  }
+  sim.run_until(TimePoint{Duration::ms(100).count_ns()});
+  EXPECT_EQ(done[0], TimePoint{Duration::ms(8).count_ns()});
+  EXPECT_EQ(done[1], TimePoint{Duration::ms(16).count_ns()});
+}
+
+TEST(MachineTest, CpuTimeAccountingUnderContention) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  std::vector<Thread*> threads;
+  for (int i = 0; i < 3; ++i) {
+    Thread** slot = new Thread*;
+    *slot = &machine.create_thread({.name = "acc" + std::to_string(i)},
+                                   [&, slot] {
+                                     (*slot)->compute(Duration::ms(5), [slot] {
+                                       (*slot)->terminate();
+                                     });
+                                   });
+    threads.push_back(*slot);
+  }
+  sim.run_until(TimePoint{Duration::ms(100).count_ns()});
+  for (Thread* t : threads) EXPECT_EQ(t->cpu_time(), Duration::ms(5));
+  EXPECT_EQ(machine.total_busy_time(), Duration::ms(15));
+}
+
+TEST(MachineTest, RequestOutsideContextThrows) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  Thread* t = nullptr;
+  t = &machine.create_thread({.name = "ctx"}, [&] {
+    t->compute(Duration::ms(1), [&] { t->terminate(); });
+  });
+  // Direct call from outside the thread's continuation context.
+  EXPECT_THROW(t->compute(Duration::ms(1), [] {}), std::logic_error);
+}
+
+TEST(MachineTest, ContinuationWithoutRequestThrows) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  machine.create_thread({.name = "lazy"}, [] { /* no request */ });
+  EXPECT_THROW(sim.run_until(TimePoint{1000}), std::logic_error);
+}
+
+TEST(InterferenceTest, GeneratesLoadAndSwitches) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 2});
+  Recorder rec;
+  machine.set_kernel_hooks(rec.hooks());
+  Rng rng(3);
+  auto pids = spawn_interference(machine, rng, 3, InterferenceConfig{});
+  EXPECT_EQ(pids.size(), 3u);
+  sim.run_until(TimePoint{Duration::ms(200).count_ns()});
+  EXPECT_GT(machine.total_busy_time(), Duration::ms(10));
+  EXPECT_GT(rec.switches.size(), 50u);
+  EXPECT_GT(rec.wakeups.size(), 20u);
+}
+
+TEST(MachineTest, IdleTimeAccounting) {
+  sim::Simulator sim;
+  Machine machine(sim, {.num_cpus = 1});
+  Thread* t = nullptr;
+  t = &machine.create_thread({.name = "brief"}, [&] {
+    t->compute(Duration::ms(2), [&] { t->terminate(); });
+  });
+  sim.run_until(TimePoint{Duration::ms(10).count_ns()});
+  EXPECT_EQ(machine.idle_time(0), Duration::ms(8));
+}
+
+}  // namespace
+}  // namespace tetra::sched

@@ -1,0 +1,126 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace tetra::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint{30}, [&] { order.push_back(3); });
+  q.schedule(TimePoint{10}, [&] { order.push_back(1); });
+  q.schedule(TimePoint{20}, [&] { order.push_back(2); });
+  TimePoint t;
+  while (q.pop_and_run(t)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesKeepInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(TimePoint{100}, [&order, i] { order.push_back(i); });
+  }
+  TimePoint t;
+  while (q.pop_and_run(t)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue q;
+  bool ran = false;
+  auto handle = q.schedule(TimePoint{10}, [&] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(handle);
+  EXPECT_EQ(q.size(), 0u);
+  TimePoint t;
+  EXPECT_FALSE(q.pop_and_run(t));
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterRunIsNoop) {
+  EventQueue q;
+  auto handle = q.schedule(TimePoint{10}, [] {});
+  TimePoint t;
+  EXPECT_TRUE(q.pop_and_run(t));
+  q.cancel(handle);  // must not corrupt live count
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto first = q.schedule(TimePoint{10}, [] {});
+  q.schedule(TimePoint{20}, [] {});
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), TimePoint{20});
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.at(TimePoint{100}, [&] { times.push_back(sim.now().count_ns()); });
+  sim.after(Duration::ns(50), [&] { times.push_back(sim.now().count_ns()); });
+  sim.run_to_completion();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{50, 100}));
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(SimulatorTest, RunUntilHonorsHorizon) {
+  Simulator sim;
+  int ran = 0;
+  sim.at(TimePoint{10}, [&] { ++ran; });
+  sim.at(TimePoint{100}, [&] { ++ran; });
+  sim.run_until(TimePoint{50});
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), TimePoint{50});  // clock parked at horizon
+  sim.run_until(TimePoint{200});
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.after(Duration::ns(10), chain);
+  };
+  sim.after(Duration::ns(10), chain);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now().count_ns(), 50);
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(TimePoint{10}, [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.at(TimePoint{5}, [] {}), std::logic_error);
+  EXPECT_THROW(sim.after(Duration::ns(-1), [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, CancelViaSimulator) {
+  Simulator sim;
+  bool ran = false;
+  auto handle = sim.at(TimePoint{10}, [&] { ran = true; });
+  sim.cancel(handle);
+  sim.run_to_completion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtSameTimestampAfterCurrent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(TimePoint{10}, [&] {
+    order.push_back(1);
+    sim.after(Duration::zero(), [&] { order.push_back(2); });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), TimePoint{10});
+}
+
+}  // namespace
+}  // namespace tetra::sim

@@ -1,0 +1,317 @@
+// Unit tests for the support module: time types, statistics, RNG
+// distributions, JSON round-trips, string utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/json_parser.hpp"
+#include "support/json_writer.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+#include "support/string_utils.hpp"
+#include "support/time.hpp"
+
+namespace tetra {
+namespace {
+
+TEST(TimeTest, DurationConstructionAndConversion) {
+  EXPECT_EQ(Duration::ms(3).count_ns(), 3'000'000);
+  EXPECT_EQ(Duration::us(5).count_ns(), 5'000);
+  EXPECT_EQ(Duration::sec(2).count_ns(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::ms(3).to_ms(), 3.0);
+  EXPECT_DOUBLE_EQ(Duration::sec(2).to_sec(), 2.0);
+}
+
+TEST(TimeTest, DurationFloatingMilliseconds) {
+  EXPECT_EQ(Duration::ms_f(1.5).count_ns(), 1'500'000);
+  EXPECT_EQ(Duration::ms_f(0.0001).count_ns(), 100);
+  EXPECT_EQ(Duration::ms_f(-2.5).count_ns(), -2'500'000);
+}
+
+TEST(TimeTest, DurationArithmetic) {
+  const Duration a = Duration::ms(5);
+  const Duration b = Duration::ms(3);
+  EXPECT_EQ((a + b).count_ns(), 8'000'000);
+  EXPECT_EQ((a - b).count_ns(), 2'000'000);
+  EXPECT_EQ((a * 3).count_ns(), 15'000'000);
+  EXPECT_EQ((a / 5).count_ns(), 1'000'000);
+  EXPECT_EQ(a / b, 1);
+  EXPECT_LT(b, a);
+}
+
+TEST(TimeTest, TimePointArithmetic) {
+  const TimePoint t0{1'000};
+  const TimePoint t1 = t0 + Duration::ns(500);
+  EXPECT_EQ(t1.count_ns(), 1'500);
+  EXPECT_EQ((t1 - t0).count_ns(), 500);
+  EXPECT_EQ((t1 - Duration::ns(500)), t0);
+}
+
+TEST(TimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(to_string(Duration::ns(12)), "12ns");
+  EXPECT_EQ(to_string(Duration::us(3)), "3.000us");
+  EXPECT_EQ(to_string(Duration::ms(14)), "14.000ms");
+  EXPECT_EQ(to_string(Duration::sec(2)), "2.000s");
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(RunningStatsTest, FromSummaryRoundTrip) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 6.0, 9.0}) s.add(x);
+  RunningStats restored = RunningStats::from_summary(
+      s.count(), s.min(), s.max(), s.mean(), s.variance());
+  EXPECT_EQ(restored.count(), s.count());
+  EXPECT_NEAR(restored.variance(), s.variance(), 1e-9);
+  restored.add(5.0);
+  EXPECT_EQ(restored.count(), 5u);
+}
+
+TEST(ExecStatsTest, ReportsPaperMetrics) {
+  ExecStats stats;
+  stats.add(Duration::ms(10));
+  stats.add(Duration::ms(20));
+  stats.add(Duration::ms(30));
+  EXPECT_EQ(stats.mbcet(), Duration::ms(10));
+  EXPECT_EQ(stats.macet(), Duration::ms(20));
+  EXPECT_EQ(stats.mwcet(), Duration::ms(30));
+}
+
+TEST(SampleSetTest, QuantilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), 99.01, 1e-9);
+  EXPECT_THROW(s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(SampleSetTest, EmptyThrows) {
+  SampleSet s;
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.mean(), std::logic_error);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);  // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count_in_bin(0), 2u);
+  EXPECT_EQ(h.count_in_bin(4), 2u);
+  EXPECT_FALSE(h.to_ascii().empty());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(42);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(DurationDistributionTest, ConstantAlwaysNominal) {
+  Rng rng(1);
+  auto d = DurationDistribution::constant(Duration::ms(7));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(d.sample(rng), Duration::ms(7));
+}
+
+TEST(DurationDistributionTest, UniformRespectsBounds) {
+  Rng rng(1);
+  auto d = DurationDistribution::uniform(Duration::ms(2), Duration::ms(4));
+  for (int i = 0; i < 1000; ++i) {
+    const Duration v = d.sample(rng);
+    EXPECT_GE(v, Duration::ms(2));
+    EXPECT_LE(v, Duration::ms(4));
+  }
+}
+
+TEST(DurationDistributionTest, NormalTruncates) {
+  Rng rng(1);
+  auto d = DurationDistribution::normal(Duration::ms(10), Duration::ms(5),
+                                        Duration::ms(8), Duration::ms(12));
+  for (int i = 0; i < 1000; ++i) {
+    const Duration v = d.sample(rng);
+    EXPECT_GE(v, Duration::ms(8));
+    EXPECT_LE(v, Duration::ms(12));
+  }
+}
+
+TEST(DurationDistributionTest, NegativeBoundsAllowedForJitter) {
+  Rng rng(1);
+  auto d = DurationDistribution::uniform(Duration::ms(-6), Duration::ms(6));
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const Duration v = d.sample(rng);
+    saw_negative |= v < Duration::zero();
+    saw_positive |= v > Duration::zero();
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(DurationDistributionTest, MixtureDrawsBothComponents) {
+  Rng rng(1);
+  auto d = DurationDistribution::mixture(
+      DurationDistribution::constant(Duration::ms(1)),
+      DurationDistribution::constant(Duration::ms(100)), 0.5);
+  int low = 0, high = 0;
+  for (int i = 0; i < 1000; ++i) {
+    (d.sample(rng) == Duration::ms(1) ? low : high)++;
+  }
+  EXPECT_GT(low, 300);
+  EXPECT_GT(high, 300);
+  EXPECT_EQ(d.min(), Duration::ms(1));
+  EXPECT_EQ(d.max(), Duration::ms(100));
+}
+
+TEST(DurationDistributionTest, ScaledScalesBoundsAndNominal) {
+  auto d = DurationDistribution::uniform(Duration::ms(2), Duration::ms(4))
+               .scaled(2.0);
+  EXPECT_EQ(d.min(), Duration::ms(4));
+  EXPECT_EQ(d.max(), Duration::ms(8));
+  EXPECT_EQ(d.nominal(), Duration::ms(6));
+}
+
+TEST(JsonWriterTest, ObjectsArraysValues) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "tetra");
+  w.kv("count", std::int64_t{3});
+  w.kv("ratio", 0.5);
+  w.kv("ok", true);
+  w.key("items").begin_array().value(std::int64_t{1}).value("two").end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"tetra","count":3,"ratio":0.5,"ok":true,"items":[1,"two"]})");
+}
+
+TEST(JsonWriterTest, EscapesSpecials) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("s", "a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.value("no key"), std::logic_error);
+  EXPECT_THROW(w.end_array(), std::logic_error);
+  EXPECT_THROW(w.str(), std::logic_error);  // unclosed
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_EQ(parse_json("42").as_int(), 42);
+  EXPECT_DOUBLE_EQ(parse_json("-3.25").as_double(), -3.25);
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(JsonParserTest, ParsesNested) {
+  const auto v = parse_json(R"({"a": [1, {"b": "c"}], "d": 2.5})");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+  EXPECT_EQ(v.at("a").as_array()[1].at("b").as_string(), "c");
+  EXPECT_DOUBLE_EQ(v.at("d").as_double(), 2.5);
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("zz"));
+}
+
+TEST(JsonParserTest, RejectsMalformed) {
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse_json("12 garbage"), std::runtime_error);
+  EXPECT_THROW(parse_json(""), std::runtime_error);
+}
+
+TEST(JsonParserTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("t", std::int64_t{123456789});
+  w.kv("topic", "/lidar_front/points_raw");
+  w.kv("unicode", "é");
+  w.end_object();
+  const auto v = parse_json(w.str());
+  EXPECT_EQ(v.at("t").as_int(), 123456789);
+  EXPECT_EQ(v.at("topic").as_string(), "/lidar_front/points_raw");
+}
+
+TEST(StringUtilsTest, SplitJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"x", "y"}, "->"), "x->y");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("/sv3Request", "/sv3"));
+  EXPECT_TRUE(ends_with("/sv3Request", "Request"));
+  EXPECT_FALSE(ends_with("/sv3Reply", "Request"));
+}
+
+TEST(StringUtilsTest, FormatAndHex) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(hex_id(0x1f), "0x1f");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"CB", "mWCET"});
+  t.add_row({"cb1", "19.82"});
+  t.add_row({"long_callback_name", "3"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| CB"), std::string::npos);
+  EXPECT_NE(s.find("| long_callback_name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tetra

@@ -1,0 +1,179 @@
+// Unit tests for trace records: construction, serialization round-trips,
+// buffers, merging, the trace database.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/database.hpp"
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace_buffer.hpp"
+
+namespace tetra::trace {
+namespace {
+
+TraceEvent sample_take() {
+  return make_take(TimePoint{123}, 1001, TakeKind::Request, 0xdeadbeef,
+                   "/sv1Request", TimePoint{100});
+}
+
+TEST(ProbeIdTest, RoundTripsAllIds) {
+  for (int i = 1; i <= 16; ++i) {
+    const auto id = static_cast<ProbeId>(i);
+    EXPECT_EQ(probe_id_from_string(std::string(to_string(id))), id);
+  }
+  EXPECT_EQ(probe_id_from_string("sched_switch"), ProbeId::SchedSwitch);
+  EXPECT_THROW(probe_id_from_string("P99"), std::invalid_argument);
+}
+
+TEST(EventTest, ConstructorsSetProbeAndType) {
+  const auto node = make_node_event(TimePoint{1}, 42, "n");
+  EXPECT_EQ(node.probe, ProbeId::P1_RmwCreateNode);
+  EXPECT_EQ(node.as<NodeInfo>().node_name, "n");
+
+  const auto start = make_callback_start(TimePoint{2}, 42, CallbackKind::Service);
+  EXPECT_EQ(start.probe, ProbeId::P9_ExecuteServiceEntry);
+  const auto end = make_callback_end(TimePoint{3}, 42, CallbackKind::Service);
+  EXPECT_EQ(end.probe, ProbeId::P11_ExecuteServiceExit);
+
+  const auto take = sample_take();
+  EXPECT_EQ(take.probe, ProbeId::P10_RmwTakeRequest);
+  EXPECT_EQ(take.as<TakeInfo>().src_ts, TimePoint{100});
+}
+
+TEST(EventTest, PhaseProbeMapping) {
+  for (CallbackKind kind :
+       {CallbackKind::Timer, CallbackKind::Subscription, CallbackKind::Service,
+        CallbackKind::Client}) {
+    EXPECT_EQ(kind_for_phase_probe(start_probe_for(kind)), kind);
+    EXPECT_EQ(kind_for_phase_probe(end_probe_for(kind)), kind);
+  }
+  EXPECT_THROW(kind_for_phase_probe(ProbeId::P16_DdsWriteImpl),
+               std::invalid_argument);
+}
+
+TEST(EventTest, SortAndFilter) {
+  EventVector events;
+  events.push_back(make_dds_write(TimePoint{30}, 2, "/b", TimePoint{30}));
+  events.push_back(make_dds_write(TimePoint{10}, 1, "/a", TimePoint{10}));
+  events.push_back(make_dds_write(TimePoint{20}, 1, "/a", TimePoint{20}));
+  sort_by_time(events);
+  EXPECT_EQ(events[0].time, TimePoint{10});
+  const auto pid1 = filter_by_pid(events, 1);
+  EXPECT_EQ(pid1.size(), 2u);
+}
+
+TEST(SerializeTest, JsonlRoundTripsEveryEventType) {
+  EventVector events;
+  events.push_back(make_node_event(TimePoint{1}, 10, "node_a"));
+  events.push_back(make_callback_start(TimePoint{2}, 10, CallbackKind::Timer));
+  events.push_back(make_timer_call(TimePoint{3}, 10, 0xabc));
+  events.push_back(sample_take());
+  events.push_back(make_take_type_erased(TimePoint{5}, 10, true));
+  events.push_back(make_sync_operator(TimePoint{6}, 10, 0xdef));
+  events.push_back(make_callback_end(TimePoint{7}, 10, CallbackKind::Timer));
+  events.push_back(make_dds_write(TimePoint{8}, 10, "/topic#anno", TimePoint{8}));
+  events.push_back(make_sched_switch(
+      TimePoint{9}, SchedSwitchInfo{2, 10, 5, ThreadRunState::Sleeping, 11, 0}));
+  events.push_back(make_sched_wakeup(TimePoint{10}, SchedWakeupInfo{10, 3}));
+
+  const auto restored = events_from_jsonl(to_jsonl(events));
+  ASSERT_EQ(restored.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(restored[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = "/tmp/tetra_trace_test.jsonl";
+  EventVector events{sample_take(), make_node_event(TimePoint{2}, 3, "x")};
+  write_jsonl_file(path, events);
+  const auto restored = read_jsonl_file(path);
+  EXPECT_EQ(restored, events);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(read_jsonl_file("/nonexistent/nope.jsonl"), std::runtime_error);
+}
+
+TEST(SerializeTest, FootprintCountsCompactBytes) {
+  EventVector events{sample_take()};
+  const std::size_t bytes = binary_footprint_bytes(events);
+  EXPECT_GT(bytes, 14u);
+  EXPECT_LT(bytes, 200u);
+}
+
+TEST(TraceBufferTest, DropsWhenFull) {
+  TraceBuffer buffer(2);
+  EXPECT_TRUE(buffer.push(sample_take()));
+  EXPECT_TRUE(buffer.push(sample_take()));
+  EXPECT_FALSE(buffer.push(sample_take()));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  EXPECT_TRUE(buffer.full());
+  const auto drained = buffer.drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(buffer.push(sample_take()));
+}
+
+TEST(MergeTest, MergeSortedInterleaves) {
+  EventVector a{make_dds_write(TimePoint{10}, 1, "/a", TimePoint{10}),
+                make_dds_write(TimePoint{30}, 1, "/a", TimePoint{30})};
+  EventVector b{make_dds_write(TimePoint{20}, 2, "/b", TimePoint{20})};
+  const auto merged = merge_sorted({a, b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].time, TimePoint{10});
+  EXPECT_EQ(merged[1].time, TimePoint{20});
+  EXPECT_EQ(merged[2].time, TimePoint{30});
+}
+
+TEST(MergeTest, MergeSortedTieKeepsSourceOrder) {
+  EventVector a{make_dds_write(TimePoint{10}, 1, "/a", TimePoint{10})};
+  EventVector b{make_dds_write(TimePoint{10}, 2, "/b", TimePoint{10})};
+  const auto merged = merge_sorted({a, b});
+  EXPECT_EQ(merged[0].pid, 1);
+  EXPECT_EQ(merged[1].pid, 2);
+}
+
+TEST(MergeTest, ShiftTimesMovesSourceTimestamps) {
+  EventVector events{sample_take()};
+  const auto shifted = shift_times(events, Duration::ns(1000));
+  EXPECT_EQ(shifted[0].time, TimePoint{1123});
+  EXPECT_EQ(shifted[0].as<TakeInfo>().src_ts, TimePoint{1100});
+}
+
+TEST(DatabaseTest, StoreAndMergeRuns) {
+  TraceDatabase db;
+  db.store({"run-1", 0},
+           {make_dds_write(TimePoint{10}, 1, "/a", TimePoint{10})}, "city");
+  db.store({"run-1", 1},
+           {make_dds_write(TimePoint{20}, 1, "/a", TimePoint{20})}, "city");
+  db.store({"run-2", 0},
+           {make_dds_write(TimePoint{5}, 2, "/b", TimePoint{5})}, "highway");
+  EXPECT_EQ(db.segment_count(), 3u);
+  EXPECT_EQ(db.runs().size(), 2u);
+  EXPECT_EQ(db.merged_run("run-1").size(), 2u);
+  EXPECT_EQ(db.merged_all().size(), 3u);
+  EXPECT_EQ(db.merged_all()[0].time, TimePoint{5});
+  EXPECT_EQ(db.runs_for_mode("city"), (std::vector<std::string>{"run-1"}));
+  EXPECT_THROW(db.get({"run-9", 0}), std::out_of_range);
+}
+
+TEST(DatabaseTest, DirectoryRoundTrip) {
+  const std::string dir = "/tmp/tetra_db_test";
+  std::filesystem::remove_all(dir);
+  TraceDatabase db;
+  db.store({"run-1", 0}, {sample_take()}, "city");
+  db.store({"run-2", 0}, {make_node_event(TimePoint{1}, 7, "n")}, "");
+  db.save_to_directory(dir);
+  const auto restored = TraceDatabase::load_from_directory(dir);
+  EXPECT_EQ(restored.segment_count(), 2u);
+  EXPECT_EQ(restored.get({"run-1", 0})[0], sample_take());
+  EXPECT_EQ(restored.runs_for_mode("city"),
+            (std::vector<std::string>{"run-1"}));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tetra::trace

@@ -1,0 +1,157 @@
+// Tests for the workload models themselves: SYN wiring, AVP calibration
+// targets, case-study configuration behaviour.
+#include <gtest/gtest.h>
+
+#include "workloads/avp_localization.hpp"
+#include "workloads/experiment.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace tetra::workloads {
+namespace {
+
+TEST(SynAppTest, SixNodesSixteenCallbacks) {
+  ros2::Context ctx;
+  const auto app = build_syn_app(ctx);
+  EXPECT_EQ(ctx.nodes().size(), 6u);
+  EXPECT_EQ(app.label_of.size(), 16u);
+  // Every mapped label names an existing node.
+  for (const auto& [paper_name, label] : app.label_of) {
+    const auto slash = label.find('/');
+    ASSERT_NE(slash, std::string::npos) << label;
+    EXPECT_NE(ctx.node_by_name(label.substr(0, slash)), nullptr) << label;
+  }
+}
+
+TEST(SynAppTest, LoadFactorScalesDemands) {
+  ros2::Context ctx_a, ctx_b;
+  build_syn_app(ctx_a, SynOptions{1.0});
+  build_syn_app(ctx_b, SynOptions{2.0});
+  ctx_a.run_for(Duration::sec(2));
+  ctx_b.run_for(Duration::sec(2));
+  // Double load => roughly double busy time (same callback counts).
+  const double a = ctx_a.machine().total_busy_time().to_sec();
+  const double b = ctx_b.machine().total_busy_time().to_sec();
+  EXPECT_GT(b, a * 1.7);
+  EXPECT_LT(b, a * 2.3);
+}
+
+TEST(SynAppTest, DistinctChainTopicLists) {
+  ros2::Context ctx;
+  const auto app = build_syn_app(ctx);
+  EXPECT_EQ(app.main_chain_topics.front(), "/t1");
+  EXPECT_EQ(app.main_chain_topics.back(), "/f2");
+  EXPECT_EQ(app.fusion_chain_topics,
+            (std::vector<std::string>{"/f1", "/f3"}));
+}
+
+TEST(AvpAppTest, FiveNodesSixCallbacksAndSensors) {
+  ros2::Context ctx;
+  AvpOptions options;
+  options.run_duration = Duration::sec(1);
+  const auto app = build_avp_localization(ctx, options);
+  EXPECT_EQ(ctx.nodes().size(), 5u);
+  EXPECT_EQ(app.label_of.size(), 6u);
+  EXPECT_EQ(app.sensors.size(), 2u);
+  EXPECT_EQ(app.node_of.at("cb3"), "point_cloud_fusion");
+  EXPECT_EQ(app.node_of.at("cb4"), "point_cloud_fusion");
+}
+
+TEST(AvpAppTest, SensorsWriteAtTenHz) {
+  ros2::Context ctx;
+  AvpOptions options;
+  options.run_duration = Duration::sec(5);
+  const auto app = build_avp_localization(ctx, options);
+  ctx.run_for(Duration::sec(5));
+  for (const auto& sensor : app.sensors) {
+    EXPECT_NEAR(static_cast<double>(sensor->writes_issued()), 50.0, 3.0);
+  }
+}
+
+TEST(AvpAppTest, SensorsStopAtRunEnd) {
+  ros2::Context ctx;
+  AvpOptions options;
+  options.run_duration = Duration::sec(2);
+  const auto app = build_avp_localization(ctx, options);
+  ctx.run_for(Duration::sec(6));  // run past the drive's end
+  for (const auto& sensor : app.sensors) {
+    EXPECT_LE(sensor->writes_issued(), 22u);
+  }
+}
+
+TEST(AvpAppTest, ContentionInflatesProfiles) {
+  auto measure = [](double contention) {
+    ros2::Context ctx;
+    AvpOptions options;
+    options.run_duration = Duration::sec(5);
+    options.contention = contention;
+    const auto app = build_avp_localization(ctx, options);
+    ctx.run_for(Duration::sec(5));
+    return ctx.machine().total_busy_time().to_sec();
+  };
+  const double base = measure(0.0);
+  const double inflated = measure(0.10);
+  EXPECT_GT(inflated, base * 1.05);
+  EXPECT_LT(inflated, base * 1.15);
+}
+
+TEST(Table2ReferenceTest, CompleteAndOrdered) {
+  const auto& table = table2_reference();
+  ASSERT_EQ(table.size(), 6u);
+  for (const auto& [cb, row] : table) {
+    EXPECT_LT(row.mbcet_ms, row.macet_ms) << cb;
+    EXPECT_LT(row.macet_ms, row.mwcet_ms) << cb;
+  }
+}
+
+TEST(CaseStudyTest, SynOnlyAndAvpOnlyConfigs) {
+  CaseStudyConfig config;
+  config.runs = 1;
+  config.run_duration = Duration::sec(2);
+  config.interference_threads = 0;
+  config.with_avp = false;
+  const auto syn_only = run_case_study(config);
+  EXPECT_EQ(syn_only.merged_dag.vertex_count(), 18u);
+  EXPECT_TRUE(syn_only.avp_labels.empty());
+
+  config.with_avp = true;
+  config.with_syn = false;
+  const auto avp_only = run_case_study(config);
+  EXPECT_EQ(avp_only.merged_dag.vertex_count(), 7u);
+  EXPECT_TRUE(avp_only.syn_labels.empty());
+}
+
+TEST(CaseStudyTest, PerRunObserverSeesEveryRun) {
+  CaseStudyConfig config;
+  config.runs = 4;
+  config.run_duration = Duration::sec(1);
+  config.with_avp = false;
+  config.interference_threads = 0;
+  int observed = 0;
+  double load_min = 10, load_max = 0;
+  run_case_study(config, [&](const RunResult& run) {
+    EXPECT_EQ(run.run_index, observed);
+    ++observed;
+    load_min = std::min(load_min, run.syn_load_factor);
+    load_max = std::max(load_max, run.syn_load_factor);
+  });
+  EXPECT_EQ(observed, 4);
+  EXPECT_GE(load_min, config.syn_load_min);
+  EXPECT_LE(load_max, config.syn_load_max);
+}
+
+TEST(CaseStudyTest, KeepTracesStoresMergedStreams) {
+  CaseStudyConfig config;
+  config.runs = 2;
+  config.run_duration = Duration::sec(1);
+  config.with_avp = false;
+  config.interference_threads = 0;
+  config.keep_traces = true;
+  const auto result = run_case_study(config);
+  for (const auto& run : result.runs) {
+    ASSERT_TRUE(run.trace.has_value());
+    EXPECT_GT(run.trace->size(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace tetra::workloads

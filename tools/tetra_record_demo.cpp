@@ -1,0 +1,81 @@
+// tetra_record_demo — records demo traces to JSONL files for use with
+// tetra_synth. Runs the SYN application, the AVP localization pipeline,
+// or both, under the three tracers, and writes one trace file per run.
+//
+//   tetra_record_demo [--workload syn|avp|both] [--runs N]
+//                     [--duration SECONDS] [--seed S] [--out PREFIX]
+//
+// Output: PREFIX-<run>.jsonl (default: trace-0.jsonl, trace-1.jsonl, ...).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ebpf/tracers.hpp"
+#include "trace/merge.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/avp_localization.hpp"
+#include "workloads/syn_app.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tetra;
+  std::string workload = "syn";
+  int runs = 1;
+  int seconds = 20;
+  std::uint64_t seed = 1;
+  std::string prefix = "trace";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") workload = next();
+    else if (arg == "--runs") runs = std::atoi(next().c_str());
+    else if (arg == "--duration") seconds = std::atoi(next().c_str());
+    else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--out") prefix = next();
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--workload syn|avp|both] [--runs N]\n"
+                   "          [--duration SECONDS] [--seed S] [--out PREFIX]\n",
+                   argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (workload != "syn" && workload != "avp" && workload != "both") {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+
+  for (int run = 0; run < runs; ++run) {
+    ros2::Context::Config config;
+    config.num_cpus = 12;
+    config.seed = seed + static_cast<std::uint64_t>(run);
+    ros2::Context ctx(config);
+    ebpf::TracerSuite suite(ctx);
+    suite.start_init();
+    workloads::AvpApp avp;  // keeps sensor writers alive through the run
+    if (workload == "avp" || workload == "both") {
+      workloads::AvpOptions options;
+      options.run_duration = Duration::sec(seconds);
+      avp = workloads::build_avp_localization(ctx, options);
+    }
+    if (workload == "syn" || workload == "both") {
+      workloads::build_syn_app(ctx);
+    }
+    auto init_trace = suite.stop_init();
+    suite.start_runtime();
+    ctx.run_for(Duration::sec(seconds));
+    auto events =
+        trace::merge_sorted({init_trace, suite.stop_runtime()});
+    const std::string path = prefix + "-" + std::to_string(run) + ".jsonl";
+    trace::write_jsonl_file(path, events);
+    std::fprintf(stderr, "run %d: %zu events -> %s\n", run, events.size(),
+                 path.c_str());
+  }
+  return 0;
+}
