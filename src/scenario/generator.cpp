@@ -1,0 +1,422 @@
+#include "scenario/generator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace tetra::scenario {
+
+namespace {
+
+struct TopicInfo {
+  std::string name;
+  int level = 0;
+};
+
+/// A callback eligible to become a service caller (sync members and
+/// services are excluded). Indices are into the spec's vectors and are
+/// kept in sync when client insertion renumbers a node's clients.
+struct CallerRef {
+  std::size_t node = 0;
+  CallbackKind kind = CallbackKind::Timer;
+  std::size_t index = 0;
+  int level = 0;
+};
+
+class Generation {
+ public:
+  Generation(const GeneratorOptions& options, std::uint64_t seed)
+      : options_(options), rng_(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1eULL) {
+    spec_.seed = seed;
+    spec_.name = "scenario-" + std::to_string(seed);
+    spec_.num_cpus = options.num_cpus;
+    spec_.run_duration = options.run_duration;
+
+    // Ground truth counts a callback live when it *structurally* executes,
+    // so every generated chain must also get enough simulated time: keep
+    // timer periods a healthy factor below run_duration (the defaults'
+    // ratio), scaling demands by the same factor so utilization — and
+    // with it queueing behaviour — is independent of the chosen duration.
+    const std::int64_t duration_ms = spec_.run_duration.to_ms() >= 1.0
+                                         ? static_cast<std::int64_t>(
+                                               spec_.run_duration.to_ms())
+                                         : 1;
+    max_period_ms_ = std::min<std::int64_t>(options.max_period_ms,
+                                            std::max<std::int64_t>(
+                                                duration_ms / 7, 2));
+    min_period_ms_ = std::min<std::int64_t>(options.min_period_ms,
+                                            max_period_ms_);
+    const double demand_scale =
+        static_cast<double>(max_period_ms_) /
+        static_cast<double>(std::max(options.max_period_ms, 1));
+    min_demand_ms_ = options.min_demand_ms * demand_scale;
+    max_demand_ms_ = options.max_demand_ms * demand_scale;
+  }
+
+  ScenarioSpec build() {
+    make_nodes();
+    make_timers();
+    make_external_inputs();
+    const int steps = static_cast<int>(rng_.uniform_int(
+        options_.min_growth_steps, options_.max_growth_steps));
+    for (int step = 0; step < steps; ++step) {
+      const double roll = rng_.uniform(0.0, 1.0);
+      if (roll < options_.p_sync_step) {
+        grow_sync_group();
+      } else if (roll < options_.p_sync_step + options_.p_service_step) {
+        grow_service();
+      } else {
+        grow_subscription();
+      }
+    }
+    make_modes();
+    return std::move(spec_);
+  }
+
+ private:
+  // ---- building blocks -----------------------------------------------------
+
+  DurationDistribution random_demand() {
+    const double base = rng_.uniform(min_demand_ms_, max_demand_ms_);
+    switch (rng_.uniform_int(0, 2)) {
+      case 0:
+        return DurationDistribution::constant(Duration::ms_f(base));
+      case 1:
+        return DurationDistribution::uniform(Duration::ms_f(base * 0.5),
+                                             Duration::ms_f(base * 1.5));
+      default:
+        return DurationDistribution::normal(
+            Duration::ms_f(base), Duration::ms_f(base * 0.15),
+            Duration::ms_f(base * 0.5), Duration::ms_f(base * 1.6));
+    }
+  }
+
+  std::string fresh_topic(int level) {
+    TopicInfo topic;
+    topic.name = "/tp" + std::to_string(topic_counter_++);
+    topic.level = level;
+    topics_.push_back(topic);
+    return topic.name;
+  }
+
+  std::size_t random_active_node() {
+    return active_nodes_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(active_nodes_.size()) - 1))];
+  }
+
+  const TopicInfo& random_topic() {
+    return topics_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(topics_.size()) - 1))];
+  }
+
+  std::vector<EffectSpec>* effects_of(const CallerRef& ref) {
+    auto& node = spec_.nodes[ref.node];
+    switch (ref.kind) {
+      case CallbackKind::Timer: return &node.timers[ref.index].effects;
+      case CallbackKind::Subscription:
+        return &node.subscriptions[ref.index].effects;
+      case CallbackKind::Client: return &node.clients[ref.index].effects;
+      default: return nullptr;
+    }
+  }
+
+  // ---- phases --------------------------------------------------------------
+
+  void make_nodes() {
+    const int n_nodes = static_cast<int>(
+        rng_.uniform_int(options_.min_nodes, options_.max_nodes));
+    for (int i = 0; i < n_nodes; ++i) {
+      ScenarioNodeSpec node;
+      node.name = "node" + std::to_string(i);
+      node.priority = rng_.chance(options_.p_priority_boost) ? 1 : 0;
+      node.policy = rng_.chance(options_.p_fifo_policy)
+                        ? sched::SchedPolicy::Fifo
+                        : sched::SchedPolicy::RoundRobin;
+      std::uint64_t mask = 0;
+      for (int cpu = 0; cpu < spec_.num_cpus; ++cpu) {
+        if (rng_.chance(0.6)) mask |= 1ULL << cpu;
+      }
+      node.affinity_mask = mask != 0 ? mask : ~0ULL;
+      spec_.nodes.push_back(std::move(node));
+    }
+    // Non-empty nodes receive callbacks; empty ones stay P1-only shells.
+    for (std::size_t i = 0; i < spec_.nodes.size(); ++i) {
+      if (!rng_.chance(options_.p_empty_node)) active_nodes_.push_back(i);
+    }
+    if (active_nodes_.empty()) active_nodes_.push_back(0);
+  }
+
+  void make_timers() {
+    int total_timers = 0;
+    for (std::size_t ni : active_nodes_) {
+      const int count = static_cast<int>(
+          rng_.uniform_int(0, options_.max_timers_per_node));
+      for (int t = 0; t < count; ++t) add_timer(ni);
+      total_timers += count;
+    }
+    if (total_timers == 0) add_timer(random_active_node());
+  }
+
+  void add_timer(std::size_t ni) {
+    auto& node = spec_.nodes[ni];
+    TimerSpec timer;
+    timer.period = Duration::ms(rng_.uniform_int(min_period_ms_, max_period_ms_));
+    timer.demand = random_demand();
+    if (rng_.chance(options_.p_timer_publishes)) {
+      timer.effects.push_back(publish_effect(fresh_topic(1)));
+    }
+    callable_.push_back(
+        CallerRef{ni, CallbackKind::Timer, node.timers.size(), 0});
+    node.timers.push_back(std::move(timer));
+  }
+
+  void make_external_inputs() {
+    if (!rng_.chance(options_.p_external_input)) return;
+    const int count = static_cast<int>(rng_.uniform_int(1, 2));
+    for (int i = 0; i < count; ++i) {
+      ExternalInputSpec input;
+      input.topic = "/ext" + std::to_string(i);
+      input.pid = static_cast<Pid>(500 + i);
+      input.period = Duration::ms(
+          rng_.uniform_int(std::min<std::int64_t>(50, max_period_ms_),
+                           std::min<std::int64_t>(150, max_period_ms_ * 3)));
+      input.phase = Duration::ms(rng_.uniform_int(
+          std::min<std::int64_t>(5, std::max<std::int64_t>(max_period_ms_ / 8, 1)),
+          std::min<std::int64_t>(20, std::max<std::int64_t>(max_period_ms_ / 4, 2))));
+      if (rng_.chance(0.5)) {
+        // Jitter shrinks with the timing scale so it stays well inside a
+        // period at short run durations.
+        const double jitter_scale =
+            static_cast<double>(max_period_ms_) /
+            static_cast<double>(std::max(options_.max_period_ms, 1));
+        input.jitter = Duration::ms_f(rng_.uniform(1.0, 5.0) * jitter_scale);
+      }
+      input.bytes = 1024;
+      topics_.push_back(TopicInfo{input.topic, 1});
+      spec_.external_inputs.push_back(std::move(input));
+    }
+  }
+
+  void grow_subscription() {
+    if (topics_.empty()) return;
+    const TopicInfo in_topic = random_topic();
+    const std::size_t ni = random_active_node();
+    auto& node = spec_.nodes[ni];
+
+    SubscriptionSpec sub;
+    sub.topic = in_topic.name;
+    sub.demand = random_demand();
+    if (rng_.chance(options_.p_sub_publishes)) {
+      if (rng_.chance(options_.p_republish)) {
+        // Re-publish an existing strictly-higher-level topic: creates an
+        // OR fan-in at that topic's subscribers without risking a cycle.
+        std::vector<std::size_t> eligible;
+        for (std::size_t t = 0; t < topics_.size(); ++t) {
+          if (topics_[t].level > in_topic.level) eligible.push_back(t);
+        }
+        if (!eligible.empty()) {
+          const auto pick = eligible[static_cast<std::size_t>(rng_.uniform_int(
+              0, static_cast<std::int64_t>(eligible.size()) - 1))];
+          sub.effects.push_back(publish_effect(topics_[pick].name));
+        } else {
+          sub.effects.push_back(publish_effect(fresh_topic(in_topic.level + 1)));
+        }
+      } else {
+        sub.effects.push_back(publish_effect(fresh_topic(in_topic.level + 1)));
+      }
+    }
+    callable_.push_back(CallerRef{ni, CallbackKind::Subscription,
+                                  node.subscriptions.size(), in_topic.level});
+    node.subscriptions.push_back(std::move(sub));
+  }
+
+  void grow_service() {
+    if (callable_.empty()) return;
+    const std::size_t server_ni = random_active_node();
+    auto& server = spec_.nodes[server_ni];
+    const std::string service_name = "/svc" + std::to_string(service_counter_++);
+
+    // Pick 1-2 distinct callers (multi-caller services are what the
+    // per-caller vertex split exists for).
+    std::vector<std::size_t> caller_ids;
+    caller_ids.push_back(static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(callable_.size()) - 1)));
+    if (callable_.size() > 1 && rng_.chance(options_.p_second_caller)) {
+      std::size_t second = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(callable_.size()) - 1));
+      if (second != caller_ids[0]) caller_ids.push_back(second);
+    }
+
+    // Client callers first (lowest index first): they insert the new
+    // client *before* themselves, and every later caller can then share it
+    // — at any index for non-client callers, and at a lower index for a
+    // higher-placed client caller. Any other order can hand a client
+    // caller a forward reference its plan cannot resolve.
+    std::sort(caller_ids.begin(), caller_ids.end(),
+              [this](std::size_t a, std::size_t b) {
+                const CallerRef& ra = callable_[a];
+                const CallerRef& rb = callable_[b];
+                const bool ca = ra.kind == CallbackKind::Client;
+                const bool cb = rb.kind == CallbackKind::Client;
+                if (ca != cb) return ca;
+                if (ra.node != rb.node) return ra.node < rb.node;
+                return ra.index < rb.index;
+              });
+
+    int max_caller_level = 0;
+    for (std::size_t id : caller_ids) {
+      max_caller_level = std::max(max_caller_level, callable_[id].level);
+    }
+    const int service_level = max_caller_level + 1;
+
+    ServiceSpec service_spec;
+    service_spec.service = service_name;
+    service_spec.demand = random_demand();
+    if (rng_.chance(0.4)) {
+      service_spec.effects.push_back(
+          publish_effect(fresh_topic(service_level + 1)));
+    }
+    server.services.push_back(std::move(service_spec));
+
+    // One client per caller node; callers on the same node share it.
+    for (std::size_t id : caller_ids) {
+      CallerRef& caller = callable_[id];
+      auto& caller_node = spec_.nodes[caller.node];
+
+      std::size_t client_index = caller_node.clients.size();
+      bool found = false;
+      for (std::size_t ci = 0; ci < caller_node.clients.size(); ++ci) {
+        if (caller_node.clients[ci].service == service_name) {
+          client_index = ci;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ClientSpec client;
+        client.service = service_name;
+        client.demand = random_demand();
+        if (rng_.chance(options_.p_client_publishes)) {
+          client.effects.push_back(
+              publish_effect(fresh_topic(service_level + 2)));
+        }
+        if (caller.kind == CallbackKind::Client) {
+          // A client calling a service must reference an *earlier* client
+          // (its plan is built at creation time): insert the callee before
+          // the caller and renumber every call-effect and registry index
+          // at or past the insertion point.
+          client_index = caller.index;
+          caller_node.clients.insert(
+              caller_node.clients.begin() +
+                  static_cast<std::ptrdiff_t>(client_index),
+              std::move(client));
+          renumber_clients(caller.node, client_index);
+        } else {
+          caller_node.clients.push_back(std::move(client));
+        }
+        callable_.push_back(CallerRef{caller.node, CallbackKind::Client,
+                                      client_index, service_level + 1});
+      }
+      // `caller` may have been invalidated-by-value (renumber mutates the
+      // registry in place, not the vector), so re-read through the id.
+      const CallerRef& resolved = callable_[id];
+      effects_of(resolved)->push_back(call_effect(client_index));
+    }
+  }
+
+  /// After inserting a client at `at` in node `ni`: shift call effects and
+  /// registry entries referencing clients at indices >= at.
+  void renumber_clients(std::size_t ni, std::size_t at) {
+    auto& node = spec_.nodes[ni];
+    auto bump = [&](std::vector<EffectSpec>& effects) {
+      for (auto& effect : effects) {
+        if (effect.kind == EffectSpec::Kind::Call && effect.client >= at) {
+          ++effect.client;
+        }
+      }
+    };
+    for (auto& timer : node.timers) bump(timer.effects);
+    for (auto& sub : node.subscriptions) bump(sub.effects);
+    for (auto& service : node.services) bump(service.effects);
+    for (std::size_t ci = 0; ci < node.clients.size(); ++ci) {
+      if (ci != at) bump(node.clients[ci].effects);
+    }
+    for (auto& ref : callable_) {
+      if (ref.node == ni && ref.kind == CallbackKind::Client &&
+          ref.index >= at) {
+        ++ref.index;
+      }
+    }
+  }
+
+  void grow_sync_group() {
+    // Distinct in-topics for the members.
+    std::vector<std::size_t> pool(topics_.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+    if (pool.size() < 2) return;
+
+    // A node that doesn't have a group yet (one junction per node).
+    std::vector<std::size_t> candidates;
+    for (std::size_t ni : active_nodes_) {
+      if (spec_.nodes[ni].sync_groups.empty()) candidates.push_back(ni);
+    }
+    if (candidates.empty()) return;
+    const std::size_t ni = candidates[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    auto& node = spec_.nodes[ni];
+
+    const std::size_t members =
+        pool.size() >= 3 && rng_.chance(0.35) ? 3 : 2;
+    SyncGroupSpec group;
+    int max_level = 0;
+    for (std::size_t m = 0; m < members; ++m) {
+      const std::size_t pick = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(pool.size()) - 1));
+      const TopicInfo& topic = topics_[pool[pick]];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      max_level = std::max(max_level, topic.level);
+
+      SubscriptionSpec member;
+      member.topic = topic.name;
+      member.demand = random_demand();
+      // Members are not callable and carry no effects of their own: their
+      // only output is the fused topic.
+      group.members.push_back(node.subscriptions.size());
+      node.subscriptions.push_back(std::move(member));
+    }
+    group.fusion_demand = random_demand();
+    group.output_topic = fresh_topic(max_level + 1);
+    node.sync_groups.push_back(std::move(group));
+  }
+
+  void make_modes() {
+    if (!rng_.chance(options_.p_modes)) return;
+    spec_.modes.push_back(ModeSpec{"calm", 0.75});
+    spec_.modes.push_back(ModeSpec{"nominal", 1.0});
+    if (rng_.chance(0.5)) spec_.modes.push_back(ModeSpec{"stress", 1.35});
+  }
+
+  const GeneratorOptions& options_;
+  Rng rng_;
+  ScenarioSpec spec_;
+  std::vector<std::size_t> active_nodes_;
+  std::vector<TopicInfo> topics_;
+  std::vector<CallerRef> callable_;
+  std::int64_t min_period_ms_ = 0;
+  std::int64_t max_period_ms_ = 0;
+  double min_demand_ms_ = 0.0;
+  double max_demand_ms_ = 0.0;
+  int topic_counter_ = 0;
+  int service_counter_ = 0;
+};
+
+}  // namespace
+
+Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
+  Scenario scenario;
+  scenario.spec = Generation(options_, seed).build();
+  scenario.ground_truth = build_ground_truth(scenario.spec);
+  return scenario;
+}
+
+}  // namespace tetra::scenario

@@ -1,0 +1,77 @@
+// Seeded random application generator. Every scenario it emits is a valid
+// ROS2 application for the substrate — arbitrary node/callback/topic
+// topologies with timers, subscription chains, multi-caller services,
+// chained client calls, message synchronization, OR fan-ins, untraced
+// external inputs, per-node CPU affinity/priority and optional operating
+// modes — paired with the GroundTruth the synthesis must recover.
+//
+// Reproducibility contract: generation draws exclusively from one
+// support/rng.hpp Rng seeded with the scenario seed; the same
+// (seed, options) always yields an identical spec on every machine.
+//
+// Acyclicity guarantee: every topic carries a level; callbacks only
+// subscribe existing topics and only publish fresh topics (one level
+// higher) or existing topics of strictly higher level, and service/client
+// hops always increase the level — so every DAG edge increases the level
+// and no cycle (and no self-loop) can be generated.
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/ground_truth.hpp"
+#include "scenario/spec.hpp"
+
+namespace tetra::scenario {
+
+struct GeneratorOptions {
+  int min_nodes = 2;
+  int max_nodes = 5;
+  int max_timers_per_node = 2;
+  /// Number of topology-growth steps (subscription / service / sync).
+  int min_growth_steps = 3;
+  int max_growth_steps = 12;
+
+  double p_timer_publishes = 0.8;
+  double p_sub_publishes = 0.55;
+  /// When a subscription publishes: chance it re-publishes an existing
+  /// higher-level topic instead of a fresh one (creates OR fan-ins).
+  double p_republish = 0.15;
+  double p_service_step = 0.2;
+  double p_sync_step = 0.12;
+  double p_second_caller = 0.5;
+  double p_client_publishes = 0.5;
+  double p_external_input = 0.35;
+  /// Chance a node is left without any callbacks (P1-only node).
+  double p_empty_node = 0.07;
+  double p_modes = 0.15;
+  double p_priority_boost = 0.25;
+  double p_fifo_policy = 0.2;
+
+  int num_cpus = 4;
+  Duration run_duration = Duration::ms(1500);
+  int min_period_ms = 40;
+  int max_period_ms = 200;
+  double min_demand_ms = 0.05;
+  double max_demand_ms = 0.8;
+};
+
+struct Scenario {
+  ScenarioSpec spec;
+  GroundTruth ground_truth;
+};
+
+class ScenarioGenerator {
+ public:
+  ScenarioGenerator() = default;
+  explicit ScenarioGenerator(GeneratorOptions options) : options_(options) {}
+
+  /// Generates the scenario for `seed`. Deterministic in (seed, options).
+  Scenario generate(std::uint64_t seed) const;
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  GeneratorOptions options_;
+};
+
+}  // namespace tetra::scenario

@@ -1,0 +1,314 @@
+#include "scenario/ground_truth.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "analysis/chains.hpp"
+#include "ros2/node.hpp"
+
+namespace tetra::scenario {
+
+namespace {
+
+struct ServiceRef {
+  std::size_t node = 0;
+  std::size_t index = 0;
+};
+
+/// Identifies one spec callback during liveness analysis (labels can only
+/// be assigned afterwards: extraction numbers the callbacks it *observes*,
+/// so ordinals count live callbacks, not spec entries).
+struct CbKey {
+  std::size_t node = 0;
+  CallbackKind kind = CallbackKind::Timer;
+  std::size_t index = 0;
+
+  auto operator<=>(const CbKey&) const = default;
+};
+
+}  // namespace
+
+GroundTruth build_ground_truth(const ScenarioSpec& spec,
+                               const core::DagOptions& options) {
+  const std::size_t n_nodes = spec.nodes.size();
+
+  std::map<std::string, ServiceRef> service_by_name;
+  for (std::size_t ni = 0; ni < n_nodes; ++ni) {
+    const auto& node = spec.nodes[ni];
+    for (std::size_t si = 0; si < node.services.size(); ++si) {
+      service_by_name.emplace(node.services[si].service, ServiceRef{ni, si});
+    }
+  }
+
+  // ---- liveness fixpoint ---------------------------------------------------
+  // A callback is live when it can structurally execute at least once:
+  // timers whose first firing fits the run, subscriptions on produced
+  // topics, services with >=1 live caller, clients some live caller calls
+  // through. Topics become live through external inputs, live publishers,
+  // and sync groups whose members are all live.
+  std::vector<std::vector<char>> timer_live(n_nodes), sub_live(n_nodes),
+      client_live(n_nodes);
+  // Per service: live caller -> indices of the caller-node clients used.
+  std::vector<std::vector<std::map<CbKey, std::set<std::size_t>>>> callers(
+      n_nodes);
+  for (std::size_t ni = 0; ni < n_nodes; ++ni) {
+    const auto& node = spec.nodes[ni];
+    timer_live[ni].resize(node.timers.size(), 0);
+    sub_live[ni].resize(node.subscriptions.size(), 0);
+    client_live[ni].resize(node.clients.size(), 0);
+    callers[ni].resize(node.services.size());
+    for (std::size_t ti = 0; ti < node.timers.size(); ++ti) {
+      const auto& timer = node.timers[ti];
+      const Duration first_fire = timer.phase.value_or(timer.period);
+      timer_live[ni][ti] = first_fire < spec.run_duration ? 1 : 0;
+    }
+  }
+
+  std::set<std::string> live_topics;
+  for (const auto& input : spec.external_inputs) {
+    if (input.phase < spec.run_duration) live_topics.insert(input.topic);
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto mark_topic = [&](const std::string& topic) {
+      if (live_topics.insert(topic).second) changed = true;
+    };
+    auto process_effects = [&](CbKey owner,
+                               const std::vector<EffectSpec>& effects) {
+      const auto& node = spec.nodes[owner.node];
+      for (const auto& effect : effects) {
+        if (effect.kind == EffectSpec::Kind::Publish) {
+          mark_topic(effect.topic);
+          continue;
+        }
+        const auto& client = node.clients[effect.client];
+        auto service = service_by_name.find(client.service);
+        if (service == service_by_name.end()) continue;  // unanswered request
+        auto& used_clients =
+            callers[service->second.node][service->second.index][owner];
+        if (used_clients.insert(effect.client).second) changed = true;
+        if (!client_live[owner.node][effect.client]) {
+          client_live[owner.node][effect.client] = 1;
+          changed = true;
+        }
+      }
+    };
+
+    for (std::size_t ni = 0; ni < n_nodes; ++ni) {
+      const auto& node = spec.nodes[ni];
+      for (std::size_t ti = 0; ti < node.timers.size(); ++ti) {
+        if (timer_live[ni][ti]) {
+          process_effects(CbKey{ni, CallbackKind::Timer, ti},
+                          node.timers[ti].effects);
+        }
+      }
+      for (std::size_t si = 0; si < node.subscriptions.size(); ++si) {
+        if (!sub_live[ni][si] &&
+            live_topics.count(node.subscriptions[si].topic) > 0) {
+          sub_live[ni][si] = 1;
+          changed = true;
+        }
+        if (sub_live[ni][si]) {
+          process_effects(CbKey{ni, CallbackKind::Subscription, si},
+                          node.subscriptions[si].effects);
+        }
+      }
+      for (const auto& group : node.sync_groups) {
+        const bool all_members_live = std::all_of(
+            group.members.begin(), group.members.end(),
+            [&](std::size_t member) { return sub_live[ni][member] != 0; });
+        if (all_members_live) mark_topic(group.output_topic);
+      }
+      for (std::size_t vi = 0; vi < node.services.size(); ++vi) {
+        if (!callers[ni][vi].empty()) {
+          process_effects(CbKey{ni, CallbackKind::Service, vi},
+                          node.services[vi].effects);
+        }
+      }
+      for (std::size_t ci = 0; ci < node.clients.size(); ++ci) {
+        if (client_live[ni][ci]) {
+          process_effects(CbKey{ni, CallbackKind::Client, ci},
+                          node.clients[ci].effects);
+        }
+      }
+    }
+  }
+
+  // ---- labels --------------------------------------------------------------
+  // Ordinals count *live* callbacks per (node, kind), exactly as
+  // normalize_labels numbers the callbacks the trace actually contains.
+  std::map<CbKey, std::string> label_of;
+  for (std::size_t ni = 0; ni < n_nodes; ++ni) {
+    const auto& node = spec.nodes[ni];
+    auto assign = [&](CallbackKind kind, std::size_t count,
+                      auto is_live) {
+      std::size_t ordinal = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!is_live(i)) continue;
+        label_of[CbKey{ni, kind, i}] = node.name + "/" +
+                                       to_short_string(kind) +
+                                       std::to_string(++ordinal);
+      }
+    };
+    assign(CallbackKind::Timer, node.timers.size(),
+           [&](std::size_t i) { return timer_live[ni][i] != 0; });
+    assign(CallbackKind::Subscription, node.subscriptions.size(),
+           [&](std::size_t i) { return sub_live[ni][i] != 0; });
+    assign(CallbackKind::Service, node.services.size(),
+           [&](std::size_t i) { return !callers[ni][i].empty(); });
+    assign(CallbackKind::Client, node.clients.size(),
+           [&](std::size_t i) { return client_live[ni][i] != 0; });
+  }
+
+  // Out-topics a callback's effects produce, in effect order: plain topics
+  // for publishes, caller-annotated request topics for service calls
+  // (Alg. 1 annotates a request dds_write with the id of the callback that
+  // issued it — here already in normalized label form).
+  auto effect_out_topics = [&](const ScenarioNodeSpec& node,
+                               const std::string& own_label,
+                               const std::vector<EffectSpec>& effects) {
+    std::vector<std::string> outs;
+    for (const auto& effect : effects) {
+      std::string topic;
+      if (effect.kind == EffectSpec::Kind::Publish) {
+        topic = effect.topic;
+      } else {
+        topic = core::annotate_topic(
+            node.clients[effect.client].service + ros2::kServiceRequestSuffix,
+            own_label);
+      }
+      if (std::find(outs.begin(), outs.end(), topic) == outs.end()) {
+        outs.push_back(std::move(topic));
+      }
+    }
+    return outs;
+  };
+
+  // ---- expected CBlists ----------------------------------------------------
+  GroundTruth truth;
+  for (std::size_t ni = 0; ni < n_nodes; ++ni) {
+    const auto& node = spec.nodes[ni];
+    core::CallbackList list;
+    list.pid = static_cast<Pid>(1000 + ni);
+    list.node_name = node.name;
+
+    // Synthetic ids: unique per callback, ascending in creation order (the
+    // same ordering invariant real pseudo-address ids satisfy).
+    CallbackId next_id = (static_cast<CallbackId>(ni) + 1) << 16;
+    auto make_record = [&](CallbackKind kind, std::string label,
+                           std::string in_topic,
+                           std::vector<std::string> out_topics,
+                           bool is_sync) {
+      core::CallbackRecord record;
+      record.kind = kind;
+      record.id = next_id;
+      record.pid = list.pid;
+      record.node_name = node.name;
+      record.label = std::move(label);
+      record.in_topic = std::move(in_topic);
+      record.out_topics = std::move(out_topics);
+      record.is_sync_subscriber = is_sync;
+      return record;
+    };
+
+    // Which sync group (if any) each subscription belongs to, and whether
+    // that group ever completes (all members live => fused topic written).
+    std::map<std::size_t, const SyncGroupSpec*> group_of;
+    std::map<const SyncGroupSpec*, bool> group_completes;
+    for (const auto& group : node.sync_groups) {
+      bool all_live = true;
+      for (std::size_t member : group.members) {
+        group_of[member] = &group;
+        all_live = all_live && sub_live[ni][member] != 0;
+      }
+      group_completes[&group] = all_live;
+    }
+
+    for (std::size_t ti = 0; ti < node.timers.size(); ++ti) {
+      next_id += 0x10;
+      if (!timer_live[ni][ti]) continue;
+      const std::string& label = label_of.at(CbKey{ni, CallbackKind::Timer, ti});
+      list.records.push_back(
+          make_record(CallbackKind::Timer, label, "",
+                      effect_out_topics(node, label, node.timers[ti].effects),
+                      false));
+    }
+    for (std::size_t si = 0; si < node.subscriptions.size(); ++si) {
+      next_id += 0x10;
+      if (!sub_live[ni][si]) continue;
+      const std::string& label =
+          label_of.at(CbKey{ni, CallbackKind::Subscription, si});
+      const auto& sub = node.subscriptions[si];
+      auto member = group_of.find(si);
+      if (member != group_of.end()) {
+        // The fused output is the member's only publication, and only if
+        // the set ever completes; every live member is a candidate "last
+        // arrival" over a long enough run.
+        std::vector<std::string> outs;
+        if (group_completes[member->second]) {
+          outs.push_back(member->second->output_topic);
+        }
+        list.records.push_back(make_record(CallbackKind::Subscription, label,
+                                           sub.topic, std::move(outs), true));
+      } else {
+        list.records.push_back(
+            make_record(CallbackKind::Subscription, label, sub.topic,
+                        effect_out_topics(node, label, sub.effects), false));
+      }
+    }
+    for (std::size_t vi = 0; vi < node.services.size(); ++vi) {
+      next_id += 0x10;
+      if (callers[ni][vi].empty()) continue;
+      const auto& service = node.services[vi];
+      const std::string& label =
+          label_of.at(CbKey{ni, CallbackKind::Service, vi});
+      // One record per distinct caller (Alg. 1's annotated-in-topic
+      // matching rule) — this is what later splits the DAG vertex.
+      for (const auto& [caller, used_clients] : callers[ni][vi]) {
+        auto outs = effect_out_topics(node, label, service.effects);
+        for (std::size_t client : used_clients) {
+          outs.push_back(core::annotate_topic(
+              service.service + ros2::kServiceReplySuffix,
+              label_of.at(CbKey{caller.node, CallbackKind::Client, client})));
+        }
+        list.records.push_back(make_record(
+            CallbackKind::Service, label,
+            core::annotate_topic(service.service + ros2::kServiceRequestSuffix,
+                                 label_of.at(caller)),
+            std::move(outs), false));
+      }
+    }
+    for (std::size_t ci = 0; ci < node.clients.size(); ++ci) {
+      next_id += 0x10;
+      if (!client_live[ni][ci]) continue;
+      const auto& client = node.clients[ci];
+      const std::string& label =
+          label_of.at(CbKey{ni, CallbackKind::Client, ci});
+      list.records.push_back(make_record(
+          CallbackKind::Client, label,
+          core::annotate_topic(client.service + ros2::kServiceReplySuffix,
+                               label),
+          effect_out_topics(node, label, client.effects), false));
+    }
+
+    truth.expected_lists.push_back(std::move(list));
+  }
+
+  for (const auto& list : truth.expected_lists) {
+    for (const auto& record : list.records) {
+      truth.callback_labels.insert(record.label);
+    }
+  }
+  truth.dag = core::build_dag(truth.expected_lists, options);
+  // Path cap well above anything the generator emits (OR fan-ins multiply
+  // source->sink paths); a pathological hand-written spec beyond it still
+  // throws from enumerate_chains.
+  truth.chain_count =
+      analysis::enumerate_chains(truth.dag, std::size_t{1} << 16).size();
+  return truth;
+}
+
+}  // namespace tetra::scenario

@@ -1,0 +1,45 @@
+// Ground truth implied by a ScenarioSpec: the exact CBlists (labels,
+// annotated in/out topics, sync markers) that Algorithm 1 must extract
+// from a trace of the scenario, and the DAG Algorithm 2 + DAG synthesis
+// must build from them. The expected DAG is produced by running the
+// expected CBlists through the *real* core::build_dag, so vertex keys,
+// junction construction and OR marking can never drift from the
+// implementation under test.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/callback_record.hpp"
+#include "core/dag.hpp"
+#include "core/dag_builder.hpp"
+#include "scenario/spec.hpp"
+
+namespace tetra::scenario {
+
+struct GroundTruth {
+  /// Expected per-node CBlists (only live callbacks — see note below),
+  /// with labels assigned and topic annotations in normalized form.
+  std::vector<core::CallbackList> expected_lists;
+  /// Expected DAG: build_dag(expected_lists, options).
+  core::Dag dag;
+  /// Union of expected callback labels (one per callback; a multi-caller
+  /// service still has a single label, though several DAG vertices).
+  std::set<std::string> callback_labels;
+  /// Number of source->sink computation chains in `dag`.
+  std::size_t chain_count = 0;
+};
+
+/// Derives the ground truth for a spec. Only *live* callbacks appear: a
+/// callback that can structurally never execute (subscription on a topic
+/// nobody produces, service without callers, client nobody calls through,
+/// timer whose first firing falls outside run_duration) leaves no trace
+/// and therefore no CBlist entry or vertex. Liveness is structural: the
+/// contract assumes live callbacks get enough wall-clock to run at least
+/// once (generator scenarios keep periods well under run_duration).
+GroundTruth build_ground_truth(const ScenarioSpec& spec,
+                               const core::DagOptions& options = {});
+
+}  // namespace tetra::scenario

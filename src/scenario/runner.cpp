@@ -1,0 +1,154 @@
+#include "scenario/runner.hpp"
+
+#include <stdexcept>
+
+#include "trace/merge.hpp"
+
+namespace tetra::scenario {
+
+ScenarioInstance ScenarioRunner::instantiate(ros2::Context& ctx,
+                                             const ScenarioSpec& spec,
+                                             double demand_scale) {
+  if (const auto issues = validate_spec(spec); !issues.empty()) {
+    std::string message = "invalid scenario spec '" + spec.name + "':";
+    for (const auto& issue : issues) message += "\n  " + issue;
+    throw std::invalid_argument(message);
+  }
+
+  ScenarioInstance instance;
+  for (const auto& node_spec : spec.nodes) {
+    ros2::NodeOptions options;
+    options.name = node_spec.name;
+    options.priority = node_spec.priority;
+    options.policy = node_spec.policy;
+    options.affinity_mask = node_spec.affinity_mask;
+    ros2::Node& node = ctx.create_node(std::move(options));
+    instance.node_of[node_spec.name] = &node;
+
+    // One Publisher per distinct topic the node writes; handle addresses
+    // are stable (unique_ptr storage), so plans can capture references.
+    std::map<std::string, ros2::Publisher*> publishers;
+    auto publisher_for = [&](const std::string& topic) -> ros2::Publisher& {
+      auto it = publishers.find(topic);
+      if (it == publishers.end()) {
+        it = publishers.emplace(topic, &node.create_publisher(topic)).first;
+      }
+      return *it->second;
+    };
+
+    std::vector<ros2::Client*> clients;
+    auto build_plan = [&](const DurationDistribution& demand,
+                          const std::vector<EffectSpec>& effects) {
+      ros2::Plan plan;
+      plan.compute(demand.scaled(demand_scale));
+      for (const auto& effect : effects) {
+        if (effect.kind == EffectSpec::Kind::Publish) {
+          ros2::Publisher& pub = publisher_for(effect.topic);
+          plan.then([&pub, bytes = effect.bytes](ros2::ActionContext& action) {
+            action.publish(pub, bytes);
+          });
+        } else {
+          ros2::Client* client = clients.at(effect.client);
+          plan.then([client, bytes = effect.bytes](ros2::ActionContext& action) {
+            action.call(*client, bytes);
+          });
+        }
+      }
+      return plan;
+    };
+
+    // Clients first: the plan of any other callback — and of later clients
+    // — may reference them by index.
+    for (const auto& client_spec : node_spec.clients) {
+      clients.push_back(&node.create_client(
+          client_spec.service,
+          build_plan(client_spec.demand, client_spec.effects)));
+    }
+    for (const auto& timer_spec : node_spec.timers) {
+      node.create_timer(timer_spec.period,
+                        build_plan(timer_spec.demand, timer_spec.effects),
+                        timer_spec.phase);
+    }
+    std::vector<ros2::Subscription*> subscriptions;
+    for (const auto& sub_spec : node_spec.subscriptions) {
+      subscriptions.push_back(&node.create_subscription(
+          sub_spec.topic, build_plan(sub_spec.demand, sub_spec.effects)));
+    }
+    for (const auto& service_spec : node_spec.services) {
+      node.create_service(
+          service_spec.service,
+          build_plan(service_spec.demand, service_spec.effects));
+    }
+    for (const auto& group_spec : node_spec.sync_groups) {
+      std::vector<ros2::Subscription*> members;
+      for (std::size_t member : group_spec.members) {
+        members.push_back(subscriptions.at(member));
+      }
+      node.create_sync_group(members,
+                             group_spec.fusion_demand.scaled(demand_scale),
+                             publisher_for(group_spec.output_topic),
+                             group_spec.output_bytes);
+    }
+  }
+
+  const TimePoint until = ctx.simulator().now() + spec.run_duration;
+  for (const auto& input : spec.external_inputs) {
+    auto writer = std::make_unique<dds::PeriodicWriter>(
+        ctx.domain(), input.topic, input.pid, input.period, input.phase,
+        input.bytes);
+    if (input.jitter > Duration::zero()) {
+      writer->set_jitter(
+          DurationDistribution::uniform(-input.jitter, input.jitter),
+          ctx.rng().fork());
+    }
+    writer->start(until);
+    instance.external_writers.push_back(std::move(writer));
+  }
+  return instance;
+}
+
+ScenarioRunResult ScenarioRunner::run(const ScenarioSpec& spec,
+                                      double demand_scale,
+                                      std::uint64_t run_index) const {
+  ros2::Context::Config config;
+  config.num_cpus = spec.num_cpus;
+  config.seed = spec.seed * 1000003ULL + run_index + 0x7e74ULL;
+  ros2::Context ctx(config);
+
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  ScenarioInstance instance = instantiate(ctx, spec, demand_scale);
+  if (options_.interference_threads > 0) {
+    Rng interference_rng = ctx.rng().fork();
+    sched::spawn_interference(ctx.machine(), interference_rng,
+                              options_.interference_threads,
+                              options_.interference);
+  }
+
+  trace::EventVector init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(spec.run_duration);
+  trace::EventVector runtime_trace = suite.stop_runtime();
+
+  ScenarioRunResult result;
+  result.trace =
+      trace::merge_sorted({std::move(init_trace), std::move(runtime_trace)});
+  result.model = core::ModelSynthesizer(options_.synthesis)
+                     .synthesize(result.trace);
+  result.overhead = suite.overhead_report();
+  return result;
+}
+
+core::MultiModeDag ScenarioRunner::run_modes(const ScenarioSpec& spec) const {
+  std::vector<ModeSpec> modes = spec.modes;
+  if (modes.empty()) modes.push_back(ModeSpec{"nominal", 1.0});
+
+  core::MultiModeDag result;
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    ScenarioRunResult run_result = run(spec, modes[i].demand_scale, i + 1);
+    result.merge_into_mode(modes[i].name, run_result.model.dag);
+  }
+  return result;
+}
+
+}  // namespace tetra::scenario

@@ -1,0 +1,73 @@
+// Instantiates a ScenarioSpec on the simulation substrate and drives the
+// full trace->model cycle: build the application in a fresh Context, trace
+// it with the three eBPF tracers (TR_IN / TR_RT / TR_KN), run it under
+// optional background interference, merge the traces and synthesize a
+// TimingModel — the same deployment loop the case-study driver uses, but
+// for arbitrary specs.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_synthesis.hpp"
+#include "dds/domain.hpp"
+#include "ebpf/tracers.hpp"
+#include "ros2/context.hpp"
+#include "sched/interference.hpp"
+#include "scenario/spec.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::scenario {
+
+struct RunnerOptions {
+  /// Background busy/sleep threads fragmenting callback executions.
+  int interference_threads = 0;
+  sched::InterferenceConfig interference;
+  core::SynthesisOptions synthesis;
+};
+
+/// Handles to a spec instantiated into a Context. Owns the untraced
+/// external writers; nodes are owned by the Context as usual.
+struct ScenarioInstance {
+  std::map<std::string, ros2::Node*> node_of;
+  std::vector<std::unique_ptr<dds::PeriodicWriter>> external_writers;
+};
+
+struct ScenarioRunResult {
+  core::TimingModel model;
+  trace::EventVector trace;  ///< merged init + runtime trace
+  ebpf::OverheadReport overhead;
+};
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner() = default;
+  explicit ScenarioRunner(RunnerOptions options) : options_(std::move(options)) {}
+
+  /// Builds the spec's nodes, callbacks, sync groups and external inputs
+  /// into an existing context. `demand_scale` scales every compute demand
+  /// (mode variation / load sweeps). Throws std::invalid_argument when
+  /// validate_spec reports violations.
+  static ScenarioInstance instantiate(ros2::Context& ctx,
+                                      const ScenarioSpec& spec,
+                                      double demand_scale = 1.0);
+
+  /// One traced run: fresh context (seeded from spec.seed and run_index),
+  /// tracers around the app, spec.run_duration of simulated time, model
+  /// synthesis over the merged trace.
+  ScenarioRunResult run(const ScenarioSpec& spec, double demand_scale = 1.0,
+                        std::uint64_t run_index = 0) const;
+
+  /// §V option (iv): one traced run per spec mode (scenarios without modes
+  /// get a single "nominal" mode), per-mode DAGs kept separate.
+  core::MultiModeDag run_modes(const ScenarioSpec& spec) const;
+
+  const RunnerOptions& options() const { return options_; }
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace tetra::scenario

@@ -1,0 +1,306 @@
+#include "scenario/spec.hpp"
+
+#include <set>
+
+#include "support/json_writer.hpp"
+#include "support/string_utils.hpp"
+
+namespace tetra::scenario {
+
+namespace {
+
+const char* shape_name(DurationDistribution::Shape shape) {
+  switch (shape) {
+    case DurationDistribution::Shape::Constant: return "constant";
+    case DurationDistribution::Shape::Uniform: return "uniform";
+    case DurationDistribution::Shape::Normal: return "normal";
+    case DurationDistribution::Shape::LogNormal: return "lognormal";
+    case DurationDistribution::Shape::Mixture: return "mixture";
+  }
+  return "?";
+}
+
+void write_distribution(JsonWriter& w, const DurationDistribution& d) {
+  w.begin_object();
+  w.kv("shape", shape_name(d.shape()));
+  w.kv("nominal_ms", d.nominal().to_ms());
+  w.kv("min_ms", d.min().to_ms());
+  w.kv("max_ms", d.max().to_ms());
+  w.end_object();
+}
+
+void write_effects(JsonWriter& w, const std::vector<EffectSpec>& effects) {
+  w.key("effects").begin_array();
+  for (const auto& effect : effects) {
+    w.begin_object();
+    if (effect.kind == EffectSpec::Kind::Publish) {
+      w.kv("publish", effect.topic);
+    } else {
+      w.kv("call_client", static_cast<std::uint64_t>(effect.client));
+    }
+    w.kv("bytes", static_cast<std::uint64_t>(effect.bytes));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+EffectSpec publish_effect(std::string topic, std::size_t bytes) {
+  EffectSpec effect;
+  effect.kind = EffectSpec::Kind::Publish;
+  effect.topic = std::move(topic);
+  effect.bytes = bytes;
+  return effect;
+}
+
+EffectSpec call_effect(std::size_t client, std::size_t bytes) {
+  EffectSpec effect;
+  effect.kind = EffectSpec::Kind::Call;
+  effect.client = client;
+  effect.bytes = bytes;
+  return effect;
+}
+
+std::size_t ScenarioSpec::callback_count() const {
+  std::size_t count = 0;
+  for (const auto& node : nodes) {
+    count += node.timers.size() + node.subscriptions.size() +
+             node.services.size() + node.clients.size();
+  }
+  return count;
+}
+
+namespace {
+std::string ordinal_label(const ScenarioNodeSpec& node, CallbackKind kind,
+                          std::size_t index) {
+  return node.name + "/" + to_short_string(kind) + std::to_string(index + 1);
+}
+}  // namespace
+
+std::string timer_label(const ScenarioNodeSpec& node, std::size_t index) {
+  return ordinal_label(node, CallbackKind::Timer, index);
+}
+std::string subscription_label(const ScenarioNodeSpec& node, std::size_t index) {
+  return ordinal_label(node, CallbackKind::Subscription, index);
+}
+std::string service_label(const ScenarioNodeSpec& node, std::size_t index) {
+  return ordinal_label(node, CallbackKind::Service, index);
+}
+std::string client_label(const ScenarioNodeSpec& node, std::size_t index) {
+  return ordinal_label(node, CallbackKind::Client, index);
+}
+
+std::vector<std::string> validate_spec(const ScenarioSpec& spec) {
+  std::vector<std::string> issues;
+  auto complain = [&issues](std::string message) {
+    issues.push_back(std::move(message));
+  };
+
+  if (spec.num_cpus < 1) complain("num_cpus must be >= 1");
+  if (spec.run_duration <= Duration::zero()) {
+    complain("run_duration must be positive");
+  }
+
+  std::set<std::string> node_names;
+  std::set<std::string> service_names;
+  auto check_topic = [&complain](const std::string& topic,
+                                 const std::string& where) {
+    if (topic.empty()) complain(where + ": empty topic");
+    if (ends_with(topic, "Request") || ends_with(topic, "Reply")) {
+      complain(where + ": topic '" + topic +
+               "' uses a reserved service suffix");
+    }
+  };
+
+  for (const auto& node : spec.nodes) {
+    if (!node_names.insert(node.name).second) {
+      complain("duplicate node name '" + node.name + "'");
+    }
+    auto check_effects = [&](const std::vector<EffectSpec>& effects,
+                             const std::string& where,
+                             std::size_t max_client_exclusive) {
+      for (const auto& effect : effects) {
+        if (effect.kind == EffectSpec::Kind::Publish) {
+          check_topic(effect.topic, where);
+        } else if (effect.client >= max_client_exclusive) {
+          complain(where + ": call effect references client " +
+                   std::to_string(effect.client) + " out of range");
+        }
+      }
+    };
+
+    for (std::size_t i = 0; i < node.timers.size(); ++i) {
+      const auto& timer = node.timers[i];
+      if (timer.period <= Duration::zero()) {
+        complain(timer_label(node, i) + ": period must be positive");
+      }
+      check_effects(timer.effects, timer_label(node, i), node.clients.size());
+    }
+    for (std::size_t i = 0; i < node.subscriptions.size(); ++i) {
+      check_topic(node.subscriptions[i].topic, subscription_label(node, i));
+      check_effects(node.subscriptions[i].effects, subscription_label(node, i),
+                    node.clients.size());
+    }
+    for (std::size_t i = 0; i < node.services.size(); ++i) {
+      const auto& service = node.services[i];
+      if (service.service.empty()) {
+        complain(service_label(node, i) + ": empty service name");
+      }
+      if (!service_names.insert(service.service).second) {
+        complain("duplicate service '" + service.service + "'");
+      }
+      check_effects(service.effects, service_label(node, i),
+                    node.clients.size());
+    }
+    for (std::size_t i = 0; i < node.clients.size(); ++i) {
+      // A client's own effects run inside its response callback, whose plan
+      // is built at client creation time: it can only call earlier clients.
+      check_effects(node.clients[i].effects, client_label(node, i), i);
+    }
+
+    if (node.sync_groups.size() > 1) {
+      complain(node.name + ": at most one sync group per node");
+    }
+    std::set<std::size_t> member_union;
+    for (const auto& group : node.sync_groups) {
+      if (group.members.empty()) complain(node.name + ": empty sync group");
+      check_topic(group.output_topic, node.name + "/sync");
+      for (std::size_t member : group.members) {
+        if (member >= node.subscriptions.size()) {
+          complain(node.name + ": sync member index out of range");
+          continue;
+        }
+        if (!member_union.insert(member).second) {
+          complain(node.name + ": duplicate sync member");
+        }
+        if (!node.subscriptions[member].effects.empty()) {
+          complain(subscription_label(node, member) +
+                   ": sync members must not have effects of their own");
+        }
+      }
+    }
+  }
+
+  // Every client must name an existing service; otherwise its requests go
+  // unanswered and the response callback never runs.
+  for (const auto& node : spec.nodes) {
+    for (std::size_t i = 0; i < node.clients.size(); ++i) {
+      if (service_names.count(node.clients[i].service) == 0) {
+        complain(client_label(node, i) + ": no service named '" +
+                 node.clients[i].service + "'");
+      }
+    }
+  }
+
+  for (const auto& input : spec.external_inputs) {
+    check_topic(input.topic, "external input");
+    if (input.period <= Duration::zero()) {
+      complain("external input '" + input.topic + "': period must be positive");
+    }
+  }
+  for (const auto& mode : spec.modes) {
+    if (mode.name.empty()) complain("mode with empty name");
+    if (mode.demand_scale <= 0.0) {
+      complain("mode '" + mode.name + "': demand_scale must be positive");
+    }
+  }
+  return issues;
+}
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", spec.name);
+  w.kv("seed", spec.seed);
+  w.kv("num_cpus", spec.num_cpus);
+  w.kv("run_duration_ms", spec.run_duration.to_ms());
+  w.key("nodes").begin_array();
+  for (const auto& node : spec.nodes) {
+    w.begin_object();
+    w.kv("name", node.name);
+    w.kv("priority", node.priority);
+    w.kv("policy",
+         node.policy == sched::SchedPolicy::Fifo ? "fifo" : "round_robin");
+    w.kv("affinity_mask", node.affinity_mask);
+    w.key("timers").begin_array();
+    for (const auto& timer : node.timers) {
+      w.begin_object();
+      w.kv("period_ms", timer.period.to_ms());
+      if (timer.phase) w.kv("phase_ms", timer.phase->to_ms());
+      w.key("demand");
+      write_distribution(w, timer.demand);
+      write_effects(w, timer.effects);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("subscriptions").begin_array();
+    for (const auto& sub : node.subscriptions) {
+      w.begin_object();
+      w.kv("topic", sub.topic);
+      w.key("demand");
+      write_distribution(w, sub.demand);
+      write_effects(w, sub.effects);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("services").begin_array();
+    for (const auto& service : node.services) {
+      w.begin_object();
+      w.kv("service", service.service);
+      w.key("demand");
+      write_distribution(w, service.demand);
+      write_effects(w, service.effects);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("clients").begin_array();
+    for (const auto& client : node.clients) {
+      w.begin_object();
+      w.kv("service", client.service);
+      w.key("demand");
+      write_distribution(w, client.demand);
+      write_effects(w, client.effects);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("sync_groups").begin_array();
+    for (const auto& group : node.sync_groups) {
+      w.begin_object();
+      w.key("members").begin_array();
+      for (std::size_t member : group.members) {
+        w.value(static_cast<std::uint64_t>(member));
+      }
+      w.end_array();
+      w.kv("output_topic", group.output_topic);
+      w.key("fusion_demand");
+      write_distribution(w, group.fusion_demand);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("external_inputs").begin_array();
+  for (const auto& input : spec.external_inputs) {
+    w.begin_object();
+    w.kv("topic", input.topic);
+    w.kv("pid", static_cast<std::int64_t>(input.pid));
+    w.kv("period_ms", input.period.to_ms());
+    w.kv("jitter_ms", input.jitter.to_ms());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("modes").begin_array();
+  for (const auto& mode : spec.modes) {
+    w.begin_object();
+    w.kv("name", mode.name);
+    w.kv("demand_scale", mode.demand_scale);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace tetra::scenario

@@ -1,0 +1,143 @@
+// Declarative ROS2 application descriptions. A ScenarioSpec is pure data:
+// nodes, callbacks (with demand distributions and publish/call effects),
+// message-synchronization groups, untraced external inputs, executor/CPU
+// placement, and optional operating modes. Both the hand-written workloads
+// (SYN, AVP) and the randomized ScenarioGenerator emit specs; the
+// ScenarioRunner instantiates them on the simulation substrate and the
+// GroundTruth derived from a spec says exactly what the synthesis must
+// recover from the traces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/thread.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace tetra::scenario {
+
+/// One observable side effect of a callback body, executed after the
+/// callback's compute demand.
+struct EffectSpec {
+  enum class Kind : std::uint8_t {
+    Publish,  ///< publish `topic`
+    Call,     ///< issue a request through the owning node's clients[client]
+  };
+  Kind kind = Kind::Publish;
+  std::string topic;        ///< Publish only
+  std::size_t client = 0;   ///< Call only: index into the node's clients
+  std::size_t bytes = 64;
+};
+
+EffectSpec publish_effect(std::string topic, std::size_t bytes = 64);
+EffectSpec call_effect(std::size_t client, std::size_t bytes = 64);
+
+struct TimerSpec {
+  Duration period = Duration::ms(100);
+  /// First-fire offset; defaults to one period (ros2::Node semantics).
+  std::optional<Duration> phase;
+  DurationDistribution demand = DurationDistribution::constant(Duration::ms(1));
+  std::vector<EffectSpec> effects;
+};
+
+struct SubscriptionSpec {
+  std::string topic;
+  DurationDistribution demand = DurationDistribution::constant(Duration::ms(1));
+  /// Must stay empty for sync-group members: their only output is the
+  /// group's fused topic, published by whichever member completes the set.
+  std::vector<EffectSpec> effects;
+};
+
+struct ServiceSpec {
+  std::string service;  ///< e.g. "/svc0"; request/reply topics are derived
+  DurationDistribution demand = DurationDistribution::constant(Duration::ms(1));
+  std::vector<EffectSpec> effects;
+};
+
+struct ClientSpec {
+  std::string service;  ///< the service this client calls
+  /// Demand of the response callback.
+  DurationDistribution demand = DurationDistribution::constant(Duration::ms(1));
+  /// Effects of the response callback. Call effects may only reference
+  /// clients with a smaller index (they must exist when the plan is built).
+  std::vector<EffectSpec> effects;
+};
+
+/// message_filters-style synchronizer over subscriptions of one node. At
+/// most one group per node: the DAG builder cannot distinguish two groups
+/// inside one node from P7 alone and merges them into one AND junction.
+struct SyncGroupSpec {
+  std::vector<std::size_t> members;  ///< indices into the node's subscriptions
+  DurationDistribution fusion_demand =
+      DurationDistribution::constant(Duration::ms(1));
+  std::string output_topic;
+  std::size_t output_bytes = 4096;
+};
+
+struct ScenarioNodeSpec {
+  std::string name;
+  int priority = 0;
+  sched::SchedPolicy policy = sched::SchedPolicy::RoundRobin;
+  std::uint64_t affinity_mask = ~0ULL;
+  std::vector<TimerSpec> timers;
+  std::vector<SubscriptionSpec> subscriptions;
+  std::vector<ServiceSpec> services;
+  std::vector<ClientSpec> clients;
+  std::vector<SyncGroupSpec> sync_groups;
+};
+
+/// An untraced periodic data source (sensor driver / rosbag replay). Its
+/// PID is not a ROS2 node, so its topic appears as a dangling DAG input.
+struct ExternalInputSpec {
+  std::string topic;
+  Pid pid = 500;
+  Duration period = Duration::ms(100);
+  Duration phase = Duration::ms(10);
+  /// Per-tick jitter half-range (zero = none).
+  Duration jitter = Duration::zero();
+  std::size_t bytes = 4096;
+};
+
+/// An operating mode: same topology, scaled compute demands (paper §V
+/// option iv — per-mode trace tagging and merging).
+struct ModeSpec {
+  std::string name;
+  double demand_scale = 1.0;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::uint64_t seed = 0;
+  int num_cpus = 4;
+  Duration run_duration = Duration::sec(2);
+  std::vector<ScenarioNodeSpec> nodes;
+  std::vector<ExternalInputSpec> external_inputs;
+  std::vector<ModeSpec> modes;
+
+  std::size_t callback_count() const;
+};
+
+// Stable labels the synthesis assigns ("<node>/<T|SC|SV|CL><ordinal>",
+// ordinals 1-based in per-kind creation order — the order of the spec
+// vectors). GroundTruth and the workloads' label maps both rely on these.
+std::string timer_label(const ScenarioNodeSpec& node, std::size_t index);
+std::string subscription_label(const ScenarioNodeSpec& node, std::size_t index);
+std::string service_label(const ScenarioNodeSpec& node, std::size_t index);
+std::string client_label(const ScenarioNodeSpec& node, std::size_t index);
+
+/// Structural sanity checks: unique node names, one service per service
+/// name, client/call references in range (call effects only to earlier
+/// clients), sync members valid/distinct/effect-free, at most one sync
+/// group per node, topics free of the reserved Request/Reply suffixes.
+/// Returns human-readable violations; empty = valid.
+std::vector<std::string> validate_spec(const ScenarioSpec& spec);
+
+/// Compact JSON rendering of a spec (informational: distributions are
+/// summarized by shape and bounds, not round-trippable).
+std::string spec_to_json(const ScenarioSpec& spec);
+
+}  // namespace tetra::scenario

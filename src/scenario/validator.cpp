@@ -1,0 +1,137 @@
+#include "scenario/validator.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "analysis/chains.hpp"
+
+namespace tetra::scenario {
+
+bool ValidationReport::ok() const {
+  return missing_vertices.empty() && unexpected_vertices.empty() &&
+         missing_edges.empty() && unexpected_edges.empty() &&
+         attribute_mismatches.empty() && missing_labels.empty() &&
+         unexpected_labels.empty() &&
+         (!chains_checked || expected_chain_count == synthesized_chain_count);
+}
+
+std::string ValidationReport::to_string() const {
+  if (ok()) {
+    std::ostringstream out;
+    out << "round trip OK (" << expected_chain_count << " chains)";
+    return out.str();
+  }
+  std::ostringstream out;
+  out << "round trip MISMATCH\n";
+  auto dump_keys = [&out](const char* what,
+                          const std::vector<std::string>& keys) {
+    if (keys.empty()) return;
+    out << "  " << what << " (" << keys.size() << "):\n";
+    for (const auto& key : keys) out << "    " << key << "\n";
+  };
+  auto dump_edges = [&out](const char* what,
+                           const std::vector<core::DagEdge>& edges) {
+    if (edges.empty()) return;
+    out << "  " << what << " (" << edges.size() << "):\n";
+    for (const auto& edge : edges) {
+      out << "    " << edge.from << " -> " << edge.to << " [" << edge.topic
+          << "]\n";
+    }
+  };
+  dump_keys("missing vertices", missing_vertices);
+  dump_keys("unexpected vertices", unexpected_vertices);
+  dump_edges("missing edges", missing_edges);
+  dump_edges("unexpected edges", unexpected_edges);
+  dump_keys("attribute mismatches", attribute_mismatches);
+  dump_keys("missing callback labels", missing_labels);
+  dump_keys("unexpected callback labels", unexpected_labels);
+  if (chains_checked && expected_chain_count != synthesized_chain_count) {
+    out << "  chain count: expected " << expected_chain_count << ", got "
+        << synthesized_chain_count << "\n";
+  }
+  return out.str();
+}
+
+ValidationReport RoundTripValidator::validate_dag(const core::Dag& dag,
+                                                  const GroundTruth& truth) const {
+  ValidationReport report;
+
+  for (const auto& vertex : truth.dag.vertices()) {
+    if (!dag.has_vertex(vertex.key)) {
+      report.missing_vertices.push_back(vertex.key);
+    }
+  }
+  for (const auto& vertex : dag.vertices()) {
+    const auto* expected = truth.dag.find_vertex(vertex.key);
+    if (expected == nullptr) {
+      report.unexpected_vertices.push_back(vertex.key);
+      continue;
+    }
+    auto flag_mismatch = [&](const char* what, bool exp, bool got) {
+      if (exp != got) {
+        report.attribute_mismatches.push_back(
+            vertex.key + ": " + what + " expected " + (exp ? "true" : "false") +
+            ", got " + (got ? "true" : "false"));
+      }
+    };
+    if (!expected->is_and_junction && expected->kind != vertex.kind) {
+      report.attribute_mismatches.push_back(
+          vertex.key + ": kind expected " + to_string(expected->kind) +
+          ", got " + to_string(vertex.kind));
+    }
+    flag_mismatch("is_and_junction", expected->is_and_junction,
+                  vertex.is_and_junction);
+    flag_mismatch("is_or_junction", expected->is_or_junction,
+                  vertex.is_or_junction);
+    flag_mismatch("is_sync_member", expected->is_sync_member,
+                  vertex.is_sync_member);
+  }
+
+  const std::set<core::DagEdge> expected_edges(truth.dag.edges().begin(),
+                                               truth.dag.edges().end());
+  const std::set<core::DagEdge> actual_edges(dag.edges().begin(),
+                                             dag.edges().end());
+  for (const auto& edge : expected_edges) {
+    if (actual_edges.count(edge) == 0) report.missing_edges.push_back(edge);
+  }
+  for (const auto& edge : actual_edges) {
+    if (expected_edges.count(edge) == 0) report.unexpected_edges.push_back(edge);
+  }
+
+  report.expected_chain_count = truth.chain_count;
+  // Chain enumeration on a structurally wrong graph can explode; it is
+  // only run (and only reported) once the vertex/edge sets agree, where
+  // it serves as an end-to-end cross-check of the chain machinery.
+  if (report.missing_edges.empty() && report.unexpected_edges.empty() &&
+      report.missing_vertices.empty() && report.unexpected_vertices.empty()) {
+    report.synthesized_chain_count =
+        analysis::enumerate_chains(dag, std::size_t{1} << 16).size();
+    report.chains_checked = true;
+  }
+  return report;
+}
+
+ValidationReport RoundTripValidator::validate(const core::TimingModel& model,
+                                              const GroundTruth& truth) const {
+  ValidationReport report = validate_dag(model.dag, truth);
+
+  std::set<std::string> synthesized_labels;
+  for (const auto& list : model.node_callbacks) {
+    for (const auto& record : list.records) {
+      synthesized_labels.insert(record.label);
+    }
+  }
+  for (const auto& label : truth.callback_labels) {
+    if (synthesized_labels.count(label) == 0) {
+      report.missing_labels.push_back(label);
+    }
+  }
+  for (const auto& label : synthesized_labels) {
+    if (truth.callback_labels.count(label) == 0) {
+      report.unexpected_labels.push_back(label);
+    }
+  }
+  return report;
+}
+
+}  // namespace tetra::scenario

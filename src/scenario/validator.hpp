@@ -1,0 +1,56 @@
+// Round-trip validation: does the model synthesized from a scenario's
+// traces equal the ground truth its spec implies? The comparison is
+// structural — vertex set, junction/kind flags, edge set, computation
+// chain count, and the extracted callback label set — the properties the
+// paper's synthesis claims to recover exactly. Timing statistics are
+// measurements, not structure, and are out of scope here (the convergence
+// analyses cover them).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/model_synthesis.hpp"
+#include "scenario/ground_truth.hpp"
+
+namespace tetra::scenario {
+
+struct ValidationReport {
+  // Vertex keys present in the ground truth but not the synthesis / vice
+  // versa.
+  std::vector<std::string> missing_vertices;
+  std::vector<std::string> unexpected_vertices;
+  // Edges (from, to, topic) differing between the two DAGs.
+  std::vector<core::DagEdge> missing_edges;
+  std::vector<core::DagEdge> unexpected_edges;
+  // Kind / AND / OR / sync-member flag disagreements on common vertices.
+  std::vector<std::string> attribute_mismatches;
+  // CBlist labels absent from / unexpected in the synthesized lists (only
+  // checked when CBlists are available, i.e. validate() not validate_dag()).
+  std::vector<std::string> missing_labels;
+  std::vector<std::string> unexpected_labels;
+
+  std::size_t expected_chain_count = 0;
+  std::size_t synthesized_chain_count = 0;
+  bool chains_checked = false;
+
+  bool ok() const;
+  /// Multi-line human-readable mismatch summary ("round trip OK" when ok).
+  std::string to_string() const;
+};
+
+class RoundTripValidator {
+ public:
+  /// Full validation: DAG structure plus extracted-callback label sets.
+  ValidationReport validate(const core::TimingModel& model,
+                            const GroundTruth& truth) const;
+
+  /// DAG-only validation (used for merged / multi-mode DAGs where the
+  /// per-run CBlists are no longer available).
+  ValidationReport validate_dag(const core::Dag& dag,
+                                const GroundTruth& truth) const;
+};
+
+}  // namespace tetra::scenario

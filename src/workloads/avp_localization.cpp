@@ -1,8 +1,10 @@
 #include "workloads/avp_localization.hpp"
 
+#include "scenario/runner.hpp"
+
 namespace tetra::workloads {
 
-using ros2::Plan;
+using scenario::publish_effect;
 
 namespace {
 
@@ -47,72 +49,78 @@ DurationDistribution cb6_profile() {  // NDT localizer: 2.78 / 25.64 / 60.93
 
 }  // namespace
 
-AvpApp build_avp_localization(ros2::Context& ctx, const AvpOptions& options) {
+scenario::ScenarioSpec avp_scenario_spec(const AvpOptions& options) {
   const double inflate = 1.0 + options.contention;
   auto prof = [inflate](DurationDistribution d) { return d.scaled(inflate); };
 
-  // --- nodes ---------------------------------------------------------------
-  ros2::Node& rear_filter =
-      ctx.create_node({.name = "filter_transform_vlp16_rear"});
-  ros2::Node& front_filter =
-      ctx.create_node({.name = "filter_transform_vlp16_front"});
-  ros2::Node& fusion = ctx.create_node({.name = "point_cloud_fusion"});
-  ros2::Node& voxel = ctx.create_node({.name = "voxel_grid_cloud_node"});
-  ros2::Node& localizer = ctx.create_node({.name = "p2d_ndt_localizer_node"});
+  scenario::ScenarioSpec spec;
+  spec.name = "avp";
+  spec.run_duration = options.run_duration;
 
   // --- cb1 / cb2: raw -> filtered -------------------------------------------
-  ros2::Publisher& rear_filtered =
-      rear_filter.create_publisher("lidar_rear/points_filtered");
-  rear_filter.create_subscription(
-      "lidar_rear/points_raw",
-      Plan::publish_after(prof(cb1_profile()), rear_filtered, 16384));
-  ros2::Publisher& front_filtered =
-      front_filter.create_publisher("lidar_front/points_filtered");
-  front_filter.create_subscription(
-      "lidar_front/points_raw",
-      Plan::publish_after(prof(cb2_profile()), front_filtered, 16384));
+  scenario::ScenarioNodeSpec rear_filter;
+  rear_filter.name = "filter_transform_vlp16_rear";
+  rear_filter.subscriptions.push_back(
+      {"lidar_rear/points_raw", prof(cb1_profile()),
+       {publish_effect("lidar_rear/points_filtered", 16384)}});
+  spec.nodes.push_back(std::move(rear_filter));
+
+  scenario::ScenarioNodeSpec front_filter;
+  front_filter.name = "filter_transform_vlp16_front";
+  front_filter.subscriptions.push_back(
+      {"lidar_front/points_raw", prof(cb2_profile()),
+       {publish_effect("lidar_front/points_filtered", 16384)}});
+  spec.nodes.push_back(std::move(front_filter));
 
   // --- cb3 / cb4: synchronized fusion -> points_fused ------------------------
   // cb3 subscribes the front side: the front chain is the slower one, so
   // cb3 usually consumes the completing sample and runs the fusion —
   // matching Table II's asymmetric averages (3.1 ms vs 0.62 ms).
-  ros2::Publisher& fused = fusion.create_publisher("lidars/points_fused");
-  ros2::Subscription& cb3 = fusion.create_subscription(
-      "lidar_front/points_filtered", Plan::just(prof(cb3_base())));
-  ros2::Subscription& cb4 = fusion.create_subscription(
-      "lidar_rear/points_filtered", Plan::just(prof(cb4_base())));
-  fusion.create_sync_group({&cb3, &cb4}, prof(fusion_profile()), fused, 32768);
+  scenario::ScenarioNodeSpec fusion;
+  fusion.name = "point_cloud_fusion";
+  fusion.subscriptions.push_back(
+      {"lidar_front/points_filtered", prof(cb3_base()), {}});
+  fusion.subscriptions.push_back(
+      {"lidar_rear/points_filtered", prof(cb4_base()), {}});
+  fusion.sync_groups.push_back(
+      {{0, 1}, prof(fusion_profile()), "lidars/points_fused", 32768});
+  spec.nodes.push_back(std::move(fusion));
 
   // --- cb5: voxel grid downsampling ------------------------------------------
-  ros2::Publisher& downsampled =
-      voxel.create_publisher("lidars/points_fused_downsampled");
-  voxel.create_subscription(
-      "lidars/points_fused",
-      Plan::publish_after(prof(cb5_profile()), downsampled, 8192));
+  scenario::ScenarioNodeSpec voxel;
+  voxel.name = "voxel_grid_cloud_node";
+  voxel.subscriptions.push_back(
+      {"lidars/points_fused", prof(cb5_profile()),
+       {publish_effect("lidars/points_fused_downsampled", 8192)}});
+  spec.nodes.push_back(std::move(voxel));
 
-  // --- cb6: NDT localization ---------------------------------------------------
-  ros2::Publisher& pose = localizer.create_publisher("localization/ndt_pose");
-  localizer.create_subscription(
-      "lidars/points_fused_downsampled",
-      Plan::publish_after(prof(cb6_profile()), pose, 256));
+  // --- cb6: NDT localization --------------------------------------------------
+  scenario::ScenarioNodeSpec localizer;
+  localizer.name = "p2d_ndt_localizer_node";
+  localizer.subscriptions.push_back(
+      {"lidars/points_fused_downsampled", prof(cb6_profile()),
+       {publish_effect("localization/ndt_pose", 256)}});
+  spec.nodes.push_back(std::move(localizer));
 
   // --- untraced sensor replay (10 Hz, jittered) -------------------------------
+  spec.external_inputs.push_back({"lidar_front/points_raw",
+                                  options.front_sensor_pid,
+                                  options.lidar_period, Duration::ms(10),
+                                  options.lidar_jitter, 32768});
+  spec.external_inputs.push_back({"lidar_rear/points_raw",
+                                  options.rear_sensor_pid,
+                                  options.lidar_period, Duration::ms(10),
+                                  options.lidar_jitter, 32768});
+  return spec;
+}
+
+AvpApp build_avp_localization(ros2::Context& ctx, const AvpOptions& options) {
   AvpApp app;
-  const TimePoint until = ctx.simulator().now() + options.run_duration;
-  auto jitter = DurationDistribution::uniform(-options.lidar_jitter,
-                                              options.lidar_jitter);
-  auto front_sensor = std::make_unique<dds::PeriodicWriter>(
-      ctx.domain(), "lidar_front/points_raw", options.front_sensor_pid,
-      options.lidar_period, Duration::ms(10), std::size_t{32768});
-  front_sensor->set_jitter(jitter, ctx.rng().fork());
-  front_sensor->start(until);
-  auto rear_sensor = std::make_unique<dds::PeriodicWriter>(
-      ctx.domain(), "lidar_rear/points_raw", options.rear_sensor_pid,
-      options.lidar_period, Duration::ms(10), std::size_t{32768});
-  rear_sensor->set_jitter(jitter, ctx.rng().fork());
-  rear_sensor->start(until);
-  app.sensors.push_back(std::move(front_sensor));
-  app.sensors.push_back(std::move(rear_sensor));
+  app.spec = avp_scenario_spec(options);
+  app.ground_truth = scenario::build_ground_truth(app.spec);
+  scenario::ScenarioInstance instance =
+      scenario::ScenarioRunner::instantiate(ctx, app.spec);
+  app.sensors = std::move(instance.external_writers);
 
   // --- name maps ----------------------------------------------------------------
   app.label_of = {

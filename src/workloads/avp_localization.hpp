@@ -21,6 +21,8 @@
 
 #include "dds/domain.hpp"
 #include "ros2/context.hpp"
+#include "scenario/ground_truth.hpp"
+#include "scenario/spec.hpp"
 
 namespace tetra::workloads {
 
@@ -48,10 +50,20 @@ struct AvpApp {
   std::vector<std::string> chain_topics;
   /// Owned sensor replay writers (already started).
   std::vector<std::unique_ptr<dds::PeriodicWriter>> sensors;
+  /// The declarative description this app was instantiated from, and the
+  /// ground truth the synthesis must recover — so AVP flows through the
+  /// same round-trip validation as generated scenarios.
+  scenario::ScenarioSpec spec;
+  scenario::GroundTruth ground_truth;
 };
 
-/// Instantiates the pipeline and starts the sensor writers for
-/// options.run_duration of simulated time.
+/// The AVP pipeline as a ScenarioSpec: five nodes, the two-member sync
+/// group, and the two untraced LIDAR replay writers as external inputs.
+/// Profiles are pre-scaled by (1 + options.contention).
+scenario::ScenarioSpec avp_scenario_spec(const AvpOptions& options = {});
+
+/// Instantiates the pipeline (via ScenarioRunner::instantiate) and starts
+/// the sensor writers for options.run_duration of simulated time.
 AvpApp build_avp_localization(ros2::Context& ctx, const AvpOptions& options);
 
 /// Table II reference values (milliseconds), keyed "cb1".."cb6", for

@@ -1,67 +1,84 @@
 #include "workloads/syn_app.hpp"
 
+#include "scenario/runner.hpp"
+
 namespace tetra::workloads {
 
-using ros2::Plan;
+using scenario::call_effect;
+using scenario::publish_effect;
 
-SynApp build_syn_app(ros2::Context& ctx, const SynOptions& options) {
+scenario::ScenarioSpec syn_scenario_spec(const SynOptions& options) {
   const double f = options.load_factor;
   auto load = [f](double ms) {
     return DurationDistribution::constant(Duration::ms_f(ms * f));
   };
 
-  // --- nodes ---------------------------------------------------------------
-  ros2::Node& timers = ctx.create_node({.name = "syn_timers"});
-  ros2::Node& servers = ctx.create_node({.name = "syn_servers"});
-  ros2::Node& mixed = ctx.create_node({.name = "syn_mixed"});
-  ros2::Node& gateway = ctx.create_node({.name = "syn_gateway"});
-  ros2::Node& fusion = ctx.create_node({.name = "syn_fusion"});
-  ros2::Node& planning = ctx.create_node({.name = "syn_planning"});
+  scenario::ScenarioSpec spec;
+  spec.name = "syn";
 
   // --- syn_timers: T2 (100 ms -> /t1), T3 (150 ms -> /t3, dangling) --------
-  ros2::Publisher& pub_t1 = timers.create_publisher("/t1");
-  ros2::Publisher& pub_t3 = timers.create_publisher("/t3");
-  timers.create_timer(Duration::ms(100), Plan::publish_after(load(3.0), pub_t1));
-  timers.create_timer(Duration::ms(150), Plan::publish_after(load(2.5), pub_t3));
+  scenario::ScenarioNodeSpec timers;
+  timers.name = "syn_timers";
+  timers.timers.push_back(
+      {Duration::ms(100), std::nullopt, load(3.0), {publish_effect("/t1")}});
+  timers.timers.push_back(
+      {Duration::ms(150), std::nullopt, load(2.5), {publish_effect("/t3")}});
+  spec.nodes.push_back(std::move(timers));
 
   // --- syn_servers: SV1 (/sv1), SV2 (/sv2) ----------------------------------
-  servers.create_service("/sv1", Plan::just(load(3.0)));
-  servers.create_service("/sv2", Plan::just(load(2.5)));
+  scenario::ScenarioNodeSpec servers;
+  servers.name = "syn_servers";
+  servers.services.push_back({"/sv1", load(3.0), {}});
+  servers.services.push_back({"/sv2", load(2.5), {}});
+  spec.nodes.push_back(std::move(servers));
 
   // --- syn_mixed: T1 (120 ms -> /f1), SC5 (/clp3 -> /f2), SV3 (/sv3) --------
-  ros2::Publisher& pub_f1 = mixed.create_publisher("/f1");
-  ros2::Publisher& pub_f2 = mixed.create_publisher("/f2");
-  mixed.create_timer(Duration::ms(120), Plan::publish_after(load(2.0), pub_f1));
-  mixed.create_subscription("/clp3", Plan::publish_after(load(2.0), pub_f2));
-  mixed.create_service("/sv3", Plan::just(load(4.0)));
+  scenario::ScenarioNodeSpec mixed;
+  mixed.name = "syn_mixed";
+  mixed.timers.push_back(
+      {Duration::ms(120), std::nullopt, load(2.0), {publish_effect("/f1")}});
+  mixed.subscriptions.push_back({"/clp3", load(2.0), {publish_effect("/f2")}});
+  mixed.services.push_back({"/sv3", load(4.0), {}});
+  spec.nodes.push_back(std::move(mixed));
 
   // --- syn_gateway: SC1, SC4, CL1, CL2, CL4 ---------------------------------
-  // Creation order: CL4 (the /sv3 response handler) must exist before CL2,
-  // whose plan invokes it; ordinals therefore run CL1, CL4, CL2 and the
-  // label map below translates paper names.
-  ros2::Publisher& pub_clp3 = gateway.create_publisher("/clp3");
-  ros2::Client& cl1 = gateway.create_client(
-      "/sv1", Plan::publish_after(load(1.5), pub_clp3));
-  ros2::Client& cl4 = gateway.create_client("/sv3", Plan::just(load(1.2)));
-  ros2::Client& cl2 =
-      gateway.create_client("/sv2", Plan::call_after(load(2.0), cl4));
-  gateway.create_subscription("/t1", Plan::call_after(load(4.0), cl1));   // SC1
-  gateway.create_subscription("/clp3", Plan::call_after(load(3.0), cl2)); // SC4
+  // Client order: CL4 (the /sv3 response handler, ordinal CL2) before CL2
+  // (ordinal CL3), whose plan invokes it — call effects may only reference
+  // earlier clients. The paper-name map in build_syn_app translates.
+  scenario::ScenarioNodeSpec gateway;
+  gateway.name = "syn_gateway";
+  gateway.clients.push_back({"/sv1", load(1.5), {publish_effect("/clp3")}});
+  gateway.clients.push_back({"/sv3", load(1.2), {}});
+  gateway.clients.push_back({"/sv2", load(2.0), {call_effect(1)}});
+  gateway.subscriptions.push_back({"/t1", load(4.0), {call_effect(0)}});   // SC1
+  gateway.subscriptions.push_back({"/clp3", load(3.0), {call_effect(2)}}); // SC4
+  spec.nodes.push_back(std::move(gateway));
 
   // --- syn_fusion: SC2.1 + SC2.2 synchronized -> /f3 ------------------------
-  ros2::Publisher& pub_f3 = fusion.create_publisher("/f3");
-  ros2::Subscription& sc21 =
-      fusion.create_subscription("/f1", Plan::just(load(1.5)));
-  ros2::Subscription& sc22 =
-      fusion.create_subscription("/f2", Plan::just(load(1.2)));
-  fusion.create_sync_group({&sc21, &sc22}, load(2.0), pub_f3);
+  scenario::ScenarioNodeSpec fusion;
+  fusion.name = "syn_fusion";
+  fusion.subscriptions.push_back({"/f1", load(1.5), {}});
+  fusion.subscriptions.push_back({"/f2", load(1.2), {}});
+  fusion.sync_groups.push_back({{0, 1}, load(2.0), "/f3", 4096});
+  spec.nodes.push_back(std::move(fusion));
 
   // --- syn_planning: SC3 (sub /f3 -> call /sv3), CL3 ------------------------
-  ros2::Client& cl3 = planning.create_client("/sv3", Plan::just(load(1.0)));
-  planning.create_subscription("/f3", Plan::call_after(load(5.0), cl3));  // SC3
+  scenario::ScenarioNodeSpec planning;
+  planning.name = "syn_planning";
+  planning.clients.push_back({"/sv3", load(1.0), {}});
+  planning.subscriptions.push_back({"/f3", load(5.0), {call_effect(0)}});  // SC3
+  spec.nodes.push_back(std::move(planning));
+
+  return spec;
+}
+
+SynApp build_syn_app(ros2::Context& ctx, const SynOptions& options) {
+  SynApp app;
+  app.spec = syn_scenario_spec(options);
+  app.ground_truth = scenario::build_ground_truth(app.spec);
+  scenario::ScenarioRunner::instantiate(ctx, app.spec);
 
   // --- paper-name -> normalized-label map -----------------------------------
-  SynApp app;
   app.label_of = {
       {"T1", "syn_mixed/T1"},      {"T2", "syn_timers/T1"},
       {"T3", "syn_timers/T2"},     {"SC1", "syn_gateway/SC1"},

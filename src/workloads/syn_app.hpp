@@ -17,6 +17,8 @@
 #include <string>
 
 #include "ros2/context.hpp"
+#include "scenario/ground_truth.hpp"
+#include "scenario/spec.hpp"
 
 namespace tetra::workloads {
 
@@ -37,11 +39,20 @@ struct SynApp {
   /// The fusion hop /f1 -> /f3: completes only when the /f1 member is the
   /// last to arrive, which is the common case in this wiring.
   std::vector<std::string> fusion_chain_topics;
+  /// The declarative description this app was instantiated from, and the
+  /// ground truth the synthesis must recover — so SYN flows through the
+  /// same round-trip validation as generated scenarios.
+  scenario::ScenarioSpec spec;
+  scenario::GroundTruth ground_truth;
 };
 
-/// Instantiates SYN into the context. Callback loads are constant per run
-/// (paper: "For each CB in SYN, we have used a constant computational
-/// load for a single run"), scaled by options.load_factor.
+/// The SYN topology as a ScenarioSpec (callback ordinals match the label
+/// map above). Loads are constant per run (paper: "For each CB in SYN, we
+/// have used a constant computational load for a single run"), scaled by
+/// options.load_factor.
+scenario::ScenarioSpec syn_scenario_spec(const SynOptions& options = {});
+
+/// Instantiates SYN into the context (via ScenarioRunner::instantiate).
 SynApp build_syn_app(ros2::Context& ctx, const SynOptions& options = {});
 
 }  // namespace tetra::workloads

@@ -1,0 +1,329 @@
+// Round-trip property tests for the scenario subsystem: randomized
+// topologies with known ground truth, run on the traced substrate, and
+// the synthesized model diffed against the truth — across seeds, CPU
+// counts and interference; plus determinism, degenerate-spec edge cases,
+// and the hand-written workloads flowing through the same validator.
+#include <gtest/gtest.h>
+
+#include "core/model_synthesis.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/validator.hpp"
+#include "trace/serialize.hpp"
+#include "workloads/avp_localization.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace tetra::scenario {
+namespace {
+
+// ---- randomized round-trip sweep -------------------------------------------
+
+using SweepParam = std::tuple<int, int, bool>;  // seed, cpus, interference
+
+class RoundTripTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RoundTripTest, SynthesisRecoversGroundTruth) {
+  const auto [seed, cpus, interference] = GetParam();
+
+  GeneratorOptions generator_options;
+  generator_options.num_cpus = cpus;
+  generator_options.run_duration = Duration::ms(1200);
+  const Scenario scen = ScenarioGenerator(generator_options)
+                            .generate(static_cast<std::uint64_t>(seed));
+
+  RunnerOptions runner_options;
+  runner_options.interference_threads = interference ? 2 : 0;
+  const ScenarioRunResult result = ScenarioRunner(runner_options).run(scen.spec);
+
+  ASSERT_TRUE(result.model.dag.is_acyclic());
+  const ValidationReport report =
+      RoundTripValidator().validate(result.model, scen.ground_truth);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ", cpus " << cpus
+                           << ", interference " << interference << ":\n"
+                           << report.to_string();
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "seed" + std::to_string(std::get<0>(info.param)) + "_cpus" +
+         std::to_string(std::get<1>(info.param)) +
+         (std::get<2>(info.param) ? "_interf" : "_clean");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundTripTest,
+                         ::testing::Combine(::testing::Range(1, 21),
+                                            ::testing::Values(1, 2, 4),
+                                            ::testing::Bool()),
+                         sweep_name);
+
+// ---- determinism (seeding/reproducibility contract) ------------------------
+
+TEST(ScenarioDeterminismTest, SameSeedYieldsIdenticalSpec) {
+  const ScenarioGenerator generator;
+  const Scenario a = generator.generate(42);
+  const Scenario b = generator.generate(42);
+  EXPECT_EQ(spec_to_json(a.spec), spec_to_json(b.spec));
+  // Ground truth is a pure function of the spec: the DAGs must agree too.
+  EXPECT_TRUE(
+      RoundTripValidator().validate_dag(a.ground_truth.dag, b.ground_truth).ok());
+}
+
+TEST(ScenarioDeterminismTest, SameSeedYieldsIdenticalTrace) {
+  const Scenario scen = ScenarioGenerator().generate(11);
+  const ScenarioRunner runner;
+  const ScenarioRunResult a = runner.run(scen.spec);
+  const ScenarioRunResult b = runner.run(scen.spec);
+  ASSERT_GT(a.trace.size(), 0u);
+  EXPECT_EQ(trace::to_jsonl(a.trace), trace::to_jsonl(b.trace));
+}
+
+TEST(ScenarioDeterminismTest, DifferentSeedsYieldDifferentSpecs) {
+  const ScenarioGenerator generator;
+  const std::string a = spec_to_json(generator.generate(1).spec);
+  const std::string b = spec_to_json(generator.generate(2).spec);
+  EXPECT_NE(a, b);
+}
+
+// ---- generator guarantees ---------------------------------------------------
+
+TEST(GeneratorGuaranteeTest, GeneratedSpecsAreValid) {
+  const ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Scenario scen = generator.generate(seed);
+    EXPECT_TRUE(validate_spec(scen.spec).empty()) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorGuaranteeTest, GroundTruthDagsAreAcyclicAndSelfLoopFree) {
+  const ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Scenario scen = generator.generate(seed);
+    EXPECT_TRUE(scen.ground_truth.dag.is_acyclic()) << "seed " << seed;
+    for (const auto& edge : scen.ground_truth.dag.edges()) {
+      EXPECT_NE(edge.from, edge.to) << "seed " << seed;
+    }
+  }
+}
+
+TEST(GeneratorGuaranteeTest, EveryGeneratedCallbackIsLive) {
+  // The generator only wires callbacks that can execute, so the ground
+  // truth must contain exactly one label per spec callback.
+  const ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const Scenario scen = generator.generate(seed);
+    EXPECT_EQ(scen.ground_truth.callback_labels.size(),
+              scen.spec.callback_count())
+        << "seed " << seed;
+  }
+}
+
+// ---- degenerate scenarios ----------------------------------------------------
+
+ValidationReport round_trip(const ScenarioSpec& spec) {
+  const GroundTruth truth = build_ground_truth(spec);
+  const ScenarioRunResult result = ScenarioRunner().run(spec);
+  return RoundTripValidator().validate(result.model, truth);
+}
+
+TEST(ScenarioEdgeCaseTest, ZeroSubscriptionNode) {
+  ScenarioSpec spec;
+  spec.name = "timers-only";
+  ScenarioNodeSpec node;
+  node.name = "lonely_timers";
+  node.timers.push_back({Duration::ms(50), std::nullopt,
+                         DurationDistribution::constant(Duration::ms_f(0.2)),
+                         {publish_effect("/dangling")}});
+  node.timers.push_back({Duration::ms(80), std::nullopt,
+                         DurationDistribution::constant(Duration::ms_f(0.1)),
+                         {}});
+  spec.nodes.push_back(std::move(node));
+
+  const ValidationReport report = round_trip(spec);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  const GroundTruth truth = build_ground_truth(spec);
+  EXPECT_EQ(truth.dag.vertex_count(), 2u);
+  EXPECT_EQ(truth.dag.edge_count(), 0u);
+  EXPECT_EQ(truth.chain_count, 2u);  // two isolated single-vertex chains
+}
+
+TEST(ScenarioEdgeCaseTest, SingleNodeApp) {
+  ScenarioSpec spec;
+  spec.name = "single-node";
+  ScenarioNodeSpec node;
+  node.name = "solo";
+  node.timers.push_back({Duration::ms(60), std::nullopt,
+                         DurationDistribution::constant(Duration::ms_f(0.3)),
+                         {publish_effect("/a")}});
+  node.subscriptions.push_back(
+      {"/a", DurationDistribution::constant(Duration::ms_f(0.2)),
+       {publish_effect("/b")}});
+  node.subscriptions.push_back(
+      {"/b", DurationDistribution::constant(Duration::ms_f(0.1)), {}});
+  spec.nodes.push_back(std::move(node));
+
+  const ValidationReport report = round_trip(spec);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(build_ground_truth(spec).chain_count, 1u);  // T1 -> SC1 -> SC2
+}
+
+TEST(ScenarioEdgeCaseTest, EmptyNodeYieldsNoVertices) {
+  ScenarioSpec spec;
+  spec.name = "with-empty-node";
+  ScenarioNodeSpec empty;
+  empty.name = "shell";  // P1-only: discovered, but no callbacks ever run
+  spec.nodes.push_back(std::move(empty));
+  ScenarioNodeSpec active;
+  active.name = "worker";
+  active.timers.push_back({Duration::ms(50), std::nullopt,
+                           DurationDistribution::constant(Duration::ms_f(0.2)),
+                           {}});
+  spec.nodes.push_back(std::move(active));
+
+  const GroundTruth truth = build_ground_truth(spec);
+  EXPECT_EQ(truth.dag.vertex_count(), 1u);
+  const ValidationReport report = round_trip(spec);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ScenarioEdgeCaseTest, StructurallyDeadCallbacksAreExcluded) {
+  ScenarioSpec spec;
+  spec.name = "dead-wood";
+  ScenarioNodeSpec server;
+  server.name = "server";
+  server.services.push_back(  // service nobody calls: no vertex
+      {"/unused", DurationDistribution::constant(Duration::ms_f(0.2)), {}});
+  spec.nodes.push_back(std::move(server));
+  ScenarioNodeSpec node;
+  node.name = "mixed";
+  node.timers.push_back({Duration::ms(50), std::nullopt,
+                         DurationDistribution::constant(Duration::ms_f(0.2)),
+                         {}});
+  node.timers.push_back({Duration::sec(30), std::nullopt,  // beyond the run
+                         DurationDistribution::constant(Duration::ms_f(0.2)),
+                         {publish_effect("/late")}});
+  node.subscriptions.push_back(  // topic nobody produces: no vertex
+      {"/never", DurationDistribution::constant(Duration::ms_f(0.1)), {}});
+  node.subscriptions.push_back(  // fed only by the dead timer: no vertex
+      {"/late", DurationDistribution::constant(Duration::ms_f(0.1)), {}});
+  node.clients.push_back(  // client no callback calls through: no vertex
+      {"/unused", DurationDistribution::constant(Duration::ms_f(0.1)), {}});
+  spec.nodes.push_back(std::move(node));
+
+  const GroundTruth truth = build_ground_truth(spec);
+  EXPECT_EQ(truth.callback_labels,
+            (std::set<std::string>{"mixed/T1"}));
+  const ValidationReport report = round_trip(spec);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ScenarioEdgeCaseTest, EmptyTraceSynthesizesEmptyModel) {
+  const core::TimingModel model =
+      core::ModelSynthesizer().synthesize(trace::EventVector{});
+  EXPECT_TRUE(model.node_callbacks.empty());
+  EXPECT_EQ(model.dag.vertex_count(), 0u);
+
+  // An empty spec's ground truth matches the empty model.
+  const GroundTruth truth = build_ground_truth(ScenarioSpec{});
+  EXPECT_TRUE(RoundTripValidator().validate(model, truth).ok());
+}
+
+TEST(ScenarioEdgeCaseTest, InvalidSpecIsRejected) {
+  ScenarioSpec spec;
+  ScenarioNodeSpec node;
+  node.name = "bad";
+  node.subscriptions.push_back(
+      {"/tReply", DurationDistribution::constant(Duration::ms_f(0.1)), {}});
+  spec.nodes.push_back(std::move(node));
+  EXPECT_FALSE(validate_spec(spec).empty());
+  EXPECT_THROW(ScenarioRunner().run(spec), std::invalid_argument);
+}
+
+// ---- validator sensitivity ---------------------------------------------------
+
+TEST(ValidatorTest, DetectsMissingAndUnexpectedStructure) {
+  const Scenario scen = ScenarioGenerator().generate(5);
+  core::Dag tampered = scen.ground_truth.dag;
+  core::DagVertex extra;
+  extra.key = "phantom/T1";
+  extra.node_name = "phantom";
+  tampered.add_or_merge_vertex(extra);
+
+  const ValidationReport report =
+      RoundTripValidator().validate_dag(tampered, scen.ground_truth);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.unexpected_vertices.size(), 1u);
+  EXPECT_EQ(report.unexpected_vertices[0], "phantom/T1");
+  EXPECT_NE(report.to_string().find("phantom/T1"), std::string::npos);
+}
+
+// ---- multi-mode -------------------------------------------------------------
+
+TEST(ScenarioModesTest, PerModeDagsAllMatchGroundTruth) {
+  GeneratorOptions options;
+  options.p_modes = 1.0;  // force mode variation
+  const Scenario scen = ScenarioGenerator(options).generate(3);
+  ASSERT_GE(scen.spec.modes.size(), 2u);
+
+  const core::MultiModeDag modes = ScenarioRunner().run_modes(scen.spec);
+  EXPECT_EQ(modes.modes().size(), scen.spec.modes.size());
+  const RoundTripValidator validator;
+  for (const auto& mode : modes.modes()) {
+    const ValidationReport report =
+        validator.validate_dag(*modes.mode_dag(mode), scen.ground_truth);
+    EXPECT_TRUE(report.ok()) << "mode " << mode << ":\n" << report.to_string();
+  }
+  EXPECT_TRUE(
+      validator.validate_dag(modes.combined(), scen.ground_truth).ok());
+}
+
+// ---- hand-written workloads through the same validator ----------------------
+
+TEST(WorkloadRoundTripTest, SynMatchesItsGroundTruth) {
+  const workloads::SynOptions options;
+  ScenarioSpec spec = workloads::syn_scenario_spec(options);
+  const GroundTruth truth = build_ground_truth(spec);
+  // 16 callbacks; /sv3 has two callers (SC3, CL2) => 17 callback vertices,
+  // plus the fusion AND junction = 18 (paper Fig. 3a).
+  EXPECT_EQ(truth.dag.vertex_count(), 18u);
+
+  const ScenarioRunResult result = ScenarioRunner().run(spec);
+  const ValidationReport report =
+      RoundTripValidator().validate(result.model, truth);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(WorkloadRoundTripTest, AvpMatchesItsGroundTruth) {
+  workloads::AvpOptions options;
+  options.run_duration = Duration::sec(2);
+  ScenarioSpec spec = workloads::avp_scenario_spec(options);
+  const GroundTruth truth = build_ground_truth(spec);
+  // Six callbacks plus the fusion AND junction (paper Fig. 3b).
+  EXPECT_EQ(truth.dag.vertex_count(), 7u);
+
+  const ScenarioRunResult result = ScenarioRunner().run(spec);
+  const ValidationReport report =
+      RoundTripValidator().validate(result.model, truth);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(WorkloadRoundTripTest, BuildersExposeSpecAndGroundTruth) {
+  ros2::Context ctx;
+  const workloads::SynApp syn = workloads::build_syn_app(ctx);
+  EXPECT_EQ(syn.spec.nodes.size(), 6u);
+  EXPECT_EQ(syn.ground_truth.dag.vertex_count(), 18u);
+  // Every label the ground truth predicts appears in the paper-name map.
+  for (const auto& [paper_name, label] : syn.label_of) {
+    EXPECT_EQ(syn.ground_truth.callback_labels.count(label), 1u)
+        << paper_name << " -> " << label;
+  }
+
+  ros2::Context avp_ctx;
+  workloads::AvpOptions options;
+  options.run_duration = Duration::sec(1);
+  const workloads::AvpApp avp = workloads::build_avp_localization(avp_ctx, options);
+  EXPECT_EQ(avp.spec.nodes.size(), 5u);
+  EXPECT_EQ(avp.spec.external_inputs.size(), 2u);
+  EXPECT_EQ(avp.ground_truth.dag.vertex_count(), 7u);
+}
+
+}  // namespace
+}  // namespace tetra::scenario

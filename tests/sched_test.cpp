@@ -3,6 +3,8 @@
 // tracepoint stream Algorithm 2 depends on.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "sched/interference.hpp"
 #include "sched/machine.hpp"
 #include "sim/simulator.hpp"
@@ -98,7 +100,7 @@ TEST(MachineTest, TwoCpusRunInParallel) {
   Machine machine(sim, {.num_cpus = 2});
   std::vector<TimePoint> done;
   for (int i = 0; i < 2; ++i) {
-    Thread** slot = new Thread*;
+    auto slot = std::make_shared<Thread*>();
     *slot = &machine.create_thread({.name = "w" + std::to_string(i)}, [&, slot] {
       (*slot)->compute(Duration::ms(10), [&, slot] {
         done.push_back(sim.now());
@@ -118,7 +120,7 @@ TEST(MachineTest, AffinityRestrictsPlacement) {
   // Both threads pinned to CPU 0: they serialize even though CPU 1 idles.
   std::vector<TimePoint> done;
   for (int i = 0; i < 2; ++i) {
-    Thread** slot = new Thread*;
+    auto slot = std::make_shared<Thread*>();
     *slot = &machine.create_thread(
         {.name = "pinned" + std::to_string(i), .affinity_mask = 0b01}, [&, slot] {
           (*slot)->compute(Duration::ms(10), [&, slot] {
@@ -199,7 +201,7 @@ TEST(MachineTest, RoundRobinSlicesEqualPriority) {
   machine.set_kernel_hooks(rec.hooks());
   std::vector<TimePoint> done(2);
   for (int i = 0; i < 2; ++i) {
-    Thread** slot = new Thread*;
+    auto slot = std::make_shared<Thread*>();
     *slot = &machine.create_thread(
         {.name = "rr" + std::to_string(i), .policy = SchedPolicy::RoundRobin},
         [&, slot, i] {
@@ -229,7 +231,7 @@ TEST(MachineTest, FifoDoesNotSlice) {
   Machine machine(sim, {.num_cpus = 1, .rr_slice = Duration::ms(4)});
   std::vector<TimePoint> done(2);
   for (int i = 0; i < 2; ++i) {
-    Thread** slot = new Thread*;
+    auto slot = std::make_shared<Thread*>();
     *slot = &machine.create_thread(
         {.name = "fifo" + std::to_string(i), .policy = SchedPolicy::Fifo},
         [&, slot, i] {
@@ -249,7 +251,7 @@ TEST(MachineTest, CpuTimeAccountingUnderContention) {
   Machine machine(sim, {.num_cpus = 1});
   std::vector<Thread*> threads;
   for (int i = 0; i < 3; ++i) {
-    Thread** slot = new Thread*;
+    auto slot = std::make_shared<Thread*>();
     *slot = &machine.create_thread({.name = "acc" + std::to_string(i)},
                                    [&, slot] {
                                      (*slot)->compute(Duration::ms(5), [slot] {
