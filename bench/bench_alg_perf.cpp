@@ -5,6 +5,7 @@
 // comfortably handles multi-minute traces.
 #include <benchmark/benchmark.h>
 
+#include "api/session.hpp"
 #include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "trace/merge.hpp"
@@ -108,6 +109,20 @@ void BM_FullSynthesis(benchmark::State& state) {
                           static_cast<std::int64_t>(events.size()));
 }
 BENCHMARK(BM_FullSynthesis);
+
+void BM_SessionSynthesis(benchmark::State& state) {
+  // The streaming path: a session borrows the sorted trace (no index
+  // copy) — compare against BM_FullSynthesis through the batch shim.
+  const auto& events = syn_trace();
+  for (auto _ : state) {
+    api::SynthesisSession session;
+    session.ingest(events);
+    benchmark::DoNotOptimize(session.model().value().dag.vertex_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_SessionSynthesis);
 
 void BM_DagMerge(benchmark::State& state) {
   const auto& events = syn_trace();

@@ -5,12 +5,11 @@
 // Knobs: TETRA_RUNS (default 10), TETRA_DURATION (seconds, default 80).
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "bench_util.hpp"
 #include "core/export.hpp"
-#include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "support/string_utils.hpp"
-#include "trace/merge.hpp"
 #include "workloads/avp_localization.hpp"
 
 int main() {
@@ -23,8 +22,8 @@ int main() {
   bench::note(format("runs=%d x %.0fs (the AVP demo drives for 80 s)", runs,
                      duration.to_sec()));
 
-  core::ModelSynthesizer synthesizer;
-  core::Dag merged;
+  api::SynthesisSession session(api::SynthesisConfig().threads(
+      bench::env_int("TETRA_THREADS", 2)));
   workloads::AvpApp app;
   for (int run = 0; run < runs; ++run) {
     ros2::Context::Config config;
@@ -38,11 +37,12 @@ int main() {
     auto init_trace = suite.stop_init();
     suite.start_runtime();
     ctx.run_for(duration);
-    merged.merge(synthesizer
-                     .synthesize(trace::merge_sorted(
-                         {init_trace, suite.stop_runtime()}))
-                     .dag);
+    const api::IngestOptions segment{
+        .trace_id = "run-" + std::to_string(run), .mode = ""};
+    session.ingest(std::move(init_trace), segment);
+    session.ingest(suite.stop_runtime(), segment);
   }
+  const core::Dag merged = session.model().value().dag;
 
   std::printf("\nVertices (%zu):\n", merged.vertex_count());
   std::printf("%s", core::to_exec_time_table(merged).c_str());

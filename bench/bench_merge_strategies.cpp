@@ -1,16 +1,21 @@
 // Reproduces the §V deployment study: traces collected in segments can be
 // (i) merged first and synthesized once, or (ii) synthesized per segment
 // with the DAGs merged afterwards (the paper's choice). Both must agree
-// structurally; this bench verifies that and reports synthesis costs.
+// structurally; this bench verifies that, reports synthesis costs, and
+// asserts the streaming path's copy footprint: option (i) k-way merges
+// every event exactly once (the old concatenate + re-sort + index-copy
+// pipeline touched each event twice), and option (ii) synthesizes
+// single-segment traces over borrowed storage with zero event copies.
 //
 // Knobs: TETRA_SEGMENTS (default 10), TETRA_DURATION (per-segment s, default 5).
 #include <chrono>
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "bench_util.hpp"
-#include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "support/string_utils.hpp"
+#include "trace/event_view.hpp"
 #include "trace/merge.hpp"
 #include "workloads/syn_app.hpp"
 
@@ -39,14 +44,29 @@ int main() {
   }
   bench::note(format("collected %zu events across segments", total_events));
 
-  core::ModelSynthesizer synthesizer;
   const auto clock = [] { return std::chrono::steady_clock::now(); };
 
+  // Option (i): every segment k-way merged into one stream, one synthesis.
+  api::SynthesisSession merge_traces_session(
+      api::SynthesisConfig().merge_strategy(api::MergeStrategy::MergeTraces));
+  for (const auto& segment : traces) {
+    merge_traces_session.ingest(segment, {.trace_id = "run", .mode = ""});
+  }
+  trace::SortedEventView::reset_copy_counter();
   auto t0 = clock();
-  const core::Dag from_traces = synthesizer.synthesize_merged(traces).dag;
+  const core::Dag from_traces = merge_traces_session.model().value().dag;
   auto t1 = clock();
-  const core::Dag from_dags = synthesizer.synthesize_and_merge(traces);
+  const std::uint64_t copies_option_i = trace::SortedEventView::events_copied();
+
+  // Option (ii): one DAG per segment, merged afterwards.
+  api::SynthesisSession merge_dags_session(
+      api::SynthesisConfig().merge_strategy(api::MergeStrategy::MergeDags));
+  for (const auto& segment : traces) merge_dags_session.ingest(segment);
+  trace::SortedEventView::reset_copy_counter();
   auto t2 = clock();
+  const core::Dag from_dags = merge_dags_session.model().value().dag;
+  auto t3 = clock();
+  const std::uint64_t copies_option_ii = trace::SortedEventView::events_copied();
 
   std::printf("\n%-40s %12s %12s\n", "", "option (i)", "option (ii)");
   std::printf("%-40s %12zu %12zu\n", "vertices", from_traces.vertex_count(),
@@ -55,7 +75,10 @@ int main() {
               from_dags.edge_count());
   std::printf("%-40s %12.1f %12.1f\n", "synthesis wall time (ms)",
               std::chrono::duration<double, std::milli>(t1 - t0).count(),
-              std::chrono::duration<double, std::milli>(t2 - t1).count());
+              std::chrono::duration<double, std::milli>(t3 - t2).count());
+  std::printf("%-40s %12llu %12llu\n", "events copied into view storage",
+              static_cast<unsigned long long>(copies_option_i),
+              static_cast<unsigned long long>(copies_option_ii));
 
   bool structurally_equal = from_traces.vertex_count() == from_dags.vertex_count() &&
                             from_traces.edge_count() == from_dags.edge_count();
@@ -73,9 +96,20 @@ int main() {
   std::printf("%-40s %25s\n", "structurally identical",
               structurally_equal ? "yes" : "NO");
   std::printf("%-40s %25zu\n", "summed instance-count delta", instance_diff);
+
+  // Copy-footprint guardrails: option (i) must copy each event at most
+  // once (single k-way merge pass), option (ii) must borrow each
+  // single-segment trace without any copy.
+  const bool single_copy_merge = copies_option_i <= total_events;
+  const bool zero_copy_per_trace = copies_option_ii == 0;
+  std::printf("%-40s %25s\n", "option (i) single-copy merge",
+              single_copy_merge ? "yes" : "NO");
+  std::printf("%-40s %25s\n", "option (ii) zero-copy borrow",
+              zero_copy_per_trace ? "yes" : "NO");
+
   bench::note(
       "\nThe paper uses option (ii) for its experiments; option (i) applies "
       "to segments sharing PIDs/ids (one run). Across separate runs only "
       "option (ii) is meaningful because ids and timestamps collide.");
-  return structurally_equal ? 0 : 1;
+  return structurally_equal && single_copy_merge && zero_copy_per_trace ? 0 : 1;
 }

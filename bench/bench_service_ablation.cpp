@@ -8,7 +8,7 @@
 
 #include "analysis/chains.hpp"
 #include "bench_util.hpp"
-#include "core/model_synthesis.hpp"
+#include "api/session.hpp"
 #include "ebpf/tracers.hpp"
 #include "support/string_utils.hpp"
 #include "trace/merge.hpp"
@@ -48,14 +48,16 @@ int main() {
   const std::string cl3 = app.label_of.at("CL3");
   const std::string cl4 = app.label_of.at("CL4");
 
-  core::SynthesisOptions split_options;  // paper's model (default)
-  core::SynthesisOptions single_options;
-  single_options.dag.split_service_per_caller = false;
+  auto synthesize_with = [&events](api::SynthesisConfig config) {
+    api::SynthesisSession session(std::move(config));
+    session.ingest(events);
+    return session.model().value().dag;
+  };
 
   const core::Dag split =
-      core::ModelSynthesizer(split_options).synthesize(events).dag;
+      synthesize_with(api::SynthesisConfig());  // paper's model (default)
   const core::Dag single =
-      core::ModelSynthesizer(single_options).synthesize(events).dag;
+      synthesize_with(api::SynthesisConfig().split_service_per_caller(false));
 
   std::printf("\n%-44s %10s %10s\n", "", "split (n)", "single (1)");
   std::printf("%-44s %10zu %10zu\n", "DAG vertices", split.vertex_count(),

@@ -1,0 +1,185 @@
+// Synthesis-throughput benchmark seeding the perf trajectory: multi-trace
+// merge-dags synthesis through (a) the deprecated batch facade walking
+// traces sequentially, (b) a streaming SynthesisSession on one worker,
+// (c) the same session on a worker pool, and (d) the merge-traces global
+// k-way path. Reports events/sec each and the pool speedup, and emits
+// machine-readable results as BENCH_synthesis.json.
+//
+// Also measures incremental re-synthesis: ingesting one extra trace into
+// an already-synthesized session must cost ~one trace, not a full rerun.
+//
+// Knobs:
+//   TETRA_RUNS       traces to synthesize (default 8)
+//   TETRA_DURATION   per-trace simulated seconds (default 10)
+//   TETRA_THREADS    pool size for the threaded pass (default 4)
+//   TETRA_BENCH_JSON output path (default BENCH_synthesis.json)
+//   TETRA_REQUIRE_SPEEDUP  1 = fail unless pool speedup >= 2 (default: on
+//                          when the host has >= 4 hardware threads)
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "bench_util.hpp"
+#include "core/model_synthesis.hpp"
+#include "ebpf/tracers.hpp"
+#include "support/json_writer.hpp"
+#include "support/string_utils.hpp"
+#include "trace/merge.hpp"
+#include "workloads/syn_app.hpp"
+
+namespace {
+
+using namespace tetra;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+trace::EventVector trace_one_run(std::uint64_t seed, Duration duration) {
+  ros2::Context::Config config;
+  config.seed = seed;
+  ros2::Context ctx(config);
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(duration);
+  return trace::merge_sorted({init_trace, suite.stop_runtime()});
+}
+
+double session_pass(const std::vector<trace::EventVector>& traces,
+                    api::SynthesisConfig config, std::size_t* vertices) {
+  api::SynthesisSession session(std::move(config));
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    session.ingest(traces[i], {.trace_id = "run-" + std::to_string(i),
+                               .mode = ""});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::TimingModel model = session.model().value();
+  const double elapsed = seconds_since(t0);
+  if (vertices != nullptr) *vertices = model.dag.vertex_count();
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("synthesis throughput - batch vs streaming vs worker pool");
+
+  const int runs = bench::env_int("TETRA_RUNS", 8);
+  const Duration duration =
+      bench::env_seconds("TETRA_DURATION", Duration::sec(10));
+  const int threads = bench::env_int("TETRA_THREADS", 4);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  bench::note(format("%d traces x %.0fs, pool of %d threads (%u hardware)",
+                     runs, duration.to_sec(), threads, hardware));
+
+  std::vector<trace::EventVector> traces;
+  std::size_t total_events = 0;
+  for (int run = 0; run < runs; ++run) {
+    traces.push_back(trace_one_run(0xbe7c + static_cast<std::uint64_t>(run),
+                                   duration));
+    total_events += traces.back().size();
+  }
+  bench::note(format("collected %zu events", total_events));
+
+  // Warm-up: touch every code path once so allocator effects don't skew
+  // the first measured pass.
+  (void)core::ModelSynthesizer().synthesize(traces[0]);
+
+  std::size_t vertices = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::Dag batch_dag =
+      core::ModelSynthesizer().synthesize_and_merge(traces);
+  const double batch_s = seconds_since(t0);
+
+  std::size_t pool_vertices = 0;
+  const double stream1_s =
+      session_pass(traces, api::SynthesisConfig().threads(1), &vertices);
+  const double pool_s = session_pass(
+      traces, api::SynthesisConfig().threads(threads), &pool_vertices);
+  const double merge_traces_s = session_pass(
+      traces,
+      api::SynthesisConfig().merge_strategy(api::MergeStrategy::MergeTraces),
+      nullptr);
+
+  // Incremental re-synthesis: one extra trace into a warm session.
+  api::SynthesisSession warm(api::SynthesisConfig().threads(1));
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    warm.ingest(traces[i], {.trace_id = "run-" + std::to_string(i), .mode = ""});
+  }
+  warm.model().value();
+  warm.ingest(traces[0], {.trace_id = "run-extra", .mode = ""});
+  const auto t1 = std::chrono::steady_clock::now();
+  warm.model().value();
+  const double incremental_s = seconds_since(t1);
+
+  const double pool_speedup = pool_s > 0.0 ? stream1_s / pool_s : 0.0;
+  const auto rate = [total_events](double s) {
+    return s > 0.0 ? static_cast<double>(total_events) / s : 0.0;
+  };
+
+  std::printf("\n%-36s %12s %14s\n", "pass", "wall (ms)", "events/sec");
+  const auto row = [&](const char* name, double s) {
+    std::printf("%-36s %12.1f %14.0f\n", name, s * 1e3, rate(s));
+  };
+  row("batch facade (sequential)", batch_s);
+  row("session merge-dags, 1 thread", stream1_s);
+  row(format("session merge-dags, %d threads", threads).c_str(), pool_s);
+  row("session merge-traces (global k-way)", merge_traces_s);
+  std::printf("%-36s %12.1f ms (~1/%d of a full pass)\n",
+              "incremental +1 trace re-synthesis", incremental_s * 1e3, runs);
+  std::printf("%-36s %12.2fx\n", "worker-pool speedup", pool_speedup);
+
+  JsonWriter json;
+  json.begin_object()
+      .kv("bench", "synthesis")
+      .kv("traces", runs)
+      .kv("duration_s", duration.to_sec())
+      .kv("threads", threads)
+      .kv("hardware_threads", static_cast<std::uint64_t>(hardware))
+      .kv("total_events", static_cast<std::uint64_t>(total_events))
+      .kv("dag_vertices", static_cast<std::uint64_t>(vertices))
+      .key("events_per_sec")
+      .begin_object()
+      .kv("batch_sequential", rate(batch_s))
+      .kv("session_1_thread", rate(stream1_s))
+      .kv("session_pool", rate(pool_s))
+      .kv("session_merge_traces", rate(merge_traces_s))
+      .end_object()
+      .kv("incremental_resynthesis_ms", incremental_s * 1e3)
+      .kv("pool_speedup", pool_speedup)
+      .end_object();
+  const char* out_env = std::getenv("TETRA_BENCH_JSON");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_synthesis.json";
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json.str() << "\n";
+  bench::note(format("\nwrote %s", out_path.c_str()));
+
+  // The >= 2x pool-speedup bar only makes sense with enough cores; on
+  // smaller hosts the bench degrades to a report.
+  const bool default_strict = hardware >= 4 && threads >= 4;
+  const bool strict =
+      bench::env_int("TETRA_REQUIRE_SPEEDUP", default_strict ? 1 : 0) != 0;
+  if (strict && pool_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: worker-pool speedup %.2fx < 2.0x required\n",
+                 pool_speedup);
+    return 1;
+  }
+  if (batch_dag.vertex_count() != vertices || pool_vertices != vertices) {
+    std::fprintf(stderr,
+                 "FAIL: batch/session/pool DAGs disagree (%zu vs %zu vs %zu)\n",
+                 batch_dag.vertex_count(), vertices, pool_vertices);
+    return 1;
+  }
+  return 0;
+}

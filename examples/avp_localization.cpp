@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   config.runs = runs;
   config.run_duration = Duration::sec(20);
   config.with_syn = false;  // AVP alone in this example
+  config.threads = 2;       // session worker pool for per-run synthesis
   std::printf("Tracing AVP localization: %d runs x %.0fs...\n", config.runs,
               config.run_duration.to_sec());
   const auto result = workloads::run_case_study(config);

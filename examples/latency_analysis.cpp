@@ -10,7 +10,7 @@
 #include "analysis/chains.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/response_time.hpp"
-#include "core/model_synthesis.hpp"
+#include "api/session.hpp"
 #include "ebpf/tracers.hpp"
 #include "trace/merge.hpp"
 #include "workloads/avp_localization.hpp"
@@ -47,7 +47,9 @@ int main() {
 
   // Waiting times from the sched_wakeup extension.
   std::printf("\n-- per-callback waiting time (wakeup -> dispatch) --\n");
-  const auto model = core::ModelSynthesizer().synthesize(events);
+  api::SynthesisSession session;
+  session.ingest(events);
+  const auto model = session.model().value();
   const auto waits = analysis::measure_waiting_times(events);
   for (const auto& list : model.node_callbacks) {
     for (const auto& record : list.records) {

@@ -1,12 +1,13 @@
 // Multi-mode model synthesis (paper §V option iv): traces collected per
 // operating scenario — here "parking" (AVP active) versus "idle" (SYN
 // only) — are merged per mode, yielding a multi-mode DAG that records
-// which callbacks exist in which mode.
+// which callbacks exist in which mode. The whole database streams into
+// one api::SynthesisSession, which keeps the stored mode tags.
 //
 //   $ ./multi_mode
 #include <cstdio>
 
-#include "core/model_synthesis.hpp"
+#include "api/session.hpp"
 #include "ebpf/tracers.hpp"
 #include "trace/database.hpp"
 #include "trace/merge.hpp"
@@ -50,14 +51,21 @@ int main() {
   std::printf("trace database: %zu segments, %.2f MB\n", db.segment_count(),
               static_cast<double>(db.footprint_bytes()) / 1e6);
 
-  core::ModelSynthesizer synthesizer;
-  core::MultiModeDag multi;
-  for (const std::string mode : {"parking", "idle"}) {
-    for (const auto& run : db.runs_for_mode(mode)) {
-      multi.merge_into_mode(mode,
-                            synthesizer.synthesize(db.merged_run(run)).dag);
-    }
+  // Every stored segment streams into the session: runs become logical
+  // traces, mode tags carry over, per-run synthesis shares two workers.
+  api::SynthesisSession session(api::SynthesisConfig().threads(2));
+  if (const auto ingested = session.ingest_database(db); !ingested.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 ingested.error().to_string().c_str());
+    return 1;
   }
+  const api::Result<core::MultiModeDag> result = session.multi_mode_model();
+  if (!result.ok()) {
+    std::fprintf(stderr, "synthesis failed: %s\n",
+                 result.error().to_string().c_str());
+    return 1;
+  }
+  const core::MultiModeDag& multi = *result;
 
   for (const auto& mode : multi.modes()) {
     const auto* dag = multi.mode_dag(mode);

@@ -6,13 +6,12 @@
 // This is the smallest end-to-end tour of the public API:
 //   ros2::Context            - the simulated system under trace
 //   ebpf::TracerSuite        - ROS2-INIT + ROS2-RT + Kernel tracers
-//   core::ModelSynthesizer   - Alg. 1 + Alg. 2 + DAG synthesis
+//   api::SynthesisSession    - streaming ingest + Alg. 1 + Alg. 2 + DAG
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "core/export.hpp"
-#include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
-#include "trace/merge.hpp"
 
 int main() {
   using namespace tetra;
@@ -46,10 +45,12 @@ int main() {
   ctx.run_for(Duration::sec(10));
   trace::EventVector runtime_trace = suite.stop_runtime();
 
-  // 5. Synthesize the timing model from the merged trace.
-  core::ModelSynthesizer synthesizer;
-  const core::TimingModel model = synthesizer.synthesize(
-      trace::merge_sorted({init_trace, runtime_trace}));
+  // 5. Stream both tracer outputs into a synthesis session — segments of
+  //    one logical trace, merged and synthesized on query.
+  api::SynthesisSession session;
+  session.ingest(std::move(init_trace), {.trace_id = "demo", .mode = ""});
+  session.ingest(std::move(runtime_trace), {.trace_id = "demo", .mode = ""});
+  const core::TimingModel model = session.model().value();
 
   // 6. Inspect the result.
   std::printf("Synthesized model: %zu vertices, %zu edges\n\n",

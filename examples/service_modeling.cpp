@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "analysis/chains.hpp"
-#include "core/model_synthesis.hpp"
+#include "api/session.hpp"
 #include "ebpf/tracers.hpp"
 #include "trace/merge.hpp"
 
@@ -54,14 +54,17 @@ int main() {
     }
   };
 
-  core::SynthesisOptions split;  // the paper's model (default)
-  print_model("per-caller service vertices (paper's proposal)",
-              core::ModelSynthesizer(split).synthesize(events).dag);
+  auto synthesize_with = [&events](api::SynthesisConfig config) {
+    api::SynthesisSession session(std::move(config));
+    session.ingest(events);
+    return session.model().value().dag;
+  };
 
-  core::SynthesisOptions naive;
-  naive.dag.split_service_per_caller = false;
+  print_model("per-caller service vertices (paper's proposal)",
+              synthesize_with(api::SynthesisConfig()));  // the paper's default
   print_model("single service vertex (naive — note the spurious chains)",
-              core::ModelSynthesizer(naive).synthesize(events).dag);
+              synthesize_with(
+                  api::SynthesisConfig().split_service_per_caller(false)));
 
   std::printf(
       "\nWith one /plan vertex, behavior's request appears to reach teleop's\n"

@@ -6,8 +6,8 @@
 //   $ ./syn_application
 #include <cstdio>
 
+#include "api/session.hpp"
 #include "core/export.hpp"
-#include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "trace/merge.hpp"
 #include "workloads/syn_app.hpp"
@@ -24,8 +24,9 @@ int main() {
   auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
   std::printf("collected %zu trace events\n", events.size());
 
-  core::ModelSynthesizer synthesizer;
-  const auto model = synthesizer.synthesize(events);
+  api::SynthesisSession session;
+  session.ingest(std::move(events));
+  const auto model = session.model().value();
 
   std::printf("\n-- SYN timing model: %zu vertices, %zu edges --\n",
               model.dag.vertex_count(), model.dag.edge_count());

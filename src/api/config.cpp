@@ -1,0 +1,13 @@
+#include "api/config.hpp"
+
+namespace tetra::api {
+
+std::string_view to_string(MergeStrategy strategy) {
+  switch (strategy) {
+    case MergeStrategy::MergeDags: return "merge-dags";
+    case MergeStrategy::MergeTraces: return "merge-traces";
+  }
+  return "unknown";
+}
+
+}  // namespace tetra::api

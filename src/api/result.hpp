@@ -1,0 +1,106 @@
+// Structured error/result types of the session API. Session operations
+// return api::Result<T> instead of throwing: callers branch on ok(),
+// inspect a typed Error with context (which segment, which trace, which
+// file), and per-segment ingestion diagnostics accumulate on the session.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tetra::api {
+
+enum class ErrorCode {
+  None,             ///< no error (default-constructed)
+  InvalidArgument,  ///< caller passed inconsistent inputs
+  Io,               ///< file could not be read/parsed
+  EmptySession,     ///< model queried before any event was ingested
+  UnknownTrace,     ///< trace id not present in the session
+  SynthesisFailed,  ///< extraction/DAG synthesis raised internally
+};
+
+inline std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::InvalidArgument: return "invalid_argument";
+    case ErrorCode::Io: return "io";
+    case ErrorCode::EmptySession: return "empty_session";
+    case ErrorCode::UnknownTrace: return "unknown_trace";
+    case ErrorCode::SynthesisFailed: return "synthesis_failed";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code = ErrorCode::None;
+  std::string message;
+  /// What the error pertains to: a trace id, a segment id, a file path.
+  std::string context;
+
+  /// "code: message (context)" for logs and CLI output.
+  std::string to_string() const {
+    std::string out{api::to_string(code)};
+    out += ": " + message;
+    if (!context.empty()) out += " (" + context + ")";
+    return out;
+  }
+};
+
+/// One ingested segment, as recorded by the session (ingestion order).
+struct SegmentInfo {
+  std::size_t id = 0;            ///< session-wide ingestion index
+  std::string trace_id;          ///< logical trace the segment belongs to
+  std::string mode;              ///< operating-mode tag ("" = default)
+  std::string source;            ///< provenance: file path, "events", ...
+  std::size_t event_count = 0;
+  bool arrived_sorted = true;    ///< false: the segment needed sorting
+};
+
+/// Value-or-Error. Accessing value() on an error result throws
+/// std::logic_error — the API contract is to branch on ok() first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), has_value_(true) {}  // NOLINT
+  Result(Error error) : error_(std::move(error)) {}                // NOLINT
+
+  bool ok() const { return has_value_; }
+  explicit operator bool() const { return has_value_; }
+
+  const T& value() const& {
+    ensure_ok();
+    return value_;
+  }
+  T& value() & {
+    ensure_ok();
+    return value_;
+  }
+  T&& take() && {
+    ensure_ok();
+    return std::move(value_);
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The error; ErrorCode::None on success results.
+  const Error& error() const { return error_; }
+
+  /// value() on success, `fallback` on error (no throw).
+  T value_or(T fallback) const& { return has_value_ ? value_ : fallback; }
+
+ private:
+  void ensure_ok() const {
+    if (!has_value_) {
+      throw std::logic_error("api::Result accessed on error: " +
+                             error_.to_string());
+    }
+  }
+
+  T value_{};
+  Error error_;
+  bool has_value_ = false;
+};
+
+}  // namespace tetra::api

@@ -1,0 +1,344 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "core/dag_builder.hpp"
+#include "core/extract.hpp"
+#include "trace/event_view.hpp"
+#include "trace/serialize.hpp"
+
+namespace tetra::api {
+
+namespace {
+
+Error make_error(ErrorCode code, std::string message, std::string context) {
+  return Error{code, std::move(message), std::move(context)};
+}
+
+}  // namespace
+
+SynthesisSession::TraceState& SynthesisSession::trace_for(
+    const IngestOptions& options) {
+  std::string id = options.trace_id;
+  if (id.empty()) {
+    // Auto-named traces must always be fresh — skip over any explicit
+    // user id that happens to look like "trace-<n>".
+    do {
+      id = "trace-" + std::to_string(auto_trace_counter_++);
+    } while (trace_index_.count(id) > 0);
+  }
+  auto it = trace_index_.find(id);
+  if (it == trace_index_.end()) {
+    it = trace_index_.emplace(id, traces_.size()).first;
+    TraceState state;
+    state.id = id;
+    state.mode = options.mode;
+    traces_.push_back(std::move(state));
+  }
+  return traces_[it->second];
+}
+
+Result<SegmentInfo> SynthesisSession::ingest(trace::EventVector events,
+                                             const IngestOptions& options) {
+  TraceState& trace = trace_for(options);
+  if (trace.sealed) {
+    return make_error(ErrorCode::InvalidArgument,
+                      "trace events were released; ingest under a new trace id",
+                      trace.id);
+  }
+  if (!options.mode.empty()) {
+    if (!trace.mode.empty() && trace.mode != options.mode) {
+      return make_error(ErrorCode::InvalidArgument,
+                        "segment mode '" + options.mode +
+                            "' conflicts with the trace's mode '" +
+                            trace.mode + "'",
+                        trace.id);
+    }
+    trace.mode = options.mode;
+  }
+
+  SegmentInfo info;
+  info.id = segments_.size();
+  info.trace_id = trace.id;
+  info.mode = trace.mode;
+  info.source = "events";
+  info.event_count = events.size();
+  info.arrived_sorted = trace::is_time_sorted(events);
+  if (!info.arrived_sorted) trace::sort_by_time(events);
+
+  event_count_ += events.size();
+  segment_locator_.push_back(
+      {trace_index_.at(trace.id), trace.segments.size()});
+  trace.segments.push_back(std::move(events));
+  trace.dirty = true;
+  merged_dirty_ = true;
+  segments_.push_back(info);
+  return info;
+}
+
+Result<SegmentInfo> SynthesisSession::ingest_file(const std::string& path,
+                                                  const IngestOptions& options) {
+  trace::EventVector events;
+  try {
+    events = trace::read_jsonl_file(path);
+  } catch (const std::exception& e) {
+    return make_error(ErrorCode::Io, e.what(), path);
+  }
+  IngestOptions resolved = options;
+  if (resolved.trace_id.empty()) resolved.trace_id = path;
+  Result<SegmentInfo> result = ingest(std::move(events), resolved);
+  if (result.ok()) {
+    segments_.back().source = path;
+    return segments_.back();
+  }
+  return result;
+}
+
+Result<SegmentInfo> SynthesisSession::ingest_database_segment(
+    const trace::TraceDatabase& db, const trace::TraceKey& key,
+    const IngestOptions& options) {
+  if (!db.contains(key)) {
+    return make_error(ErrorCode::InvalidArgument,
+                      "database has no segment " + std::to_string(key.segment),
+                      key.run);
+  }
+  IngestOptions resolved = options;
+  if (resolved.trace_id.empty()) resolved.trace_id = key.run;
+  if (resolved.mode.empty()) resolved.mode = db.mode_of(key);
+  Result<SegmentInfo> result = ingest(db.get(key), resolved);
+  if (result.ok()) {
+    segments_.back().source =
+        "db:" + key.run + "/" + std::to_string(key.segment);
+    return segments_.back();
+  }
+  return result;
+}
+
+Result<std::vector<SegmentInfo>> SynthesisSession::ingest_database(
+    const trace::TraceDatabase& db) {
+  std::vector<SegmentInfo> infos;
+  for (const trace::TraceKey& key : db.keys()) {
+    Result<SegmentInfo> result = ingest_database_segment(db, key);
+    if (!result.ok()) return result.error();
+    infos.push_back(*result);
+  }
+  return infos;
+}
+
+void SynthesisSession::synthesize_trace(TraceState& trace,
+                                        const core::SynthesisOptions& options) {
+  std::vector<const trace::EventVector*> parts;
+  parts.reserve(trace.segments.size());
+  for (const auto& segment : trace.segments) parts.push_back(&segment);
+
+  core::TraceIndex index(trace::SortedEventView::merged(parts));
+  core::TimingModel model;
+  model.node_callbacks = core::extract_all_nodes(index, options.extract);
+  core::normalize_labels(model.node_callbacks);
+  model.dag = core::build_dag(model.node_callbacks, options.dag);
+  trace.model = std::move(model);
+  trace.dirty = false;
+}
+
+Error SynthesisSession::synthesize_dirty() {
+  std::vector<TraceState*> dirty;
+  for (auto& trace : traces_) {
+    if (trace.dirty) dirty.push_back(&trace);
+  }
+  if (dirty.empty()) return {};
+
+  const core::SynthesisOptions& options = config_.core_options();
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.threads()),
+                            dirty.size());
+  std::vector<std::string> failures(dirty.size());
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      try {
+        synthesize_trace(*dirty[i], options);
+      } catch (const std::exception& e) {
+        failures[i] = e.what();
+      }
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1); i < dirty.size();
+           i = next.fetch_add(1)) {
+        try {
+          synthesize_trace(*dirty[i], options);
+        } catch (const std::exception& e) {
+          failures[i] = e.what();
+        } catch (...) {
+          failures[i] = "unknown synthesis failure";
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    if (!failures[i].empty()) {
+      return make_error(ErrorCode::SynthesisFailed, failures[i],
+                        dirty[i]->id);
+    }
+  }
+  return {};
+}
+
+Result<core::TimingModel> SynthesisSession::model() {
+  if (segments_.empty()) {
+    return make_error(ErrorCode::EmptySession,
+                      "no events ingested before model()", "");
+  }
+
+  if (config_.merge_strategy() == MergeStrategy::MergeTraces) {
+    if (merged_dirty_) {
+      // Global single-pass k-way merge over every segment, in ingestion
+      // order (ties keep earlier-ingested segments first).
+      std::vector<const trace::EventVector*> parts;
+      parts.reserve(segment_locator_.size());
+      for (const auto& [trace_idx, seg_idx] : segment_locator_) {
+        parts.push_back(&traces_[trace_idx].segments[seg_idx]);
+      }
+      try {
+        core::TraceIndex index(trace::SortedEventView::merged(parts));
+        core::TimingModel model;
+        model.node_callbacks =
+            core::extract_all_nodes(index, config_.core_options().extract);
+        core::normalize_labels(model.node_callbacks);
+        model.dag =
+            core::build_dag(model.node_callbacks, config_.core_options().dag);
+        merged_model_ = std::move(model);
+      } catch (const std::exception& e) {
+        return make_error(ErrorCode::SynthesisFailed, e.what(),
+                          "merged stream");
+      }
+      merged_dirty_ = false;
+    }
+    return merged_model_;
+  }
+
+  if (Error error = synthesize_dirty(); error.code != ErrorCode::None) {
+    return error;
+  }
+  if (traces_.size() == 1) return traces_[0].model;
+
+  core::TimingModel combined;
+  for (const TraceState& trace : traces_) {
+    combined.dag.merge(trace.model.dag);
+    combined.node_callbacks.insert(combined.node_callbacks.end(),
+                                   trace.model.node_callbacks.begin(),
+                                   trace.model.node_callbacks.end());
+  }
+  return combined;
+}
+
+Result<core::MultiModeDag> SynthesisSession::multi_mode_model() {
+  if (segments_.empty()) {
+    return make_error(ErrorCode::EmptySession,
+                      "no events ingested before multi_mode_model()", "");
+  }
+  if (Error error = synthesize_dirty(); error.code != ErrorCode::None) {
+    return error;
+  }
+  core::MultiModeDag multi;
+  for (const TraceState& trace : traces_) {
+    const std::string& mode =
+        trace.mode.empty() ? config_.default_mode() : trace.mode;
+    multi.merge_into_mode(mode, trace.model.dag);
+  }
+  return multi;
+}
+
+Result<core::TimingModel> SynthesisSession::trace_model(
+    const std::string& trace_id) {
+  auto it = trace_index_.find(trace_id);
+  if (it == trace_index_.end()) {
+    return make_error(ErrorCode::UnknownTrace, "no such trace in session",
+                      trace_id);
+  }
+  TraceState& trace = traces_[it->second];
+  if (trace.dirty) {
+    try {
+      synthesize_trace(trace, config_.core_options());
+    } catch (const std::exception& e) {
+      return make_error(ErrorCode::SynthesisFailed, e.what(), trace_id);
+    }
+  }
+  return trace.model;
+}
+
+Result<trace::EventVector> SynthesisSession::merged_events(
+    const std::string& trace_id) const {
+  auto it = trace_index_.find(trace_id);
+  if (it == trace_index_.end()) {
+    return make_error(ErrorCode::UnknownTrace, "no such trace in session",
+                      trace_id);
+  }
+  const TraceState& trace = traces_[it->second];
+  if (trace.sealed) {
+    return make_error(ErrorCode::InvalidArgument,
+                      "trace events were released", trace_id);
+  }
+  std::vector<const trace::EventVector*> parts;
+  parts.reserve(trace.segments.size());
+  for (const auto& segment : trace.segments) parts.push_back(&segment);
+  return trace::SortedEventView::merged(parts).to_vector();
+}
+
+Result<std::size_t> SynthesisSession::release_events(
+    const std::string& trace_id) {
+  if (config_.merge_strategy() == MergeStrategy::MergeTraces) {
+    return make_error(ErrorCode::InvalidArgument,
+                      "release_events requires the MergeDags strategy",
+                      trace_id);
+  }
+  auto it = trace_index_.find(trace_id);
+  if (it == trace_index_.end()) {
+    return make_error(ErrorCode::UnknownTrace, "no such trace in session",
+                      trace_id);
+  }
+  TraceState& trace = traces_[it->second];
+  if (trace.dirty) {
+    try {
+      synthesize_trace(trace, config_.core_options());
+    } catch (const std::exception& e) {
+      return make_error(ErrorCode::SynthesisFailed, e.what(), trace_id);
+    }
+  }
+  std::size_t freed = 0;
+  for (const auto& segment : trace.segments) freed += segment.size();
+  trace.segments.clear();
+  trace.segments.shrink_to_fit();
+  trace.sealed = true;
+  return freed;
+}
+
+std::vector<std::string> SynthesisSession::trace_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(traces_.size());
+  for (const auto& trace : traces_) ids.push_back(trace.id);
+  return ids;
+}
+
+void SynthesisSession::clear() {
+  traces_.clear();
+  trace_index_.clear();
+  segments_.clear();
+  segment_locator_.clear();
+  event_count_ = 0;
+  auto_trace_counter_ = 0;
+  merged_model_ = {};
+  merged_dirty_ = true;
+}
+
+}  // namespace tetra::api

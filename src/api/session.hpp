@@ -1,0 +1,145 @@
+// SynthesisSession: the streaming synthesis API (paper §V, Fig. 2).
+//
+// Traces arrive as many segments across runs and modes; a session accepts
+// them incrementally and serves models at any point:
+//
+//   api::SynthesisSession session(
+//       api::SynthesisConfig().merge_strategy(api::MergeStrategy::MergeDags)
+//                             .threads(4));
+//   session.ingest(run1_events, {.trace_id = "run-1"});
+//   session.ingest_file("run2.jsonl", {.trace_id = "run-2"});
+//   auto model = session.model();            // synthesizes run-1 + run-2
+//   session.ingest(more_events, {.trace_id = "run-1"});
+//   model = session.model();                 // re-synthesizes ONLY run-1
+//
+// Segments ingested under one trace id are k-way merged into a single
+// sorted event view (no concatenate+re-sort, no per-call trace copy);
+// distinct trace ids are synthesized independently — in parallel on a
+// small worker pool when config.threads(N) > 1 — and combined per the
+// configured merge strategy. Results carry typed api::Error diagnostics
+// instead of bare exceptions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/result.hpp"
+#include "core/model_synthesis.hpp"
+#include "trace/database.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::api {
+
+/// Per-ingest options. An empty trace_id opens a fresh auto-named trace
+/// ("trace-<n>"): the right default under MergeDags, where each ingest is
+/// typically one run. Segments of the same run/mode should share an id.
+struct IngestOptions {
+  std::string trace_id;
+  std::string mode;  ///< operating-mode tag; "" = config.default_mode()
+};
+
+class SynthesisSession {
+ public:
+  SynthesisSession() = default;
+  explicit SynthesisSession(SynthesisConfig config)
+      : config_(std::move(config)) {}
+
+  // -- ingestion ----------------------------------------------------------
+
+  /// Adds one event segment. Unsorted segments are sorted on ingest (and
+  /// flagged in the returned SegmentInfo); synthesis is deferred until a
+  /// model query, so ingest cost is O(segment).
+  Result<SegmentInfo> ingest(trace::EventVector events,
+                             const IngestOptions& options = {});
+
+  /// Reads a JSONL trace file and ingests it. The default trace id is the
+  /// path itself.
+  Result<SegmentInfo> ingest_file(const std::string& path,
+                                  const IngestOptions& options = {});
+
+  /// Ingests one stored segment of a TraceDatabase; the trace id defaults
+  /// to the key's run (so all segments of a run merge) and the mode to the
+  /// segment's stored tag.
+  Result<SegmentInfo> ingest_database_segment(
+      const trace::TraceDatabase& db, const trace::TraceKey& key,
+      const IngestOptions& options = {});
+
+  /// Ingests every segment of the database (runs become trace ids, stored
+  /// mode tags are kept). Returns per-segment infos in storage order.
+  Result<std::vector<SegmentInfo>> ingest_database(
+      const trace::TraceDatabase& db);
+
+  // -- queries ------------------------------------------------------------
+
+  /// The combined model over everything ingested so far, per the merge
+  /// strategy. Under MergeDags only traces dirtied since the last query
+  /// are re-synthesized; node_callbacks concatenates the per-trace lists.
+  Result<core::TimingModel> model();
+
+  /// Per-mode models (§V option iv): per-trace DAGs merged into the mode
+  /// each trace was tagged with.
+  Result<core::MultiModeDag> multi_mode_model();
+
+  /// The model of one logical trace (its segments k-way merged).
+  Result<core::TimingModel> trace_model(const std::string& trace_id);
+
+  /// The chronologically merged event stream of one trace (a copy).
+  Result<trace::EventVector> merged_events(const std::string& trace_id) const;
+
+  /// Frees the stored event segments of one trace while keeping its cached
+  /// model, so long-lived sessions over heavy trace volume stay bounded in
+  /// memory (MergeDags only — MergeTraces needs every event for the global
+  /// merge). Synthesizes the trace first if it is still dirty. The trace
+  /// is sealed afterwards: further ingests into it are rejected. Returns
+  /// the number of events freed.
+  Result<std::size_t> release_events(const std::string& trace_id);
+
+  // -- introspection ------------------------------------------------------
+
+  const SynthesisConfig& config() const { return config_; }
+  std::size_t segment_count() const { return segments_.size(); }
+  std::size_t trace_count() const { return traces_.size(); }
+  std::size_t event_count() const { return event_count_; }
+  std::vector<std::string> trace_ids() const;
+  /// Ingestion diagnostics for every segment, in ingestion order.
+  const std::vector<SegmentInfo>& segments() const { return segments_; }
+
+  /// Drops all ingested data and cached models; the config is kept.
+  void clear();
+
+ private:
+  struct TraceState {
+    std::string id;
+    std::string mode;
+    std::vector<trace::EventVector> segments;  ///< each time-sorted
+    core::TimingModel model;                   ///< cache, valid when !dirty
+    bool dirty = true;
+    bool sealed = false;  ///< events released; model cached, no re-ingest
+  };
+
+  TraceState& trace_for(const IngestOptions& options);
+  /// Synthesizes every dirty trace (worker pool when threads > 1).
+  /// Returns an error naming the first failing trace, if any.
+  Error synthesize_dirty();
+  static void synthesize_trace(TraceState& trace,
+                               const core::SynthesisOptions& options);
+
+  SynthesisConfig config_;
+  std::vector<TraceState> traces_;                ///< ingestion order
+  std::map<std::string, std::size_t> trace_index_;
+  std::vector<SegmentInfo> segments_;
+  /// Per-segment (trace index, segment index) in ingestion order — the
+  /// deterministic global tie-break for the MergeTraces k-way merge.
+  std::vector<std::pair<std::size_t, std::size_t>> segment_locator_;
+  std::size_t event_count_ = 0;
+  std::size_t auto_trace_counter_ = 0;
+
+  /// MergeTraces caches one global model instead of per-trace models.
+  core::TimingModel merged_model_;
+  bool merged_dirty_ = true;
+};
+
+}  // namespace tetra::api

@@ -1,0 +1,67 @@
+// Definitions of the deprecated core::ModelSynthesizer facade, implemented
+// as one-shot api::SynthesisSession uses. They live in the api layer (not
+// in core/model_synthesis.cpp) so that no core source depends on api
+// headers — the declaration in core/model_synthesis.hpp is all the lower
+// layer knows.
+#include <stdexcept>
+
+#include "api/session.hpp"
+#include "core/model_synthesis.hpp"
+
+namespace tetra::core {
+
+namespace {
+
+api::SynthesisConfig shim_config(const SynthesisOptions& options,
+                                 api::MergeStrategy strategy) {
+  return api::SynthesisConfig().core_options(options).merge_strategy(strategy);
+}
+
+/// Preserves the facade's throwing contract over the session's Result.
+template <typename T>
+T unwrap(api::Result<T> result) {
+  if (!result.ok()) throw std::runtime_error(result.error().to_string());
+  return std::move(result).take();
+}
+
+}  // namespace
+
+TimingModel ModelSynthesizer::synthesize(const trace::EventVector& events) const {
+  api::SynthesisSession session(
+      shim_config(options_, api::MergeStrategy::MergeDags));
+  unwrap(session.ingest(events));
+  return unwrap(session.model());
+}
+
+TimingModel ModelSynthesizer::synthesize_merged(
+    const std::vector<trace::EventVector>& traces) const {
+  api::SynthesisSession session(
+      shim_config(options_, api::MergeStrategy::MergeTraces));
+  for (const auto& trace : traces) unwrap(session.ingest(trace));
+  return unwrap(session.model());
+}
+
+Dag ModelSynthesizer::synthesize_and_merge(
+    const std::vector<trace::EventVector>& traces) const {
+  api::SynthesisSession session(
+      shim_config(options_, api::MergeStrategy::MergeDags));
+  for (const auto& trace : traces) unwrap(session.ingest(trace));
+  return unwrap(session.model()).dag;
+}
+
+MultiModeDag ModelSynthesizer::synthesize_multi_mode(
+    const std::vector<trace::EventVector>& traces,
+    const std::vector<std::string>& modes) const {
+  if (traces.size() != modes.size()) {
+    throw std::invalid_argument(
+        "synthesize_multi_mode: traces/modes size mismatch");
+  }
+  api::SynthesisSession session(
+      shim_config(options_, api::MergeStrategy::MergeDags));
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    unwrap(session.ingest(traces[i], {.trace_id = "", .mode = modes[i]}));
+  }
+  return unwrap(session.multi_mode_model());
+}
+
+}  // namespace tetra::core

@@ -33,21 +33,32 @@ Duration exec_time_naive(TimePoint start, TimePoint end, Pid pid,
 }
 
 ExecTimeCalculator::ExecTimeCalculator(const trace::EventVector& events) {
-  for (const auto& event : events) {
-    if (event.type == trace::EventType::SchedSwitch) {
-      const auto& info = event.as<trace::SchedSwitchInfo>();
-      if (info.prev_pid != kIdlePid) {
-        switches_[info.prev_pid].push_back(
-            Switch{event.time, false, info.prev_state});
-      }
-      if (info.next_pid != kIdlePid) {
-        switches_[info.next_pid].push_back(
-            Switch{event.time, true, trace::ThreadRunState::Runnable});
-      }
-    } else if (event.type == trace::EventType::SchedWakeup) {
-      wakeups_[event.as<trace::SchedWakeupInfo>().woken_pid].push_back(event.time);
+  for (const auto& event : events) index_event(event);
+  finalize_indices();
+}
+
+ExecTimeCalculator::ExecTimeCalculator(const trace::SortedEventView& view) {
+  for (const auto& event : view) index_event(event);
+  finalize_indices();
+}
+
+void ExecTimeCalculator::index_event(const trace::TraceEvent& event) {
+  if (event.type == trace::EventType::SchedSwitch) {
+    const auto& info = event.as<trace::SchedSwitchInfo>();
+    if (info.prev_pid != kIdlePid) {
+      switches_[info.prev_pid].push_back(
+          Switch{event.time, false, info.prev_state});
     }
+    if (info.next_pid != kIdlePid) {
+      switches_[info.next_pid].push_back(
+          Switch{event.time, true, trace::ThreadRunState::Runnable});
+    }
+  } else if (event.type == trace::EventType::SchedWakeup) {
+    wakeups_[event.as<trace::SchedWakeupInfo>().woken_pid].push_back(event.time);
   }
+}
+
+void ExecTimeCalculator::finalize_indices() {
   for (auto& [pid, list] : switches_) {
     std::stable_sort(list.begin(), list.end(),
                      [](const Switch& a, const Switch& b) { return a.time < b.time; });

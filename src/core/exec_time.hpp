@@ -18,6 +18,7 @@
 #include "support/ids.hpp"
 #include "support/time.hpp"
 #include "trace/event.hpp"
+#include "trace/event_view.hpp"
 
 namespace tetra::core {
 
@@ -33,6 +34,9 @@ class ExecTimeCalculator {
   /// Builds per-PID indices from any event stream (non-sched events are
   /// ignored). Events need not be sorted.
   explicit ExecTimeCalculator(const trace::EventVector& events);
+
+  /// Same, over a sorted view (no intermediate event copy).
+  explicit ExecTimeCalculator(const trace::SortedEventView& view);
 
   /// Execution time of the window [start, end] for the thread `pid`:
   /// the sum of its on-CPU segments inside the window. The thread is
@@ -54,6 +58,8 @@ class ExecTimeCalculator {
     trace::ThreadRunState prev_state;  ///< only meaningful when !in
   };
   const std::vector<Switch>* switches_for(Pid pid) const;
+  void index_event(const trace::TraceEvent& event);
+  void finalize_indices();
 
   std::map<Pid, std::vector<Switch>> switches_;
   std::map<Pid, std::vector<TimePoint>> wakeups_;

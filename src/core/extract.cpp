@@ -36,10 +36,12 @@ bool is_service_reply_topic(const std::string& topic) {
 }
 
 TraceIndex::TraceIndex(const trace::EventVector& events)
-    : events_(events), exec_calc_(events) {
-  trace::sort_by_time(events_);
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const auto& event = events_[i];
+    : TraceIndex(trace::SortedEventView::over(events)) {}
+
+TraceIndex::TraceIndex(trace::SortedEventView view)
+    : view_(std::move(view)), exec_calc_(view_) {
+  for (std::size_t i = 0; i < view_.size(); ++i) {
+    const auto& event = view_[i];
     if (event.type == trace::EventType::RmwCreateNode) {
       nodes_[event.pid] = event.as<trace::NodeInfo>().node_name;
     }
@@ -67,7 +69,7 @@ const std::vector<std::size_t>& TraceIndex::ros_events_of(Pid pid) const {
 const trace::TraceEvent* TraceIndex::find_write(const std::string& topic,
                                                 TimePoint src_ts) const {
   auto it = writes_.find(TopicTsKey{topic, src_ts.count_ns()});
-  return it == writes_.end() ? nullptr : &events_[it->second];
+  return it == writes_.end() ? nullptr : &view_[it->second];
 }
 
 std::vector<std::size_t> TraceIndex::find_take_responses(
@@ -78,8 +80,8 @@ std::vector<std::size_t> TraceIndex::find_take_responses(
 
 const trace::TraceEvent* TraceIndex::next_take_type_erased(
     Pid pid, std::size_t from) const {
-  for (std::size_t i = from; i < events_.size(); ++i) {
-    const auto& event = events_[i];
+  for (std::size_t i = from; i < view_.size(); ++i) {
+    const auto& event = view_[i];
     if (event.pid == pid && event.type == trace::EventType::TakeTypeErased) {
       return &event;
     }

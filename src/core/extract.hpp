@@ -16,6 +16,7 @@
 #include "core/callback_record.hpp"
 #include "core/exec_time.hpp"
 #include "trace/event.hpp"
+#include "trace/event_view.hpp"
 
 namespace tetra::core {
 
@@ -35,11 +36,22 @@ bool is_service_reply_topic(const std::string& topic);
 
 /// Pre-built indices over one trace, shared by per-node extractions and by
 /// the caller/client resolution searches.
+///
+/// The index builds over a SortedEventView: an already-sorted EventVector
+/// is borrowed without copying (the caller keeps it alive), segmented
+/// ingestion feeds a k-way-merged owning view, and only unsorted input
+/// pays for a sorted copy.
 class TraceIndex {
  public:
+  /// Borrows `events` when already sorted; copies + sorts otherwise. The
+  /// vector must outlive the index.
   explicit TraceIndex(const trace::EventVector& events);
 
-  const trace::EventVector& events() const { return events_; }
+  /// Builds over a prepared view (moved in; borrowed storage must outlive
+  /// the index).
+  explicit TraceIndex(trace::SortedEventView view);
+
+  const trace::SortedEventView& events() const { return view_; }
 
   /// Indices (into events()) of ROS2 events of `pid`, time-ordered.
   const std::vector<std::size_t>& ros_events_of(Pid pid) const;
@@ -64,7 +76,7 @@ class TraceIndex {
  private:
   using TopicTsKey = std::pair<std::string, std::int64_t>;
 
-  trace::EventVector events_;  // sorted copy
+  trace::SortedEventView view_;
   std::map<Pid, std::vector<std::size_t>> ros_by_pid_;
   std::map<TopicTsKey, std::size_t> writes_;
   std::map<TopicTsKey, std::vector<std::size_t>> take_responses_;

@@ -1,9 +1,5 @@
 #include "core/model_synthesis.hpp"
 
-#include <stdexcept>
-
-#include "trace/merge.hpp"
-
 namespace tetra::core {
 
 const CallbackRecord* TimingModel::find_callback(const std::string& label) const {
@@ -13,41 +9,9 @@ const CallbackRecord* TimingModel::find_callback(const std::string& label) const
   return nullptr;
 }
 
-TimingModel ModelSynthesizer::synthesize(const trace::EventVector& events) const {
-  TraceIndex index(events);
-  TimingModel model;
-  model.node_callbacks = extract_all_nodes(index, options_.extract);
-  normalize_labels(model.node_callbacks);
-  model.dag = build_dag(model.node_callbacks, options_.dag);
-  return model;
-}
-
-TimingModel ModelSynthesizer::synthesize_merged(
-    const std::vector<trace::EventVector>& traces) const {
-  return synthesize(trace::merge_unsorted(traces));
-}
-
-Dag ModelSynthesizer::synthesize_and_merge(
-    const std::vector<trace::EventVector>& traces) const {
-  Dag merged;
-  for (const auto& trace : traces) {
-    merged.merge(synthesize(trace).dag);
-  }
-  return merged;
-}
-
-MultiModeDag ModelSynthesizer::synthesize_multi_mode(
-    const std::vector<trace::EventVector>& traces,
-    const std::vector<std::string>& modes) const {
-  if (traces.size() != modes.size()) {
-    throw std::invalid_argument(
-        "synthesize_multi_mode: traces/modes size mismatch");
-  }
-  MultiModeDag multi;
-  for (std::size_t i = 0; i < traces.size(); ++i) {
-    multi.merge_into_mode(modes[i], synthesize(traces[i]).dag);
-  }
-  return multi;
-}
+// ModelSynthesizer's method definitions live in src/api/synthesizer_shim.cpp:
+// the deprecated facade delegates to api::SynthesisSession, and the api layer
+// sits above core — keeping the definitions there preserves the one-way
+// layering (no core source includes api headers).
 
 }  // namespace tetra::core

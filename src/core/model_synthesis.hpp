@@ -1,7 +1,8 @@
-// Top-level facade: traces in, timing model out. Wraps the extraction
-// (Alg. 1 + Alg. 2), label normalization and DAG synthesis behind one
-// call, and implements the multi-run / multi-mode merge strategies of the
-// deployment section (paper §V).
+// DEPRECATED batch facade: traces in, timing model out, one call per
+// strategy. Kept as a thin compatibility shim over one-shot
+// api::SynthesisSession instances — new code should open a session
+// (api/session.hpp), which adds incremental segment ingestion, k-way
+// merged zero-copy event views, a worker pool and structured errors.
 #pragma once
 
 #include <string>
@@ -30,6 +31,9 @@ struct SynthesisOptions {
   ExtractOptions extract;
 };
 
+/// Deprecated: use api::SynthesisSession. Each call below opens a one-shot
+/// session, ingests, queries, and rethrows session errors as
+/// std::runtime_error (the facade's historical contract).
 class ModelSynthesizer {
  public:
   ModelSynthesizer() = default;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "api/session.hpp"
 #include "trace/merge.hpp"
 
 namespace tetra::scenario {
@@ -107,9 +108,9 @@ ScenarioInstance ScenarioRunner::instantiate(ros2::Context& ctx,
   return instance;
 }
 
-ScenarioRunResult ScenarioRunner::run(const ScenarioSpec& spec,
-                                      double demand_scale,
-                                      std::uint64_t run_index) const {
+ScenarioRunner::TracedRun ScenarioRunner::trace_run(
+    const ScenarioSpec& spec, double demand_scale,
+    std::uint64_t run_index) const {
   ros2::Context::Config config;
   config.num_cpus = spec.num_cpus;
   config.seed = spec.seed * 1000003ULL + run_index + 0x7e74ULL;
@@ -125,17 +126,46 @@ ScenarioRunResult ScenarioRunner::run(const ScenarioSpec& spec,
                               options_.interference);
   }
 
-  trace::EventVector init_trace = suite.stop_init();
+  TracedRun traced;
+  traced.init_trace = suite.stop_init();
   suite.start_runtime();
   ctx.run_for(spec.run_duration);
-  trace::EventVector runtime_trace = suite.stop_runtime();
+  traced.runtime_trace = suite.stop_runtime();
+  traced.overhead = suite.overhead_report();
+  return traced;
+}
+
+api::SynthesisConfig ScenarioRunner::session_config(
+    api::MergeStrategy strategy) const {
+  return api::SynthesisConfig()
+      .merge_strategy(strategy)
+      .core_options(options_.synthesis)
+      .threads(options_.threads);
+}
+
+ScenarioRunResult ScenarioRunner::run(const ScenarioSpec& spec,
+                                      double demand_scale,
+                                      std::uint64_t run_index) const {
+  TracedRun traced = trace_run(spec, demand_scale, run_index);
+
+  // Merge the init and runtime tracer outputs once; ingested as a single
+  // sorted segment, the session synthesizes over borrowed storage with no
+  // further copy, and merged_events() is a plain copy (no re-merge).
+  api::SynthesisSession session(
+      session_config(api::MergeStrategy::MergeTraces));
+  session.ingest(trace::merge_sorted({std::move(traced.init_trace),
+                                      std::move(traced.runtime_trace)}),
+                 {.trace_id = "run", .mode = ""});
 
   ScenarioRunResult result;
-  result.trace =
-      trace::merge_sorted({std::move(init_trace), std::move(runtime_trace)});
-  result.model = core::ModelSynthesizer(options_.synthesis)
-                     .synthesize(result.trace);
-  result.overhead = suite.overhead_report();
+  result.trace = session.merged_events("run").value();
+  api::Result<core::TimingModel> model = session.model();
+  if (!model.ok()) {
+    throw std::runtime_error("scenario synthesis failed: " +
+                             model.error().to_string());
+  }
+  result.model = std::move(model).take();
+  result.overhead = traced.overhead;
   return result;
 }
 
@@ -143,12 +173,24 @@ core::MultiModeDag ScenarioRunner::run_modes(const ScenarioSpec& spec) const {
   std::vector<ModeSpec> modes = spec.modes;
   if (modes.empty()) modes.push_back(ModeSpec{"nominal", 1.0});
 
-  core::MultiModeDag result;
+  // One session accumulates all per-mode traces; the per-mode DAG merge
+  // (§V option iv) happens in multi_mode_model, with per-trace synthesis
+  // parallelized across options_.threads workers.
+  api::SynthesisSession session(
+      session_config(api::MergeStrategy::MergeDags));
   for (std::size_t i = 0; i < modes.size(); ++i) {
-    ScenarioRunResult run_result = run(spec, modes[i].demand_scale, i + 1);
-    result.merge_into_mode(modes[i].name, run_result.model.dag);
+    TracedRun traced = trace_run(spec, modes[i].demand_scale, i + 1);
+    const api::IngestOptions segment{
+        .trace_id = "mode-" + std::to_string(i), .mode = modes[i].name};
+    session.ingest(std::move(traced.init_trace), segment);
+    session.ingest(std::move(traced.runtime_trace), segment);
   }
-  return result;
+  api::Result<core::MultiModeDag> result = session.multi_mode_model();
+  if (!result.ok()) {
+    throw std::runtime_error("multi-mode synthesis failed: " +
+                             result.error().to_string());
+  }
+  return std::move(result).take();
 }
 
 }  // namespace tetra::scenario

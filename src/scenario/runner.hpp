@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "core/model_synthesis.hpp"
 #include "dds/domain.hpp"
 #include "ebpf/tracers.hpp"
@@ -26,6 +27,9 @@ struct RunnerOptions {
   int interference_threads = 0;
   sched::InterferenceConfig interference;
   core::SynthesisOptions synthesis;
+  /// Worker threads for the synthesis session (per-trace parallelism in
+  /// multi-run/multi-mode synthesis).
+  int threads = 1;
 };
 
 /// Handles to a spec instantiated into a Context. Owns the untraced
@@ -67,6 +71,17 @@ class ScenarioRunner {
   const RunnerOptions& options() const { return options_; }
 
  private:
+  /// One traced simulation without synthesis: the init/runtime tracer
+  /// outputs are returned as separate segments for session ingestion.
+  struct TracedRun {
+    trace::EventVector init_trace;
+    trace::EventVector runtime_trace;
+    ebpf::OverheadReport overhead;
+  };
+  TracedRun trace_run(const ScenarioSpec& spec, double demand_scale,
+                      std::uint64_t run_index) const;
+  api::SynthesisConfig session_config(api::MergeStrategy strategy) const;
+
   RunnerOptions options_;
 };
 

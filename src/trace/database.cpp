@@ -53,6 +53,19 @@ std::vector<std::string> TraceDatabase::runs_for_mode(const std::string& mode) c
   return {unique.begin(), unique.end()};
 }
 
+const std::string& TraceDatabase::mode_of(const TraceKey& key) const {
+  static const std::string kEmpty;
+  auto it = segments_.find(key);
+  return it == segments_.end() ? kEmpty : it->second.mode;
+}
+
+std::vector<TraceKey> TraceDatabase::keys() const {
+  std::vector<TraceKey> out;
+  out.reserve(segments_.size());
+  for (const auto& [key, entry] : segments_) out.push_back(key);
+  return out;
+}
+
 std::vector<std::string> TraceDatabase::runs() const {
   std::set<std::string> unique;
   for (const auto& [key, entry] : segments_) unique.insert(key.run);

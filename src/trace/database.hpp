@@ -37,6 +37,12 @@ class TraceDatabase {
   /// Runs whose segments are tagged with `mode`.
   std::vector<std::string> runs_for_mode(const std::string& mode) const;
 
+  /// The mode tag of one stored segment ("" when untagged or unknown).
+  const std::string& mode_of(const TraceKey& key) const;
+
+  /// Every stored key in (run, segment) order.
+  std::vector<TraceKey> keys() const;
+
   std::vector<std::string> runs() const;
   std::size_t segment_count() const { return segments_.size(); }
 

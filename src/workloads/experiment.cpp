@@ -1,7 +1,9 @@
 #include "workloads/experiment.hpp"
 
+#include <stdexcept>
+
+#include "api/session.hpp"
 #include "sched/interference.hpp"
-#include "trace/merge.hpp"
 
 namespace tetra::workloads {
 
@@ -9,7 +11,19 @@ CaseStudyResult run_case_study(
     const CaseStudyConfig& config,
     const std::function<void(const RunResult&)>& per_run) {
   CaseStudyResult result;
-  core::ModelSynthesizer synthesizer(config.synthesis);
+  // One streaming session spans the whole case study: each run's trace is
+  // ingested as its own logical trace, and the final §V option (ii) merge
+  // reuses every cached per-run DAG. A per_run observer needs each model
+  // the moment its run completes, which forces eager inline synthesis
+  // (and lets traces be released immediately, keeping memory bounded);
+  // without an observer, synthesis is deferred so all runs hit the
+  // config.threads worker pool in one batch.
+  const bool eager = static_cast<bool>(per_run);
+  api::SynthesisSession session(
+      api::SynthesisConfig()
+          .merge_strategy(api::MergeStrategy::MergeDags)
+          .core_options(config.synthesis)
+          .threads(config.threads));
   Rng run_rng(config.seed);
 
   for (int run = 0; run < config.runs; ++run) {
@@ -61,15 +75,28 @@ CaseStudyResult run_case_study(
     ctx.run_for(config.run_duration);
     trace::EventVector runtime_trace = suite.stop_runtime();
 
-    trace::EventVector merged =
-        trace::merge_sorted({std::move(init_trace), std::move(runtime_trace)});
-    run_result.model = synthesizer.synthesize(merged);
+    const std::string trace_id = "run-" + std::to_string(run);
+    const api::IngestOptions segment{.trace_id = trace_id, .mode = ""};
+    session.ingest(std::move(init_trace), segment);
+    session.ingest(std::move(runtime_trace), segment);
+
     run_result.overhead = suite.overhead_report();
     run_result.app_busy_time = ctx.machine().total_busy_time();
-    if (config.keep_traces) run_result.trace = std::move(merged);
-
-    result.merged_dag.merge(run_result.model.dag);
-    if (per_run) per_run(run_result);
+    if (eager) {
+      api::Result<core::TimingModel> model = session.trace_model(trace_id);
+      if (!model.ok()) {
+        throw std::runtime_error("case-study synthesis failed: " +
+                                 model.error().to_string());
+      }
+      run_result.model = std::move(model).take();
+      if (config.keep_traces) {
+        run_result.trace = session.merged_events(trace_id).value();
+      }
+      // Keep the session's memory bounded across long sweeps: the cached
+      // per-run DAG is all the final merge needs.
+      session.release_events(trace_id);
+      per_run(run_result);
+    }
     result.runs.push_back(std::move(run_result));
 
     if (config.with_avp && result.avp_labels.empty()) {
@@ -78,6 +105,26 @@ CaseStudyResult run_case_study(
     }
     if (config.with_syn && result.syn_labels.empty()) {
       result.syn_labels = syn.label_of;
+    }
+  }
+  // Final §V option (ii) merge. Eager mode arrives with every trace
+  // clean (pure DAG union); deferred mode synthesizes all runs here on
+  // the worker pool, then back-fills the per-run results.
+  api::Result<core::TimingModel> merged = session.model();
+  if (!merged.ok()) {
+    throw std::runtime_error("case-study merge failed: " +
+                             merged.error().to_string());
+  }
+  result.merged_dag = std::move(merged).take().dag;
+  if (!eager) {
+    for (RunResult& run_result : result.runs) {
+      const std::string trace_id =
+          "run-" + std::to_string(run_result.run_index);
+      run_result.model = session.trace_model(trace_id).value();  // cached
+      if (config.keep_traces) {
+        run_result.trace = session.merged_events(trace_id).value();
+      }
+      session.release_events(trace_id);
     }
   }
   result.observed_span = config.run_duration * config.runs;

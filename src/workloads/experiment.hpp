@@ -43,6 +43,12 @@ struct CaseStudyConfig {
   /// latency experiments).
   bool keep_traces = false;
   core::SynthesisOptions synthesis;
+  /// Worker threads for the synthesis session. Only effective without a
+  /// per_run observer: an observer needs each model as its run completes,
+  /// forcing sequential inline synthesis; without one, all per-run
+  /// syntheses batch onto the pool after the last run (the traces are
+  /// retained until then, trading peak memory for parallelism).
+  int threads = 1;
 };
 
 struct RunResult {

@@ -1,0 +1,290 @@
+// The session-based streaming synthesis API: lifecycle, the structured
+// error model, and the core streaming guarantee — splitting any trace
+// into K segments and ingesting them in shuffled order yields a model
+// identical to whole-trace synthesis (property-tested across scenario
+// generator seeds plus the seed7 golden trace), while per-trace worker
+// pools and incremental re-synthesis leave results unchanged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "core/model_synthesis.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "trace/database.hpp"
+#include "trace/event_view.hpp"
+#include "trace/serialize.hpp"
+
+namespace tetra::api {
+namespace {
+
+// -- model comparison -------------------------------------------------------
+
+void expect_same_dag(const core::Dag& a, const core::Dag& b,
+                     const std::string& what) {
+  ASSERT_EQ(a.vertex_count(), b.vertex_count()) << what;
+  ASSERT_EQ(a.edge_count(), b.edge_count()) << what;
+  for (const auto& vertex : a.vertices()) {
+    const core::DagVertex* other = b.find_vertex(vertex.key);
+    ASSERT_NE(other, nullptr) << what << ": missing vertex " << vertex.key;
+    EXPECT_EQ(vertex.kind, other->kind) << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.in_topic, other->in_topic) << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.out_topics, other->out_topics)
+        << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.instance_count, other->instance_count)
+        << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.is_and_junction, other->is_and_junction)
+        << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.is_or_junction, other->is_or_junction)
+        << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.stats.count(), other->stats.count())
+        << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.mbcet().count_ns(), other->mbcet().count_ns())
+        << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.macet().count_ns(), other->macet().count_ns())
+        << what << ": " << vertex.key;
+    EXPECT_EQ(vertex.mwcet().count_ns(), other->mwcet().count_ns())
+        << what << ": " << vertex.key;
+  }
+  auto edges_a = a.edges();
+  auto edges_b = b.edges();
+  std::sort(edges_a.begin(), edges_a.end());
+  std::sort(edges_b.begin(), edges_b.end());
+  EXPECT_EQ(edges_a, edges_b) << what;
+}
+
+// -- segmentation helpers ---------------------------------------------------
+
+/// Splits into ~k contiguous chunks without ever separating events that
+/// share a timestamp (cross-segment ties would make the shuffled k-way
+/// merge order legitimately ambiguous).
+std::vector<trace::EventVector> split_segments(const trace::EventVector& events,
+                                               std::size_t k) {
+  std::vector<trace::EventVector> out;
+  const std::size_t target = std::max<std::size_t>(1, events.size() / k);
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t end = std::min(events.size(), i + target);
+    while (end < events.size() && events[end].time == events[end - 1].time) {
+      ++end;
+    }
+    out.emplace_back(events.begin() + static_cast<std::ptrdiff_t>(i),
+                     events.begin() + static_cast<std::ptrdiff_t>(end));
+    i = end;
+  }
+  return out;
+}
+
+core::TimingModel synthesize_whole(const trace::EventVector& events) {
+  SynthesisSession session;
+  session.ingest(events);
+  return session.model().value();
+}
+
+core::TimingModel synthesize_segmented(const trace::EventVector& events,
+                                       std::size_t k, std::uint64_t shuffle_seed) {
+  std::vector<trace::EventVector> segments = split_segments(events, k);
+  std::mt19937_64 rng(shuffle_seed);
+  std::shuffle(segments.begin(), segments.end(), rng);
+  SynthesisSession session(
+      SynthesisConfig().merge_strategy(MergeStrategy::MergeTraces));
+  for (auto& segment : segments) {
+    session.ingest(std::move(segment), {.trace_id = "t", .mode = ""});
+  }
+  return session.model().value();
+}
+
+trace::EventVector scenario_trace(std::uint64_t seed) {
+  const scenario::Scenario scen = scenario::ScenarioGenerator().generate(seed);
+  return scenario::ScenarioRunner().run(scen.spec).trace;
+}
+
+// -- lifecycle & error model ------------------------------------------------
+
+TEST(SynthesisSessionTest, EmptySessionReportsTypedError) {
+  SynthesisSession session;
+  const Result<core::TimingModel> result = session.model();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::EmptySession);
+  EXPECT_THROW(result.value(), std::logic_error);
+}
+
+TEST(SynthesisSessionTest, UnknownTraceAndMissingFileErrors) {
+  SynthesisSession session;
+  EXPECT_EQ(session.trace_model("nope").error().code, ErrorCode::UnknownTrace);
+  EXPECT_EQ(session.merged_events("nope").error().code,
+            ErrorCode::UnknownTrace);
+  const auto io = session.ingest_file("/nonexistent/trace.jsonl");
+  ASSERT_FALSE(io.ok());
+  EXPECT_EQ(io.error().code, ErrorCode::Io);
+  EXPECT_EQ(io.error().context, "/nonexistent/trace.jsonl");
+}
+
+TEST(SynthesisSessionTest, AutoTraceIdsNeverCollideWithExplicitIds) {
+  SynthesisSession session;
+  const trace::EventVector events = scenario_trace(2);
+  ASSERT_TRUE(session.ingest(events, {.trace_id = "trace-0", .mode = ""}).ok());
+  const auto info = session.ingest(events);  // auto-named: must be fresh
+  ASSERT_TRUE(info.ok());
+  EXPECT_NE(info->trace_id, "trace-0");
+  EXPECT_EQ(session.trace_count(), 2u);
+}
+
+TEST(SynthesisSessionTest, ConflictingModeTagsAreRejected) {
+  SynthesisSession session;
+  const trace::EventVector events = scenario_trace(3);
+  ASSERT_TRUE(session.ingest(events, {.trace_id = "r", .mode = "city"}).ok());
+  const auto conflict =
+      session.ingest(events, {.trace_id = "r", .mode = "highway"});
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST(SynthesisSessionTest, IngestRecordsSegmentDiagnostics) {
+  SynthesisSession session;
+  trace::EventVector events = scenario_trace(4);
+  std::reverse(events.begin(), events.end());  // force re-sorting
+  const auto info = session.ingest(events, {.trace_id = "run-a", .mode = ""});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->trace_id, "run-a");
+  EXPECT_EQ(info->event_count, events.size());
+  EXPECT_FALSE(info->arrived_sorted);
+  EXPECT_EQ(session.segment_count(), 1u);
+  EXPECT_EQ(session.trace_count(), 1u);
+  EXPECT_EQ(session.event_count(), events.size());
+  session.clear();
+  EXPECT_EQ(session.segment_count(), 0u);
+  EXPECT_EQ(session.model().error().code, ErrorCode::EmptySession);
+}
+
+TEST(SynthesisSessionTest, ReleaseEventsKeepsModelAndSealsTrace) {
+  SynthesisSession session;
+  const trace::EventVector events = scenario_trace(5);
+  session.ingest(events, {.trace_id = "r", .mode = ""});
+  const core::TimingModel before = session.trace_model("r").value();
+  const auto freed = session.release_events("r");
+  ASSERT_TRUE(freed.ok());
+  EXPECT_EQ(*freed, events.size());
+  // Cached model still served; events gone; re-ingest rejected.
+  expect_same_dag(before.dag, session.trace_model("r").value().dag, "sealed");
+  EXPECT_EQ(session.merged_events("r").error().code,
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(session.ingest(events, {.trace_id = "r", .mode = ""}).error().code,
+            ErrorCode::InvalidArgument);
+
+  SynthesisSession merge_traces(
+      SynthesisConfig().merge_strategy(MergeStrategy::MergeTraces));
+  merge_traces.ingest(events, {.trace_id = "r", .mode = ""});
+  EXPECT_EQ(merge_traces.release_events("r").error().code,
+            ErrorCode::InvalidArgument);
+}
+
+TEST(SynthesisSessionTest, DatabaseIngestKeepsRunsAndModes) {
+  trace::TraceDatabase db;
+  const trace::EventVector city = scenario_trace(6);
+  const trace::EventVector highway = scenario_trace(8);
+  db.store({"run-1", 0}, city, "city");
+  db.store({"run-2", 0}, highway, "highway");
+
+  SynthesisSession session;
+  const auto infos = session.ingest_database(db);
+  ASSERT_TRUE(infos.ok());
+  ASSERT_EQ(infos->size(), 2u);
+  EXPECT_EQ((*infos)[0].trace_id, "run-1");
+  EXPECT_EQ((*infos)[0].mode, "city");
+
+  const core::MultiModeDag multi = session.multi_mode_model().value();
+  const std::vector<std::string> modes = multi.modes();
+  EXPECT_NE(std::find(modes.begin(), modes.end(), "city"), modes.end());
+  EXPECT_NE(std::find(modes.begin(), modes.end(), "highway"), modes.end());
+  expect_same_dag(*multi.mode_dag("city"), synthesize_whole(city).dag,
+                  "db city mode");
+}
+
+// -- incremental re-synthesis ----------------------------------------------
+
+TEST(SynthesisSessionTest, IncrementalIngestMatchesFromScratch) {
+  const trace::EventVector first = scenario_trace(10);
+  const trace::EventVector second = scenario_trace(12);
+
+  SynthesisSession incremental;
+  incremental.ingest(first, {.trace_id = "a", .mode = ""});
+  incremental.model().value();  // synthesize, cache
+  incremental.ingest(second, {.trace_id = "b", .mode = ""});
+  const core::TimingModel stepwise = incremental.model().value();
+
+  SynthesisSession batch;
+  batch.ingest(first, {.trace_id = "a", .mode = ""});
+  batch.ingest(second, {.trace_id = "b", .mode = ""});
+  expect_same_dag(stepwise.dag, batch.model().value().dag, "incremental");
+}
+
+TEST(SynthesisSessionTest, WorkerPoolMatchesSequential) {
+  SynthesisSession sequential(SynthesisConfig().threads(1));
+  SynthesisSession pooled(SynthesisConfig().threads(4));
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    const trace::EventVector events = scenario_trace(seed);
+    const IngestOptions opts{.trace_id = "run-" + std::to_string(seed),
+                             .mode = ""};
+    sequential.ingest(events, opts);
+    pooled.ingest(events, opts);
+  }
+  expect_same_dag(sequential.model().value().dag, pooled.model().value().dag,
+                  "worker pool");
+}
+
+TEST(SynthesisSessionTest, DeprecatedFacadeMatchesSession) {
+  const trace::EventVector events = scenario_trace(14);
+  const core::TimingModel shim = core::ModelSynthesizer().synthesize(events);
+  expect_same_dag(shim.dag, synthesize_whole(events).dag, "facade shim");
+}
+
+// -- segmented-ingestion equivalence property -------------------------------
+
+TEST(SegmentedIngestionProperty, ShuffledSegmentsMatchWholeTrace) {
+  // >= 20 generator seeds; K and the shuffle vary per seed.
+  for (std::uint64_t seed = 1; seed <= 22; ++seed) {
+    const trace::EventVector events = scenario_trace(seed);
+    ASSERT_GT(events.size(), 100u) << "seed " << seed;
+    const core::TimingModel whole = synthesize_whole(events);
+    const std::size_t k = 2 + seed % 6;
+    const core::TimingModel segmented =
+        synthesize_segmented(events, k, 0xfeed + seed);
+    expect_same_dag(whole.dag, segmented.dag,
+                    "seed " + std::to_string(seed) + " k=" +
+                        std::to_string(k));
+  }
+}
+
+TEST(SegmentedIngestionProperty, GoldenTraceSurvivesSegmentation) {
+  const std::string path =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const trace::EventVector events = trace::read_jsonl_file(path);
+  ASSERT_GT(events.size(), 100u);
+  const core::TimingModel whole = synthesize_whole(events);
+  for (std::size_t k : {2, 5, 9}) {
+    expect_same_dag(whole.dag, synthesize_segmented(events, k, 7 * k).dag,
+                    "golden k=" + std::to_string(k));
+  }
+}
+
+TEST(SegmentedIngestionProperty, SegmentedMergedEventsRoundTrip) {
+  // The k-way merged stream the session serves back must equal the
+  // original whole trace, independent of segment arrival order.
+  const trace::EventVector events = scenario_trace(17);
+  std::vector<trace::EventVector> segments = split_segments(events, 5);
+  std::mt19937_64 rng(99);
+  std::shuffle(segments.begin(), segments.end(), rng);
+  SynthesisSession session;
+  for (auto& segment : segments) {
+    session.ingest(std::move(segment), {.trace_id = "t", .mode = ""});
+  }
+  EXPECT_EQ(session.merged_events("t").value(), events);
+}
+
+}  // namespace
+}  // namespace tetra::api

@@ -6,8 +6,8 @@
 //
 //   tetra_scenario --seed N [--count K] [--validate]
 //                  [--cpus C] [--duration-ms D] [--interference T]
-//                  [--modes] [--json FILE] [--dot FILE] [--trace-out FILE]
-//                  [--quiet]
+//                  [--threads W] [--modes] [--json FILE] [--dot FILE]
+//                  [--trace-out FILE] [--quiet]
 //
 // With --validate (the main mode), exits 0 only when every scenario's
 // synthesized DAG matches its ground truth; mismatch reports go to
@@ -31,7 +31,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --seed N [--count K] [--validate]\n"
                "          [--cpus C] [--duration-ms D] [--interference T]\n"
-               "          [--modes] [--json FILE] [--dot FILE]\n"
+               "          [--threads W] [--modes] [--json FILE] [--dot FILE]\n"
                "          [--trace-out FILE] [--quiet]\n",
                argv0);
 }
@@ -79,6 +79,17 @@ int main(int argc, char** argv) {
       generator_options.run_duration = Duration::ms(std::atoi(next().c_str()));
     } else if (arg == "--interference") {
       runner_options.interference_threads = std::atoi(next().c_str());
+    } else if (arg == "--threads") {
+      // Worker threads of the synthesis session (multi-mode synthesis
+      // parallelizes per mode trace).
+      const std::string value = next();
+      runner_options.threads = std::atoi(value.c_str());
+      if (runner_options.threads < 1) {
+        std::fprintf(stderr,
+                     "error: --threads expects a positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
     } else if (arg == "--modes") {
       run_modes = true;
     } else if (arg == "--json") {
@@ -92,13 +103,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n",
+                   arg.c_str());
       usage(argv[0]);
       return 2;
     }
   }
-  if (!seed_given || count < 1) {
+  if (!seed_given) {
+    std::fprintf(stderr, "error: --seed N is required\n");
+    usage(argv[0]);
+    return 2;
+  }
+  if (count < 1) {
+    std::fprintf(stderr, "error: --count must be at least 1\n");
     usage(argv[0]);
     return 2;
   }

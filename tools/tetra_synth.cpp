@@ -1,36 +1,36 @@
 // tetra_synth — command-line timing-model synthesizer.
 //
-// Reads a JSONL trace (the format the tracers and the trace database
-// emit), runs Algorithm 1 + Algorithm 2 + DAG synthesis, and writes the
-// model as Graphviz DOT and/or JSON, plus an optional text report.
+// Reads JSONL traces (the format the tracers and the trace database
+// emit) into an api::SynthesisSession, synthesizes the model and writes
+// it as Graphviz DOT and/or JSON, plus an optional text report.
 //
 //   tetra_synth --trace run1.jsonl [--trace run2.jsonl ...]
-//               [--merge-dags | --merge-traces]
+//               [--merge-dags | --merge-traces] [--threads N]
 //               [--dot out.dot] [--json out.json] [--report]
 //               [--no-service-split] [--no-and-junction]
 //               [--waiting-times]
 //
 // With several --trace inputs, --merge-dags (default; §V option ii)
-// synthesizes per trace and merges the DAGs; --merge-traces (option i,
-// for segments of one run) merges the event streams first.
+// synthesizes per trace — on N worker threads with --threads — and
+// merges the DAGs; --merge-traces (option i, for segments of one run)
+// k-way merges the event streams first.
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "analysis/chains.hpp"
+#include "api/session.hpp"
 #include "core/export.hpp"
-#include "core/model_synthesis.hpp"
 #include "support/string_utils.hpp"
-#include "trace/serialize.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace FILE [--trace FILE ...]\n"
-               "          [--merge-dags | --merge-traces]\n"
+               "          [--merge-dags | --merge-traces] [--threads N]\n"
                "          [--dot FILE] [--json FILE] [--report]\n"
                "          [--no-service-split] [--no-and-junction]\n"
                "          [--waiting-times]\n",
@@ -43,6 +43,19 @@ void write_file(const std::string& path, const std::string& content) {
   f << content;
 }
 
+int reject_argument(const char* argv0, const std::string& arg) {
+  if (arg.rfind("--", 0) == 0) {
+    std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "error: unexpected positional argument '%s' (trace files "
+                 "must be passed via --trace FILE)\n",
+                 arg.c_str());
+  }
+  usage(argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,13 +64,13 @@ int main(int argc, char** argv) {
   std::string dot_path;
   std::string json_path;
   bool report = false;
-  bool merge_traces = false;
-  core::SynthesisOptions options;
+  api::SynthesisConfig config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
         usage(argv[0]);
         std::exit(2);
       }
@@ -72,46 +85,56 @@ int main(int argc, char** argv) {
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--merge-traces") {
-      merge_traces = true;
+      config.merge_strategy(api::MergeStrategy::MergeTraces);
     } else if (arg == "--merge-dags") {
-      merge_traces = false;
+      config.merge_strategy(api::MergeStrategy::MergeDags);
+    } else if (arg == "--threads") {
+      const std::string value = next();
+      const int threads = std::atoi(value.c_str());
+      if (threads < 1) {
+        std::fprintf(stderr, "error: --threads expects a positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      config.threads(threads);
     } else if (arg == "--no-service-split") {
-      options.dag.split_service_per_caller = false;
+      config.split_service_per_caller(false);
     } else if (arg == "--no-and-junction") {
-      options.dag.model_sync_with_and_junction = false;
+      config.model_sync_with_and_junction(false);
     } else if (arg == "--waiting-times") {
-      options.extract.compute_waiting_times = true;
+      config.compute_waiting_times(true);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
     } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
-      usage(argv[0]);
-      return 2;
+      return reject_argument(argv[0], arg);
     }
   }
   if (trace_paths.empty()) {
+    std::fprintf(stderr, "error: at least one --trace FILE is required\n");
     usage(argv[0]);
     return 2;
   }
 
   try {
-    std::vector<trace::EventVector> traces;
+    api::SynthesisSession session(config);
     for (const auto& path : trace_paths) {
-      traces.push_back(trace::read_jsonl_file(path));
-      std::fprintf(stderr, "loaded %zu events from %s\n", traces.back().size(),
-                   path.c_str());
+      api::Result<api::SegmentInfo> segment = session.ingest_file(path);
+      if (!segment.ok()) {
+        std::fprintf(stderr, "error: %s\n", segment.error().to_string().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "loaded %zu events from %s%s\n",
+                   segment->event_count, path.c_str(),
+                   segment->arrived_sorted ? "" : " (re-sorted)");
     }
 
-    core::ModelSynthesizer synthesizer(options);
-    core::Dag dag;
-    if (traces.size() == 1) {
-      dag = synthesizer.synthesize(traces[0]).dag;
-    } else if (merge_traces) {
-      dag = synthesizer.synthesize_merged(traces).dag;
-    } else {
-      dag = synthesizer.synthesize_and_merge(traces);
+    api::Result<core::TimingModel> model = session.model();
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n", model.error().to_string().c_str());
+      return 1;
     }
+    const core::Dag& dag = model->dag;
 
     std::fprintf(stderr, "model: %zu vertices, %zu edges, acyclic=%s\n",
                  dag.vertex_count(), dag.edge_count(),
