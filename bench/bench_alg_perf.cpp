@@ -98,21 +98,9 @@ void BM_Algorithm2NaivePaper(benchmark::State& state) {
 }
 BENCHMARK(BM_Algorithm2NaivePaper);
 
-void BM_FullSynthesis(benchmark::State& state) {
-  const auto& events = syn_trace();
-  core::ModelSynthesizer synthesizer;
-  for (auto _ : state) {
-    auto model = synthesizer.synthesize(events);
-    benchmark::DoNotOptimize(model.dag.vertex_count());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(events.size()));
-}
-BENCHMARK(BM_FullSynthesis);
-
 void BM_SessionSynthesis(benchmark::State& state) {
   // The streaming path: a session borrows the sorted trace (no index
-  // copy) — compare against BM_FullSynthesis through the batch shim.
+  // copy).
   const auto& events = syn_trace();
   for (auto _ : state) {
     api::SynthesisSession session;
@@ -126,8 +114,9 @@ BENCHMARK(BM_SessionSynthesis);
 
 void BM_DagMerge(benchmark::State& state) {
   const auto& events = syn_trace();
-  core::ModelSynthesizer synthesizer;
-  const core::Dag dag = synthesizer.synthesize(events).dag;
+  api::SynthesisSession session;
+  session.ingest(events);
+  const core::Dag dag = session.model().value().dag;
   for (auto _ : state) {
     core::Dag merged;
     for (int i = 0; i < 50; ++i) merged.merge(dag);

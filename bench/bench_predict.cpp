@@ -1,0 +1,187 @@
+// Prediction-throughput benchmark: answering what-if queries by replaying
+// the synthesized model (predict::ModelSimulator) versus re-running the
+// full traced substrate (ScenarioRunner: context + tracers + trace merge
+// + re-synthesis + timeline measurement) for every candidate.
+//
+// The headline number: model replay must be >= 10x faster than substrate
+// re-simulation per evaluated configuration. Emits BENCH_predict.json.
+//
+// Knobs:
+//   TETRA_SEED        scenario generator seed (default 7)
+//   TETRA_WHATIFS     candidate configurations to evaluate (default 6)
+//   TETRA_DURATION    simulated seconds per run / replay horizon (default 4)
+//   TETRA_REPS        repetitions per pass; best wall time wins (default 3)
+//   TETRA_BENCH_JSON  output path (default BENCH_predict.json)
+//   TETRA_REQUIRE_SPEEDUP  1 = fail unless speedup >= 10 (default: on with
+//                          >= 2 hardware threads — the bar is single-core,
+//                          tiny hosts just tend to noisy clocks)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/chains.hpp"
+#include "analysis/latency.hpp"
+#include "bench_util.hpp"
+#include "predict/model_simulator.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "support/json_writer.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+using namespace tetra;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("prediction throughput - model replay vs substrate re-sim");
+
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(bench::env_int("TETRA_SEED", 7));
+  const int what_ifs = bench::env_int("TETRA_WHATIFS", 6);
+  const int reps = std::max(1, bench::env_int("TETRA_REPS", 3));
+  const Duration duration =
+      bench::env_seconds("TETRA_DURATION", Duration::sec(4));
+  const unsigned hardware = std::thread::hardware_concurrency();
+  bench::note(format("seed %llu, %d what-if candidates, %.0fs horizon, "
+                     "best of %d",
+                     static_cast<unsigned long long>(seed), what_ifs,
+                     duration.to_sec(), reps));
+
+  // The scenario under study: a dense generated deployment (the speedup
+  // bar targets realistic workloads, not toy graphs). One substrate run
+  // synthesizes the model the replay side works from (that cost is paid
+  // once, outside both passes).
+  scenario::GeneratorOptions options;
+  options.min_nodes = 5;
+  options.max_nodes = 8;
+  options.min_growth_steps = 14;
+  options.max_growth_steps = 24;
+  options.min_period_ms = 8;
+  options.max_period_ms = 40;
+  scenario::Scenario scen =
+      scenario::ScenarioGenerator(options).generate(seed);
+  scen.spec.run_duration = duration;
+  const scenario::ScenarioRunner runner;
+  const scenario::ScenarioRunResult base_run = runner.run(scen.spec);
+  const std::vector<analysis::Chain> chains =
+      analysis::enumerate_chains(base_run.model.dag).chains;
+  bench::note(format("model: %zu vertices, %zu chains",
+                     base_run.model.dag.vertex_count(), chains.size()));
+
+  // Candidate configurations: a demand/exec scaling sweep, expressed as
+  // demand_scale for the substrate and global_exec_scale for the replay.
+  std::vector<double> scales;
+  for (int k = 0; k < what_ifs; ++k) {
+    scales.push_back(0.5 + 0.25 * static_cast<double>(k));
+  }
+
+  // Each pass repeats `reps` times; the best wall time wins (the work is
+  // deterministic, so repetition only filters scheduling noise).
+  // -- substrate pass: re-run, re-trace, re-synthesize, re-measure --------
+  std::size_t substrate_samples = 0;
+  double substrate_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    substrate_samples = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < scales.size(); ++k) {
+      const scenario::ScenarioRunResult run =
+          runner.run(scen.spec, scales[k], k + 1);
+      const analysis::InstanceTimeline timeline(run.trace);
+      for (const analysis::Chain& chain : chains) {
+        const std::vector<std::string> topics =
+            analysis::chain_topics(base_run.model.dag, chain);
+        if (topics.empty()) continue;
+        substrate_samples +=
+            analysis::measure_chain_latency(timeline, topics).complete;
+      }
+    }
+    const double elapsed = seconds_since(t0);
+    if (rep == 0 || elapsed < substrate_s) substrate_s = elapsed;
+  }
+
+  // -- model pass: replay the synthesized model per candidate ------------
+  std::size_t predicted_samples = 0;
+  double model_s = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    predicted_samples = 0;
+    const auto t1 = std::chrono::steady_clock::now();
+    for (const double scale : scales) {
+      predict::PredictionConfig config;
+      config.horizon = duration;
+      config.global_exec_scale = scale;
+      const predict::PredictionResult prediction =
+          predict::ModelSimulator(base_run.model.dag, config).predict();
+      for (const auto& chain : prediction.chains) {
+        predicted_samples += chain.latency.complete;
+      }
+    }
+    const double elapsed = seconds_since(t1);
+    if (rep == 0 || elapsed < model_s) model_s = elapsed;
+  }
+
+  const double speedup = model_s > 0.0 ? substrate_s / model_s : 0.0;
+  const double predictions_per_sec =
+      model_s > 0.0 ? static_cast<double>(scales.size()) / model_s : 0.0;
+  const double substrate_runs_per_sec =
+      substrate_s > 0.0 ? static_cast<double>(scales.size()) / substrate_s
+                        : 0.0;
+
+  std::printf("\n%-40s %12s %16s\n", "pass", "wall (ms)", "configs/sec");
+  std::printf("%-40s %12.1f %16.2f\n", "substrate re-sim + re-synthesis",
+              substrate_s * 1e3, substrate_runs_per_sec);
+  std::printf("%-40s %12.1f %16.2f\n", "model replay (ModelSimulator)",
+              model_s * 1e3, predictions_per_sec);
+  std::printf("%-40s %12.2fx\n", "model-replay speedup", speedup);
+  std::printf("%-40s %zu measured / %zu predicted\n",
+              "chain latency samples", substrate_samples, predicted_samples);
+
+  JsonWriter json;
+  json.begin_object()
+      .kv("bench", "predict")
+      .kv("seed", seed)
+      .kv("what_ifs", static_cast<std::uint64_t>(scales.size()))
+      .kv("horizon_s", duration.to_sec())
+      .kv("hardware_threads", static_cast<std::uint64_t>(hardware))
+      .kv("dag_vertices",
+          static_cast<std::uint64_t>(base_run.model.dag.vertex_count()))
+      .kv("chains", static_cast<std::uint64_t>(chains.size()))
+      .kv("substrate_wall_s", substrate_s)
+      .kv("model_wall_s", model_s)
+      .kv("substrate_runs_per_sec", substrate_runs_per_sec)
+      .kv("predictions_per_sec", predictions_per_sec)
+      .kv("speedup", speedup)
+      .kv("measured_samples", static_cast<std::uint64_t>(substrate_samples))
+      .kv("predicted_samples", static_cast<std::uint64_t>(predicted_samples))
+      .end_object();
+  const char* out_env = std::getenv("TETRA_BENCH_JSON");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_predict.json";
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json.str() << "\n";
+  bench::note(format("\nwrote %s", out_path.c_str()));
+
+  if (predicted_samples == 0) {
+    std::fprintf(stderr, "FAIL: the model replay produced no predictions\n");
+    return 1;
+  }
+  const bool default_strict = hardware >= 2;
+  const bool strict =
+      bench::env_int("TETRA_REQUIRE_SPEEDUP", default_strict ? 1 : 0) != 0;
+  if (strict && speedup < 10.0) {
+    std::fprintf(stderr, "FAIL: model-replay speedup %.2fx < 10x required\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

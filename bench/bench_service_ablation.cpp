@@ -32,7 +32,7 @@ int main() {
   auto chains_containing = [&](const core::Dag& dag, const std::string& a,
                                const std::string& b) {
     int count = 0;
-    for (const auto& chain : analysis::enumerate_chains(dag)) {
+    for (const auto& chain : analysis::enumerate_chains(dag).chains) {
       bool has_a = false, has_b = false;
       for (const auto& key : chain) {
         has_a |= key == a || key.rfind(a + "@", 0) == 0;

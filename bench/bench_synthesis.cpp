@@ -1,9 +1,8 @@
 // Synthesis-throughput benchmark seeding the perf trajectory: multi-trace
-// merge-dags synthesis through (a) the deprecated batch facade walking
-// traces sequentially, (b) a streaming SynthesisSession on one worker,
-// (c) the same session on a worker pool, and (d) the merge-traces global
-// k-way path. Reports events/sec each and the pool speedup, and emits
-// machine-readable results as BENCH_synthesis.json.
+// merge-dags synthesis through (a) a streaming SynthesisSession on one
+// worker, (b) the same session on a worker pool, and (c) the merge-traces
+// global k-way path. Reports events/sec each and the pool speedup, and
+// emits machine-readable results as BENCH_synthesis.json.
 //
 // Also measures incremental re-synthesis: ingesting one extra trace into
 // an already-synthesized session must cost ~one trace, not a full rerun.
@@ -24,7 +23,6 @@
 
 #include "api/session.hpp"
 #include "bench_util.hpp"
-#include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "support/json_writer.hpp"
 #include "support/string_utils.hpp"
@@ -91,15 +89,9 @@ int main() {
 
   // Warm-up: touch every code path once so allocator effects don't skew
   // the first measured pass.
-  (void)core::ModelSynthesizer().synthesize(traces[0]);
+  (void)session_pass({traces[0]}, api::SynthesisConfig(), nullptr);
 
   std::size_t vertices = 0;
-
-  const auto t0 = std::chrono::steady_clock::now();
-  const core::Dag batch_dag =
-      core::ModelSynthesizer().synthesize_and_merge(traces);
-  const double batch_s = seconds_since(t0);
-
   std::size_t pool_vertices = 0;
   const double stream1_s =
       session_pass(traces, api::SynthesisConfig().threads(1), &vertices);
@@ -130,7 +122,6 @@ int main() {
   const auto row = [&](const char* name, double s) {
     std::printf("%-36s %12.1f %14.0f\n", name, s * 1e3, rate(s));
   };
-  row("batch facade (sequential)", batch_s);
   row("session merge-dags, 1 thread", stream1_s);
   row(format("session merge-dags, %d threads", threads).c_str(), pool_s);
   row("session merge-traces (global k-way)", merge_traces_s);
@@ -149,7 +140,6 @@ int main() {
       .kv("dag_vertices", static_cast<std::uint64_t>(vertices))
       .key("events_per_sec")
       .begin_object()
-      .kv("batch_sequential", rate(batch_s))
       .kv("session_1_thread", rate(stream1_s))
       .kv("session_pool", rate(pool_s))
       .kv("session_merge_traces", rate(merge_traces_s))
@@ -175,10 +165,10 @@ int main() {
                  pool_speedup);
     return 1;
   }
-  if (batch_dag.vertex_count() != vertices || pool_vertices != vertices) {
+  if (pool_vertices != vertices) {
     std::fprintf(stderr,
-                 "FAIL: batch/session/pool DAGs disagree (%zu vs %zu vs %zu)\n",
-                 batch_dag.vertex_count(), vertices, pool_vertices);
+                 "FAIL: session/pool DAGs disagree (%zu vs %zu)\n",
+                 vertices, pool_vertices);
     return 1;
   }
   return 0;

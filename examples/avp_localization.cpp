@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   std::printf("%s\n", core::to_exec_time_table(result.merged_dag).c_str());
 
   std::printf("-- Computation chains --\n");
-  for (const auto& chain : analysis::enumerate_chains(result.merged_dag)) {
+  for (const auto& chain :
+       analysis::enumerate_chains(result.merged_dag).chains) {
     std::printf("  %s\n    sum(mWCET)=%.1fms sum(mACET)=%.1fms\n",
                 analysis::to_string(chain).c_str(),
                 analysis::chain_wcet(result.merged_dag, chain).to_ms(),

@@ -65,8 +65,11 @@ int main() {
   // from measured WCETs; the measured mean must come in well below it).
   std::printf("\n-- simplified chain response-time estimates --\n");
   analysis::ResponseTimeOptions rt_options;
-  for (const auto& estimate :
-       analysis::estimate_all_chains(model.dag, rt_options)) {
+  const auto estimated = analysis::estimate_all_chains(model.dag, rt_options);
+  if (estimated.truncated) {
+    std::printf("  (chain enumeration truncated; report incomplete)\n");
+  }
+  for (const auto& estimate : estimated.estimates) {
     std::printf("  %s\n    exec %.1f + blocking %.1f + queueing %.1f + "
                 "transport %.1f = %.1f ms\n",
                 analysis::to_string(estimate.chain).c_str(),

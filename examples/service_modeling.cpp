@@ -49,7 +49,7 @@ int main() {
     std::printf("\n== %s ==\n", title);
     std::printf("vertices: %zu, edges: %zu\n", dag.vertex_count(),
                 dag.edge_count());
-    for (const auto& chain : analysis::enumerate_chains(dag)) {
+    for (const auto& chain : analysis::enumerate_chains(dag).chains) {
       std::printf("  chain: %s\n", analysis::to_string(chain).c_str());
     }
   };

@@ -3,41 +3,87 @@
 #include <functional>
 #include <stdexcept>
 
+#include "core/callback_record.hpp"
+
 namespace tetra::analysis {
 
-std::vector<Chain> enumerate_chains(const core::Dag& dag,
-                                    std::size_t max_chains) {
-  std::vector<Chain> chains;
+ChainEnumeration enumerate_chains(const core::Dag& dag,
+                                  std::size_t max_chains) {
+  ChainEnumeration result;
   Chain current;
   std::function<void(const std::string&)> dfs = [&](const std::string& key) {
+    if (result.truncated) return;
     current.push_back(key);
     const auto outs = dag.out_edges(key);
     if (outs.empty()) {
-      if (chains.size() >= max_chains) {
-        throw std::runtime_error("enumerate_chains: too many chains");
+      if (result.chains.size() >= max_chains) {
+        result.truncated = true;
+      } else {
+        result.chains.push_back(current);
       }
-      chains.push_back(current);
     } else {
       for (const auto* edge : outs) dfs(edge->to);
     }
     current.pop_back();
   };
   for (const auto* source : dag.sources()) dfs(source->key);
-  return chains;
+  return result;
 }
 
-std::vector<Chain> chains_through(const core::Dag& dag, const std::string& key,
-                                  std::size_t max_chains) {
-  std::vector<Chain> out;
-  for (auto& chain : enumerate_chains(dag, max_chains)) {
+ChainEnumeration chains_through(const core::Dag& dag, const std::string& key,
+                                std::size_t max_chains) {
+  ChainEnumeration result = enumerate_chains(dag, max_chains);
+  std::vector<Chain> filtered;
+  for (auto& chain : result.chains) {
     for (const auto& vertex : chain) {
       if (vertex == key) {
-        out.push_back(chain);
+        filtered.push_back(std::move(chain));
         break;
       }
     }
   }
-  return out;
+  result.chains = std::move(filtered);
+  return result;
+}
+
+std::vector<std::string> chain_topics(const core::Dag& dag,
+                                      const Chain& chain) {
+  std::vector<std::string> topics;
+  if (chain.empty()) return topics;
+
+  const auto plain = [](const std::string& topic) {
+    return core::split_annotated_topic(topic).first;
+  };
+
+  // A source whose in-topic nobody in the DAG produces is driven by an
+  // untraced external writer; its samples are real DdsWrite events, so the
+  // measured chain can (and should) start there.
+  const auto* source = dag.find_vertex(chain.front());
+  if (source != nullptr && !source->in_topic.empty() &&
+      dag.in_edges(source->key).empty()) {
+    topics.push_back(plain(source->in_topic));
+  }
+
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const auto outs = dag.out_edges(chain[i]);
+    const core::DagEdge* hop = nullptr;
+    for (const auto* edge : outs) {
+      if (edge->to == chain[i + 1]) {
+        hop = edge;
+        break;
+      }
+    }
+    if (hop == nullptr) {
+      throw std::out_of_range("chain_topics: no edge " + chain[i] + " -> " +
+                              chain[i + 1]);
+    }
+    // AND-junction pseudo-edges never carry a DDS sample: the member that
+    // completes the synchronization set publishes the junction's output
+    // topic inside its own execution.
+    if (!hop->topic.empty() && hop->topic.front() == '&') continue;
+    topics.push_back(plain(hop->topic));
+  }
+  return topics;
 }
 
 namespace {

@@ -14,14 +14,34 @@ namespace tetra::analysis {
 /// One source-to-sink path, as vertex keys in order.
 using Chain = std::vector<std::string>;
 
-/// Enumerates all simple source->sink paths. `max_chains` guards against
-/// pathological graphs (throws std::runtime_error when exceeded).
-std::vector<Chain> enumerate_chains(const core::Dag& dag,
-                                    std::size_t max_chains = 4096);
+/// Result of a chain enumeration. When the graph holds more source->sink
+/// paths than `max_chains`, `chains` keeps the first `max_chains` found
+/// and `truncated` is set — callers that present results to a user should
+/// surface the flag (tetra_synth / tetra_predict print a warning).
+struct ChainEnumeration {
+  std::vector<Chain> chains;
+  bool truncated = false;
+};
 
-/// All chains passing through the given vertex.
-std::vector<Chain> chains_through(const core::Dag& dag, const std::string& key,
+/// Enumerates all simple source->sink paths. `max_chains` guards against
+/// pathological graphs: enumeration stops there and the result is flagged
+/// as truncated instead of throwing.
+ChainEnumeration enumerate_chains(const core::Dag& dag,
                                   std::size_t max_chains = 4096);
+
+/// All chains passing through the given vertex (truncated flags the
+/// underlying enumeration hitting `max_chains`, not the filter).
+ChainEnumeration chains_through(const core::Dag& dag, const std::string& key,
+                                std::size_t max_chains = 4096);
+
+/// The measured-comparable topic sequence of a chain: the dangling
+/// in-topic of the source (when nothing in the DAG produces it — an
+/// untraced external input writes it), then each edge's topic in order.
+/// AND-junction pseudo-edges ("&<node>") carry no DDS sample and are
+/// dropped; per-caller/per-client annotations are stripped, leaving the
+/// plain topic names that appear in trace events — i.e. exactly a
+/// `topics` argument for analysis::measure_chain_latency.
+std::vector<std::string> chain_topics(const core::Dag& dag, const Chain& chain);
 
 /// Sum of mWCETs (mACETs) along a chain; AND junctions contribute zero.
 Duration chain_wcet(const core::Dag& dag, const Chain& chain);

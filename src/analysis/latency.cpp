@@ -11,6 +11,7 @@ const std::vector<TimePoint> InstanceTimeline::kNoWrites{};
 InstanceTimeline::InstanceTimeline(const trace::EventVector& events) {
   trace::EventVector sorted = events;
   trace::sort_by_time(sorted);
+  consumers_.reserve(events.size() / 4);
 
   // Per-PID in-flight instance assembly, mirroring the single-threaded
   // executor assumption: one open instance per PID at a time.
@@ -71,14 +72,44 @@ InstanceTimeline::InstanceTimeline(const trace::EventVector& events) {
   }
 }
 
+InstanceTimeline::InstanceTimeline(
+    std::vector<CallbackInstance> instances,
+    std::map<std::string, std::vector<TimePoint>> external_writes)
+    : instances_(std::move(instances)),
+      writes_by_topic_(std::move(external_writes)) {
+  consumers_.reserve(instances_.size());
+  for (std::size_t index = 0; index < instances_.size(); ++index) {
+    const CallbackInstance& inst = instances_[index];
+    if (inst.take.has_value()) {
+      consumers_[Key{inst.take->first, inst.take->second.count_ns()}]
+          .push_back(index);
+    }
+    for (const auto& [topic, ts] : inst.writes) {
+      writes_by_topic_[topic].push_back(ts);
+    }
+  }
+  // The event-based constructor yields per-topic writes in trace order;
+  // match that here so traversal output is independent of how the
+  // timeline was fed.
+  for (auto& [topic, writes] : writes_by_topic_) {
+    std::sort(writes.begin(), writes.end());
+  }
+}
+
 std::vector<const CallbackInstance*> InstanceTimeline::consumers_of(
     const std::string& topic, TimePoint src_ts) const {
   std::vector<const CallbackInstance*> out;
-  auto it = consumers_.find(Key{topic, src_ts.count_ns()});
-  if (it == consumers_.end()) return out;
-  out.reserve(it->second.size());
-  for (std::size_t index : it->second) out.push_back(&instances_[index]);
+  const std::vector<std::size_t>* indices = consumer_indices(topic, src_ts);
+  if (indices == nullptr) return out;
+  out.reserve(indices->size());
+  for (std::size_t index : *indices) out.push_back(&instances_[index]);
   return out;
+}
+
+const std::vector<std::size_t>* InstanceTimeline::consumer_indices(
+    const std::string& topic, TimePoint src_ts) const {
+  auto it = consumers_.find(Key{topic, src_ts.count_ns()});
+  return it == consumers_.end() ? nullptr : &it->second;
 }
 
 const std::vector<TimePoint>& InstanceTimeline::writes_on(
@@ -95,10 +126,12 @@ namespace {
 std::optional<TimePoint> follow(const InstanceTimeline& timeline,
                                 const std::vector<std::string>& topics,
                                 std::size_t depth, TimePoint src_ts) {
-  const auto consumers = timeline.consumers_of(topics[depth], src_ts);
-  if (consumers.empty()) return std::nullopt;
+  const std::vector<std::size_t>* consumers =
+      timeline.consumer_indices(topics[depth], src_ts);
+  if (consumers == nullptr) return std::nullopt;
   std::optional<TimePoint> best;
-  for (const auto* instance : consumers) {
+  for (const std::size_t index : *consumers) {
+    const CallbackInstance* instance = &timeline.instances()[index];
     if (depth + 1 == topics.size()) {
       // Last hop: the chain completes when the final consumer finishes.
       if (!best.has_value() || instance->end > *best) best = instance->end;

@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/ids.hpp"
@@ -39,19 +40,42 @@ class InstanceTimeline {
   /// Builds the timeline from a merged trace (ROS2 events only needed).
   explicit InstanceTimeline(const trace::EventVector& events);
 
+  /// Builds the timeline from already-assembled instances, plus writes
+  /// that have no owning instance (untraced external inputs, whose
+  /// DdsWrite events likewise carry no open callback in a real trace).
+  /// The predict:: model replay records its activations as instances and
+  /// hands them here, so predicted chain latencies are measured by
+  /// exactly the same traversal code as substrate measurements.
+  explicit InstanceTimeline(
+      std::vector<CallbackInstance> instances,
+      std::map<std::string, std::vector<TimePoint>> external_writes = {});
+
   const std::vector<CallbackInstance>& instances() const { return instances_; }
 
   /// Instances that consumed the sample identified by (topic, srcTS).
   std::vector<const CallbackInstance*> consumers_of(const std::string& topic,
                                                     TimePoint src_ts) const;
 
+  /// Allocation-free form of consumers_of: indices into instances(), or
+  /// nullptr when nobody consumed the sample. The chain-latency traversal
+  /// sits on this lookup for every sample at every hop.
+  const std::vector<std::size_t>* consumer_indices(const std::string& topic,
+                                                   TimePoint src_ts) const;
+
   /// All source timestamps written on `topic`, in time order.
   const std::vector<TimePoint>& writes_on(const std::string& topic) const;
 
  private:
   using Key = std::pair<std::string, std::int64_t>;
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      return std::hash<std::string>()(key.first) ^
+             (static_cast<std::size_t>(key.second) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
   std::vector<CallbackInstance> instances_;
-  std::map<Key, std::vector<std::size_t>> consumers_;
+  /// Hashed: consumers_of is the hot lookup of every chain traversal.
+  std::unordered_map<Key, std::vector<std::size_t>, KeyHash> consumers_;
   std::map<std::string, std::vector<TimePoint>> writes_by_topic_;
   static const std::vector<TimePoint> kNoWrites;
 };

@@ -53,11 +53,13 @@ ChainResponseEstimate estimate_chain_response(const core::Dag& dag,
   return estimate;
 }
 
-std::vector<ChainResponseEstimate> estimate_all_chains(
-    const core::Dag& dag, const ResponseTimeOptions& options) {
-  std::vector<ChainResponseEstimate> out;
-  for (const auto& chain : enumerate_chains(dag)) {
-    out.push_back(estimate_chain_response(dag, chain, options));
+ChainResponseEstimates estimate_all_chains(const core::Dag& dag,
+                                           const ResponseTimeOptions& options) {
+  ChainResponseEstimates out;
+  const ChainEnumeration enumeration = enumerate_chains(dag);
+  out.truncated = enumeration.truncated;
+  for (const auto& chain : enumeration.chains) {
+    out.estimates.push_back(estimate_chain_response(dag, chain, options));
   }
   return out;
 }

@@ -53,8 +53,15 @@ ChainResponseEstimate estimate_chain_response(const core::Dag& dag,
                                               const Chain& chain,
                                               const ResponseTimeOptions& options);
 
-/// Estimates every source->sink chain in the DAG.
-std::vector<ChainResponseEstimate> estimate_all_chains(
-    const core::Dag& dag, const ResponseTimeOptions& options);
+/// Estimates of every source->sink chain in the DAG; `truncated` is set
+/// when enumeration hit the cap and the list is incomplete (callers
+/// presenting reports should surface it).
+struct ChainResponseEstimates {
+  std::vector<ChainResponseEstimate> estimates;
+  bool truncated = false;
+};
+
+ChainResponseEstimates estimate_all_chains(const core::Dag& dag,
+                                           const ResponseTimeOptions& options);
 
 }  // namespace tetra::analysis

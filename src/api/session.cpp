@@ -242,6 +242,14 @@ Result<core::TimingModel> SynthesisSession::model() {
   return combined;
 }
 
+Result<predict::PredictionResult> SynthesisSession::predict(
+    const predict::PredictionConfig& config) {
+  Result<core::TimingModel> model_result = model();
+  if (!model_result.ok()) return model_result.error();
+  // The replay only reads the DAG; the model (incl. its cache) stays put.
+  return predict::ModelSimulator(model_result.value().dag, config).predict();
+}
+
 Result<core::MultiModeDag> SynthesisSession::multi_mode_model() {
   if (segments_.empty()) {
     return make_error(ErrorCode::EmptySession,

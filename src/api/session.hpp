@@ -28,6 +28,7 @@
 #include "api/config.hpp"
 #include "api/result.hpp"
 #include "core/model_synthesis.hpp"
+#include "predict/model_simulator.hpp"
 #include "trace/database.hpp"
 #include "trace/event.hpp"
 
@@ -88,6 +89,14 @@ class SynthesisSession {
 
   /// The chronologically merged event stream of one trace (a copy).
   Result<trace::EventVector> merged_events(const std::string& trace_id) const;
+
+  /// Replays the session's combined model (predict::ModelSimulator) and
+  /// returns predicted per-chain latency distributions — what-if queries
+  /// answered from cached models, with no substrate re-run. Seed, horizon
+  /// and the what-if knobs come from `config`; synthesis errors pass
+  /// through unchanged.
+  Result<predict::PredictionResult> predict(
+      const predict::PredictionConfig& config = {});
 
   /// Frees the stored event segments of one trace while keeping its cached
   /// model, so long-lived sessions over heavy trace volume stay bounded in

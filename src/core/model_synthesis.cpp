@@ -9,9 +9,4 @@ const CallbackRecord* TimingModel::find_callback(const std::string& label) const
   return nullptr;
 }
 
-// ModelSynthesizer's method definitions live in src/api/synthesizer_shim.cpp:
-// the deprecated facade delegates to api::SynthesisSession, and the api layer
-// sits above core — keeping the definitions there preserves the one-way
-// layering (no core source includes api headers).
-
 }  // namespace tetra::core

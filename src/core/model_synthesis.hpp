@@ -1,8 +1,7 @@
-// DEPRECATED batch facade: traces in, timing model out, one call per
-// strategy. Kept as a thin compatibility shim over one-shot
-// api::SynthesisSession instances — new code should open a session
-// (api/session.hpp), which adds incremental segment ingestion, k-way
-// merged zero-copy event views, a worker pool and structured errors.
+// The synthesized model and the option bundle the synthesis pipeline
+// takes. Synthesis itself is driven through api::SynthesisSession
+// (api/session.hpp): incremental segment ingestion, k-way merged
+// zero-copy event views, a worker pool and structured errors.
 #pragma once
 
 #include <string>
@@ -29,38 +28,6 @@ struct TimingModel {
 struct SynthesisOptions {
   DagOptions dag;
   ExtractOptions extract;
-};
-
-/// Deprecated: use api::SynthesisSession. Each call below opens a one-shot
-/// session, ingests, queries, and rethrows session errors as
-/// std::runtime_error (the facade's historical contract).
-class ModelSynthesizer {
- public:
-  ModelSynthesizer() = default;
-  explicit ModelSynthesizer(SynthesisOptions options) : options_(options) {}
-
-  /// Synthesizes the model from one event stream. The stream must contain
-  /// the P1 events (init trace), the runtime ROS2 events and the kernel
-  /// events — i.e. the merged output of the three tracers.
-  TimingModel synthesize(const trace::EventVector& events) const;
-
-  /// §V option (i): merge all traces first, synthesize once.
-  TimingModel synthesize_merged(const std::vector<trace::EventVector>& traces) const;
-
-  /// §V option (ii) — the paper's choice for its experiments: synthesize a
-  /// DAG per trace, then merge the DAGs (vertex/edge union, statistics
-  /// merged across runs).
-  Dag synthesize_and_merge(const std::vector<trace::EventVector>& traces) const;
-
-  /// §V option (iv): per-mode merging; `modes[i]` tags `traces[i]`.
-  MultiModeDag synthesize_multi_mode(
-      const std::vector<trace::EventVector>& traces,
-      const std::vector<std::string>& modes) const;
-
-  const SynthesisOptions& options() const { return options_; }
-
- private:
-  SynthesisOptions options_;
 };
 
 }  // namespace tetra::core

@@ -1,0 +1,104 @@
+#include "predict/report.hpp"
+
+#include "analysis/chains.hpp"
+#include "support/json_writer.hpp"
+#include "support/string_utils.hpp"
+
+namespace tetra::predict {
+
+namespace {
+
+void chain_json(JsonWriter& json, const PredictedChainLatency& chain) {
+  json.begin_object()
+      .kv("chain", analysis::to_string(chain.chain))
+      .key("topics")
+      .begin_array();
+  for (const std::string& topic : chain.topics) json.value(topic);
+  json.end_array()
+      .kv("complete", static_cast<std::uint64_t>(chain.latency.complete))
+      .kv("incomplete", static_cast<std::uint64_t>(chain.latency.incomplete));
+  if (chain.latency.complete > 0) {
+    json.kv("min_ns", chain.latency.latencies.min())
+        .kv("mean_ns", chain.latency.latencies.mean())
+        .kv("max_ns", chain.latency.latencies.max())
+        .kv("p99_ns", chain.latency.latencies.quantile(0.99));
+  }
+  json.end_object();
+}
+
+void prediction_json(JsonWriter& json, const PredictionResult& result) {
+  json.begin_object()
+      .kv("horizon_s", result.horizon.to_sec())
+      .kv("activations", static_cast<std::uint64_t>(result.activations))
+      .kv("deliveries", static_cast<std::uint64_t>(result.deliveries))
+      .kv("chains_truncated", result.chains_truncated)
+      .key("chains")
+      .begin_array();
+  for (const PredictedChainLatency& chain : result.chains) {
+    chain_json(json, chain);
+  }
+  json.end_array().end_object();
+}
+
+}  // namespace
+
+std::string to_text_table(const PredictionResult& result) {
+  std::string out = format("%-64s %8s %8s %8s %8s %6s %6s\n", "chain",
+                           "min ms", "mean ms", "max ms", "p99 ms", "compl",
+                           "incompl");
+  for (const PredictedChainLatency& chain : result.chains) {
+    const std::string name = analysis::to_string(chain.chain);
+    if (chain.latency.complete == 0) {
+      out += format("%-64s %35s %6zu %6zu\n", name.c_str(), "(no samples)",
+                    chain.latency.complete, chain.latency.incomplete);
+      continue;
+    }
+    out += format("%-64s %8.3f %8.3f %8.3f %8.3f %6zu %6zu\n", name.c_str(),
+                  chain.min().to_ms(), chain.mean().to_ms(),
+                  chain.max().to_ms(), chain.p99().to_ms(),
+                  chain.latency.complete, chain.latency.incomplete);
+  }
+  out += format("replayed %zu activations, %zu deliveries over %.1fs\n",
+                result.activations, result.deliveries,
+                result.horizon.to_sec());
+  return out;
+}
+
+std::string to_text_table(const std::vector<WhatIfOutcome>& outcomes,
+                          Objective objective) {
+  std::string out = format("%-4s %-28s %14s\n", "rank", "candidate",
+                           std::string(to_string(objective)).c_str());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const WhatIfOutcome& outcome = outcomes[i];
+    out += format("%-4zu %-28s %11.3f ms\n", i + 1,
+                  outcome.candidate.name.c_str(), outcome.score_ms);
+  }
+  return out;
+}
+
+std::string to_json(const PredictionResult& result) {
+  JsonWriter json;
+  prediction_json(json, result);
+  return json.str();
+}
+
+std::string to_json(const std::vector<WhatIfOutcome>& outcomes,
+                    Objective objective) {
+  JsonWriter json;
+  json.begin_object()
+      .kv("objective", to_string(objective))
+      .key("ranking")
+      .begin_array();
+  for (const WhatIfOutcome& outcome : outcomes) {
+    json.begin_object()
+        .kv("candidate", outcome.candidate.name)
+        .kv("score_ms", outcome.score_ms)
+        .key("prediction");
+    prediction_json(json, outcome.prediction);
+    json.end_object();
+  }
+  json.end_array().end_object();
+  return json.str();
+}
+
+}  // namespace tetra::predict

@@ -1,0 +1,29 @@
+// Rendering of prediction results: a compact text table for terminals and
+// machine-readable JSON (also the golden-prediction fixture format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "predict/model_simulator.hpp"
+#include "predict/what_if.hpp"
+
+namespace tetra::predict {
+
+/// Per-chain predicted latency table (min/mean/max/p99, completed and
+/// died-out traversal counts).
+std::string to_text_table(const PredictionResult& result);
+
+/// Ranked what-if outcomes, best first.
+std::string to_text_table(const std::vector<WhatIfOutcome>& outcomes,
+                          Objective objective);
+
+/// Stable JSON rendering of a prediction (chains in enumeration order;
+/// latencies in nanoseconds).
+std::string to_json(const PredictionResult& result);
+
+/// JSON rendering of a ranked what-if exploration.
+std::string to_json(const std::vector<WhatIfOutcome>& outcomes,
+                    Objective objective);
+
+}  // namespace tetra::predict

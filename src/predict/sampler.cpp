@@ -1,0 +1,76 @@
+#include "predict/sampler.hpp"
+
+#include <cmath>
+
+namespace tetra::predict {
+
+std::uint64_t SplitMix64::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double SplitMix64::next_unit() {
+  // 53 high-quality bits -> [0, 1) with full double resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Duration SplitMix64::uniform(Duration lo, Duration hi) {
+  if (hi <= lo) return lo;
+  const double span = static_cast<double>((hi - lo).count_ns());
+  return lo + Duration{static_cast<std::int64_t>(next_unit() * span)};
+}
+
+std::uint64_t stream_seed(std::uint64_t base_seed, const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL ^ base_seed;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  // A zero state would make SplitMix64's first outputs weak; never hand
+  // one out.
+  return hash == 0 ? 0x9e3779b97f4a7c15ULL : hash;
+}
+
+ExecTimeSampler::ExecTimeSampler(const ExecStats& stats, std::uint64_t seed)
+    : rng_(seed) {
+  if (!stats.empty()) {
+    mean_ = static_cast<double>(stats.macet().count_ns());
+    stddev_ = static_cast<double>(stats.stddev().count_ns());
+    lo_ = static_cast<double>(stats.mbcet().count_ns());
+    hi_ = static_cast<double>(stats.mwcet().count_ns());
+  }
+}
+
+Duration ExecTimeSampler::sample() {
+  if (stddev_ <= 0.0 || hi_ <= lo_) {
+    return Duration{static_cast<std::int64_t>(mean_)};
+  }
+  // Truncated normal via Box-Muller with bounded rejection: a handful of
+  // tries lands inside [mBCET, mWCET] for any sane fit; pathological
+  // spreads fall back to a clamp so sampling stays O(1).
+  double value = mean_;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    double z;
+    if (has_spare_) {
+      z = spare_;
+      has_spare_ = false;
+    } else {
+      const double u1 = 1.0 - rng_.next_unit();  // (0, 1]
+      const double u2 = rng_.next_unit();
+      const double radius = std::sqrt(-2.0 * std::log(u1));
+      const double angle = 6.283185307179586 * u2;
+      z = radius * std::cos(angle);
+      spare_ = radius * std::sin(angle);
+      has_spare_ = true;
+    }
+    value = mean_ + stddev_ * z;
+    if (value >= lo_ && value <= hi_) break;
+  }
+  if (value < lo_) value = lo_;
+  if (value > hi_) value = hi_;
+  return Duration{static_cast<std::int64_t>(value)};
+}
+
+}  // namespace tetra::predict

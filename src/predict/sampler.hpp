@@ -1,0 +1,62 @@
+// Deterministic, platform-portable sampling for model replay.
+//
+// The substrate samples through <random> distributions, whose output is
+// implementation-defined; predictions must instead be reproducible on any
+// standard library (the golden prediction fixture is compared across
+// toolchains), so the predict layer carries its own tiny generator and
+// fits execution-time distributions from the synthesized statistics
+// (mBCET/mACET/mWCET + stddev) with explicit Box-Muller sampling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/statistics.hpp"
+#include "support/time.hpp"
+
+namespace tetra::predict {
+
+/// SplitMix64: 64-bit generator with exactly specified output, unlike the
+/// <random> distributions layered over std::mt19937_64.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64();
+  /// Uniform double in [0, 1).
+  double next_unit();
+  /// Uniform duration in [lo, hi) (returns lo when hi <= lo).
+  Duration uniform(Duration lo, Duration hi);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// FNV-1a over (seed, text): derives a stable per-vertex sampling stream
+/// from the base seed and the vertex key, so adding or removing one
+/// vertex never shifts another vertex's samples.
+std::uint64_t stream_seed(std::uint64_t base_seed, const std::string& text);
+
+/// Samples execution times from a distribution fitted to a vertex's
+/// measured statistics: truncated normal(mACET, stddev) clamped to
+/// [mBCET, mWCET]. Degenerates to constant mACET when the stats carry no
+/// spread, and to zero for statistics-free vertices (AND junctions).
+class ExecTimeSampler {
+ public:
+  ExecTimeSampler(const ExecStats& stats, std::uint64_t seed);
+
+  Duration sample();
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  SplitMix64 rng_;
+  /// Box-Muller yields normals in pairs; the second is cached so only
+  /// every other sample pays the transcendental calls.
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace tetra::predict

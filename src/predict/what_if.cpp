@@ -1,0 +1,134 @@
+#include "predict/what_if.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/string_utils.hpp"
+
+namespace tetra::predict {
+
+std::string_view to_string(Objective objective) {
+  switch (objective) {
+    case Objective::WorstChainMean: return "worst-chain-mean";
+    case Objective::WorstChainP99: return "worst-chain-p99";
+    case Objective::WorstChainMax: return "worst-chain-max";
+    case Objective::MeanOfMeans: return "mean-of-means";
+  }
+  return "unknown";
+}
+
+WhatIfExplorer::WhatIfExplorer(const core::Dag& dag, PredictionConfig base)
+    : dag_(&dag), base_(std::move(base)) {}
+
+WhatIfExplorer& WhatIfExplorer::add(WhatIfCandidate candidate) {
+  candidates_.push_back(std::move(candidate));
+  return *this;
+}
+
+WhatIfExplorer& WhatIfExplorer::add_baseline(std::string name) {
+  WhatIfCandidate candidate;
+  candidate.name = std::move(name);
+  return add(std::move(candidate));
+}
+
+WhatIfExplorer& WhatIfExplorer::sweep_timer_period(
+    const std::string& vertex_key, const std::vector<Duration>& periods) {
+  for (const Duration period : periods) {
+    WhatIfCandidate candidate;
+    candidate.name =
+        vertex_key + "@" + format("%.1fms", period.to_ms());
+    candidate.timer_period[vertex_key] = period;
+    add(std::move(candidate));
+  }
+  return *this;
+}
+
+WhatIfExplorer& WhatIfExplorer::sweep_exec_scale(
+    const std::vector<double>& factors) {
+  for (const double factor : factors) {
+    WhatIfCandidate candidate;
+    candidate.name = format("exec-x%.2f", factor);
+    candidate.global_exec_scale = factor;
+    add(std::move(candidate));
+  }
+  return *this;
+}
+
+WhatIfExplorer& WhatIfExplorer::sweep_num_cpus(
+    const std::vector<int>& cpu_counts) {
+  for (const int cpus : cpu_counts) {
+    WhatIfCandidate candidate;
+    candidate.name = format("cpus-%d", cpus);
+    candidate.executors =
+        base_.executors.value_or(ExecutorMapping{});
+    candidate.executors->num_cpus = cpus;
+    add(std::move(candidate));
+  }
+  return *this;
+}
+
+PredictionConfig WhatIfExplorer::apply(const PredictionConfig& base,
+                                       const WhatIfCandidate& candidate) {
+  PredictionConfig config = base;
+  for (const auto& [key, period] : candidate.timer_period) {
+    config.timer_period[key] = period;
+  }
+  for (const auto& [key, factor] : candidate.exec_scale) {
+    config.exec_scale[key] = factor;
+  }
+  config.global_exec_scale *= candidate.global_exec_scale;
+  for (const std::string& key : candidate.pruned) config.pruned.insert(key);
+  if (candidate.executors.has_value()) config.executors = candidate.executors;
+  return config;
+}
+
+double WhatIfExplorer::score_ms(const PredictionResult& prediction,
+                                Objective objective) {
+  double worst = 0.0;
+  double sum = 0.0;
+  std::size_t measured = 0;
+  for (const PredictedChainLatency& chain : prediction.chains) {
+    if (chain.latency.complete == 0) continue;
+    double value_ms = 0.0;
+    switch (objective) {
+      case Objective::WorstChainMean:
+      case Objective::MeanOfMeans:
+        value_ms = chain.mean().to_ms();
+        break;
+      case Objective::WorstChainP99:
+        value_ms = chain.p99().to_ms();
+        break;
+      case Objective::WorstChainMax:
+        value_ms = chain.max().to_ms();
+        break;
+    }
+    worst = std::max(worst, value_ms);
+    sum += value_ms;
+    ++measured;
+  }
+  if (measured == 0) return std::numeric_limits<double>::infinity();
+  return objective == Objective::MeanOfMeans
+             ? sum / static_cast<double>(measured)
+             : worst;
+}
+
+std::vector<WhatIfOutcome> WhatIfExplorer::explore(Objective objective) const {
+  std::vector<WhatIfOutcome> outcomes;
+  outcomes.reserve(candidates_.size());
+  for (const WhatIfCandidate& candidate : candidates_) {
+    WhatIfOutcome outcome;
+    outcome.candidate = candidate;
+    outcome.prediction =
+        ModelSimulator(*dag_, apply(base_, candidate)).predict();
+    outcome.score_ms = score_ms(outcome.prediction, objective);
+    outcomes.push_back(std::move(outcome));
+  }
+  std::stable_sort(outcomes.begin(), outcomes.end(),
+                   [](const WhatIfOutcome& a, const WhatIfOutcome& b) {
+                     return a.score_ms < b.score_ms;
+                   });
+  return outcomes;
+}
+
+}  // namespace tetra::predict

@@ -1,0 +1,82 @@
+// What-if exploration over a synthesized model: sweep deployment knobs
+// (timer periods, per-vertex execution-time scaling, chain pruning,
+// executor/CPU mapping) and rank candidate configurations by predicted
+// end-to-end chain latency — design-space exploration without re-running
+// or re-tracing the application.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "predict/model_simulator.hpp"
+
+namespace tetra::predict {
+
+/// One candidate deployment configuration: knob deltas applied on top of
+/// the explorer's base PredictionConfig.
+struct WhatIfCandidate {
+  std::string name;
+  std::map<std::string, Duration> timer_period;  ///< vertex key -> period
+  std::map<std::string, double> exec_scale;      ///< vertex key -> factor
+  double global_exec_scale = 1.0;
+  std::vector<std::string> pruned;               ///< vertex keys
+  std::optional<ExecutorMapping> executors;
+};
+
+/// Ranking objective over the predicted chain latencies (lower = better).
+enum class Objective {
+  WorstChainMean,
+  WorstChainP99,
+  WorstChainMax,
+  MeanOfMeans,
+};
+
+std::string_view to_string(Objective objective);
+
+struct WhatIfOutcome {
+  WhatIfCandidate candidate;
+  PredictionResult prediction;
+  /// Objective value in milliseconds; +inf when no chain produced a
+  /// single complete traversal (a broken candidate ranks last).
+  double score_ms = 0.0;
+};
+
+class WhatIfExplorer {
+ public:
+  explicit WhatIfExplorer(const core::Dag& dag, PredictionConfig base = {});
+
+  WhatIfExplorer& add(WhatIfCandidate candidate);
+  /// The unmodified base configuration, for reference in the ranking.
+  WhatIfExplorer& add_baseline(std::string name = "baseline");
+  /// One candidate per period for the given timer vertex.
+  WhatIfExplorer& sweep_timer_period(const std::string& vertex_key,
+                                     const std::vector<Duration>& periods);
+  /// One candidate per global execution-time factor (deployment-wide
+  /// slowdown/speedup, e.g. CPU frequency scaling).
+  WhatIfExplorer& sweep_exec_scale(const std::vector<double>& factors);
+  /// One candidate per CPU budget, nodes mapped to executors per the base
+  /// config's mapping (or one executor per node).
+  WhatIfExplorer& sweep_num_cpus(const std::vector<int>& cpu_counts);
+
+  std::size_t candidate_count() const { return candidates_.size(); }
+  const PredictionConfig& base() const { return base_; }
+
+  /// Predicts every candidate (each deterministic in (dag, base, knobs))
+  /// and returns the outcomes sorted best-first by the objective.
+  std::vector<WhatIfOutcome> explore(
+      Objective objective = Objective::WorstChainP99) const;
+
+  /// The base config with a candidate's knobs applied (what explore()
+  /// hands to ModelSimulator).
+  static PredictionConfig apply(const PredictionConfig& base,
+                                const WhatIfCandidate& candidate);
+  static double score_ms(const PredictionResult& prediction,
+                         Objective objective);
+
+ private:
+  const core::Dag* dag_;
+  PredictionConfig base_;
+  std::vector<WhatIfCandidate> candidates_;
+};
+
+}  // namespace tetra::predict

@@ -105,7 +105,7 @@ ValidationReport RoundTripValidator::validate_dag(const core::Dag& dag,
   if (report.missing_edges.empty() && report.unexpected_edges.empty() &&
       report.missing_vertices.empty() && report.unexpected_vertices.empty()) {
     report.synthesized_chain_count =
-        analysis::enumerate_chains(dag, std::size_t{1} << 16).size();
+        analysis::enumerate_chains(dag, std::size_t{1} << 16).chains.size();
     report.chains_checked = true;
   }
   return report;

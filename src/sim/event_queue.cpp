@@ -9,6 +9,11 @@ EventHandle EventQueue::schedule(TimePoint t, Action action) {
   return EventHandle{cancelled};
 }
 
+void EventQueue::post(TimePoint t, Action action) {
+  heap_.push(Entry{t, next_seq_++, std::move(action), nullptr});
+  ++live_;
+}
+
 void EventQueue::cancel(EventHandle& handle) {
   if (handle.state_ && !*handle.state_) {
     *handle.state_ = true;
@@ -18,7 +23,8 @@ void EventQueue::cancel(EventHandle& handle) {
 }
 
 void EventQueue::drop_dead_prefix() {
-  while (!heap_.empty() && *heap_.top().cancelled) {
+  while (!heap_.empty() && heap_.top().cancelled != nullptr &&
+         *heap_.top().cancelled) {
     heap_.pop();
   }
 }
@@ -35,10 +41,14 @@ TimePoint EventQueue::next_time() const {
 bool EventQueue::pop_and_run(TimePoint& now) {
   drop_dead_prefix();
   if (heap_.empty()) return false;
-  Entry top = heap_.top();
+  // Moving the action out of the top entry is safe: the heap comparator
+  // only reads (time, seq), which stay intact until the pop below.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
   --live_;
-  *top.cancelled = true;  // marks as consumed so late cancels are no-ops
+  if (top.cancelled != nullptr) {
+    *top.cancelled = true;  // marks as consumed so late cancels are no-ops
+  }
   now = top.time;
   top.action();
   return true;

@@ -35,6 +35,11 @@ class EventQueue {
   /// Schedules `action` at absolute time `t`; returns a cancellation handle.
   EventHandle schedule(TimePoint t, Action action);
 
+  /// Fire-and-forget scheduling: no cancellation handle, and none of the
+  /// handle's allocation cost — the fast path for high-volume schedulers
+  /// (the predict:: model replay posts one event per sample delivery).
+  void post(TimePoint t, Action action);
+
   /// Marks the event as cancelled; it will be skipped when popped.
   /// Cancelling an already-cancelled/run/empty handle is a no-op.
   void cancel(EventHandle& handle);
@@ -54,7 +59,7 @@ class EventQueue {
     TimePoint time;
     std::uint64_t seq;
     Action action;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> cancelled;  ///< nullptr for post()ed events
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -18,6 +18,20 @@ EventHandle Simulator::after(Duration delay, EventQueue::Action action) {
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
+void Simulator::post_at(TimePoint t, EventQueue::Action action) {
+  if (t < now_) {
+    throw std::logic_error("Simulator::post_at: scheduling in the past");
+  }
+  queue_.post(t, std::move(action));
+}
+
+void Simulator::post_after(Duration delay, EventQueue::Action action) {
+  if (delay < Duration::zero()) {
+    throw std::logic_error("Simulator::post_after: negative delay");
+  }
+  queue_.post(now_ + delay, std::move(action));
+}
+
 void Simulator::run_until(TimePoint horizon) {
   // now_ is passed by reference so the clock reads correctly *inside* the
   // event actions, not just after they return.

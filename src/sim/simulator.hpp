@@ -23,6 +23,11 @@ class Simulator {
   /// Schedules `action` after a relative delay (must be >= 0).
   EventHandle after(Duration delay, EventQueue::Action action);
 
+  /// Fire-and-forget forms of at()/after(): no cancellation handle, no
+  /// per-event handle allocation.
+  void post_at(TimePoint t, EventQueue::Action action);
+  void post_after(Duration delay, EventQueue::Action action);
+
   /// Cancels a previously scheduled event (no-op if already run).
   void cancel(EventHandle& handle) { queue_.cancel(handle); }
 

@@ -40,7 +40,8 @@ core::Dag diamond_dag() {
 }
 
 TEST(ChainsTest, EnumeratesAllSourceSinkPaths) {
-  const auto chains = enumerate_chains(diamond_dag());
+  const auto [chains, truncated] = enumerate_chains(diamond_dag());
+  EXPECT_FALSE(truncated);
   ASSERT_EQ(chains.size(), 2u);
   EXPECT_EQ(to_string(chains[0]), "A -> B -> D");
   EXPECT_EQ(to_string(chains[1]), "A -> C -> D");
@@ -48,22 +49,32 @@ TEST(ChainsTest, EnumeratesAllSourceSinkPaths) {
 
 TEST(ChainsTest, ChainsThroughVertex) {
   const auto through_b = chains_through(diamond_dag(), "B");
-  ASSERT_EQ(through_b.size(), 1u);
-  EXPECT_EQ(through_b[0][1], "B");
+  EXPECT_FALSE(through_b.truncated);
+  ASSERT_EQ(through_b.chains.size(), 1u);
+  EXPECT_EQ(through_b.chains[0][1], "B");
 }
 
 TEST(ChainsTest, ChainWcetSumsVertices) {
   const auto dag = diamond_dag();
-  const auto chains = enumerate_chains(dag);
+  const auto chains = enumerate_chains(dag).chains;
   EXPECT_EQ(chain_wcet(dag, chains[0]), Duration::ms(14));  // 2+4+8
   EXPECT_EQ(chain_wcet(dag, chains[1]), Duration::ms(16));  // 2+6+8
   EXPECT_EQ(chain_acet(dag, chains[0]),
             Duration::ms_f(0.75 * 14));  // averages of {w/2, w}
 }
 
+TEST(ChainsTest, ChainTopicsFollowsEdges) {
+  const auto dag = diamond_dag();
+  const auto chains = enumerate_chains(dag).chains;
+  EXPECT_EQ(chain_topics(dag, chains[0]),
+            (std::vector<std::string>{"/ab", "/bd"}));
+  EXPECT_EQ(chain_topics(dag, chains[1]),
+            (std::vector<std::string>{"/ac", "/cd"}));
+}
+
 TEST(ChainsTest, GuardAgainstExplosion) {
   core::Dag dag;
-  // Ladder of diamonds: 2^20 paths — must throw, not hang.
+  // Ladder of diamonds: 2^20 paths — must truncate, not hang.
   std::string prev = "S";
   core::DagVertex s;
   s.key = "S";
@@ -83,7 +94,9 @@ TEST(ChainsTest, GuardAgainstExplosion) {
     dag.add_edge(b, join, "/");
     prev = join;
   }
-  EXPECT_THROW(enumerate_chains(dag, 1000), std::runtime_error);
+  const auto result = enumerate_chains(dag, 1000);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.chains.size(), 1000u);
 }
 
 TEST(LoadTest, UtilizationFromRateAndAcet) {
@@ -114,7 +127,7 @@ TEST(ResponseTimeTest, TermsComposeAndBound) {
   const auto dag = diamond_dag();
   ResponseTimeOptions options;
   options.dds_hop_bound = Duration::ms(1);
-  const auto chains = enumerate_chains(dag);
+  const auto chains = enumerate_chains(dag).chains;
   const auto estimate = estimate_chain_response(dag, chains[0], options);
   EXPECT_EQ(estimate.execution, Duration::ms(14));
   // Blocking: B and C share node n2 -> B's blocker is C (6ms); A and D
@@ -125,7 +138,8 @@ TEST(ResponseTimeTest, TermsComposeAndBound) {
   EXPECT_EQ(estimate.total(), Duration::ms(28));
   // Estimate must dominate the raw chain WCET.
   EXPECT_GE(estimate.total(), chain_wcet(dag, chains[0]));
-  const auto all = estimate_all_chains(dag, options);
+  const auto [all, truncated] = estimate_all_chains(dag, options);
+  EXPECT_FALSE(truncated);
   EXPECT_EQ(all.size(), 2u);
 }
 

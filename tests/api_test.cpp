@@ -237,12 +237,6 @@ TEST(SynthesisSessionTest, WorkerPoolMatchesSequential) {
                   "worker pool");
 }
 
-TEST(SynthesisSessionTest, DeprecatedFacadeMatchesSession) {
-  const trace::EventVector events = scenario_trace(14);
-  const core::TimingModel shim = core::ModelSynthesizer().synthesize(events);
-  expect_same_dag(shim.dag, synthesize_whole(events).dag, "facade shim");
-}
-
 // -- segmented-ingestion equivalence property -------------------------------
 
 TEST(SegmentedIngestionProperty, ShuffledSegmentsMatchWholeTrace) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/export.hpp"
+#include "api/session.hpp"
 #include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "trace/merge.hpp"
@@ -11,6 +12,13 @@
 
 namespace tetra {
 namespace {
+
+// One-shot synthesis through a session (the removed batch facade's shape).
+core::TimingModel synthesize_model(const trace::EventVector& events) {
+  api::SynthesisSession session;
+  session.ingest(events);
+  return session.model().value();
+}
 
 TEST(ClippedTraceTest, StartWithoutEndDropped) {
   // Tracer detached mid-callback: the trailing instance has no end event
@@ -117,7 +125,7 @@ TEST(SameNodeServiceTest, ClientAndServiceInOneNode) {
   auto init_trace = suite.stop_init();
   suite.start_runtime();
   ctx.run_for(Duration::sec(2));
-  auto model = core::ModelSynthesizer().synthesize(
+  auto model = synthesize_model(
       trace::merge_sorted({init_trace, suite.stop_runtime()}));
   EXPECT_GE(client.dispatched_responses(), 30u);
   // timer -> service -> client: 3 callback vertices, one node.
@@ -133,7 +141,7 @@ TEST(ExportOptionsTest, TimingAndPeriodsToggle) {
   auto init_trace = suite.stop_init();
   suite.start_runtime();
   ctx.run_for(Duration::sec(2));
-  auto model = core::ModelSynthesizer().synthesize(
+  auto model = synthesize_model(
       trace::merge_sorted({init_trace, suite.stop_runtime()}));
   core::DotOptions bare;
   bare.show_timing = false;
@@ -153,7 +161,7 @@ TEST(ZeroDurationRunTest, SynthesisOfEmptyRuntimeTrace) {
   workloads::build_syn_app(ctx);
   auto init_trace = suite.stop_init();
   // No runtime at all: model has nodes but no callbacks.
-  auto model = core::ModelSynthesizer().synthesize(init_trace);
+  auto model = synthesize_model(init_trace);
   EXPECT_EQ(model.node_callbacks.size(), 6u);
   EXPECT_EQ(model.dag.vertex_count(), 0u);
   for (const auto& list : model.node_callbacks) {
@@ -167,7 +175,7 @@ TEST(SchedOnlyTraceTest, SynthesisIgnoresPureKernelTrace) {
       TimePoint{10}, trace::SchedSwitchInfo{0, 1, 0,
                                             trace::ThreadRunState::Runnable,
                                             2, 0}));
-  auto model = core::ModelSynthesizer().synthesize(ev);
+  auto model = synthesize_model(ev);
   EXPECT_TRUE(model.node_callbacks.empty());
   EXPECT_EQ(model.dag.vertex_count(), 0u);
 }

@@ -3,6 +3,7 @@
 // structural and timing properties (Fig. 3a, Fig. 3b scenarios).
 #include <gtest/gtest.h>
 
+#include "api/session.hpp"
 #include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "sched/interference.hpp"
@@ -26,9 +27,9 @@ core::TimingModel trace_and_synthesize(ros2::Context& ctx, BuildFn&& builder,
   suite.start_runtime();
   ctx.run_for(duration);
   auto runtime_trace = suite.stop_runtime();
-  core::ModelSynthesizer synthesizer(options);
-  return synthesizer.synthesize(
-      trace::merge_sorted({init_trace, runtime_trace}));
+  api::SynthesisSession session(api::SynthesisConfig().core_options(options));
+  session.ingest(trace::merge_sorted({init_trace, runtime_trace}));
+  return session.model().value();
 }
 
 // ---------------------------------------------------------------- SYN ----
@@ -322,9 +323,14 @@ TEST(CaseStudyTest, MergeStrategiesAgreeStructurally) {
     segments.push_back(
         trace::merge_sorted({init_trace, suite.stop_runtime()}));
   }
-  core::ModelSynthesizer synthesizer;
-  const core::Dag from_traces = synthesizer.synthesize_merged(segments).dag;
-  const core::Dag from_dags = synthesizer.synthesize_and_merge(segments);
+  const auto session_dag = [&segments](api::MergeStrategy strategy) {
+    api::SynthesisSession session(
+        api::SynthesisConfig().merge_strategy(strategy));
+    for (const auto& segment : segments) session.ingest(segment);
+    return session.model().value().dag;
+  };
+  const core::Dag from_traces = session_dag(api::MergeStrategy::MergeTraces);
+  const core::Dag from_dags = session_dag(api::MergeStrategy::MergeDags);
   EXPECT_EQ(from_traces.vertex_count(), from_dags.vertex_count());
   EXPECT_EQ(from_traces.edge_count(), from_dags.edge_count());
   for (const auto& vertex : from_dags.vertices()) {
@@ -342,9 +348,12 @@ TEST(CaseStudyTest, MultiModeSynthesis) {
   const auto result = workloads::run_case_study(config);
   std::vector<trace::EventVector> traces;
   for (const auto& run : result.runs) traces.push_back(run.trace.value());
-  core::ModelSynthesizer synthesizer;
-  const auto multi =
-      synthesizer.synthesize_multi_mode(traces, {"city", "highway"});
+  api::SynthesisSession session;
+  const std::vector<std::string> modes{"city", "highway"};
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    session.ingest(traces[i], {.trace_id = "", .mode = modes[i]});
+  }
+  const auto multi = session.multi_mode_model().value();
   EXPECT_EQ(multi.modes().size(), 2u);
   EXPECT_EQ(multi.mode_dag("city")->vertex_count(), 18u);
   EXPECT_EQ(multi.combined().vertex_count(), 18u);
@@ -372,9 +381,9 @@ TEST(InterferenceRobustnessTest, MeasurementsExactUnderPreemption) {
   suite.start_runtime();
   ctx.run_for(Duration::sec(10));
   auto runtime_trace = suite.stop_runtime();
-  core::ModelSynthesizer synthesizer;
-  const auto model = synthesizer.synthesize(
-      trace::merge_sorted({init_trace, runtime_trace}));
+  api::SynthesisSession session;
+  session.ingest(trace::merge_sorted({init_trace, runtime_trace}));
+  const auto model = session.model().value();
   const auto* t2 = model.dag.find_vertex(app.label_of.at("T2"));
   ASSERT_NE(t2, nullptr);
   EXPECT_NEAR(t2->macet().to_ms(), 3.0, 0.01);

@@ -4,6 +4,7 @@
 // DAG-merge algebraic properties, and synthesis determinism.
 #include <gtest/gtest.h>
 
+#include "api/session.hpp"
 #include "core/model_synthesis.hpp"
 #include "ebpf/tracers.hpp"
 #include "sched/interference.hpp"
@@ -51,8 +52,9 @@ class SubstrateSweep : public ::testing::TestWithParam<SubstrateParam> {
     suite.start_runtime();
     ctx_->run_for(duration);
     auto events = trace::merge_sorted({init_trace, suite.stop_runtime()});
-    core::ModelSynthesizer synthesizer;
-    return {synthesizer.synthesize(events), std::move(events)};
+    api::SynthesisSession session;
+    session.ingest(events);
+    return {session.model().value(), std::move(events)};
   }
 
   std::unique_ptr<ros2::Context> ctx_;
@@ -153,9 +155,9 @@ TEST_P(DeterminismTest, SameSeedSameModel) {
     auto init_trace = suite.stop_init();
     suite.start_runtime();
     ctx.run_for(Duration::sec(3));
-    core::ModelSynthesizer synthesizer;
-    return synthesizer.synthesize(
-        trace::merge_sorted({init_trace, suite.stop_runtime()}));
+    api::SynthesisSession session;
+    session.ingest(trace::merge_sorted({init_trace, suite.stop_runtime()}));
+    return session.model().value();
   };
   const auto a = run_once(GetParam());
   const auto b = run_once(GetParam());
@@ -189,11 +191,9 @@ TEST_P(MergeAlgebraTest, MergeIsOrderInsensitiveAndIdempotent) {
     auto init_trace = suite.stop_init();
     suite.start_runtime();
     ctx.run_for(Duration::sec(2));
-    core::ModelSynthesizer synthesizer;
-    dags.push_back(synthesizer
-                       .synthesize(trace::merge_sorted(
-                           {init_trace, suite.stop_runtime()}))
-                       .dag);
+    api::SynthesisSession session;
+    session.ingest(trace::merge_sorted({init_trace, suite.stop_runtime()}));
+    dags.push_back(session.model().value().dag);
   }
   const core::Dag forward = core::merge_dags({dags[0], dags[1], dags[2]});
   const core::Dag backward = core::merge_dags({dags[2], dags[1], dags[0]});

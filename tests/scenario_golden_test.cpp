@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/session.hpp"
 #include "core/model_synthesis.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/runner.hpp"
@@ -39,7 +40,9 @@ TEST(GoldenTraceTest, ResynthesisMatchesGroundTruth) {
   const trace::EventVector events = trace::read_jsonl_file(golden_path());
   ASSERT_GT(events.size(), 100u);
 
-  const core::TimingModel model = core::ModelSynthesizer().synthesize(events);
+  api::SynthesisSession session;
+  session.ingest(events);
+  const core::TimingModel model = session.model().value();
   const Scenario scen = ScenarioGenerator().generate(kGoldenSeed);
   const ValidationReport report =
       RoundTripValidator().validate(model, scen.ground_truth);

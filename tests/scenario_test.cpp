@@ -216,8 +216,9 @@ TEST(ScenarioEdgeCaseTest, StructurallyDeadCallbacksAreExcluded) {
 }
 
 TEST(ScenarioEdgeCaseTest, EmptyTraceSynthesizesEmptyModel) {
-  const core::TimingModel model =
-      core::ModelSynthesizer().synthesize(trace::EventVector{});
+  api::SynthesisSession session;
+  session.ingest(trace::EventVector{});
+  const core::TimingModel model = session.model().value();
   EXPECT_TRUE(model.node_callbacks.empty());
   EXPECT_EQ(model.dag.vertex_count(), 0u);
 

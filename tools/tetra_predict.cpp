@@ -1,0 +1,292 @@
+// tetra_predict — model-driven latency prediction and what-if exploration.
+//
+// Reads JSONL traces into an api::SynthesisSession, synthesizes the
+// timing model, then *replays the model* (predict::ModelSimulator) to
+// predict per-chain end-to-end latency distributions — and, with sweep
+// flags, ranks candidate deployment configurations (WhatIfExplorer)
+// without ever re-running the application.
+//
+//   tetra_predict --trace run1.jsonl [--trace run2.jsonl ...]
+//                 [--merge-dags | --merge-traces] [--threads N]
+//                 [--horizon SEC] [--seed N] [--hop-us LO:HI]
+//                 [--input-period TOPIC=MS] [--timer-period KEY=MS]
+//                 [--scale-exec KEY=F] [--scale-exec-all F] [--prune KEY]
+//                 [--cpus N]
+//                 [--sweep-timer KEY=MS1,MS2,...] [--sweep-exec F1,F2,...]
+//                 [--sweep-cpus N1,N2,...]
+//                 [--objective worst-mean|worst-p99|worst-max|mean-mean]
+//                 [--json FILE] [--report]
+//
+// --cpus switches the replay to the contention-aware machine mode (one
+// executor per node on N simulated CPUs); without it the replay is
+// contention-free. Sweep flags build one candidate per listed value and
+// print the ranking best-first.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "predict/report.hpp"
+#include "predict/what_if.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+using namespace tetra;
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --trace FILE [--trace FILE ...]\n"
+      "          [--merge-dags | --merge-traces] [--threads N]\n"
+      "          [--horizon SEC] [--seed N] [--hop-us LO:HI]\n"
+      "          [--input-period TOPIC=MS] [--timer-period KEY=MS]\n"
+      "          [--scale-exec KEY=F] [--scale-exec-all F] [--prune KEY]\n"
+      "          [--cpus N]\n"
+      "          [--sweep-timer KEY=MS1,MS2,...] [--sweep-exec F1,F2,...]\n"
+      "          [--sweep-cpus N1,N2,...]\n"
+      "          [--objective worst-mean|worst-p99|worst-max|mean-mean]\n"
+      "          [--json FILE] [--report]\n"
+      "--report additionally prints the best candidate's chain table in\n"
+      "sweep mode (single predictions always print theirs).\n",
+      argv0);
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// Splits "key=value"; dies when '=' is missing.
+std::pair<std::string, std::string> split_kv(const std::string& arg,
+                                             const std::string& flag) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    die(flag + " expects KEY=VALUE, got '" + arg + "'");
+  }
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+double parse_double(const std::string& value, const std::string& flag) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    die(flag + " expects a number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(csv.substr(start));
+      break;
+    }
+    out.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) die("cannot write " + path);
+  f << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> trace_paths;
+  std::string json_path;
+  bool report = false;
+  api::SynthesisConfig synth_config;
+  predict::PredictionConfig prediction;
+
+  // Sweep requests are collected as flags and applied onto the explorer.
+  std::vector<std::pair<std::string, std::vector<Duration>>> timer_sweeps;
+  std::vector<double> exec_sweep;
+  std::vector<int> cpu_sweep;
+  predict::Objective objective = predict::Objective::WorstChainP99;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) die(arg + " requires a value");
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_paths.push_back(next());
+    } else if (arg == "--merge-traces") {
+      synth_config.merge_strategy(api::MergeStrategy::MergeTraces);
+    } else if (arg == "--merge-dags") {
+      synth_config.merge_strategy(api::MergeStrategy::MergeDags);
+    } else if (arg == "--threads") {
+      const int threads = std::atoi(next().c_str());
+      if (threads < 1) die("--threads expects a positive integer");
+      synth_config.threads(threads);
+    } else if (arg == "--horizon") {
+      prediction.horizon =
+          Duration::ms_f(parse_double(next(), "--horizon") * 1e3);
+      if (prediction.horizon <= Duration::zero()) {
+        die("--horizon expects a positive number of seconds");
+      }
+    } else if (arg == "--seed") {
+      const std::string value = next();
+      char* end = nullptr;
+      prediction.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        die("--seed expects an unsigned integer, got '" + value + "'");
+      }
+    } else if (arg == "--hop-us") {
+      const std::string value = next();
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) die("--hop-us expects LO:HI");
+      prediction.hop_latency.lo = Duration::ms_f(
+          parse_double(value.substr(0, colon), "--hop-us") / 1e3);
+      prediction.hop_latency.hi = Duration::ms_f(
+          parse_double(value.substr(colon + 1), "--hop-us") / 1e3);
+    } else if (arg == "--input-period") {
+      const auto [topic, ms] = split_kv(next(), "--input-period");
+      prediction.input_period[topic] =
+          Duration::ms_f(parse_double(ms, "--input-period"));
+    } else if (arg == "--timer-period") {
+      const auto [key, ms] = split_kv(next(), "--timer-period");
+      prediction.timer_period[key] =
+          Duration::ms_f(parse_double(ms, "--timer-period"));
+    } else if (arg == "--scale-exec") {
+      const auto [key, factor] = split_kv(next(), "--scale-exec");
+      prediction.exec_scale[key] = parse_double(factor, "--scale-exec");
+    } else if (arg == "--scale-exec-all") {
+      prediction.global_exec_scale = parse_double(next(), "--scale-exec-all");
+    } else if (arg == "--prune") {
+      prediction.pruned.insert(next());
+    } else if (arg == "--cpus") {
+      const int cpus = std::atoi(next().c_str());
+      if (cpus < 1) die("--cpus expects a positive integer");
+      predict::ExecutorMapping mapping;
+      mapping.num_cpus = cpus;
+      prediction.executors = mapping;
+    } else if (arg == "--sweep-timer") {
+      const auto [key, csv] = split_kv(next(), "--sweep-timer");
+      std::vector<Duration> periods;
+      for (const std::string& ms : split_list(csv)) {
+        periods.push_back(Duration::ms_f(parse_double(ms, "--sweep-timer")));
+      }
+      timer_sweeps.push_back({key, std::move(periods)});
+    } else if (arg == "--sweep-exec") {
+      for (const std::string& f : split_list(next())) {
+        exec_sweep.push_back(parse_double(f, "--sweep-exec"));
+      }
+    } else if (arg == "--sweep-cpus") {
+      for (const std::string& n : split_list(next())) {
+        const int cpus = static_cast<int>(parse_double(n, "--sweep-cpus"));
+        if (cpus < 1) die("--sweep-cpus expects positive integers");
+        cpu_sweep.push_back(cpus);
+      }
+    } else if (arg == "--objective") {
+      const std::string value = next();
+      if (value == "worst-mean") {
+        objective = predict::Objective::WorstChainMean;
+      } else if (value == "worst-p99") {
+        objective = predict::Objective::WorstChainP99;
+      } else if (value == "worst-max") {
+        objective = predict::Objective::WorstChainMax;
+      } else if (value == "mean-mean") {
+        objective = predict::Objective::MeanOfMeans;
+      } else {
+        die("unknown objective '" + value + "'");
+      }
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (trace_paths.empty()) {
+    std::fprintf(stderr, "error: at least one --trace FILE is required\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    api::SynthesisSession session(synth_config);
+    for (const auto& path : trace_paths) {
+      api::Result<api::SegmentInfo> segment = session.ingest_file(path);
+      if (!segment.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     segment.error().to_string().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "loaded %zu events from %s\n",
+                   segment->event_count, path.c_str());
+    }
+    api::Result<core::TimingModel> model = session.model();
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n", model.error().to_string().c_str());
+      return 1;
+    }
+    const core::Dag& dag = model->dag;
+    std::fprintf(stderr, "model: %zu vertices, %zu edges\n",
+                 dag.vertex_count(), dag.edge_count());
+
+    const bool sweeping =
+        !timer_sweeps.empty() || !exec_sweep.empty() || !cpu_sweep.empty();
+    std::string json;
+    bool truncated = false;
+    if (sweeping) {
+      predict::WhatIfExplorer what_if(dag, prediction);
+      what_if.add_baseline();
+      for (const auto& [key, periods] : timer_sweeps) {
+        what_if.sweep_timer_period(key, periods);
+      }
+      if (!exec_sweep.empty()) what_if.sweep_exec_scale(exec_sweep);
+      if (!cpu_sweep.empty()) what_if.sweep_num_cpus(cpu_sweep);
+      const std::vector<predict::WhatIfOutcome> outcomes =
+          what_if.explore(objective);
+      for (const auto& outcome : outcomes) {
+        truncated |= outcome.prediction.chains_truncated;
+      }
+      std::printf("%s", predict::to_text_table(outcomes, objective).c_str());
+      if (report && !outcomes.empty()) {
+        std::printf("\nbest candidate '%s':\n%s",
+                    outcomes.front().candidate.name.c_str(),
+                    predict::to_text_table(outcomes.front().prediction).c_str());
+      }
+      json = predict::to_json(outcomes, objective);
+    } else {
+      const predict::PredictionResult result =
+          predict::ModelSimulator(dag, prediction).predict();
+      truncated = result.chains_truncated;
+      // The per-chain table IS the report in single-prediction mode.
+      std::printf("%s", predict::to_text_table(result).c_str());
+      json = predict::to_json(result);
+    }
+    if (truncated) {
+      std::fprintf(stderr,
+                   "warning: chain enumeration truncated at %zu chains; "
+                   "predictions cover an incomplete chain set\n",
+                   prediction.max_chains);
+    }
+    if (!json_path.empty()) {
+      write_file(json_path, json + "\n");
+      std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -151,10 +151,17 @@ int main(int argc, char** argv) {
     if (report || (dot_path.empty() && json_path.empty())) {
       std::printf("%s\n", core::to_exec_time_table(dag).c_str());
       std::printf("chains:\n");
-      for (const auto& chain : analysis::enumerate_chains(dag)) {
+      const analysis::ChainEnumeration chains = analysis::enumerate_chains(dag);
+      for (const auto& chain : chains.chains) {
         std::printf("  %s  (sum mWCET %.2f ms)\n",
                     analysis::to_string(chain).c_str(),
                     analysis::chain_wcet(dag, chain).to_ms());
+      }
+      if (chains.truncated) {
+        std::fprintf(stderr,
+                     "warning: chain enumeration truncated at %zu chains; "
+                     "the list above is incomplete\n",
+                     chains.chains.size());
       }
     }
   } catch (const std::exception& e) {
