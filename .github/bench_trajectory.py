@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Render the perf-trajectory diff between two bench-JSON snapshots.
+
+Usage: bench_trajectory.py PREV_DIR CURRENT_DIR
+
+Reads BENCH_synthesis.json / BENCH_predict.json from both directories and
+prints a GitHub-flavored-markdown table of metric deltas (previous run ->
+this run). Missing files degrade gracefully: the table only covers what
+both snapshots have. Informational only — the caller must not gate on it.
+"""
+import json
+import os
+import sys
+
+BENCHES = ("BENCH_synthesis.json", "BENCH_predict.json")
+# Keys that describe the configuration, not performance.
+SKIP = {"bench", "seed", "traces", "threads", "hardware_threads", "what_ifs",
+        "duration_s", "horizon_s"}
+
+
+def flatten(prefix, value, out):
+    if isinstance(value, dict):
+        for key, child in value.items():
+            flatten(f"{prefix}.{key}" if prefix else key, child, out)
+    elif isinstance(value, (int, float)):
+        out[prefix] = float(value)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return None
+    out = {}
+    flatten("", data, out)
+    return {k: v for k, v in out.items() if k.split(".")[0] not in SKIP}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: bench_trajectory.py PREV_DIR CURRENT_DIR",
+              file=sys.stderr)
+        return 1
+    prev_dir, cur_dir = sys.argv[1], sys.argv[2]
+
+    print("## Perf trajectory (previous run → this run)\n")
+    any_rows = False
+    for bench in BENCHES:
+        prev = load(os.path.join(prev_dir, bench))
+        cur = load(os.path.join(cur_dir, bench))
+        if cur is None:
+            print(f"_{bench}: missing from this run._\n")
+            continue
+        print(f"### {bench}\n")
+        if prev is None:
+            print("_No previous artifact found (first run?); "
+                  "current values only._\n")
+        print("| metric | previous | current | delta |")
+        print("|---|---:|---:|---:|")
+        for key in sorted(cur):
+            cur_value = cur[key]
+            prev_value = prev.get(key) if prev else None
+            if prev_value is None:
+                print(f"| {key} | — | {cur_value:.6g} | — |")
+            elif prev_value == 0:
+                print(f"| {key} | 0 | {cur_value:.6g} | — |")
+            else:
+                delta = 100.0 * (cur_value - prev_value) / abs(prev_value)
+                print(f"| {key} | {prev_value:.6g} | {cur_value:.6g} "
+                      f"| {delta:+.1f}% |")
+            any_rows = True
+        print()
+    if not any_rows:
+        print("_No bench data available._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

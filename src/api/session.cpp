@@ -138,6 +138,9 @@ void SynthesisSession::synthesize_trace(TraceState& trace,
   core::TraceIndex index(trace::SortedEventView::merged(parts));
   core::TimingModel model;
   model.node_callbacks = core::extract_all_nodes(index, options.extract);
+  // Multi-threaded executors yield one per-worker list each; unify them
+  // per node before labels are assigned.
+  core::merge_worker_lists(model.node_callbacks);
   core::normalize_labels(model.node_callbacks);
   model.dag = core::build_dag(model.node_callbacks, options.dag);
   trace.model = std::move(model);
@@ -214,6 +217,7 @@ Result<core::TimingModel> SynthesisSession::model() {
         core::TimingModel model;
         model.node_callbacks =
             core::extract_all_nodes(index, config_.core_options().extract);
+        core::merge_worker_lists(model.node_callbacks);
         core::normalize_labels(model.node_callbacks);
         model.dag =
             core::build_dag(model.node_callbacks, config_.core_options().dag);

@@ -18,11 +18,49 @@ std::pair<std::string, std::string> split_annotated_topic(const std::string& top
 }
 
 void CallbackRecord::add_instance(TimePoint start, Duration exec_time,
-                                  std::optional<Duration> wait_time) {
+                                  std::optional<Duration> wait_time,
+                                  std::optional<TimePoint> end) {
   start_times.push_back(start);
+  end_times.push_back(end.value_or(start + exec_time));
   exec_times.push_back(exec_time);
   if (wait_time.has_value()) wait_times.push_back(*wait_time);
   stats.add(exec_time);
+}
+
+void CallbackRecord::merge_from(const CallbackRecord& other) {
+  is_sync_subscriber |= other.is_sync_subscriber;
+  for (const auto& topic : other.out_topics) add_out_topic(topic);
+  start_times.insert(start_times.end(), other.start_times.begin(),
+                     other.start_times.end());
+  end_times.insert(end_times.end(), other.end_times.begin(),
+                   other.end_times.end());
+  exec_times.insert(exec_times.end(), other.exec_times.begin(),
+                    other.exec_times.end());
+  wait_times.insert(wait_times.end(), other.wait_times.begin(),
+                    other.wait_times.end());
+  stats.merge(other.stats);
+
+  // Re-sort the parallel instance vectors chronologically: two workers'
+  // streams interleave, and estimated_period() reads consecutive starts.
+  std::vector<std::size_t> order(start_times.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return start_times[a] < start_times[b];
+                   });
+  std::vector<TimePoint> starts, ends;
+  std::vector<Duration> execs;
+  starts.reserve(order.size());
+  ends.reserve(order.size());
+  execs.reserve(order.size());
+  for (std::size_t i : order) {
+    starts.push_back(start_times[i]);
+    ends.push_back(end_times[i]);
+    execs.push_back(exec_times[i]);
+  }
+  start_times = std::move(starts);
+  end_times = std::move(ends);
+  exec_times = std::move(execs);
 }
 
 void CallbackRecord::add_out_topic(const std::string& topic) {

@@ -52,6 +52,10 @@ struct CallbackRecord {
 
   // Per-instance measurements -----------------------------------------------
   std::vector<TimePoint> start_times;
+  /// Wall-clock instance ends (start + response time, preemption
+  /// included), parallel to start_times. Concurrency inference reads the
+  /// [start, end) intervals to learn per-group serialization.
+  std::vector<TimePoint> end_times;
   std::vector<Duration> exec_times;
   /// Waiting times (wakeup -> dispatch), when computed (paper §VII).
   std::vector<Duration> wait_times;
@@ -59,9 +63,16 @@ struct CallbackRecord {
   /// Aggregated execution-time statistics (mBCET/mACET/mWCET).
   ExecStats stats;
 
-  /// Adds one measured instance.
+  /// Adds one measured instance. `end` defaults to start + exec_time
+  /// (uncontended execution).
   void add_instance(TimePoint start, Duration exec_time,
-                    std::optional<Duration> wait_time = std::nullopt);
+                    std::optional<Duration> wait_time = std::nullopt,
+                    std::optional<TimePoint> end = std::nullopt);
+
+  /// Merges another record of the same callback (same id / matching rule)
+  /// observed on a different executor worker: instances re-sorted by
+  /// start time, out-topics unioned, statistics merged.
+  void merge_from(const CallbackRecord& other);
 
   /// Adds an out topic if not yet present.
   void add_out_topic(const std::string& topic);

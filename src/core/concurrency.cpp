@@ -1,0 +1,145 @@
+#include "core/concurrency.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace tetra::core {
+
+namespace {
+
+/// Union-find over small per-node label sets.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct Interval {
+  TimePoint start;
+  TimePoint end;
+  std::size_t label = 0;
+};
+
+}  // namespace
+
+std::map<std::string, NodeConcurrency> infer_concurrency(
+    const std::vector<CallbackList>& lists) {
+  std::map<std::string, NodeConcurrency> result;
+
+  for (const CallbackList& list : lists) {
+    NodeConcurrency node;
+
+    // Records sharing a label (a multi-caller service's per-caller
+    // entries) are one callback: pool their instances.
+    std::vector<std::string> labels;
+    std::map<std::string, std::size_t> label_index;
+    std::vector<Interval> intervals;
+    for (const CallbackRecord& record : list.records) {
+      auto [it, inserted] =
+          label_index.emplace(record.label, labels.size());
+      if (inserted) labels.push_back(record.label);
+      for (std::size_t i = 0; i < record.start_times.size(); ++i) {
+        intervals.push_back(Interval{record.start_times[i],
+                                     i < record.end_times.size()
+                                         ? record.end_times[i]
+                                         : record.start_times[i],
+                                     it->second});
+      }
+    }
+    if (labels.empty()) continue;
+
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.start != b.start ? a.start < b.start : a.end < b.end;
+              });
+
+    // Sweep: the active set is bounded by the executor's worker count, so
+    // the pairwise conflict recording stays cheap.
+    const std::size_t n = labels.size();
+    std::vector<char> conflict(n * n, 0);
+    std::vector<char> reentrant(n, 0);
+    using Active = std::pair<std::int64_t, std::size_t>;  // (end ns, label)
+    std::priority_queue<Active, std::vector<Active>, std::greater<>> active;
+    std::size_t max_active = intervals.empty() ? 0 : 1;
+    for (const Interval& iv : intervals) {
+      // Half-open intervals: an instance starting exactly when another
+      // ends is sequential, not concurrent.
+      while (!active.empty() && active.top().first <= iv.start.count_ns()) {
+        active.pop();
+      }
+      std::vector<Active> overlapping;
+      overlapping.reserve(active.size());
+      while (!active.empty()) {
+        overlapping.push_back(active.top());
+        active.pop();
+      }
+      for (const Active& a : overlapping) {
+        if (a.second == iv.label) {
+          reentrant[iv.label] = 1;
+        } else {
+          conflict[a.second * n + iv.label] = 1;
+          conflict[iv.label * n + a.second] = 1;
+        }
+        active.push(a);
+      }
+      active.push({iv.end.count_ns(), iv.label});
+      max_active = std::max(max_active, active.size());
+    }
+    node.observed_workers = static_cast<int>(std::max<std::size_t>(
+        1, max_active));
+
+    // Mutually-exclusive groups: components of the never-overlapped graph
+    // over the non-reentrant callbacks. Deliberately NOT conflict-aware:
+    // with sparse observations a rarely-firing callback can bridge two
+    // components whose other members were observed overlapping, and the
+    // component union then serializes an observed-concurrent pair. The
+    // alternative — refusing unions that would merge conflicting
+    // members — can instead *split* a true mutually-exclusive group
+    // (claiming concurrency the executor forbids), which is the unsound
+    // direction for a serialization constraint. Components only ever err
+    // toward extra serialization and converge to the true partition as
+    // overlap evidence accumulates.
+    DisjointSets sets(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reentrant[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (reentrant[j] || conflict[i * n + j]) continue;
+        sets.unite(i, j);
+      }
+    }
+
+    // Dense group ids in first-appearance order; reentrant callbacks each
+    // form their own (unserialized) group.
+    std::map<std::size_t, int> group_of_root;
+    int next_group = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      CallbackConcurrency cc;
+      if (reentrant[i]) {
+        cc.group = next_group++;
+        cc.reentrant = true;
+      } else {
+        auto [it, inserted] =
+            group_of_root.emplace(sets.find(i), next_group);
+        if (inserted) ++next_group;
+        cc.group = it->second;
+      }
+      node.by_label[labels[i]] = cc;
+    }
+    node.group_count = std::max(1, next_group);
+
+    result[list.node_name] = std::move(node);
+  }
+  return result;
+}
+
+}  // namespace tetra::core

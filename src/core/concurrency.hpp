@@ -1,0 +1,64 @@
+// Learning executor concurrency from extracted callback instances.
+//
+// The paper's synthesis assumes single-threaded executors: callbacks of a
+// node never overlap. Multi-threaded executors break that assumption in a
+// structured way — callbacks of one mutually-exclusive group stay
+// serialized while distinct groups overlap — and that structure is
+// observable in the trace: the wall-clock [start, end) intervals of the
+// extracted instances.
+//
+// Inference per node:
+//  - observed_workers is the maximum number of simultaneously executing
+//    callbacks (a lower bound on the executor's worker count; exactly 1
+//    for a single-threaded executor);
+//  - a callback observed overlapping *itself* is reentrant;
+//  - the serialization groups are the connected components of the
+//    "never observed overlapping" graph over the remaining callbacks.
+//
+// The partition is a *conservative* serialization constraint: members of
+// a true mutually-exclusive group can never overlap, so they always land
+// in one component (the inference never claims concurrency the executor
+// forbids), and only self-overlap — impossible for mutually-exclusive
+// callbacks — marks reentrancy. In the other direction the partition may
+// serialize more than reality: cross-group pairs that happened never to
+// overlap merge into one group, and under sparse observations such a
+// bridge can even pull an observed-concurrent pair into one component.
+// That direction only inflates predicted latency (it never invents
+// concurrency) and vanishes as load and trace length grow — the
+// partition converges to the deployment's true groups.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/callback_record.hpp"
+
+namespace tetra::core {
+
+/// Learned scheduling constraints of one callback (by label).
+struct CallbackConcurrency {
+  /// Serialization group ordinal within the node (dense, 0-based, in
+  /// first-appearance order of the node's records).
+  int group = 0;
+  /// Observed overlapping itself: member of a reentrant group.
+  bool reentrant = false;
+};
+
+/// Learned executor model of one node.
+struct NodeConcurrency {
+  /// Max simultaneously executing callbacks observed (>= 1).
+  int observed_workers = 1;
+  /// Number of distinct serialization groups (reentrant callbacks each
+  /// count as their own group).
+  int group_count = 1;
+  std::map<std::string, CallbackConcurrency> by_label;
+};
+
+/// Infers per-node concurrency from per-node CBlists (labels assigned,
+/// worker lists merged). Nodes without instances yield the
+/// single-threaded default.
+std::map<std::string, NodeConcurrency> infer_concurrency(
+    const std::vector<CallbackList>& lists);
+
+}  // namespace tetra::core

@@ -25,6 +25,11 @@ DagVertex& Dag::add_or_merge_vertex(const DagVertex& vertex) {
   existing.stats.merge(vertex.stats);
   existing.instance_count += vertex.instance_count;
   if (!existing.period.has_value()) existing.period = vertex.period;
+  // Concurrency: workers and reentrancy are monotone observations; the
+  // group partition itself is reconciled in merge() (ordinals from
+  // different runs are not comparable one vertex at a time).
+  existing.reentrant |= vertex.reentrant;
+  existing.node_workers = std::max(existing.node_workers, vertex.node_workers);
   return existing;
 }
 
@@ -113,12 +118,81 @@ bool Dag::is_acyclic() const {
   return visited == vertices_.size();
 }
 
+namespace {
+
+/// (node, run-local group ordinal) -> member vertex keys, reentrant and
+/// junction vertices excluded (they carry no serialization constraint).
+std::map<std::pair<std::string, int>, std::vector<std::string>>
+collect_groups(const std::vector<DagVertex>& vertices) {
+  std::map<std::pair<std::string, int>, std::vector<std::string>> groups;
+  for (const auto& vertex : vertices) {
+    if (vertex.reentrant || vertex.is_and_junction) continue;
+    groups[{vertex.node_name, vertex.exec_group}].push_back(vertex.key);
+  }
+  return groups;
+}
+
+}  // namespace
+
 void Dag::merge(const Dag& other) {
+  // Group ordinals of the two runs are independent namespaces, so the
+  // partitions must be snapshotted before the vertex merge and re-unioned
+  // afterwards: the merged groups are the finest partition both runs'
+  // serialization observations allow.
+  const auto self_groups = collect_groups(vertices_);
+  const auto other_groups = collect_groups(other.vertices());
+
   for (const auto& vertex : other.vertices()) {
     add_or_merge_vertex(vertex);
   }
   for (const auto& edge : other.edges()) {
     add_edge(edge.from, edge.to, edge.topic);
+  }
+
+  // Union-find over vertex keys: members of one group in either run end
+  // up in one merged group. Unlike infer_concurrency this union is
+  // unconditional — the model retains each run's partition but not its
+  // pairwise overlap observations, so cross-run reconciliation is
+  // conservative (it can only serialize more, never less, than either
+  // run's own partition).
+  std::map<std::string, std::string> parent;
+  auto find = [&parent](std::string key) {
+    while (true) {
+      auto it = parent.find(key);
+      if (it == parent.end() || it->second == key) return key;
+      key = it->second;
+    }
+  };
+  for (const auto* groups : {&self_groups, &other_groups}) {
+    for (const auto& [node_group, members] : *groups) {
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        parent[find(members[i])] = find(members[0]);
+      }
+    }
+  }
+
+  // Renumber dense per node in vertex order; reentrant vertices keep one
+  // group of their own each.
+  std::map<std::string, int> next_group_of_node;
+  std::map<std::string, int> group_of_root;
+  std::map<std::string, int> workers_of_node;
+  for (auto& vertex : vertices_) {
+    workers_of_node[vertex.node_name] = std::max(
+        workers_of_node[vertex.node_name], vertex.node_workers);
+    if (vertex.is_and_junction) continue;
+    int& next_group = next_group_of_node[vertex.node_name];
+    if (vertex.reentrant) {
+      vertex.exec_group = next_group++;
+      continue;
+    }
+    auto [it, inserted] =
+        group_of_root.emplace(find(vertex.key), next_group);
+    if (inserted) ++next_group;
+    vertex.exec_group = it->second;
+  }
+  // Worker counts are per executor, i.e. per node: propagate the max.
+  for (auto& vertex : vertices_) {
+    vertex.node_workers = workers_of_node[vertex.node_name];
   }
 }
 

@@ -37,6 +37,21 @@ struct DagVertex {
   std::size_t instance_count = 0;
   std::optional<Duration> period;  ///< estimated, timers only
 
+  // Learned executor concurrency (core/concurrency.hpp) ---------------------
+  /// Learned serialization group within the node: the model (and its
+  /// replay) serializes vertices sharing (node_name, exec_group). The
+  /// constraint is conservative — a true mutually-exclusive group is
+  /// never split across groups, but sparse observations may merge
+  /// distinct groups (extra serialization, never invented concurrency).
+  /// A single-threaded node has one group for all its callbacks.
+  int exec_group = 0;
+  /// Observed overlapping itself (reentrant callback group member); the
+  /// exec_group of a reentrant vertex carries no serialization.
+  bool reentrant = false;
+  /// Executor worker count learned for the vertex's node (max observed
+  /// concurrent callbacks; 1 = the paper's single-threaded assumption).
+  int node_workers = 1;
+
   Duration mbcet() const { return stats.empty() ? Duration::zero() : stats.mbcet(); }
   Duration macet() const { return stats.empty() ? Duration::zero() : stats.macet(); }
   Duration mwcet() const { return stats.empty() ? Duration::zero() : stats.mwcet(); }

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/concurrency.hpp"
+
 namespace tetra::core {
 
 namespace {
@@ -129,6 +131,27 @@ Dag build_dag(const std::vector<CallbackList>& lists, const DagOptions& options)
     if (options.mark_or_junctions && distinct_producers.size() > 1) {
       dag.find_vertex(ref.key)->is_or_junction = true;
     }
+  }
+
+  // ---- learned executor concurrency ---------------------------------------
+  // Per-node serialization groups, reentrancy and worker counts from the
+  // observed instance intervals; split service vertices share their
+  // callback's constraints. AND junctions execute nothing — they only
+  // inherit the node's worker count.
+  const auto concurrency = infer_concurrency(lists);
+  for (const auto& ref : refs) {
+    auto node_it = concurrency.find(ref.record->node_name);
+    if (node_it == concurrency.end()) continue;
+    auto label_it = node_it->second.by_label.find(ref.record->label);
+    if (label_it == node_it->second.by_label.end()) continue;
+    DagVertex* vertex = dag.find_vertex(ref.key);
+    vertex->exec_group = label_it->second.group;
+    vertex->reentrant = label_it->second.reentrant;
+    vertex->node_workers = node_it->second.observed_workers;
+  }
+  for (const auto& [node, info] : concurrency) {
+    DagVertex* junction = dag.find_vertex(node + "/&");
+    if (junction != nullptr) junction->node_workers = info.observed_workers;
   }
 
   return dag;

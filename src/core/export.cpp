@@ -94,6 +94,9 @@ std::string to_json(const Dag& dag) {
     for (const auto& t : v.out_topics) w.value(t);
     w.end_array();
     w.kv("instances", static_cast<std::int64_t>(v.instance_count));
+    w.kv("exec_group", v.exec_group);
+    w.kv("reentrant", v.reentrant);
+    w.kv("node_workers", v.node_workers);
     if (v.period.has_value()) w.kv("period_ns", v.period->count_ns());
     if (!v.stats.empty()) {
       w.key("exec_time_ns").begin_object();

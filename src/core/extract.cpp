@@ -258,7 +258,7 @@ CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
             wait = cb.start - *wakeup;
           }
         }
-        record.add_instance(cb.start, et, wait);
+        record.add_instance(cb.start, et, wait, end);
         cb.reset();
         break;
       }
@@ -277,6 +277,32 @@ std::vector<CallbackList> extract_all_nodes(const TraceIndex& index,
     lists.push_back(extract_callbacks(index, pid, options));
   }
   return lists;
+}
+
+void merge_worker_lists(std::vector<CallbackList>& lists) {
+  std::vector<CallbackList> merged;
+  std::map<std::string, std::size_t> index_of_node;
+  for (auto& list : lists) {
+    // Unnamed lists (PIDs without a P1) are never worker siblings.
+    if (list.node_name.empty()) {
+      merged.push_back(std::move(list));
+      continue;
+    }
+    auto [it, inserted] = index_of_node.emplace(list.node_name, merged.size());
+    if (inserted) {
+      merged.push_back(std::move(list));
+      continue;
+    }
+    CallbackList& target = merged[it->second];
+    // Keep the lowest PID as the node identity (worker 0 registers first
+    // and P1 events arrive in creation order).
+    if (list.pid < target.pid) target.pid = list.pid;
+    for (auto& record : list.records) {
+      CallbackRecord& slot = target.match_or_insert(record);
+      slot.merge_from(record);
+    }
+  }
+  lists = std::move(merged);
 }
 
 void normalize_labels(std::vector<CallbackList>& lists) {

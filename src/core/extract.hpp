@@ -104,6 +104,16 @@ CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
 std::vector<CallbackList> extract_all_nodes(const TraceIndex& index,
                                             const ExtractOptions& options = {});
 
+/// Merges per-worker-PID CBlists of one node into a single per-node list.
+/// A multi-threaded executor fires P1 once per worker, so Algorithm 1
+/// yields one (strictly sequential) list per worker PID; callbacks that
+/// migrated between workers are re-unified here via the Alg. 1 matching
+/// rule (same id; services also same annotated in-topic), with their
+/// instances re-sorted chronologically. Single-threaded nodes pass
+/// through untouched. Must run before normalize_labels (ordinals count
+/// callbacks per node, not per worker).
+void merge_worker_lists(std::vector<CallbackList>& lists);
+
 /// Post-extraction normalization: assigns stable labels
 /// ("<node>/<kind><ordinal>", ordinals by callback-id order within the
 /// node) and rewrites topic annotations from run-specific raw callback ids

@@ -74,9 +74,14 @@ class Engine {
     bool to_junction = false;
   };
 
+  static constexpr std::size_t kNoUnit = static_cast<std::size_t>(-1);
+
   struct VertexState {
     const core::DagVertex* dv = nullptr;
     std::size_t executor = 0;
+    /// Serialization unit (one per (node, exec_group)); kNoUnit for
+    /// reentrant vertices and junctions — no mutual exclusion.
+    std::size_t unit = kNoUnit;
     ExecTimeSampler sampler;
     double scale = 1.0;
     bool pruned = false;
@@ -90,15 +95,24 @@ class Engine {
     std::map<std::size_t, std::size_t> barrier;
   };
 
-  struct ExecutorState {
-    std::deque<Activation> queue;
-    /// The in-flight activation; kept here so completion events capture
-    /// only (engine, executor index) and stay within std::function's
-    /// small-buffer size — no per-activation allocation.
+  /// One executor worker's in-flight activation. Kept in the executor
+  /// state so completion events capture only (engine, executor, slot) and
+  /// stay within std::function's small-buffer size — no per-activation
+  /// allocation.
+  struct WorkerSlot {
     Activation current;
     TimePoint started;
-    bool busy = false;               // contention-free mode
-    sched::Thread* thread = nullptr; // machine mode
+    bool busy = false;
+    sched::Thread* thread = nullptr;  // machine mode
+  };
+
+  struct ExecutorState {
+    std::deque<Activation> queue;
+    /// Worker count: max learned node_workers over the executor's nodes
+    /// (or the per-node what-if override).
+    int capacity = 1;
+    int active = 0;  // busy slots (contention-free mode bookkeeping)
+    std::vector<WorkerSlot> slots;
   };
 
   /// A pending DDS sample delivery. Deliveries go through one POD heap
@@ -135,7 +149,8 @@ class Engine {
       const core::DagVertex& dv = verts[i];
       index_of_[dv.key] = i;
       VertexState state{
-          &dv, 0, ExecTimeSampler(dv.stats, stream_seed(config_.seed, dv.key)),
+          &dv, 0, kNoUnit,
+          ExecTimeSampler(dv.stats, stream_seed(config_.seed, dv.key)),
           1.0, false, std::nullopt, {}, {}, 0, {}};
       state.pruned = config_.pruned.count(dv.key) > 0;
       state.scale = config_.global_exec_scale;
@@ -178,6 +193,19 @@ class Engine {
   }
 
   void build_executors() {
+    // Worker count per node: the what-if override, else the count the
+    // synthesis learned for the node's vertices (one pass, then lookups).
+    std::map<std::string, int> workers_of_node;
+    for (const auto& vertex : vertices_) {
+      int& workers = workers_of_node[vertex.dv->node_name];
+      workers = std::max({workers, 1, vertex.dv->node_workers});
+    }
+    for (const auto& [node, workers] : config_.workers) {
+      if (auto it = workers_of_node.find(node); it != workers_of_node.end()) {
+        it->second = std::max(1, workers);
+      }
+    }
+
     // Executor per node, unless a mapping consolidates nodes.
     std::map<std::string, std::size_t> executor_index;
     // push_back+append instead of `"#" + to_string(...)`: the string
@@ -201,18 +229,46 @@ class Engine {
           executor_key(vertex.dv->node_name), executors_.size());
       if (inserted) executors_.emplace_back();
       vertex.executor = it->second;
+      // An executor consolidating several nodes gets the largest member
+      // pool (its workers serve every member node's queue).
+      ExecutorState& executor = executors_[it->second];
+      executor.capacity = std::max(executor.capacity,
+                                   workers_of_node.at(vertex.dv->node_name));
     }
+    for (auto& executor : executors_) {
+      executor.slots.resize(static_cast<std::size_t>(executor.capacity));
+    }
+
+    // Serialization units: one per (node, learned exec_group); reentrant
+    // vertices and junctions stay unconstrained.
+    std::map<std::pair<std::string, int>, std::size_t> unit_index;
+    for (auto& vertex : vertices_) {
+      if (vertex.dv->is_and_junction || vertex.dv->reentrant) continue;
+      auto [it, inserted] = unit_index.emplace(
+          std::pair{vertex.dv->node_name, vertex.dv->exec_group},
+          unit_busy_.size());
+      if (inserted) unit_busy_.push_back(0);
+      vertex.unit = it->second;
+    }
+
     if (config_.executors.has_value()) {
       sched::Machine::Config machine_config;
       machine_config.num_cpus = std::max(1, config_.executors->num_cpus);
       machine_.emplace(sim_, machine_config);
       for (std::size_t e = 0; e < executors_.size(); ++e) {
-        sched::ThreadConfig thread_config;
-        thread_config.name = "predict-exec-" + std::to_string(e);
-        thread_config.priority = config_.executors->priority;
-        thread_config.policy = config_.executors->policy;
-        executors_[e].thread = &machine_->create_thread(
-            thread_config, [this, e] { pump(e); });
+        for (std::size_t w = 0;
+             w < static_cast<std::size_t>(executors_[e].capacity); ++w) {
+          sched::ThreadConfig thread_config;
+          thread_config.name = "predict-exec-" + std::to_string(e);
+          if (w > 0) {
+            thread_config.name.push_back('w');
+            thread_config.name.append(std::to_string(w));
+          }
+          thread_config.priority = config_.executors->priority;
+          thread_config.policy = config_.executors->policy;
+          executors_[e].slots[w].thread = &machine_->create_thread(
+              thread_config, [this, e, w] { pump(e, w); });
+        }
       }
     }
   }
@@ -301,11 +357,10 @@ class Engine {
     const std::size_t e = vertices_[activation.vertex].executor;
     ExecutorState& executor = executors_[e];
     executor.queue.push_back(std::move(activation));
-    if (executor.thread != nullptr) {
-      executor.thread->wake();
-    } else if (!executor.busy) {
-      executor.busy = true;
-      start_next(e);
+    if (machine_.has_value()) {
+      for (WorkerSlot& slot : executor.slots) slot.thread->wake();
+    } else {
+      try_dispatch(e);
     }
   }
 
@@ -315,41 +370,84 @@ class Engine {
     return Duration{static_cast<std::int64_t>(scaled < 0.0 ? 0.0 : scaled)};
   }
 
-  /// Contention-free mode: the executor is a virtual single-threaded
-  /// server; the next activation starts the moment the previous one ends.
-  void start_next(std::size_t e) {
-    ExecutorState& executor = executors_[e];
-    executor.current = executor.queue.front();
-    executor.queue.pop_front();
-    executor.started = sim_.now();
-    const Duration exec = sample_exec(vertices_[executor.current.vertex]);
-    sim_.post_after(exec, [this, e] {
-      ExecutorState& ex = executors_[e];
-      complete(ex.current, ex.started, sim_.now());
-      if (ex.queue.empty()) {
-        ex.busy = false;
-      } else {
-        start_next(e);
-      }
-    });
+  /// First queued activation whose serialization unit is free; npos when
+  /// every queued item is blocked behind its group.
+  std::size_t pick_eligible(ExecutorState& executor) {
+    for (std::size_t i = 0; i < executor.queue.size(); ++i) {
+      const std::size_t unit = vertices_[executor.queue[i].vertex].unit;
+      if (unit == kNoUnit || !unit_busy_[unit]) return i;
+    }
+    return kNoUnit;
   }
 
-  /// Machine mode: the executor worker loop (the substrate node's
-  /// run_loop pattern) — wall time then includes CPU contention.
-  void pump(std::size_t e) {
+  /// Claims `activation`'s unit and pops it from the queue.
+  Activation claim(ExecutorState& executor, std::size_t queue_index) {
+    Activation activation = executor.queue[queue_index];
+    executor.queue.erase(executor.queue.begin() +
+                         static_cast<std::ptrdiff_t>(queue_index));
+    const std::size_t unit = vertices_[activation.vertex].unit;
+    if (unit != kNoUnit) unit_busy_[unit] = 1;
+    return activation;
+  }
+
+  void release(const Activation& activation) {
+    const std::size_t unit = vertices_[activation.vertex].unit;
+    if (unit != kNoUnit) unit_busy_[unit] = 0;
+  }
+
+  /// Contention-free mode: the executor is a pool of `capacity` virtual
+  /// workers; group-eligible activations start the moment a worker and
+  /// their serialization unit are free.
+  void try_dispatch(std::size_t e) {
     ExecutorState& executor = executors_[e];
-    if (executor.queue.empty()) {
-      executor.thread->block([this, e] { pump(e); });
+    while (executor.active < executor.capacity) {
+      const std::size_t pick = pick_eligible(executor);
+      if (pick == kNoUnit) return;
+      std::size_t s = 0;
+      while (executor.slots[s].busy) ++s;
+      WorkerSlot& slot = executor.slots[s];
+      slot.current = claim(executor, pick);
+      slot.started = sim_.now();
+      slot.busy = true;
+      ++executor.active;
+      const Duration exec = sample_exec(vertices_[slot.current.vertex]);
+      sim_.post_after(exec, [this, e, s] {
+        ExecutorState& ex = executors_[e];
+        WorkerSlot& done = ex.slots[s];
+        done.busy = false;
+        --ex.active;
+        release(done.current);
+        complete(done.current, done.started, sim_.now());
+        try_dispatch(e);
+      });
+    }
+  }
+
+  /// Machine mode: per-worker loop (the substrate executor's ready-set
+  /// polling pattern) — wall time then includes CPU contention.
+  void pump(std::size_t e, std::size_t w) {
+    ExecutorState& executor = executors_[e];
+    WorkerSlot& slot = executor.slots[w];
+    const std::size_t pick = pick_eligible(executor);
+    if (pick == kNoUnit) {
+      slot.thread->block([this, e, w] { pump(e, w); });
       return;
     }
-    executor.current = executor.queue.front();
-    executor.queue.pop_front();
-    executor.started = sim_.now();
-    const Duration exec = sample_exec(vertices_[executor.current.vertex]);
-    executor.thread->compute(exec, [this, e] {
+    slot.current = claim(executor, pick);
+    slot.started = sim_.now();
+    const Duration exec = sample_exec(vertices_[slot.current.vertex]);
+    slot.thread->compute(exec, [this, e, w] {
       ExecutorState& ex = executors_[e];
-      complete(ex.current, ex.started, sim_.now());
-      pump(e);
+      WorkerSlot& done = ex.slots[w];
+      release(done.current);
+      complete(done.current, done.started, sim_.now());
+      // The released unit may unblock queued work for sibling workers.
+      if (ex.capacity > 1) {
+        for (WorkerSlot& other : ex.slots) {
+          if (&other != &done) other.thread->wake();
+        }
+      }
+      pump(e, w);
     });
   }
 
@@ -415,6 +513,8 @@ class Engine {
   std::map<std::string, std::size_t> index_of_;
   std::vector<VertexState> vertices_;
   std::vector<ExecutorState> executors_;
+  /// Busy flags of the serialization units ((node, exec_group) pairs).
+  std::vector<char> unit_busy_;
   std::vector<SourceState> sources_;
 
   std::priority_queue<Delivery, std::vector<Delivery>, DeliveryLater>

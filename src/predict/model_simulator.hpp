@@ -10,8 +10,11 @@
 //    writers whose period is estimated from the model itself;
 //  - each activation samples an execution time from the vertex's
 //    mBCET/mACET/mWCET-fitted distribution (seeded, deterministic);
-//  - callbacks of one executor (by default: of one node, the paper's
-//    single-threaded-executor deployment assumption) never overlap;
+//  - each node's executor replays with the worker count the synthesis
+//    learned (DagVertex::node_workers, overridable per node): callbacks
+//    of one mutually-exclusive serialization group (exec_group) never
+//    overlap, distinct groups — and reentrant callbacks with themselves —
+//    run concurrently up to the worker count;
 //  - publications happen at activation completion and reach each
 //    subscribing vertex after a sampled DDS hop latency;
 //  - AND junctions fire when every member has delivered since the last
@@ -80,6 +83,10 @@ struct PredictionConfig {
   std::size_t max_chains = 4096;
 
   // -- what-if knobs -------------------------------------------------------
+  /// Executor worker-count overrides by node name ("would 2 -> 4 executor
+  /// threads cut chain latency?"). Unlisted nodes replay with the worker
+  /// count the synthesis learned for them (DagVertex::node_workers).
+  std::map<std::string, int> workers;
   /// Timer period overrides by vertex key.
   std::map<std::string, Duration> timer_period;
   /// Execution-time scaling by vertex key (e.g. 0.5 = twice as fast).

@@ -68,6 +68,17 @@ WhatIfExplorer& WhatIfExplorer::sweep_num_cpus(
   return *this;
 }
 
+WhatIfExplorer& WhatIfExplorer::sweep_workers(
+    const std::string& node, const std::vector<int>& worker_counts) {
+  for (const int workers : worker_counts) {
+    WhatIfCandidate candidate;
+    candidate.name = node + format("@%dw", workers);
+    candidate.workers[node] = workers;
+    add(std::move(candidate));
+  }
+  return *this;
+}
+
 PredictionConfig WhatIfExplorer::apply(const PredictionConfig& base,
                                        const WhatIfCandidate& candidate) {
   PredictionConfig config = base;
@@ -79,6 +90,9 @@ PredictionConfig WhatIfExplorer::apply(const PredictionConfig& base,
   }
   config.global_exec_scale *= candidate.global_exec_scale;
   for (const std::string& key : candidate.pruned) config.pruned.insert(key);
+  for (const auto& [node, workers] : candidate.workers) {
+    config.workers[node] = workers;
+  }
   if (candidate.executors.has_value()) config.executors = candidate.executors;
   return config;
 }

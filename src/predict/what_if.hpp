@@ -20,6 +20,9 @@ struct WhatIfCandidate {
   std::map<std::string, double> exec_scale;      ///< vertex key -> factor
   double global_exec_scale = 1.0;
   std::vector<std::string> pruned;               ///< vertex keys
+  /// Executor worker-count overrides by node name (multi-threaded
+  /// executor sizing).
+  std::map<std::string, int> workers;
   std::optional<ExecutorMapping> executors;
 };
 
@@ -57,6 +60,10 @@ class WhatIfExplorer {
   /// One candidate per CPU budget, nodes mapped to executors per the base
   /// config's mapping (or one executor per node).
   WhatIfExplorer& sweep_num_cpus(const std::vector<int>& cpu_counts);
+  /// One candidate per executor worker count for the given node ("would
+  /// 2 -> 4 executor threads cut chain latency?").
+  WhatIfExplorer& sweep_workers(const std::string& node,
+                                const std::vector<int>& worker_counts);
 
   std::size_t candidate_count() const { return candidates_.size(); }
   const PredictionConfig& base() const { return base_; }

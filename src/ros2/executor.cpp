@@ -1,0 +1,54 @@
+#include "ros2/executor.hpp"
+
+#include <string>
+#include <variant>
+
+#include "ros2/context.hpp"
+#include "ros2/node.hpp"
+#include "sched/machine.hpp"
+
+namespace tetra::ros2 {
+
+const char* to_string(CallbackGroupKind kind) {
+  switch (kind) {
+    case CallbackGroupKind::MutuallyExclusive: return "mutually_exclusive";
+    case CallbackGroupKind::Reentrant: return "reentrant";
+  }
+  return "?";
+}
+
+Executor::Executor(Node& node, int worker_count) : node_(&node) {
+  // Worker 0 keeps the node's plain name (and therefore the PID stream a
+  // single-threaded deployment had); extra workers are suffixed.
+  for (int w = 0; w < worker_count; ++w) {
+    sched::ThreadConfig tc;
+    tc.name = w == 0 ? node.options().name
+                     : node.options().name + "#w" + std::to_string(w);
+    tc.priority = node.options().priority;
+    tc.policy = node.options().policy;
+    tc.affinity_mask = node.options().affinity_mask;
+    const std::size_t index = workers_.size();
+    workers_.push_back(&node.context().machine().create_thread(
+        tc, [this, index] { worker_loop(index); }));
+  }
+}
+
+void Executor::notify() {
+  for (sched::Thread* worker : workers_) worker->wake();
+}
+
+void Executor::worker_loop(std::size_t w) {
+  Node::Work work = node_->pick_work();
+  if (std::holds_alternative<std::monostate>(work)) {
+    workers_[w]->block([this, w] { worker_loop(w); });
+    return;
+  }
+  ++in_flight_;
+  if (in_flight_ > max_in_flight_) max_in_flight_ = in_flight_;
+  node_->execute(*workers_[w], work, [this, w] {
+    --in_flight_;
+    worker_loop(w);
+  });
+}
+
+}  // namespace tetra::ros2

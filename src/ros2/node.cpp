@@ -9,7 +9,9 @@ namespace tetra::ros2 {
 // ------------------------------------------------------------- Publisher --
 
 void Publisher::publish(std::size_t bytes) {
-  writer_.write(node_->pid(), bytes);
+  // Attributed to the worker whose callback body issued the write, so the
+  // dds_write lands in that worker's per-PID event stream.
+  writer_.write(node_->active_pid(), bytes);
 }
 
 // ---------------------------------------------------------------- Client --
@@ -18,7 +20,7 @@ void Client::async_call(std::size_t bytes) {
   // The request carries the issuing client handle id; the service copies it
   // into the response's target tag, which is what the P14 dispatch check
   // compares against.
-  request_writer_.write(node_->pid(), bytes, /*origin_tag=*/id_,
+  request_writer_.write(node_->active_pid(), bytes, /*origin_tag=*/id_,
                         /*target_tag=*/dds::kNoTag);
 }
 
@@ -61,30 +63,50 @@ void SyncGroup::clear() {
 
 Node::Node(Context& ctx, NodeOptions options)
     : ctx_(ctx), options_(std::move(options)), rng_(ctx.rng().fork()) {
-  sched::ThreadConfig tc;
-  tc.name = options_.name;
-  tc.priority = options_.priority;
-  tc.policy = options_.policy;
-  tc.affinity_mask = options_.affinity_mask;
-  thread_ = &ctx_.machine().create_thread(tc, [this] { run_loop(); });
-  // Pseudo-addresses: callback handles live on this process's heap, the
-  // srcTS out-parameter on its stack. Randomized per run.
+  if (options_.executor_threads < 1) {
+    throw std::invalid_argument("Node: executor_threads must be >= 1");
+  }
+  // Group 0: the default mutually-exclusive group every callback lands in
+  // unless assigned elsewhere.
+  groups_.push_back(std::unique_ptr<CallbackGroup>(
+      new CallbackGroup(0, CallbackGroupKind::MutuallyExclusive)));
+  executor_.reset(new Executor(*this, options_.executor_threads));
+  // Pseudo-addresses: callback handles live on this process's heap.
+  // Randomized per run.
   id_base_ = ctx_.allocate_id_base();
-  stack_base_ = 0x7ffc'0000'0000ULL ^ (static_cast<std::uint64_t>(pid()) << 16);
+  // P1 fires once per worker thread: the tracer learns every PID that can
+  // carry this node's callback events.
   if (ctx_.hooks().rmw_create_node) {
-    ctx_.hooks().rmw_create_node(ctx_.simulator().now(), pid(), options_.name);
+    for (int w = 0; w < executor_->worker_count(); ++w) {
+      ctx_.hooks().rmw_create_node(ctx_.simulator().now(),
+                                   executor_->worker(w).pid(), options_.name);
+    }
   }
 }
 
-Pid Node::pid() const { return thread_->pid(); }
+Pid Node::pid() const { return executor_->primary().pid(); }
+
+Pid Node::active_pid() const {
+  return active_worker_ != nullptr ? active_worker_->pid() : pid();
+}
+
+CallbackGroup& Node::create_callback_group(CallbackGroupKind kind) {
+  groups_.push_back(
+      std::unique_ptr<CallbackGroup>(new CallbackGroup(groups_.size(), kind)));
+  return *groups_.back();
+}
 
 CallbackId Node::allocate_callback_id() {
   // 0x60 spacing mimics rclcpp handle objects on the heap.
   return id_base_ + (next_callback_slot_++) * 0x60;
 }
 
-std::uint64_t Node::stack_slot_for(trace::TakeKind kind) const {
-  return stack_base_ + static_cast<std::uint64_t>(kind) * 8;
+std::uint64_t Node::stack_slot_for(const sched::Thread& worker,
+                                   trace::TakeKind kind) {
+  // The srcTS out-parameter lives on the calling worker's stack.
+  const std::uint64_t stack_base =
+      0x7ffc'0000'0000ULL ^ (static_cast<std::uint64_t>(worker.pid()) << 16);
+  return stack_base + static_cast<std::uint64_t>(kind) * 8;
 }
 
 Publisher& Node::create_publisher(const std::string& topic) {
@@ -94,21 +116,23 @@ Publisher& Node::create_publisher(const std::string& topic) {
 }
 
 Timer& Node::create_timer(Duration period, Plan plan,
-                          std::optional<Duration> phase) {
+                          std::optional<Duration> phase, CallbackGroup* group) {
   if (period <= Duration::zero()) {
     throw std::invalid_argument("create_timer: period must be positive");
   }
   timers_.push_back(std::unique_ptr<Timer>(new Timer(
       *this, allocate_callback_id(), period, phase.value_or(period),
-      std::move(plan))));
+      std::move(plan), group != nullptr ? *group : default_callback_group())));
   Timer& timer = *timers_.back();
   ctx_.simulator().after(timer.phase_, [&timer] { timer.tick(); });
   return timer;
 }
 
-Subscription& Node::create_subscription(const std::string& topic, Plan plan) {
-  subscriptions_.push_back(std::unique_ptr<Subscription>(
-      new Subscription(*this, allocate_callback_id(), topic, std::move(plan))));
+Subscription& Node::create_subscription(const std::string& topic, Plan plan,
+                                        CallbackGroup* group) {
+  subscriptions_.push_back(std::unique_ptr<Subscription>(new Subscription(
+      *this, allocate_callback_id(), topic, std::move(plan),
+      group != nullptr ? *group : default_callback_group())));
   Subscription& sub = *subscriptions_.back();
   ctx_.domain().create_reader(topic, [this, &sub](const dds::Sample& sample) {
     sub.queue_.push_back(sample);
@@ -117,11 +141,13 @@ Subscription& Node::create_subscription(const std::string& topic, Plan plan) {
   return sub;
 }
 
-Service& Node::create_service(const std::string& service_name, Plan plan) {
+Service& Node::create_service(const std::string& service_name, Plan plan,
+                              CallbackGroup* group) {
   const std::string reply_topic = service_name + kServiceReplySuffix;
-  services_.push_back(std::unique_ptr<Service>(
-      new Service(*this, allocate_callback_id(), service_name, std::move(plan),
-                  ctx_.domain().create_writer(reply_topic))));
+  services_.push_back(std::unique_ptr<Service>(new Service(
+      *this, allocate_callback_id(), service_name, std::move(plan),
+      ctx_.domain().create_writer(reply_topic),
+      group != nullptr ? *group : default_callback_group())));
   Service& service = *services_.back();
   ctx_.domain().create_reader(service.request_topic_,
                               [this, &service](const dds::Sample& sample) {
@@ -131,11 +157,13 @@ Service& Node::create_service(const std::string& service_name, Plan plan) {
   return service;
 }
 
-Client& Node::create_client(const std::string& service_name, Plan plan) {
+Client& Node::create_client(const std::string& service_name, Plan plan,
+                            CallbackGroup* group) {
   const std::string request_topic = service_name + kServiceRequestSuffix;
-  clients_.push_back(std::unique_ptr<Client>(
-      new Client(*this, allocate_callback_id(), service_name, std::move(plan),
-                 ctx_.domain().create_writer(request_topic))));
+  clients_.push_back(std::unique_ptr<Client>(new Client(
+      *this, allocate_callback_id(), service_name, std::move(plan),
+      ctx_.domain().create_writer(request_topic),
+      group != nullptr ? *group : default_callback_group())));
   Client& client = *clients_.back();
   // Every client's reader receives every response on the service's reply
   // topic; the dispatch decision is made per-client at execution time
@@ -163,6 +191,14 @@ SyncGroup& Node::create_sync_group(const std::vector<Subscription*>& members,
       throw std::invalid_argument(
           "create_sync_group: subscription already in a sync group");
     }
+    // The synchronizer's record/clear state is unguarded, exactly like
+    // message_filters'; members must be serialized with each other.
+    if (member->group_->reentrant() ||
+        member->group_ != members.front()->group_) {
+      throw std::invalid_argument(
+          "create_sync_group: members must share one mutually-exclusive "
+          "callback group");
+    }
   }
   sync_groups_.push_back(std::unique_ptr<SyncGroup>(
       new SyncGroup(members, fusion_demand, output, output_bytes)));
@@ -171,52 +207,78 @@ SyncGroup& Node::create_sync_group(const std::vector<Subscription*>& members,
   return group;
 }
 
-void Node::notify() { thread_->wake(); }
+void Node::notify() { executor_->notify(); }
 
 Node::Work Node::pick_work() {
-  // Foxy single-threaded executor wait-set order: timers first, then
-  // subscriptions, then services, then clients; registration order within
-  // each class; one callback instance per dispatch.
+  // Foxy wait-set order: timers first, then subscriptions, then services,
+  // then clients; registration order within each class; one callback
+  // instance per dispatch. Work whose mutually-exclusive group another
+  // worker holds is skipped — the multi-threaded executor's group rule.
   for (auto& timer : timers_) {
-    if (timer->pending_ > 0) return timer.get();
+    if (timer->pending_ > 0 && timer->group_->eligible()) return timer.get();
   }
   for (auto& sub : subscriptions_) {
-    if (!sub->queue_.empty()) return sub.get();
+    if (!sub->queue_.empty() && sub->group_->eligible()) return sub.get();
   }
   for (auto& service : services_) {
-    if (!service->queue_.empty()) return service.get();
+    if (!service->queue_.empty() && service->group_->eligible()) {
+      return service.get();
+    }
   }
   for (auto& client : clients_) {
-    if (!client->queue_.empty()) return client.get();
+    if (!client->queue_.empty() && client->group_->eligible()) {
+      return client.get();
+    }
   }
   return std::monostate{};
 }
 
-void Node::run_loop() {
-  Work work = pick_work();
-  if (std::holds_alternative<std::monostate>(work)) {
-    thread_->block([this] { run_loop(); });
-    return;
-  }
+void Node::execute(sched::Thread& worker, const Work& work,
+                   std::function<void()> done) {
   ++callbacks_executed_;
+  CallbackGroup* group = nullptr;
   if (auto* timer = std::get_if<Timer*>(&work)) {
-    execute_timer(**timer);
+    group = (*timer)->group_;
   } else if (auto* sub = std::get_if<Subscription*>(&work)) {
-    execute_subscription(**sub);
+    group = (*sub)->group_;
   } else if (auto* service = std::get_if<Service*>(&work)) {
-    execute_service(**service);
+    group = (*service)->group_;
   } else if (auto* client = std::get_if<Client*>(&work)) {
-    execute_client(**client);
+    group = (*client)->group_;
+  }
+  // Claim the group for the whole callback execution.
+  ++group->in_flight_;
+  active_worker_ = &worker;
+  auto finish = [this, group, done = std::move(done)] {
+    --group->in_flight_;
+    active_worker_ = nullptr;
+    // Releasing a mutually-exclusive claim can make skipped work eligible
+    // for *sibling* workers that blocked on it; the completing worker
+    // re-polls itself right after, so a single-threaded executor needs
+    // (and gets) no wakeup here.
+    if (!group->reentrant() && executor_->worker_count() > 1) notify();
+    done();
+  };
+  if (auto* timer = std::get_if<Timer*>(&work)) {
+    execute_timer(worker, **timer, std::move(finish));
+  } else if (auto* sub = std::get_if<Subscription*>(&work)) {
+    execute_subscription(worker, **sub, std::move(finish));
+  } else if (auto* service = std::get_if<Service*>(&work)) {
+    execute_service(worker, **service, std::move(finish));
+  } else if (auto* client = std::get_if<Client*>(&work)) {
+    execute_client(worker, **client, std::move(finish));
   }
 }
 
-void Node::run_plan(const Plan& plan, std::shared_ptr<const dds::Sample> trigger,
+void Node::run_plan(sched::Thread& worker, const Plan& plan,
+                    std::shared_ptr<const dds::Sample> trigger,
                     std::function<void()> done) {
-  // Chain the steps through thread_->compute. The shared state advances an
-  // index over the plan's steps; all callbacks run in this node's executor
-  // thread context.
+  // Chain the steps through the worker's compute requests. The shared
+  // state advances an index over the plan's steps; all callbacks run in
+  // the dispatching worker's thread context.
   struct Runner : std::enable_shared_from_this<Runner> {
     Node* node;
+    sched::Thread* worker;
     const Plan* plan;
     std::shared_ptr<const dds::Sample> trigger;
     std::function<void()> done;
@@ -224,13 +286,17 @@ void Node::run_plan(const Plan& plan, std::shared_ptr<const dds::Sample> trigger
 
     void step() {
       if (index >= plan->steps().size()) {
+        node->active_worker_ = worker;
         done();
         return;
       }
       const PlanStep& s = plan->steps()[index];
       ++index;
       auto self = shared_from_this();
-      node->thread_->compute(s.demand.sample(node->rng_), [self, &s] {
+      worker->compute(s.demand.sample(node->rng_), [self, &s] {
+        // Another worker may have run in between: re-establish which
+        // worker's callback body is executing before any action fires.
+        self->node->active_worker_ = self->worker;
         if (s.action) {
           ActionContext ctx(*self->node, self->trigger.get());
           s.action(ctx);
@@ -241,134 +307,151 @@ void Node::run_plan(const Plan& plan, std::shared_ptr<const dds::Sample> trigger
   };
   auto runner = std::make_shared<Runner>();
   runner->node = this;
+  runner->worker = &worker;
   runner->plan = &plan;
   runner->trigger = std::move(trigger);
   runner->done = std::move(done);
   runner->step();
 }
 
-void Node::emit_take(trace::TakeKind kind, CallbackId cb,
-                     const std::string& topic, TimePoint src_ts) {
-  const std::uint64_t addr = stack_slot_for(kind);
+void Node::emit_take(const sched::Thread& worker, trace::TakeKind kind,
+                     CallbackId cb, const std::string& topic,
+                     TimePoint src_ts) {
+  const std::uint64_t addr = stack_slot_for(worker, kind);
   const TimePoint now = ctx_.simulator().now();
   if (ctx_.hooks().rmw_take_entry) {
-    ctx_.hooks().rmw_take_entry(now, pid(), kind, addr, cb, topic);
+    ctx_.hooks().rmw_take_entry(now, worker.pid(), kind, addr, cb, topic);
   }
   if (ctx_.hooks().rmw_take_exit) {
-    ctx_.hooks().rmw_take_exit(now, pid(), kind, addr, src_ts);
+    ctx_.hooks().rmw_take_exit(now, worker.pid(), kind, addr, src_ts);
   }
 }
 
-void Node::execute_timer(Timer& timer) {
+void Node::execute_timer(sched::Thread& worker, Timer& timer,
+                         std::function<void()> done) {
   const TimePoint now = ctx_.simulator().now();
   if (ctx_.hooks().execute_callback) {
-    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Timer, true);  // P2
+    ctx_.hooks().execute_callback(now, worker.pid(), CallbackKind::Timer,
+                                  true);  // P2
   }
   if (ctx_.hooks().rcl_timer_call) {
-    ctx_.hooks().rcl_timer_call(now, pid(), timer.id_);  // P3
+    ctx_.hooks().rcl_timer_call(now, worker.pid(), timer.id_);  // P3
   }
   --timer.pending_;
-  run_plan(timer.plan_, nullptr, [this] {
+  sched::Thread* w = &worker;
+  run_plan(worker, timer.plan_, nullptr, [this, w, done = std::move(done)] {
     if (ctx_.hooks().execute_callback) {
-      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), w->pid(),
                                     CallbackKind::Timer, false);  // P4
     }
-    run_loop();
+    done();
   });
 }
 
-void Node::execute_subscription(Subscription& sub) {
+void Node::execute_subscription(sched::Thread& worker, Subscription& sub,
+                                std::function<void()> done) {
   const TimePoint now = ctx_.simulator().now();
   if (ctx_.hooks().execute_callback) {
-    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Subscription,
-                                  true);  // P5
+    ctx_.hooks().execute_callback(now, worker.pid(),
+                                  CallbackKind::Subscription, true);  // P5
   }
   auto sample = std::make_shared<const dds::Sample>(sub.queue_.front());
   sub.queue_.pop_front();
-  emit_take(trace::TakeKind::Data, sub.id_, sub.topic_, sample->src_ts);  // P6
+  emit_take(worker, trace::TakeKind::Data, sub.id_, sub.topic_,
+            sample->src_ts);  // P6
   SyncGroup* sync = sub.sync_;
   if (sync != nullptr) {
     if (ctx_.hooks().message_filter_operator) {
-      ctx_.hooks().message_filter_operator(now, pid(), sub.id_);  // P7
+      ctx_.hooks().message_filter_operator(now, worker.pid(), sub.id_);  // P7
     }
     sync->record(sub, *sample);
   }
-  run_plan(sub.plan_, sample, [this, sync] {
+  sched::Thread* w = &worker;
+  run_plan(worker, sub.plan_, sample,
+           [this, w, sync, done = std::move(done)] {
     // If this sample completed the synchronization set, the fusion result
     // is produced inside this callback execution: extra compute demand,
     // then the output publication — all before P8.
     if (sync != nullptr && sync->complete()) {
-      thread_->compute(sync->fusion_demand_.sample(rng_), [this, sync] {
+      w->compute(sync->fusion_demand_.sample(rng_), [this, w, sync, done] {
+        active_worker_ = w;
         sync->output_->publish(sync->output_bytes_);
         sync->clear();
         if (ctx_.hooks().execute_callback) {
-          ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+          ctx_.hooks().execute_callback(ctx_.simulator().now(), w->pid(),
                                         CallbackKind::Subscription, false);
         }
-        run_loop();
+        done();
       });
       return;
     }
     if (ctx_.hooks().execute_callback) {
-      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), w->pid(),
                                     CallbackKind::Subscription, false);  // P8
     }
-    run_loop();
+    done();
   });
 }
 
-void Node::execute_service(Service& service) {
+void Node::execute_service(sched::Thread& worker, Service& service,
+                           std::function<void()> done) {
   const TimePoint now = ctx_.simulator().now();
   if (ctx_.hooks().execute_callback) {
-    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Service, true);  // P9
+    ctx_.hooks().execute_callback(now, worker.pid(), CallbackKind::Service,
+                                  true);  // P9
   }
   auto request = std::make_shared<const dds::Sample>(service.queue_.front());
   service.queue_.pop_front();
-  emit_take(trace::TakeKind::Request, service.id_, service.request_topic_,
-            request->src_ts);  // P10
+  emit_take(worker, trace::TakeKind::Request, service.id_,
+            service.request_topic_, request->src_ts);  // P10
   Service* sv = &service;
-  run_plan(service.plan_, request, [this, sv, request] {
+  sched::Thread* w = &worker;
+  run_plan(worker, service.plan_, request,
+           [this, w, sv, request, done = std::move(done)] {
     // The middleware sends the response as execute_service returns; the
     // response write targets the requesting client (P16 on the reply topic).
-    sv->reply_writer_.write(pid(), /*payload_bytes=*/64, dds::kNoTag,
+    sv->reply_writer_.write(w->pid(), /*payload_bytes=*/64, dds::kNoTag,
                             /*target_tag=*/request->origin_tag);
     if (ctx_.hooks().execute_callback) {
-      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), w->pid(),
                                     CallbackKind::Service, false);  // P11
     }
-    run_loop();
+    done();
   });
 }
 
-void Node::execute_client(Client& client) {
+void Node::execute_client(sched::Thread& worker, Client& client,
+                          std::function<void()> done) {
   const TimePoint now = ctx_.simulator().now();
   if (ctx_.hooks().execute_callback) {
-    ctx_.hooks().execute_callback(now, pid(), CallbackKind::Client, true);  // P12
+    ctx_.hooks().execute_callback(now, worker.pid(), CallbackKind::Client,
+                                  true);  // P12
   }
   auto response = std::make_shared<const dds::Sample>(client.queue_.front());
   client.queue_.pop_front();
-  emit_take(trace::TakeKind::Response, client.id_, client.reply_topic_,
+  emit_take(worker, trace::TakeKind::Response, client.id_, client.reply_topic_,
             response->src_ts);  // P13
   const bool dispatch = response->target_tag == client.id_;
   if (ctx_.hooks().take_type_erased_response) {
-    ctx_.hooks().take_type_erased_response(now, pid(), dispatch);  // P14
+    ctx_.hooks().take_type_erased_response(now, worker.pid(), dispatch);  // P14
   }
   if (!dispatch) {
     ++client.ignored_;
     if (ctx_.hooks().execute_callback) {
-      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), worker.pid(),
                                     CallbackKind::Client, false);  // P15
     }
-    run_loop();
+    done();
     return;
   }
   ++client.dispatched_;
-  run_plan(client.plan_, response, [this] {
+  sched::Thread* w = &worker;
+  run_plan(worker, client.plan_, response, [this, w, done = std::move(done)] {
     if (ctx_.hooks().execute_callback) {
-      ctx_.hooks().execute_callback(ctx_.simulator().now(), pid(),
+      ctx_.hooks().execute_callback(ctx_.simulator().now(), w->pid(),
                                     CallbackKind::Client, false);  // P15
     }
-    run_loop();
+    done();
   });
 }
 

@@ -1,9 +1,12 @@
-// ROS2 nodes with single-threaded executors, and the four callback kinds
-// the paper models: timers, subscriptions, services and clients. Services
-// are implemented over request/response topics (as in ROS2/DDS), and the
-// client-side dispatch check reproduces take_type_erased_response
-// semantics: every client of a service receives every response, but only
-// the caller's client callback is dispatched (probe P14).
+// ROS2 nodes with single- or multi-threaded executors, and the four
+// callback kinds the paper models: timers, subscriptions, services and
+// clients. Callbacks belong to callback groups (ros2/executor.hpp):
+// mutually-exclusive groups serialize, distinct groups run concurrently
+// on the executor's workers. Services are implemented over
+// request/response topics (as in ROS2/DDS), and the client-side dispatch
+// check reproduces take_type_erased_response semantics: every client of a
+// service receives every response, but only the caller's client callback
+// is dispatched (probe P14).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "dds/domain.hpp"
+#include "ros2/executor.hpp"
 #include "ros2/plan.hpp"
 #include "sched/machine.hpp"
 #include "support/ids.hpp"
@@ -54,12 +58,15 @@ class Timer {
   CallbackId id() const { return id_; }
   Duration period() const { return period_; }
   std::uint64_t fired() const { return fired_; }
+  CallbackGroup& group() const { return *group_; }
 
  private:
   friend class Node;
-  Timer(Node& node, CallbackId id, Duration period, Duration phase, Plan plan)
+  friend class Executor;
+  Timer(Node& node, CallbackId id, Duration period, Duration phase, Plan plan,
+        CallbackGroup& group)
       : node_(&node), id_(id), period_(period), phase_(phase),
-        plan_(std::move(plan)) {}
+        plan_(std::move(plan)), group_(&group) {}
   void tick();
 
   Node* node_;
@@ -67,6 +74,7 @@ class Timer {
   Duration period_;
   Duration phase_;
   Plan plan_;
+  CallbackGroup* group_;
   int pending_ = 0;
   std::uint64_t fired_ = 0;
 };
@@ -79,17 +87,21 @@ class Subscription {
   /// Sync group this subscription belongs to (nullptr if none).
   SyncGroup* sync_group() const { return sync_; }
   std::size_t queued() const { return queue_.size(); }
+  CallbackGroup& group() const { return *group_; }
 
  private:
   friend class Node;
   friend class SyncGroup;
-  Subscription(Node& node, CallbackId id, std::string topic, Plan plan)
-      : node_(&node), id_(id), topic_(std::move(topic)), plan_(std::move(plan)) {}
+  Subscription(Node& node, CallbackId id, std::string topic, Plan plan,
+               CallbackGroup& group)
+      : node_(&node), id_(id), topic_(std::move(topic)),
+        plan_(std::move(plan)), group_(&group) {}
 
   Node* node_;
   CallbackId id_;
   std::string topic_;
   Plan plan_;
+  CallbackGroup* group_;
   std::deque<dds::Sample> queue_;
   SyncGroup* sync_ = nullptr;
 };
@@ -103,15 +115,17 @@ class Service {
   const std::string& service_name() const { return service_name_; }
   const std::string& request_topic() const { return request_topic_; }
   const std::string& reply_topic() const { return reply_topic_; }
+  CallbackGroup& group() const { return *group_; }
 
  private:
   friend class Node;
   Service(Node& node, CallbackId id, std::string service_name, Plan plan,
-          dds::DataWriter reply_writer)
+          dds::DataWriter reply_writer, CallbackGroup& group)
       : node_(&node), id_(id), service_name_(service_name),
         request_topic_(service_name + kServiceRequestSuffix),
         reply_topic_(service_name + kServiceReplySuffix),
-        plan_(std::move(plan)), reply_writer_(std::move(reply_writer)) {}
+        plan_(std::move(plan)), reply_writer_(std::move(reply_writer)),
+        group_(&group) {}
 
   Node* node_;
   CallbackId id_;
@@ -120,6 +134,7 @@ class Service {
   std::string reply_topic_;
   Plan plan_;
   dds::DataWriter reply_writer_;
+  CallbackGroup* group_;
   std::deque<dds::Sample> queue_;
 };
 
@@ -136,14 +151,16 @@ class Client {
 
   std::uint64_t dispatched_responses() const { return dispatched_; }
   std::uint64_t ignored_responses() const { return ignored_; }
+  CallbackGroup& group() const { return *group_; }
 
  private:
   friend class Node;
   Client(Node& node, CallbackId id, std::string service_name, Plan plan,
-         dds::DataWriter request_writer)
+         dds::DataWriter request_writer, CallbackGroup& group)
       : node_(&node), id_(id), service_name_(service_name),
         reply_topic_(service_name + kServiceReplySuffix),
-        plan_(std::move(plan)), request_writer_(std::move(request_writer)) {}
+        plan_(std::move(plan)), request_writer_(std::move(request_writer)),
+        group_(&group) {}
 
   Node* node_;
   CallbackId id_;
@@ -151,6 +168,7 @@ class Client {
   std::string reply_topic_;
   Plan plan_;
   dds::DataWriter request_writer_;
+  CallbackGroup* group_;
   std::deque<dds::Sample> queue_;
   std::uint64_t dispatched_ = 0;
   std::uint64_t ignored_ = 0;
@@ -191,24 +209,41 @@ struct NodeOptions {
   int priority = 0;
   sched::SchedPolicy policy = sched::SchedPolicy::RoundRobin;
   std::uint64_t affinity_mask = ~0ULL;
+  /// Worker threads of the node's executor. 1 = the paper's
+  /// single-threaded deployment assumption (callbacks never overlap).
+  int executor_threads = 1;
 };
 
-/// One ROS2 node = one single-threaded executor thread (the paper's stated
-/// deployment assumption): callbacks of a node never overlap in time.
+/// One ROS2 node and its executor. With executor_threads == 1 callbacks
+/// of the node never overlap in time; with more workers, overlap is
+/// bounded by the callback groups (ros2/executor.hpp).
 class Node {
  public:
   const std::string& name() const { return options_.name; }
+  const NodeOptions& options() const { return options_; }
+  /// PID of the executor's primary worker (the node identity a
+  /// single-threaded deployment has).
   Pid pid() const;
   Context& context() { return ctx_; }
   Rng& rng() { return rng_; }
-  sched::Thread& thread() { return *thread_; }
+  Executor& executor() { return *executor_; }
+  sched::Thread& thread() { return executor_->primary(); }
+
+  /// Creates an additional callback group; group 0 (mutually exclusive)
+  /// always exists as the default.
+  CallbackGroup& create_callback_group(CallbackGroupKind kind);
+  CallbackGroup& default_callback_group() { return *groups_.front(); }
 
   Publisher& create_publisher(const std::string& topic);
   Timer& create_timer(Duration period, Plan plan,
-                      std::optional<Duration> phase = std::nullopt);
-  Subscription& create_subscription(const std::string& topic, Plan plan);
-  Service& create_service(const std::string& service_name, Plan plan);
-  Client& create_client(const std::string& service_name, Plan plan);
+                      std::optional<Duration> phase = std::nullopt,
+                      CallbackGroup* group = nullptr);
+  Subscription& create_subscription(const std::string& topic, Plan plan,
+                                    CallbackGroup* group = nullptr);
+  Service& create_service(const std::string& service_name, Plan plan,
+                          CallbackGroup* group = nullptr);
+  Client& create_client(const std::string& service_name, Plan plan,
+                        CallbackGroup* group = nullptr);
   SyncGroup& create_sync_group(const std::vector<Subscription*>& members,
                                DurationDistribution fusion_demand,
                                Publisher& output,
@@ -223,35 +258,52 @@ class Node {
   friend class Publisher;
   friend class Client;
   friend class ActionContext;
+  friend class Executor;
 
   Node(Context& ctx, NodeOptions options);
 
-  // Executor ----------------------------------------------------------------
+  // Executor interface -------------------------------------------------------
   using Work = std::variant<std::monostate, Timer*, Subscription*, Service*,
                             Client*>;
+  /// Next dispatchable work item in wait-set order, skipping work whose
+  /// mutually-exclusive group another worker has claimed.
   Work pick_work();
-  void run_loop();
+  /// Dispatches one work item on `worker`; `done` runs after the callback
+  /// (and its group claim) is fully released.
+  void execute(sched::Thread& worker, const Work& work,
+               std::function<void()> done);
   void notify();
-  void run_plan(const Plan& plan, std::shared_ptr<const dds::Sample> trigger,
+  /// PID of the worker currently executing a callback body (falls back to
+  /// the primary worker outside callback context).
+  Pid active_pid() const;
+
+  void run_plan(sched::Thread& worker, const Plan& plan,
+                std::shared_ptr<const dds::Sample> trigger,
                 std::function<void()> done);
-  void execute_timer(Timer& timer);
-  void execute_subscription(Subscription& sub);
-  void execute_service(Service& service);
-  void execute_client(Client& client);
+  void execute_timer(sched::Thread& worker, Timer& timer,
+                     std::function<void()> done);
+  void execute_subscription(sched::Thread& worker, Subscription& sub,
+                            std::function<void()> done);
+  void execute_service(sched::Thread& worker, Service& service,
+                       std::function<void()> done);
+  void execute_client(sched::Thread& worker, Client& client,
+                      std::function<void()> done);
 
   // Middleware helpers -------------------------------------------------------
-  void emit_take(trace::TakeKind kind, CallbackId cb, const std::string& topic,
-                 TimePoint src_ts);
+  void emit_take(const sched::Thread& worker, trace::TakeKind kind,
+                 CallbackId cb, const std::string& topic, TimePoint src_ts);
   CallbackId allocate_callback_id();
-  std::uint64_t stack_slot_for(trace::TakeKind kind) const;
+  static std::uint64_t stack_slot_for(const sched::Thread& worker,
+                                      trace::TakeKind kind);
 
   Context& ctx_;
   NodeOptions options_;
-  sched::Thread* thread_ = nullptr;
+  std::unique_ptr<Executor> executor_;
+  std::vector<std::unique_ptr<CallbackGroup>> groups_;
+  sched::Thread* active_worker_ = nullptr;
   Rng rng_;
   CallbackId next_callback_slot_ = 0;
   CallbackId id_base_ = 0;
-  std::uint64_t stack_base_ = 0;
   std::uint64_t callbacks_executed_ = 0;
 
   std::vector<std::unique_ptr<Publisher>> publishers_;

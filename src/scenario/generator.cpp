@@ -1,6 +1,7 @@
 #include "scenario/generator.hpp"
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,8 @@ struct CallerRef {
 class Generation {
  public:
   Generation(const GeneratorOptions& options, std::uint64_t seed)
-      : options_(options), rng_(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1eULL) {
+      : options_(options), rng_(seed * 0x9e3779b97f4a7c15ULL + 0x5ca1ab1eULL),
+        mt_rng_(seed * 0xd1b54a32d192ed03ULL + 0x7e74e8ecULL) {
     spec_.seed = seed;
     spec_.name = "scenario-" + std::to_string(seed);
     spec_.num_cpus = options.num_cpus;
@@ -70,6 +72,7 @@ class Generation {
       }
     }
     make_modes();
+    assign_executors();
     return std::move(spec_);
   }
 
@@ -396,8 +399,49 @@ class Generation {
     if (rng_.chance(0.5)) spec_.modes.push_back(ModeSpec{"stress", 1.35});
   }
 
+  /// Executor dimension: rolled last, from its own stream (mt_rng_), so
+  /// the topology a seed generates is independent of these options.
+  void assign_executors() {
+    if (options_.p_multithreaded <= 0.0) return;
+    for (auto& node : spec_.nodes) {
+      if (!mt_rng_.chance(options_.p_multithreaded)) continue;
+      node.executor_threads = static_cast<int>(mt_rng_.uniform_int(
+          options_.min_executor_threads, options_.max_executor_threads));
+      const int extra_groups = static_cast<int>(mt_rng_.uniform_int(
+          0, options_.max_extra_callback_groups));
+      for (int g = 0; g < extra_groups; ++g) {
+        CallbackGroupSpec group;
+        group.policy = mt_rng_.chance(options_.p_reentrant_group)
+                           ? GroupPolicy::Reentrant
+                           : GroupPolicy::MutuallyExclusive;
+        node.callback_groups.push_back(group);
+      }
+
+      // Spread the callbacks over the groups. Sync-group members stay in
+      // the (mutually-exclusive) default group: the synchronizer state
+      // must remain serialized.
+      std::set<std::size_t> sync_members;
+      for (const auto& sync : node.sync_groups) {
+        sync_members.insert(sync.members.begin(), sync.members.end());
+      }
+      const auto roll_group = [&]() -> std::size_t {
+        return static_cast<std::size_t>(mt_rng_.uniform_int(
+            0, static_cast<std::int64_t>(node.group_count()) - 1));
+      };
+      for (auto& timer : node.timers) timer.group = roll_group();
+      for (std::size_t si = 0; si < node.subscriptions.size(); ++si) {
+        if (sync_members.count(si) > 0) continue;
+        node.subscriptions[si].group = roll_group();
+      }
+      for (auto& service : node.services) service.group = roll_group();
+      for (auto& client : node.clients) client.group = roll_group();
+    }
+  }
+
   const GeneratorOptions& options_;
   Rng rng_;
+  /// Executor-dimension stream (see assign_executors).
+  Rng mt_rng_;
   ScenarioSpec spec_;
   std::vector<std::size_t> active_nodes_;
   std::vector<TopicInfo> topics_;

@@ -53,6 +53,19 @@ struct GeneratorOptions {
   int max_period_ms = 200;
   double min_demand_ms = 0.05;
   double max_demand_ms = 0.8;
+
+  // -- executor dimension (drawn from a separate stream derived from the
+  // scenario seed, so enabling/tuning it never reshuffles the topology a
+  // seed generates) -------------------------------------------------------
+  /// Chance a node runs a multi-threaded executor.
+  double p_multithreaded = 0.35;
+  int min_executor_threads = 2;
+  int max_executor_threads = 4;
+  /// Extra callback groups of a multi-threaded node (the default
+  /// mutually-exclusive group 0 always exists).
+  int max_extra_callback_groups = 2;
+  /// Chance an extra group is reentrant instead of mutually exclusive.
+  double p_reentrant_group = 0.3;
 };
 
 struct Scenario {

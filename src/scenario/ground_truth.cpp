@@ -302,6 +302,38 @@ GroundTruth build_ground_truth(const ScenarioSpec& spec,
       truth.callback_labels.insert(record.label);
     }
   }
+
+  // ---- expected concurrency ------------------------------------------------
+  for (std::size_t ni = 0; ni < n_nodes; ++ni) {
+    const auto& node = spec.nodes[ni];
+    ExpectedNodeConcurrency expected;
+    expected.executor_threads = node.executor_threads;
+    auto note = [&](CallbackKind kind, std::size_t index, std::size_t group) {
+      auto it = label_of.find(CbKey{ni, kind, index});
+      if (it == label_of.end()) return;  // not live
+      expected.group_of_label[it->second] = group;
+      // Reentrancy is only observable (self-overlap) with > 1 worker.
+      if (node.executor_threads > 1 &&
+          node.group_policy(group) == GroupPolicy::Reentrant) {
+        expected.reentrant_labels.insert(it->second);
+      }
+    };
+    for (std::size_t i = 0; i < node.timers.size(); ++i) {
+      note(CallbackKind::Timer, i, node.timers[i].group);
+    }
+    for (std::size_t i = 0; i < node.subscriptions.size(); ++i) {
+      note(CallbackKind::Subscription, i, node.subscriptions[i].group);
+    }
+    for (std::size_t i = 0; i < node.services.size(); ++i) {
+      note(CallbackKind::Service, i, node.services[i].group);
+    }
+    for (std::size_t i = 0; i < node.clients.size(); ++i) {
+      note(CallbackKind::Client, i, node.clients[i].group);
+    }
+    if (!expected.group_of_label.empty()) {
+      truth.concurrency[node.name] = std::move(expected);
+    }
+  }
   truth.dag = core::build_dag(truth.expected_lists, options);
   // Path cap well above anything the generator emits (OR fan-ins multiply
   // source->sink paths); a pathological hand-written spec beyond it shows

@@ -19,6 +19,19 @@
 
 namespace tetra::scenario {
 
+/// Expected executor concurrency of one node, derived from the spec's
+/// executor/callback-group dimensions and restricted to live callbacks.
+struct ExpectedNodeConcurrency {
+  int executor_threads = 1;
+  /// Spec callback-group index per live callback label. With a
+  /// single-threaded executor the partition is unobservable (everything
+  /// serializes), so the synthesis is expected to learn exactly one group.
+  std::map<std::string, std::size_t> group_of_label;
+  /// Labels in reentrant groups — the only callbacks the synthesis may
+  /// flag reentrant (and only when executor_threads > 1).
+  std::set<std::string> reentrant_labels;
+};
+
 struct GroundTruth {
   /// Expected per-node CBlists (only live callbacks — see note below),
   /// with labels assigned and topic annotations in normalized form.
@@ -30,6 +43,9 @@ struct GroundTruth {
   std::set<std::string> callback_labels;
   /// Number of source->sink computation chains in `dag`.
   std::size_t chain_count = 0;
+  /// Per-node executor/group expectations (only nodes with live
+  /// callbacks appear).
+  std::map<std::string, ExpectedNodeConcurrency> concurrency;
 };
 
 /// Derives the ground truth for a spec. Only *live* callbacks appear: a

@@ -23,8 +23,20 @@ ScenarioInstance ScenarioRunner::instantiate(ros2::Context& ctx,
     options.priority = node_spec.priority;
     options.policy = node_spec.policy;
     options.affinity_mask = node_spec.affinity_mask;
+    options.executor_threads = node_spec.executor_threads;
     ros2::Node& node = ctx.create_node(std::move(options));
     instance.node_of[node_spec.name] = &node;
+
+    // Callback groups: index 0 is the node's default mutually-exclusive
+    // group, the spec's callback_groups define the extras.
+    std::vector<ros2::CallbackGroup*> groups;
+    groups.push_back(&node.default_callback_group());
+    for (const auto& group_spec : node_spec.callback_groups) {
+      groups.push_back(&node.create_callback_group(
+          group_spec.policy == GroupPolicy::Reentrant
+              ? ros2::CallbackGroupKind::Reentrant
+              : ros2::CallbackGroupKind::MutuallyExclusive));
+    }
 
     // One Publisher per distinct topic the node writes; handle addresses
     // are stable (unique_ptr storage), so plans can capture references.
@@ -63,22 +75,25 @@ ScenarioInstance ScenarioRunner::instantiate(ros2::Context& ctx,
     for (const auto& client_spec : node_spec.clients) {
       clients.push_back(&node.create_client(
           client_spec.service,
-          build_plan(client_spec.demand, client_spec.effects)));
+          build_plan(client_spec.demand, client_spec.effects),
+          groups.at(client_spec.group)));
     }
     for (const auto& timer_spec : node_spec.timers) {
       node.create_timer(timer_spec.period,
                         build_plan(timer_spec.demand, timer_spec.effects),
-                        timer_spec.phase);
+                        timer_spec.phase, groups.at(timer_spec.group));
     }
     std::vector<ros2::Subscription*> subscriptions;
     for (const auto& sub_spec : node_spec.subscriptions) {
       subscriptions.push_back(&node.create_subscription(
-          sub_spec.topic, build_plan(sub_spec.demand, sub_spec.effects)));
+          sub_spec.topic, build_plan(sub_spec.demand, sub_spec.effects),
+          groups.at(sub_spec.group)));
     }
     for (const auto& service_spec : node_spec.services) {
       node.create_service(
           service_spec.service,
-          build_plan(service_spec.demand, service_spec.effects));
+          build_plan(service_spec.demand, service_spec.effects),
+          groups.at(service_spec.group));
     }
     for (const auto& group_spec : node_spec.sync_groups) {
       std::vector<ros2::Subscription*> members;

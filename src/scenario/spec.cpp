@@ -117,6 +117,16 @@ std::vector<std::string> validate_spec(const ScenarioSpec& spec) {
     if (!node_names.insert(node.name).second) {
       complain("duplicate node name '" + node.name + "'");
     }
+    if (node.executor_threads < 1) {
+      complain(node.name + ": executor_threads must be >= 1");
+    }
+    auto check_group = [&](std::size_t group, const std::string& where) {
+      if (group >= node.group_count()) {
+        complain(where + ": callback group " + std::to_string(group) +
+                 " out of range (node has " +
+                 std::to_string(node.group_count()) + " groups)");
+      }
+    };
     auto check_effects = [&](const std::vector<EffectSpec>& effects,
                              const std::string& where,
                              std::size_t max_client_exclusive) {
@@ -136,11 +146,13 @@ std::vector<std::string> validate_spec(const ScenarioSpec& spec) {
         complain(timer_label(node, i) + ": period must be positive");
       }
       check_effects(timer.effects, timer_label(node, i), node.clients.size());
+      check_group(timer.group, timer_label(node, i));
     }
     for (std::size_t i = 0; i < node.subscriptions.size(); ++i) {
       check_topic(node.subscriptions[i].topic, subscription_label(node, i));
       check_effects(node.subscriptions[i].effects, subscription_label(node, i),
                     node.clients.size());
+      check_group(node.subscriptions[i].group, subscription_label(node, i));
     }
     for (std::size_t i = 0; i < node.services.size(); ++i) {
       const auto& service = node.services[i];
@@ -152,11 +164,13 @@ std::vector<std::string> validate_spec(const ScenarioSpec& spec) {
       }
       check_effects(service.effects, service_label(node, i),
                     node.clients.size());
+      check_group(service.group, service_label(node, i));
     }
     for (std::size_t i = 0; i < node.clients.size(); ++i) {
       // A client's own effects run inside its response callback, whose plan
       // is built at client creation time: it can only call earlier clients.
       check_effects(node.clients[i].effects, client_label(node, i), i);
+      check_group(node.clients[i].group, client_label(node, i));
     }
 
     if (node.sync_groups.size() > 1) {
@@ -177,6 +191,19 @@ std::vector<std::string> validate_spec(const ScenarioSpec& spec) {
         if (!node.subscriptions[member].effects.empty()) {
           complain(subscription_label(node, member) +
                    ": sync members must not have effects of their own");
+        }
+        // The synchronizer state is unguarded (message_filters
+        // semantics): members must be serialized with each other.
+        const std::size_t first = group.members.front();
+        const auto& sub = node.subscriptions[member];
+        if (first < node.subscriptions.size() &&
+            sub.group != node.subscriptions[first].group) {
+          complain(node.name +
+                   ": sync members must share one callback group");
+        } else if (sub.group < node.group_count() &&
+                   node.group_policy(sub.group) == GroupPolicy::Reentrant) {
+          complain(node.name +
+                   ": sync members must be in a mutually-exclusive group");
         }
       }
     }
@@ -223,6 +250,16 @@ std::string spec_to_json(const ScenarioSpec& spec) {
     w.kv("policy",
          node.policy == sched::SchedPolicy::Fifo ? "fifo" : "round_robin");
     w.kv("affinity_mask", node.affinity_mask);
+    w.kv("executor_threads", node.executor_threads);
+    w.key("callback_groups").begin_array();
+    for (const auto& group : node.callback_groups) {
+      w.begin_object();
+      w.kv("policy", group.policy == GroupPolicy::Reentrant
+                         ? "reentrant"
+                         : "mutually_exclusive");
+      w.end_object();
+    }
+    w.end_array();
     w.key("timers").begin_array();
     for (const auto& timer : node.timers) {
       w.begin_object();
@@ -231,6 +268,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
       w.key("demand");
       write_distribution(w, timer.demand);
       write_effects(w, timer.effects);
+      w.kv("group", static_cast<std::uint64_t>(timer.group));
       w.end_object();
     }
     w.end_array();
@@ -241,6 +279,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
       w.key("demand");
       write_distribution(w, sub.demand);
       write_effects(w, sub.effects);
+      w.kv("group", static_cast<std::uint64_t>(sub.group));
       w.end_object();
     }
     w.end_array();
@@ -251,6 +290,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
       w.key("demand");
       write_distribution(w, service.demand);
       write_effects(w, service.effects);
+      w.kv("group", static_cast<std::uint64_t>(service.group));
       w.end_object();
     }
     w.end_array();
@@ -261,6 +301,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
       w.key("demand");
       write_distribution(w, client.demand);
       write_effects(w, client.effects);
+      w.kv("group", static_cast<std::uint64_t>(client.group));
       w.end_object();
     }
     w.end_array();

@@ -36,12 +36,27 @@ struct EffectSpec {
 EffectSpec publish_effect(std::string topic, std::size_t bytes = 64);
 EffectSpec call_effect(std::size_t client, std::size_t bytes = 64);
 
+/// Callback-group policy (mirrors ros2::CallbackGroupKind).
+enum class GroupPolicy : std::uint8_t {
+  MutuallyExclusive,  ///< member callbacks are serialized
+  Reentrant,          ///< member callbacks overlap freely
+};
+
+/// One *additional* callback group of a node. Group index 0 is always the
+/// implicit default mutually-exclusive group; callback_groups[i] defines
+/// group index i + 1.
+struct CallbackGroupSpec {
+  GroupPolicy policy = GroupPolicy::MutuallyExclusive;
+};
+
 struct TimerSpec {
   Duration period = Duration::ms(100);
   /// First-fire offset; defaults to one period (ros2::Node semantics).
   std::optional<Duration> phase;
   DurationDistribution demand = DurationDistribution::constant(Duration::ms(1));
   std::vector<EffectSpec> effects;
+  /// Callback group index (0 = the node's default group).
+  std::size_t group = 0;
 };
 
 struct SubscriptionSpec {
@@ -50,12 +65,17 @@ struct SubscriptionSpec {
   /// Must stay empty for sync-group members: their only output is the
   /// group's fused topic, published by whichever member completes the set.
   std::vector<EffectSpec> effects;
+  /// Callback group index (0 = the node's default group). Sync-group
+  /// members must share one mutually-exclusive group.
+  std::size_t group = 0;
 };
 
 struct ServiceSpec {
   std::string service;  ///< e.g. "/svc0"; request/reply topics are derived
   DurationDistribution demand = DurationDistribution::constant(Duration::ms(1));
   std::vector<EffectSpec> effects;
+  /// Callback group index (0 = the node's default group).
+  std::size_t group = 0;
 };
 
 struct ClientSpec {
@@ -65,6 +85,8 @@ struct ClientSpec {
   /// Effects of the response callback. Call effects may only reference
   /// clients with a smaller index (they must exist when the plan is built).
   std::vector<EffectSpec> effects;
+  /// Callback group index (0 = the node's default group).
+  std::size_t group = 0;
 };
 
 /// message_filters-style synchronizer over subscriptions of one node. At
@@ -83,11 +105,25 @@ struct ScenarioNodeSpec {
   int priority = 0;
   sched::SchedPolicy policy = sched::SchedPolicy::RoundRobin;
   std::uint64_t affinity_mask = ~0ULL;
+  /// Executor worker threads (1 = single-threaded executor).
+  int executor_threads = 1;
+  /// Additional callback groups; group index 0 (the default
+  /// mutually-exclusive group) always exists, callback_groups[i] is
+  /// group index i + 1.
+  std::vector<CallbackGroupSpec> callback_groups;
   std::vector<TimerSpec> timers;
   std::vector<SubscriptionSpec> subscriptions;
   std::vector<ServiceSpec> services;
   std::vector<ClientSpec> clients;
   std::vector<SyncGroupSpec> sync_groups;
+
+  /// Total group count (default group + extras).
+  std::size_t group_count() const { return callback_groups.size() + 1; }
+  /// Policy of group index `g` (0 = default, mutually exclusive).
+  GroupPolicy group_policy(std::size_t g) const {
+    return g == 0 ? GroupPolicy::MutuallyExclusive
+                  : callback_groups[g - 1].policy;
+  }
 };
 
 /// An untraced periodic data source (sensor driver / rosbag replay). Its

@@ -1,5 +1,6 @@
 #include "scenario/validator.hpp"
 
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -10,8 +11,8 @@ namespace tetra::scenario {
 bool ValidationReport::ok() const {
   return missing_vertices.empty() && unexpected_vertices.empty() &&
          missing_edges.empty() && unexpected_edges.empty() &&
-         attribute_mismatches.empty() && missing_labels.empty() &&
-         unexpected_labels.empty() &&
+         attribute_mismatches.empty() && concurrency_mismatches.empty() &&
+         missing_labels.empty() && unexpected_labels.empty() &&
          (!chains_checked || expected_chain_count == synthesized_chain_count);
 }
 
@@ -43,6 +44,7 @@ std::string ValidationReport::to_string() const {
   dump_edges("missing edges", missing_edges);
   dump_edges("unexpected edges", unexpected_edges);
   dump_keys("attribute mismatches", attribute_mismatches);
+  dump_keys("concurrency mismatches", concurrency_mismatches);
   dump_keys("missing callback labels", missing_labels);
   dump_keys("unexpected callback labels", unexpected_labels);
   if (chains_checked && expected_chain_count != synthesized_chain_count) {
@@ -108,7 +110,91 @@ ValidationReport RoundTripValidator::validate_dag(const core::Dag& dag,
         analysis::enumerate_chains(dag, std::size_t{1} << 16).chains.size();
     report.chains_checked = true;
   }
+
+  check_concurrency(dag, truth, report);
   return report;
+}
+
+void RoundTripValidator::check_concurrency(const core::Dag& dag,
+                                           const GroundTruth& truth,
+                                           ValidationReport& report) const {
+  auto complain = [&report](std::string message) {
+    report.concurrency_mismatches.push_back(std::move(message));
+  };
+
+  // Learned constraints per callback label (a split service's per-caller
+  // vertices carry their callback's constraints and must agree).
+  struct Learned {
+    int group = 0;
+    bool reentrant = false;
+    int workers = 1;
+  };
+  std::map<std::string, std::map<std::string, Learned>> learned_by_node;
+  for (const auto& vertex : dag.vertices()) {
+    if (vertex.is_and_junction) continue;
+    // Vertex keys are "<label>" or, for split services, "<label>@<caller>".
+    const std::string label = vertex.key.substr(0, vertex.key.find('@'));
+    auto& node_map = learned_by_node[vertex.node_name];
+    auto [it, inserted] = node_map.emplace(
+        label, Learned{vertex.exec_group, vertex.reentrant,
+                       vertex.node_workers});
+    if (!inserted && (it->second.group != vertex.exec_group ||
+                      it->second.reentrant != vertex.reentrant)) {
+      complain(vertex.key + ": split vertices of one callback disagree on "
+               "serialization constraints");
+    }
+  }
+
+  for (const auto& [node, expected] : truth.concurrency) {
+    auto node_it = learned_by_node.find(node);
+    if (node_it == learned_by_node.end()) continue;  // vertex checks report
+    const auto& learned = node_it->second;
+
+    std::set<int> learned_groups;
+    for (const auto& [label, info] : learned) {
+      learned_groups.insert(info.group);
+      if (info.workers > expected.executor_threads) {
+        complain(node + "/" + label + ": learned " +
+                 std::to_string(info.workers) + " workers, executor has " +
+                 std::to_string(expected.executor_threads));
+      }
+      if (info.reentrant && expected.reentrant_labels.count(label) == 0) {
+        complain(node + "/" + label +
+                 ": learned reentrant, spec group is mutually exclusive");
+      }
+    }
+
+    if (expected.executor_threads == 1) {
+      // Single-threaded executor: the whole node serializes, any learned
+      // split would claim impossible concurrency.
+      if (learned_groups.size() > 1) {
+        complain(node + ": learned " +
+                 std::to_string(learned_groups.size()) +
+                 " serialization groups on a single-threaded executor");
+      }
+      continue;
+    }
+
+    // Soundness on multi-threaded executors: two callbacks of one
+    // mutually-exclusive spec group may never be learned concurrent —
+    // neither split into different groups nor via reentrancy.
+    for (const auto& [a_label, a_group] : expected.group_of_label) {
+      if (expected.reentrant_labels.count(a_label) > 0) continue;
+      auto a_it = learned.find(a_label);
+      if (a_it == learned.end()) continue;
+      for (const auto& [b_label, b_group] : expected.group_of_label) {
+        if (b_label <= a_label || a_group != b_group) continue;
+        if (expected.reentrant_labels.count(b_label) > 0) continue;
+        auto b_it = learned.find(b_label);
+        if (b_it == learned.end()) continue;
+        if (a_it->second.group != b_it->second.group) {
+          complain(node + ": " + a_label + " and " + b_label +
+                   " share a mutually-exclusive group but were learned "
+                   "concurrent");
+        }
+      }
+    }
+  }
 }
 
 ValidationReport RoundTripValidator::validate(const core::TimingModel& model,

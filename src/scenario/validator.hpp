@@ -27,6 +27,13 @@ struct ValidationReport {
   std::vector<core::DagEdge> unexpected_edges;
   // Kind / AND / OR / sync-member flag disagreements on common vertices.
   std::vector<std::string> attribute_mismatches;
+  // Learned executor-concurrency inconsistencies against the spec's
+  // executor/callback-group dimensions: a learned model that splits a
+  // mutually-exclusive group, invents reentrancy, or claims more workers
+  // than the executor has is unsound. (Merging two true groups after an
+  // observation window without cross-group overlap is conservative and
+  // NOT a mismatch.)
+  std::vector<std::string> concurrency_mismatches;
   // CBlist labels absent from / unexpected in the synthesized lists (only
   // checked when CBlists are available, i.e. validate() not validate_dag()).
   std::vector<std::string> missing_labels;
@@ -51,6 +58,12 @@ class RoundTripValidator {
   /// per-run CBlists are no longer available).
   ValidationReport validate_dag(const core::Dag& dag,
                                 const GroundTruth& truth) const;
+
+ private:
+  /// Learned-concurrency consistency against the spec's executor and
+  /// callback-group dimensions (see ValidationReport's field note).
+  void check_concurrency(const core::Dag& dag, const GroundTruth& truth,
+                         ValidationReport& report) const;
 };
 
 }  // namespace tetra::scenario

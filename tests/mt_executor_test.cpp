@@ -1,0 +1,411 @@
+// Multi-threaded executor modeling, end to end: substrate semantics
+// (worker concurrency, callback-group serialization, reentrancy),
+// synthesis (per-worker extraction merge, concurrency inference), the
+// group-aware round-trip validation, and the prediction layer's
+// worker-count knob — plus the MT generator golden (tests/data/
+// mt_seed7.json pins the executor dimension of the seed-7 scenario).
+//
+// Regenerate the golden after an intentional generator change:
+//   tetra_scenario --seed 7 --count 1 --mt --json tests/data/mt_seed7.json
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/chains.hpp"
+#include "core/concurrency.hpp"
+#include "core/model_synthesis.hpp"
+#include "predict/what_if.hpp"
+#include "ros2/context.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/validator.hpp"
+
+namespace tetra {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+// ---- substrate --------------------------------------------------------------
+
+TEST(MtExecutorTest, WorkersGetDistinctPidsAndP1Each) {
+  ros2::Context ctx;
+  std::map<Pid, std::string> p1;
+  ctx.hooks().rmw_create_node = [&p1](TimePoint, Pid pid,
+                                      const std::string& name) {
+    p1[pid] = name;
+  };
+  ros2::Node& node = ctx.create_node({.name = "mt", .executor_threads = 3});
+  EXPECT_EQ(node.executor().worker_count(), 3);
+  EXPECT_EQ(p1.size(), 3u);
+  std::set<Pid> pids;
+  for (const auto& [pid, name] : p1) {
+    EXPECT_EQ(name, "mt");
+    pids.insert(pid);
+  }
+  EXPECT_EQ(pids.size(), 3u);
+  EXPECT_EQ(node.pid(), *pids.begin());
+}
+
+TEST(MtExecutorTest, InvalidWorkerCountRejected) {
+  ros2::Context ctx;
+  EXPECT_THROW(ctx.create_node({.name = "bad", .executor_threads = 0}),
+               std::invalid_argument);
+}
+
+TEST(MtExecutorTest, DistinctGroupsRunConcurrently) {
+  ros2::Context ctx;
+  ros2::Node& node = ctx.create_node({.name = "mt", .executor_threads = 2});
+  ros2::CallbackGroup& other =
+      node.create_callback_group(ros2::CallbackGroupKind::MutuallyExclusive);
+  // Two timers, same period, demand longer than half the period: with one
+  // worker (or one group) they would serialize; on two workers in two
+  // groups they overlap.
+  const auto demand = DurationDistribution::constant(Duration::ms(8));
+  node.create_timer(Duration::ms(10), ros2::Plan::just(demand));
+  node.create_timer(Duration::ms(10), ros2::Plan::just(demand), std::nullopt,
+                    &other);
+  ctx.run_for(Duration::ms(200));
+  EXPECT_GE(node.executor().max_in_flight(), 2);
+  EXPECT_GE(node.callbacks_executed(), 30u);
+}
+
+TEST(MtExecutorTest, OneMutuallyExclusiveGroupSerializes) {
+  ros2::Context ctx;
+  ros2::Node& node = ctx.create_node({.name = "mt", .executor_threads = 4});
+  // Same wait set as above but both timers in the default group: workers
+  // idle while the group is claimed, so nothing ever overlaps.
+  const auto demand = DurationDistribution::constant(Duration::ms(8));
+  node.create_timer(Duration::ms(10), ros2::Plan::just(demand));
+  node.create_timer(Duration::ms(10), ros2::Plan::just(demand));
+  ctx.run_for(Duration::ms(200));
+  EXPECT_EQ(node.executor().max_in_flight(), 1);
+}
+
+TEST(MtExecutorTest, ReentrantGroupOverlapsItself) {
+  ros2::Context ctx;
+  ros2::Node& node = ctx.create_node({.name = "re", .executor_threads = 2});
+  ros2::CallbackGroup& group =
+      node.create_callback_group(ros2::CallbackGroupKind::Reentrant);
+  // Demand beyond the period: firings pile up and a reentrant callback
+  // may run concurrently with itself.
+  node.create_timer(Duration::ms(10),
+                    ros2::Plan::just(
+                        DurationDistribution::constant(Duration::ms(15))),
+                    std::nullopt, &group);
+  ctx.run_for(Duration::ms(300));
+  EXPECT_GE(node.executor().max_in_flight(), 2);
+}
+
+TEST(MtExecutorTest, SingleThreadedExecutorUnchanged) {
+  ros2::Context ctx;
+  ros2::Node& node = ctx.create_node({.name = "st"});
+  const auto demand = DurationDistribution::constant(Duration::ms(8));
+  node.create_timer(Duration::ms(10), ros2::Plan::just(demand));
+  node.create_timer(Duration::ms(10), ros2::Plan::just(demand));
+  ctx.run_for(Duration::ms(200));
+  EXPECT_EQ(node.executor().worker_count(), 1);
+  EXPECT_EQ(node.executor().max_in_flight(), 1);
+}
+
+TEST(MtExecutorTest, SyncMembersMustShareMutexGroup) {
+  ros2::Context ctx;
+  ros2::Node& node = ctx.create_node({.name = "sync", .executor_threads = 2});
+  ros2::CallbackGroup& reentrant =
+      node.create_callback_group(ros2::CallbackGroupKind::Reentrant);
+  const auto demand = DurationDistribution::constant(Duration::ms(1));
+  ros2::Subscription& a = node.create_subscription("/a", ros2::Plan::just(demand));
+  ros2::Subscription& b = node.create_subscription("/b", ros2::Plan::just(demand),
+                                                   &reentrant);
+  ros2::Publisher& out = node.create_publisher("/fused");
+  EXPECT_THROW(node.create_sync_group({&a, &b}, demand, out),
+               std::invalid_argument);
+}
+
+// ---- designed heavy-load scenario ------------------------------------------
+
+/// One MT node with two mutually-exclusive groups under sustained load
+/// (every cross-group pair overlaps many times over the run), plus a
+/// reentrant-group node: the concurrency inference must recover the
+/// partition exactly.
+scenario::ScenarioSpec mt_load_spec() {
+  using scenario::GroupPolicy;
+  scenario::ScenarioSpec spec;
+  spec.name = "mt-load";
+  spec.seed = 99;
+  spec.num_cpus = 8;
+  spec.run_duration = Duration::sec(2);
+
+  scenario::ScenarioNodeSpec node;
+  node.name = "mt";
+  node.executor_threads = 3;
+  node.callback_groups.push_back({GroupPolicy::MutuallyExclusive});  // g1
+  // Group 0: T1 -> /a, SC1 on /b. Group 1: T2 -> /b, SC2 on /a.
+  scenario::TimerSpec t1;
+  t1.period = Duration::ms(20);
+  t1.demand = DurationDistribution::uniform(Duration::ms(8), Duration::ms(12));
+  t1.effects.push_back(scenario::publish_effect("/a"));
+  t1.group = 0;
+  node.timers.push_back(t1);
+  scenario::TimerSpec t2 = t1;
+  t2.effects = {scenario::publish_effect("/b")};
+  t2.group = 1;
+  node.timers.push_back(t2);
+  scenario::SubscriptionSpec sc1;
+  sc1.topic = "/b";
+  sc1.demand = DurationDistribution::uniform(Duration::ms(12), Duration::ms(18));
+  sc1.group = 0;
+  node.subscriptions.push_back(sc1);
+  scenario::SubscriptionSpec sc2 = sc1;
+  sc2.topic = "/a";
+  sc2.group = 1;
+  node.subscriptions.push_back(sc2);
+  spec.nodes.push_back(std::move(node));
+
+  scenario::ScenarioNodeSpec re;
+  re.name = "re";
+  re.executor_threads = 2;
+  re.callback_groups.push_back({GroupPolicy::Reentrant});  // g1
+  scenario::TimerSpec t3;
+  t3.period = Duration::ms(30);
+  t3.demand = DurationDistribution::uniform(Duration::ms(30), Duration::ms(45));
+  t3.group = 1;
+  re.timers.push_back(t3);
+  spec.nodes.push_back(std::move(re));
+  return spec;
+}
+
+core::TimingModel synthesize_mt_load() {
+  const scenario::ScenarioSpec spec = mt_load_spec();
+  return scenario::ScenarioRunner().run(spec).model;
+}
+
+TEST(MtInferenceTest, RecoversGroupsReentrancyAndWorkers) {
+  const core::TimingModel model = synthesize_mt_load();
+  const auto concurrency = core::infer_concurrency(model.node_callbacks);
+
+  ASSERT_EQ(concurrency.count("mt"), 1u);
+  const core::NodeConcurrency& mt = concurrency.at("mt");
+  EXPECT_GE(mt.observed_workers, 2);
+  EXPECT_LE(mt.observed_workers, 3);
+  ASSERT_EQ(mt.by_label.size(), 4u);
+  // Exact partition: {T1, SC1} vs {T2, SC2}.
+  EXPECT_EQ(mt.group_count, 2);
+  EXPECT_EQ(mt.by_label.at("mt/T1").group, mt.by_label.at("mt/SC1").group);
+  EXPECT_EQ(mt.by_label.at("mt/T2").group, mt.by_label.at("mt/SC2").group);
+  EXPECT_NE(mt.by_label.at("mt/T1").group, mt.by_label.at("mt/T2").group);
+  for (const auto& [label, info] : mt.by_label) {
+    EXPECT_FALSE(info.reentrant) << label;
+  }
+
+  ASSERT_EQ(concurrency.count("re"), 1u);
+  const core::NodeConcurrency& re = concurrency.at("re");
+  EXPECT_TRUE(re.by_label.at("re/T1").reentrant);
+  EXPECT_EQ(re.observed_workers, 2);
+
+  // The DAG vertices carry the learned constraints.
+  const core::DagVertex* t1 = model.dag.find_vertex("mt/T1");
+  const core::DagVertex* t2 = model.dag.find_vertex("mt/T2");
+  ASSERT_NE(t1, nullptr);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_NE(t1->exec_group, t2->exec_group);
+  EXPECT_GE(t1->node_workers, 2);
+  EXPECT_TRUE(model.dag.find_vertex("re/T1")->reentrant);
+}
+
+TEST(MtInferenceTest, GroupAwareRoundTripValidates) {
+  const scenario::ScenarioSpec spec = mt_load_spec();
+  const scenario::GroundTruth truth = scenario::build_ground_truth(spec);
+  ASSERT_EQ(truth.concurrency.at("mt").executor_threads, 3);
+  EXPECT_EQ(truth.concurrency.at("re").reentrant_labels.count("re/T1"), 1u);
+
+  const scenario::ScenarioRunResult result = scenario::ScenarioRunner().run(spec);
+  const scenario::ValidationReport report =
+      scenario::RoundTripValidator().validate(result.model, truth);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(MtInferenceTest, ValidatorFlagsFalseConcurrency) {
+  const scenario::ScenarioSpec spec = mt_load_spec();
+  const scenario::GroundTruth truth = scenario::build_ground_truth(spec);
+  const scenario::ScenarioRunResult result = scenario::ScenarioRunner().run(spec);
+
+  // Tamper: split a true mutually-exclusive pair into separate groups —
+  // the model would claim concurrency the executor forbids.
+  core::Dag tampered = result.model.dag;
+  core::DagVertex* sc1 = tampered.find_vertex("mt/SC1");
+  ASSERT_NE(sc1, nullptr);
+  sc1->exec_group = 7;
+  const scenario::ValidationReport split_report =
+      scenario::RoundTripValidator().validate_dag(tampered, truth);
+  EXPECT_FALSE(split_report.ok());
+  EXPECT_FALSE(split_report.concurrency_mismatches.empty());
+
+  // Tamper: claim reentrancy for a mutually-exclusive callback.
+  core::Dag tampered2 = result.model.dag;
+  tampered2.find_vertex("mt/T1")->reentrant = true;
+  EXPECT_FALSE(scenario::RoundTripValidator()
+                   .validate_dag(tampered2, truth)
+                   .concurrency_mismatches.empty());
+
+  // Tamper: more workers than the executor has.
+  core::Dag tampered3 = result.model.dag;
+  tampered3.find_vertex("mt/T1")->node_workers = 9;
+  EXPECT_FALSE(scenario::RoundTripValidator()
+                   .validate_dag(tampered3, truth)
+                   .concurrency_mismatches.empty());
+}
+
+TEST(MtInferenceTest, WorkerListMergeUnifiesCallbacks) {
+  const core::TimingModel model = synthesize_mt_load();
+  // One list per node (not per worker PID), every callback exactly once.
+  std::set<std::string> nodes;
+  for (const auto& list : model.node_callbacks) {
+    EXPECT_TRUE(nodes.insert(list.node_name).second)
+        << "duplicate list for node " << list.node_name;
+  }
+  const core::CallbackRecord* t1 = model.find_callback("mt/T1");
+  ASSERT_NE(t1, nullptr);
+  // ~100 firings in 2s at 20ms; instances survive the merge re-sort.
+  EXPECT_GE(t1->instances(), 80u);
+  for (std::size_t i = 1; i < t1->start_times.size(); ++i) {
+    EXPECT_LE(t1->start_times[i - 1], t1->start_times[i]);
+  }
+  EXPECT_EQ(t1->start_times.size(), t1->end_times.size());
+}
+
+// ---- randomized MT round-trip sweep ----------------------------------------
+
+TEST(MtRoundTripTest, ForcedMtSweepMatchesGroundTruth) {
+  scenario::GeneratorOptions options;
+  options.p_multithreaded = 1.0;
+  const scenario::ScenarioGenerator generator(options);
+  const scenario::ScenarioRunner runner;
+  const scenario::RoundTripValidator validator;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const scenario::Scenario scen = generator.generate(seed);
+    bool any_mt = false;
+    for (const auto& node : scen.spec.nodes) {
+      any_mt |= node.executor_threads > 1;
+    }
+    EXPECT_TRUE(any_mt) << "seed " << seed;
+    const scenario::ScenarioRunResult result = runner.run(scen.spec);
+    ASSERT_TRUE(result.model.dag.is_acyclic());
+    const scenario::ValidationReport report =
+        validator.validate(result.model, scen.ground_truth);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ":\n" << report.to_string();
+  }
+}
+
+TEST(MtRoundTripTest, GeneratedMtSpecsAreValidAndDeterministic) {
+  scenario::GeneratorOptions options;
+  options.p_multithreaded = 1.0;
+  const scenario::ScenarioGenerator generator(options);
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const scenario::Scenario scen = generator.generate(seed);
+    EXPECT_TRUE(validate_spec(scen.spec).empty()) << "seed " << seed;
+    EXPECT_EQ(spec_to_json(scen.spec),
+              spec_to_json(generator.generate(seed).spec));
+  }
+}
+
+TEST(MtRoundTripTest, ExecutorDimensionLeavesTopologyUntouched) {
+  // The executor dimension draws from its own stream: forcing it on or
+  // off must not reshuffle the generated topology.
+  scenario::GeneratorOptions st;
+  st.p_multithreaded = 0.0;
+  scenario::GeneratorOptions mt;
+  mt.p_multithreaded = 1.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    scenario::ScenarioSpec a = scenario::ScenarioGenerator(st).generate(seed).spec;
+    scenario::ScenarioSpec b = scenario::ScenarioGenerator(mt).generate(seed).spec;
+    // Neutralize the executor dimension; everything else must be equal.
+    for (auto& node : b.nodes) {
+      node.executor_threads = 1;
+      node.callback_groups.clear();
+      for (auto& t : node.timers) t.group = 0;
+      for (auto& s : node.subscriptions) s.group = 0;
+      for (auto& v : node.services) v.group = 0;
+      for (auto& c : node.clients) c.group = 0;
+    }
+    EXPECT_EQ(spec_to_json(a), spec_to_json(b)) << "seed " << seed;
+  }
+}
+
+// ---- prediction: the worker-count knob -------------------------------------
+
+TEST(MtPredictionTest, WorkerKnobIsMonotone) {
+  const core::TimingModel model = synthesize_mt_load();
+  predict::PredictionConfig base;
+  base.horizon = Duration::sec(8);
+
+  auto worst_mean_ms = [&](int workers) {
+    predict::PredictionConfig config = base;
+    config.workers["mt"] = workers;
+    const predict::PredictionResult result =
+        predict::ModelSimulator(model.dag, config).predict();
+    double worst = 0.0;
+    for (const auto& chain : result.chains) {
+      if (chain.latency.complete == 0) continue;
+      worst = std::max(worst, chain.mean().to_ms());
+    }
+    return worst;
+  };
+
+  const double one = worst_mean_ms(1);
+  const double two = worst_mean_ms(2);
+  const double three = worst_mean_ms(3);
+  // Fewer workers can only serialize more: latency is monotone
+  // non-increasing in the worker count, and the fully serialized
+  // deployment is strictly worse under this load.
+  EXPECT_GE(one, two * 1.05);
+  EXPECT_GE(two, three * 0.999);
+}
+
+TEST(MtPredictionTest, ExplorerRanksWorkerSweep) {
+  const core::TimingModel model = synthesize_mt_load();
+  predict::PredictionConfig base;
+  base.horizon = Duration::sec(8);
+  predict::WhatIfExplorer explorer(model.dag, base);
+  explorer.add_baseline().sweep_workers("mt", {1, 2, 3});
+  ASSERT_EQ(explorer.candidate_count(), 4u);
+  const std::vector<predict::WhatIfOutcome> outcomes =
+      explorer.explore(predict::Objective::WorstChainMean);
+  ASSERT_EQ(outcomes.size(), 4u);
+  // The serialized deployment must rank last.
+  EXPECT_EQ(outcomes.back().candidate.name, "mt@1w");
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_LE(outcomes[i - 1].score_ms, outcomes[i].score_ms);
+  }
+}
+
+// ---- golden -----------------------------------------------------------------
+
+// The MT-forced seed-7 spec (executor dimension included) is pinned. The
+// generator draws through libstdc++'s <random>; as with the other golden
+// fixtures the byte comparison is scoped to libstdc++ hosts.
+#if defined(__GLIBCXX__)
+TEST(MtGoldenTest, ForcedMtSeed7SpecMatchesFixture) {
+  scenario::GeneratorOptions options;
+  options.p_multithreaded = 1.0;
+  const scenario::Scenario scen =
+      scenario::ScenarioGenerator(options).generate(7);
+  const std::string golden =
+      read_file(std::string(TETRA_TEST_DATA_DIR) + "/mt_seed7.json");
+  EXPECT_EQ(scenario::spec_to_json(scen.spec), golden)
+      << "regenerate with: tetra_scenario --seed 7 --count 1 --mt "
+         "--json tests/data/mt_seed7.json";
+}
+#endif
+
+}  // namespace
+}  // namespace tetra

@@ -37,8 +37,9 @@ struct SubstrateRun {
   scenario::ScenarioRunResult run;
 };
 
-SubstrateRun substrate_run(std::uint64_t seed) {
-  SubstrateRun out{scenario::ScenarioGenerator().generate(seed), {}};
+SubstrateRun substrate_run(std::uint64_t seed,
+                           const scenario::GeneratorOptions& options = {}) {
+  SubstrateRun out{scenario::ScenarioGenerator(options).generate(seed), {}};
   out.run = scenario::ScenarioRunner().run(out.scen.spec);
   return out;
 }
@@ -57,9 +58,10 @@ struct BracketStats {
 /// the replay is contention-free and publishes at completion, so
 /// predicted and measured distributions agree in location but not
 /// exactly in shape (cross-caller service queueing is the worst case).
-BracketStats bracket_scenario(std::uint64_t seed) {
+BracketStats bracket_scenario(std::uint64_t seed,
+                              const scenario::GeneratorOptions& options = {}) {
   BracketStats stats;
-  const SubstrateRun sub = substrate_run(seed);
+  const SubstrateRun sub = substrate_run(seed, options);
   const analysis::InstanceTimeline measured_timeline(sub.run.trace);
 
   PredictionConfig config;
@@ -103,6 +105,24 @@ TEST(PredictionRoundTripTest, SweepBracketsMeasuredLatency) {
     failures += stats.failures;
   }
   // The sweep must actually exercise the property, not vacuously pass.
+  EXPECT_GE(compared, 20u) << failures;
+}
+
+TEST(PredictionRoundTripTest, MtSweepBracketsMeasuredLatency) {
+  // The multi-threaded scenario family: every node on a multi-threaded
+  // executor with callback groups. The replay schedules per learned
+  // group/worker-count, so its envelopes must still bracket what the
+  // multi-threaded substrate measured.
+  scenario::GeneratorOptions options;
+  options.p_multithreaded = 1.0;
+  std::size_t compared = 0;
+  std::string failures;
+  for (std::uint64_t seed = 1; seed <= 22; ++seed) {
+    const BracketStats stats = bracket_scenario(seed, options);
+    compared += stats.compared;
+    EXPECT_EQ(stats.bracketed, stats.compared) << stats.failures;
+    failures += stats.failures;
+  }
   EXPECT_GE(compared, 20u) << failures;
 }
 

@@ -1,0 +1,131 @@
+// Process-level regression tests for the CLI exit-code contract:
+// tetra_scenario --validate and tetra_predict must report round-trip /
+// prediction failures through their exit status even when --quiet
+// suppresses every table — CI sweeps rely on the status alone.
+//
+// The tests exec the real binaries from the build tree
+// (TETRA_BINARY_DIR); they skip when the tools were not built.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "trace/serialize.hpp"
+
+namespace tetra {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout only (stderr carries diagnostics)
+};
+
+std::string binary(const std::string& name) {
+  return std::string(TETRA_BINARY_DIR) + "/" + name;
+}
+
+bool binary_exists(const std::string& name) {
+  std::ifstream f(binary(name));
+  return f.good();
+}
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+#define REQUIRE_TOOL(name)                                         \
+  if (!binary_exists(name)) GTEST_SKIP() << name << " not built "  \
+                                         << "(TETRA_BUILD_TOOLS=OFF?)"
+
+TEST(ScenarioCliTest, QuietValidateSucceedsSilently) {
+  REQUIRE_TOOL("tetra_scenario");
+  const CommandResult result = run_command(
+      binary("tetra_scenario") + " --seed 7 --count 2 --validate --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST(ScenarioCliTest, UsageErrorsExitTwo) {
+  REQUIRE_TOOL("tetra_scenario");
+  EXPECT_EQ(run_command(binary("tetra_scenario") + " --seed 1 --bogus")
+                .exit_code,
+            2);
+  EXPECT_EQ(run_command(binary("tetra_scenario")).exit_code, 2);
+}
+
+TEST(PredictCliTest, QuietPredictionSucceedsSilently) {
+  REQUIRE_TOOL("tetra_predict");
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const CommandResult result = run_command(
+      binary("tetra_predict") + " --trace " + fixture + " --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST(PredictCliTest, ChainlessPredictionExitsNonZeroEvenQuiet) {
+  REQUIRE_TOOL("tetra_predict");
+  // A timers-only application has no topic edge, so no chain produces a
+  // measurable traversal: the prediction round trip fails and the exit
+  // status must say so, --quiet or not (this regressed silently before
+  // the status was wired through).
+  scenario::ScenarioSpec spec;
+  spec.name = "chainless";
+  scenario::ScenarioNodeSpec node;
+  node.name = "lonely";
+  scenario::TimerSpec timer;
+  timer.period = Duration::ms(50);
+  timer.demand = DurationDistribution::constant(Duration::ms_f(0.2));
+  node.timers.push_back(timer);
+  spec.nodes.push_back(std::move(node));
+  const scenario::ScenarioRunResult run = scenario::ScenarioRunner().run(spec);
+
+  const std::string trace_path = ::testing::TempDir() + "chainless.jsonl";
+  trace::write_jsonl_file(trace_path, run.trace);
+
+  const CommandResult loud = run_command(
+      binary("tetra_predict") + " --trace " + trace_path);
+  EXPECT_EQ(loud.exit_code, 1);
+  const CommandResult quiet = run_command(
+      binary("tetra_predict") + " --trace " + trace_path + " --quiet");
+  EXPECT_EQ(quiet.exit_code, 1);
+  EXPECT_TRUE(quiet.output.empty()) << quiet.output;
+  std::remove(trace_path.c_str());
+}
+
+TEST(PredictCliTest, MissingTraceExitsNonZero) {
+  REQUIRE_TOOL("tetra_predict");
+  EXPECT_EQ(run_command(binary("tetra_predict") +
+                        " --trace /nonexistent/trace.jsonl --quiet")
+                .exit_code,
+            1);
+}
+
+TEST(PredictCliTest, WorkerSweepRuns) {
+  REQUIRE_TOOL("tetra_predict");
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const CommandResult result = run_command(
+      binary("tetra_predict") + " --trace " + fixture +
+      " --sweep-workers node0=1,2,4 --objective worst-mean");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("node0@1w"), std::string::npos);
+  EXPECT_NE(result.output.find("node0@4w"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tetra

@@ -11,16 +11,23 @@
 //                 [--horizon SEC] [--seed N] [--hop-us LO:HI]
 //                 [--input-period TOPIC=MS] [--timer-period KEY=MS]
 //                 [--scale-exec KEY=F] [--scale-exec-all F] [--prune KEY]
-//                 [--cpus N]
+//                 [--cpus N] [--workers NODE=N]
 //                 [--sweep-timer KEY=MS1,MS2,...] [--sweep-exec F1,F2,...]
-//                 [--sweep-cpus N1,N2,...]
+//                 [--sweep-cpus N1,N2,...] [--sweep-workers NODE=N1,N2,...]
 //                 [--objective worst-mean|worst-p99|worst-max|mean-mean]
-//                 [--json FILE] [--report]
+//                 [--json FILE] [--report] [--quiet]
 //
 // --cpus switches the replay to the contention-aware machine mode (one
 // executor per node on N simulated CPUs); without it the replay is
-// contention-free. Sweep flags build one candidate per listed value and
-// print the ranking best-first.
+// contention-free. --workers overrides the learned executor worker count
+// of a node; --sweep-workers asks "would 2 -> 4 executor threads cut
+// chain latency?" across the listed counts. Sweep flags build one
+// candidate per listed value and print the ranking best-first.
+//
+// Exit status: 0 only when the replay measured at least one complete
+// chain traversal (in sweep mode: for the best-ranked candidate) — a
+// prediction that measured nothing is a failed round trip, --quiet or
+// not. 1 on errors/empty predictions, 2 on usage errors.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,11 +51,11 @@ void usage(const char* argv0) {
       "          [--horizon SEC] [--seed N] [--hop-us LO:HI]\n"
       "          [--input-period TOPIC=MS] [--timer-period KEY=MS]\n"
       "          [--scale-exec KEY=F] [--scale-exec-all F] [--prune KEY]\n"
-      "          [--cpus N]\n"
+      "          [--cpus N] [--workers NODE=N]\n"
       "          [--sweep-timer KEY=MS1,MS2,...] [--sweep-exec F1,F2,...]\n"
-      "          [--sweep-cpus N1,N2,...]\n"
+      "          [--sweep-cpus N1,N2,...] [--sweep-workers NODE=N1,N2,...]\n"
       "          [--objective worst-mean|worst-p99|worst-max|mean-mean]\n"
-      "          [--json FILE] [--report]\n"
+      "          [--json FILE] [--report] [--quiet]\n"
       "--report additionally prints the best candidate's chain table in\n"
       "sweep mode (single predictions always print theirs).\n",
       argv0);
@@ -112,7 +119,9 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::vector<Duration>>> timer_sweeps;
   std::vector<double> exec_sweep;
   std::vector<int> cpu_sweep;
+  std::vector<std::pair<std::string, std::vector<int>>> worker_sweeps;
   predict::Objective objective = predict::Objective::WorstChainP99;
+  bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -172,6 +181,21 @@ int main(int argc, char** argv) {
       predict::ExecutorMapping mapping;
       mapping.num_cpus = cpus;
       prediction.executors = mapping;
+    } else if (arg == "--workers") {
+      const auto [node, count] = split_kv(next(), "--workers");
+      const int workers =
+          static_cast<int>(parse_double(count, "--workers"));
+      if (workers < 1) die("--workers expects NODE=N with N >= 1");
+      prediction.workers[node] = workers;
+    } else if (arg == "--sweep-workers") {
+      const auto [node, csv] = split_kv(next(), "--sweep-workers");
+      std::vector<int> counts;
+      for (const std::string& n : split_list(csv)) {
+        const int workers = static_cast<int>(parse_double(n, "--sweep-workers"));
+        if (workers < 1) die("--sweep-workers expects counts >= 1");
+        counts.push_back(workers);
+      }
+      worker_sweeps.push_back({node, std::move(counts)});
     } else if (arg == "--sweep-timer") {
       const auto [key, csv] = split_kv(next(), "--sweep-timer");
       std::vector<Duration> periods;
@@ -206,6 +230,8 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -242,10 +268,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "model: %zu vertices, %zu edges\n",
                  dag.vertex_count(), dag.edge_count());
 
-    const bool sweeping =
-        !timer_sweeps.empty() || !exec_sweep.empty() || !cpu_sweep.empty();
+    const auto complete_traversals =
+        [](const predict::PredictionResult& result) {
+          std::size_t complete = 0;
+          for (const auto& chain : result.chains) {
+            complete += chain.latency.complete;
+          }
+          return complete;
+        };
+
+    const bool sweeping = !timer_sweeps.empty() || !exec_sweep.empty() ||
+                          !cpu_sweep.empty() || !worker_sweeps.empty();
     std::string json;
     bool truncated = false;
+    std::size_t measured = 0;
     if (sweeping) {
       predict::WhatIfExplorer what_if(dag, prediction);
       what_if.add_baseline();
@@ -254,24 +290,34 @@ int main(int argc, char** argv) {
       }
       if (!exec_sweep.empty()) what_if.sweep_exec_scale(exec_sweep);
       if (!cpu_sweep.empty()) what_if.sweep_num_cpus(cpu_sweep);
+      for (const auto& [node, counts] : worker_sweeps) {
+        what_if.sweep_workers(node, counts);
+      }
       const std::vector<predict::WhatIfOutcome> outcomes =
           what_if.explore(objective);
       for (const auto& outcome : outcomes) {
         truncated |= outcome.prediction.chains_truncated;
       }
-      std::printf("%s", predict::to_text_table(outcomes, objective).c_str());
-      if (report && !outcomes.empty()) {
-        std::printf("\nbest candidate '%s':\n%s",
-                    outcomes.front().candidate.name.c_str(),
-                    predict::to_text_table(outcomes.front().prediction).c_str());
+      if (!outcomes.empty()) {
+        measured = complete_traversals(outcomes.front().prediction);
+      }
+      if (!quiet) {
+        std::printf("%s", predict::to_text_table(outcomes, objective).c_str());
+        if (report && !outcomes.empty()) {
+          std::printf(
+              "\nbest candidate '%s':\n%s",
+              outcomes.front().candidate.name.c_str(),
+              predict::to_text_table(outcomes.front().prediction).c_str());
+        }
       }
       json = predict::to_json(outcomes, objective);
     } else {
       const predict::PredictionResult result =
           predict::ModelSimulator(dag, prediction).predict();
       truncated = result.chains_truncated;
+      measured = complete_traversals(result);
       // The per-chain table IS the report in single-prediction mode.
-      std::printf("%s", predict::to_text_table(result).c_str());
+      if (!quiet) std::printf("%s", predict::to_text_table(result).c_str());
       json = predict::to_json(result);
     }
     if (truncated) {
@@ -283,6 +329,13 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) {
       write_file(json_path, json + "\n");
       std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    if (measured == 0) {
+      // A replay that completed no chain traversal predicted nothing; the
+      // exit status must say so even when --quiet suppressed the tables.
+      std::fprintf(stderr,
+                   "error: no complete chain traversal in the prediction\n");
+      return 1;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -6,8 +6,13 @@
 //
 //   tetra_scenario --seed N [--count K] [--validate]
 //                  [--cpus C] [--duration-ms D] [--interference T]
-//                  [--threads W] [--modes] [--json FILE] [--dot FILE]
+//                  [--threads W] [--modes] [--mt | --st]
+//                  [--json FILE] [--dot FILE]
 //                  [--trace-out FILE] [--quiet]
+//
+// --mt forces every generated node onto a multi-threaded executor with
+// callback groups; --st forces single-threaded executors everywhere
+// (the default rolls the executor dimension per node).
 //
 // With --validate (the main mode), exits 0 only when every scenario's
 // synthesized DAG matches its ground truth; mismatch reports go to
@@ -31,7 +36,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --seed N [--count K] [--validate]\n"
                "          [--cpus C] [--duration-ms D] [--interference T]\n"
-               "          [--threads W] [--modes] [--json FILE] [--dot FILE]\n"
+               "          [--threads W] [--modes] [--mt | --st]\n"
+               "          [--json FILE] [--dot FILE]\n"
                "          [--trace-out FILE] [--quiet]\n",
                argv0);
 }
@@ -92,6 +98,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--modes") {
       run_modes = true;
+    } else if (arg == "--mt") {
+      generator_options.p_multithreaded = 1.0;
+    } else if (arg == "--st") {
+      generator_options.p_multithreaded = 0.0;
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--dot") {
@@ -203,7 +213,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (validate || run_modes) {
+  // The exit status carries the verdict regardless of --quiet: mismatch
+  // reports already went to stderr, the summary is informational.
+  if ((validate || run_modes) && !quiet) {
     std::printf("%d/%d scenarios matched ground truth\n", count - mismatches,
                 count);
   }
