@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace tetra::scenario {
@@ -461,6 +462,353 @@ Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
   scenario.spec = Generation(options_, seed).build();
   scenario.ground_truth = build_ground_truth(scenario.spec);
   return scenario;
+}
+
+// ---- mutation --------------------------------------------------------------
+
+namespace {
+
+using EdgeKey = std::tuple<std::string, std::string, std::string>;
+
+std::set<EdgeKey> dag_edge_set(const core::Dag& dag) {
+  std::set<EdgeKey> out;
+  for (const auto& edge : dag.edges()) {
+    out.insert(EdgeKey{edge.from, edge.to, edge.topic});
+  }
+  return out;
+}
+
+std::set<std::string> dag_vertex_keys(const core::Dag& dag) {
+  std::set<std::string> out;
+  for (const auto& vertex : dag.vertices()) out.insert(vertex.key);
+  return out;
+}
+
+/// One spec callback addressed by (node, kind, per-kind index), with the
+/// label the synthesis will assign it.
+struct CallbackTarget {
+  std::size_t node = 0;
+  CallbackKind kind = CallbackKind::Timer;
+  std::size_t index = 0;
+  std::string label;
+};
+
+/// Every *live* callback of the spec (label present in the ground truth),
+/// in deterministic spec order. `include_sync_members` excludes sync-group
+/// member subscriptions when false: their observed execution time mixes
+/// member and fusion demand, so they make poor single-axis targets.
+std::vector<CallbackTarget> live_callbacks(const ScenarioSpec& spec,
+                                           const GroundTruth& truth,
+                                           bool include_sync_members) {
+  std::vector<CallbackTarget> out;
+  for (std::size_t ni = 0; ni < spec.nodes.size(); ++ni) {
+    const auto& node = spec.nodes[ni];
+    std::set<std::size_t> sync_members;
+    for (const auto& group : node.sync_groups) {
+      sync_members.insert(group.members.begin(), group.members.end());
+    }
+    const auto add = [&](CallbackKind kind, std::size_t index,
+                         std::string label) {
+      if (truth.callback_labels.count(label) == 0) return;
+      out.push_back(CallbackTarget{ni, kind, index, std::move(label)});
+    };
+    for (std::size_t i = 0; i < node.timers.size(); ++i) {
+      add(CallbackKind::Timer, i, timer_label(node, i));
+    }
+    for (std::size_t i = 0; i < node.subscriptions.size(); ++i) {
+      if (!include_sync_members && sync_members.count(i) > 0) continue;
+      add(CallbackKind::Subscription, i, subscription_label(node, i));
+    }
+    for (std::size_t i = 0; i < node.services.size(); ++i) {
+      add(CallbackKind::Service, i, service_label(node, i));
+    }
+    for (std::size_t i = 0; i < node.clients.size(); ++i) {
+      add(CallbackKind::Client, i, client_label(node, i));
+    }
+  }
+  return out;
+}
+
+std::vector<EffectSpec>* callback_effects(ScenarioSpec& spec,
+                                          const CallbackTarget& target) {
+  auto& node = spec.nodes[target.node];
+  switch (target.kind) {
+    case CallbackKind::Timer: return &node.timers[target.index].effects;
+    case CallbackKind::Subscription:
+      return &node.subscriptions[target.index].effects;
+    case CallbackKind::Service: return &node.services[target.index].effects;
+    case CallbackKind::Client: return &node.clients[target.index].effects;
+  }
+  return nullptr;
+}
+
+DurationDistribution* callback_demand(ScenarioSpec& spec,
+                                      const CallbackTarget& target) {
+  auto& node = spec.nodes[target.node];
+  switch (target.kind) {
+    case CallbackKind::Timer: return &node.timers[target.index].demand;
+    case CallbackKind::Subscription:
+      return &node.subscriptions[target.index].demand;
+    case CallbackKind::Service: return &node.services[target.index].demand;
+    case CallbackKind::Client: return &node.clients[target.index].demand;
+  }
+  return nullptr;
+}
+
+/// Fisher-Yates permutation of [0, n) drawn from `rng`.
+std::vector<std::size_t> shuffled_indices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string_view to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::DropEdge: return "drop-edge";
+    case MutationKind::AddEdge: return "add-edge";
+    case MutationKind::RetimeTimer: return "retime-timer";
+    case MutationKind::ScaleExecTime: return "scale-exec-time";
+    case MutationKind::Reprioritize: return "reprioritize";
+  }
+  return "unknown";
+}
+
+std::optional<MutationKind> mutation_kind_from_string(std::string_view name) {
+  for (const auto kind :
+       {MutationKind::DropEdge, MutationKind::AddEdge,
+        MutationKind::RetimeTimer, MutationKind::ScaleExecTime,
+        MutationKind::Reprioritize}) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+MutationResult ScenarioGenerator::mutate(const ScenarioSpec& spec,
+                                         std::uint64_t seed,
+                                         MutationKind kind) const {
+  MutationResult result;
+  result.kind = kind;
+  result.spec = spec;
+  Rng rng(seed * 0xbf58476d1ce4e5b9ULL + 0x94d049bb133111ebULL);
+
+  const GroundTruth truth = build_ground_truth(spec);
+  const auto base_edges = dag_edge_set(truth.dag);
+  const auto base_vertices = dag_vertex_keys(truth.dag);
+
+  switch (kind) {
+    case MutationKind::DropEdge: {
+      // Candidate publish effects of live callbacks; accepted only when
+      // erasing one actually changes the ground-truth DAG (a publish that
+      // nobody consumes is not an edge).
+      struct DropCandidate {
+        CallbackTarget target;
+        std::size_t effect = 0;
+      };
+      std::vector<DropCandidate> candidates;
+      for (const auto& target : live_callbacks(spec, truth, false)) {
+        ScenarioSpec probe = spec;
+        const auto* effects = callback_effects(probe, target);
+        for (std::size_t e = 0; e < effects->size(); ++e) {
+          if ((*effects)[e].kind == EffectSpec::Kind::Publish) {
+            candidates.push_back(DropCandidate{target, e});
+          }
+        }
+      }
+      for (const auto ci : shuffled_indices(candidates.size(), rng)) {
+        const auto& candidate = candidates[ci];
+        ScenarioSpec mutant = spec;
+        auto* effects = callback_effects(mutant, candidate.target);
+        const EffectSpec removed = (*effects)[candidate.effect];
+        effects->erase(effects->begin() +
+                       static_cast<std::ptrdiff_t>(candidate.effect));
+        if (!validate_spec(mutant).empty()) continue;
+        const GroundTruth mutated = build_ground_truth(mutant);
+        if (dag_edge_set(mutated.dag) == base_edges &&
+            dag_vertex_keys(mutated.dag) == base_vertices) {
+          continue;
+        }
+        result.applied = true;
+        result.spec = std::move(mutant);
+        result.node = spec.nodes[candidate.target.node].name;
+        result.label = candidate.target.label;
+        result.callback_kind = candidate.target.kind;
+        result.callback_index = candidate.target.index;
+        result.effect_index = candidate.effect;
+        result.removed_effect = removed;
+        result.topic = removed.topic;
+        result.description = "dropped publish of " + removed.topic +
+                             " from " + result.label;
+        return result;
+      }
+      result.description = "no droppable publish changes the DAG";
+      return result;
+    }
+
+    case MutationKind::AddEdge: {
+      // Topics something live actually produces (publish effects of live
+      // callbacks, fused sync outputs whose members are all live, external
+      // inputs) — subscribing to one is guaranteed to add a live vertex
+      // and edge, and can never create a cycle because the new
+      // subscription publishes nothing.
+      std::set<std::string> produced;
+      for (const auto& input : spec.external_inputs) {
+        produced.insert(input.topic);
+      }
+      {
+        ScenarioSpec probe = spec;
+        for (const auto& target : live_callbacks(spec, truth, true)) {
+          for (const auto& effect : *callback_effects(probe, target)) {
+            if (effect.kind == EffectSpec::Kind::Publish) {
+              produced.insert(effect.topic);
+            }
+          }
+        }
+      }
+      for (const auto& node : spec.nodes) {
+        for (const auto& group : node.sync_groups) {
+          bool all_live = !group.members.empty();
+          for (const auto mi : group.members) {
+            all_live = all_live &&
+                       truth.callback_labels.count(
+                           subscription_label(node, mi)) > 0;
+          }
+          if (all_live) produced.insert(group.output_topic);
+        }
+      }
+      if (produced.empty() || spec.nodes.empty()) {
+        result.description = "no produced topic to subscribe to";
+        return result;
+      }
+      const std::vector<std::string> topics(produced.begin(), produced.end());
+      const auto& topic = topics[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(topics.size()) - 1))];
+      const auto ni = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(spec.nodes.size()) - 1));
+
+      ScenarioSpec mutant = spec;
+      auto& node = mutant.nodes[ni];
+      SubscriptionSpec sub;
+      sub.topic = topic;
+      sub.demand = DurationDistribution::constant(Duration::ms_f(
+          rng.uniform(options_.min_demand_ms, options_.max_demand_ms)));
+      node.subscriptions.push_back(sub);
+      if (!validate_spec(mutant).empty()) {
+        result.description = "added subscription failed validation";
+        return result;
+      }
+      const GroundTruth mutated = build_ground_truth(mutant);
+      if (dag_edge_set(mutated.dag) == base_edges &&
+          dag_vertex_keys(mutated.dag) == base_vertices) {
+        result.description = "added subscription left the DAG unchanged";
+        return result;
+      }
+      result.applied = true;
+      result.node = spec.nodes[ni].name;
+      result.callback_kind = CallbackKind::Subscription;
+      result.callback_index = mutant.nodes[ni].subscriptions.size() - 1;
+      result.label = subscription_label(mutant.nodes[ni],
+                                        result.callback_index);
+      result.topic = topic;
+      result.spec = std::move(mutant);
+      result.description = "added subscription " + result.label + " on " +
+                           topic;
+      return result;
+    }
+
+    case MutationKind::RetimeTimer: {
+      std::vector<CallbackTarget> timers;
+      for (auto& target : live_callbacks(spec, truth, false)) {
+        if (target.kind == CallbackKind::Timer) timers.push_back(target);
+      }
+      for (const auto ti : shuffled_indices(timers.size(), rng)) {
+        const auto& target = timers[ti];
+        const Duration old_period =
+            spec.nodes[target.node].timers[target.index].period;
+        // Double when the slower cadence still fits enough instances into
+        // the run (first fire is one period in), otherwise halve.
+        Duration new_period = Duration{old_period.count_ns() * 2};
+        if (new_period.count_ns() * 4 > spec.run_duration.count_ns()) {
+          new_period = Duration{std::max<std::int64_t>(
+              old_period.count_ns() / 2, Duration::ms(1).count_ns())};
+        }
+        if (new_period == old_period) continue;
+        ScenarioSpec mutant = spec;
+        mutant.nodes[target.node].timers[target.index].period = new_period;
+        result.applied = true;
+        result.spec = std::move(mutant);
+        result.node = spec.nodes[target.node].name;
+        result.label = target.label;
+        result.callback_kind = CallbackKind::Timer;
+        result.callback_index = target.index;
+        result.old_period = old_period;
+        result.new_period = new_period;
+        result.description =
+            "retimed " + result.label + " from " +
+            std::to_string(old_period.to_ms()) + "ms to " +
+            std::to_string(new_period.to_ms()) + "ms";
+        return result;
+      }
+      result.description = "no live timer to retime";
+      return result;
+    }
+
+    case MutationKind::ScaleExecTime: {
+      const auto targets = live_callbacks(spec, truth, false);
+      if (targets.empty()) {
+        result.description = "no live callback to scale";
+        return result;
+      }
+      const auto& target = targets[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(targets.size()) - 1))];
+      ScenarioSpec mutant = spec;
+      auto* demand = callback_demand(mutant, target);
+      *demand = demand->scaled(kExecMutationScale);
+      result.applied = true;
+      result.spec = std::move(mutant);
+      result.node = spec.nodes[target.node].name;
+      result.label = target.label;
+      result.callback_kind = target.kind;
+      result.callback_index = target.index;
+      result.exec_scale = kExecMutationScale;
+      result.description = "scaled demand of " + result.label + " by " +
+                           std::to_string(kExecMutationScale);
+      return result;
+    }
+
+    case MutationKind::Reprioritize: {
+      std::set<std::size_t> live_nodes;
+      for (const auto& target : live_callbacks(spec, truth, true)) {
+        live_nodes.insert(target.node);
+      }
+      if (live_nodes.empty()) {
+        result.description = "no live node to reprioritize";
+        return result;
+      }
+      const std::vector<std::size_t> nodes(live_nodes.begin(),
+                                           live_nodes.end());
+      const auto ni = nodes[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(nodes.size()) - 1))];
+      ScenarioSpec mutant = spec;
+      result.old_priority = mutant.nodes[ni].priority;
+      result.new_priority = result.old_priority == 0 ? 1 : 0;
+      mutant.nodes[ni].priority = result.new_priority;
+      result.applied = true;
+      result.node = spec.nodes[ni].name;
+      result.spec = std::move(mutant);
+      result.description = "flipped priority of " + result.node + " from " +
+                           std::to_string(result.old_priority) + " to " +
+                           std::to_string(result.new_priority);
+      return result;
+    }
+  }
+  return result;
 }
 
 }  // namespace tetra::scenario

@@ -17,6 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
 
 #include "scenario/ground_truth.hpp"
 #include "scenario/spec.hpp"
@@ -73,6 +76,52 @@ struct Scenario {
   GroundTruth ground_truth;
 };
 
+/// One labeled drift axis a spec can be perturbed along. Each kind changes
+/// exactly one aspect of the application — the ground truth for what a
+/// drift detector must (or, for Reprioritize without CPU contention, may
+/// not) observe.
+enum class MutationKind : std::uint8_t {
+  DropEdge,       ///< remove one live publish effect (DAG edge disappears)
+  AddEdge,        ///< add a subscription to a produced topic (new vertex+edge)
+  RetimeTimer,    ///< change one live timer's period (nothing else)
+  ScaleExecTime,  ///< scale one live callback's demand by kExecMutationScale
+  Reprioritize,   ///< flip one node's scheduling priority
+};
+
+std::string_view to_string(MutationKind kind);
+/// Parses the kebab-case name ("drop-edge", ...); nullopt when unknown.
+std::optional<MutationKind> mutation_kind_from_string(std::string_view name);
+
+/// Demand scale factor applied by MutationKind::ScaleExecTime. Chosen so
+/// the mutant's execution-time support is disjoint from the baseline's
+/// (generator demands span at most [0.5, 1.6] x nominal), which keeps the
+/// drift unambiguous even at small per-window sample counts.
+inline constexpr double kExecMutationScale = 3.0;
+
+/// Outcome of ScenarioGenerator::mutate. `applied` is false when the spec
+/// offers no candidate for the requested axis (e.g. DropEdge on a spec
+/// whose publishes feed nobody); the spec is then returned unchanged. The
+/// target fields identify the perturbed element precisely enough for a
+/// test to revert the mutation and verify no other axis moved.
+struct MutationResult {
+  bool applied = false;
+  MutationKind kind = MutationKind::DropEdge;
+  ScenarioSpec spec;        ///< the mutant (== input when !applied)
+  std::string description;  ///< human-readable summary of the change
+
+  // Target identification ----------------------------------------------------
+  std::string node;   ///< target node name
+  std::string label;  ///< target callback label (when a callback is targeted)
+  CallbackKind callback_kind = CallbackKind::Timer;
+  std::size_t callback_index = 0;  ///< into the node's per-kind vector
+  std::size_t effect_index = 0;    ///< DropEdge: position within effects
+  EffectSpec removed_effect;       ///< DropEdge: the erased effect, verbatim
+  std::string topic;               ///< DropEdge / AddEdge topic
+  Duration old_period, new_period;  ///< RetimeTimer
+  double exec_scale = 1.0;          ///< ScaleExecTime factor applied
+  int old_priority = 0, new_priority = 0;  ///< Reprioritize
+};
+
 class ScenarioGenerator {
  public:
   ScenarioGenerator() = default;
@@ -80,6 +129,15 @@ class ScenarioGenerator {
 
   /// Generates the scenario for `seed`. Deterministic in (seed, options).
   Scenario generate(std::uint64_t seed) const;
+
+  /// Perturbs `spec` along exactly the axis named by `kind`, drawing every
+  /// choice from an Rng seeded with `seed` (deterministic in
+  /// (spec, seed, kind)). Structural kinds (DropEdge, AddEdge) only report
+  /// applied=true when the mutant's ground-truth DAG actually differs from
+  /// the input's; the non-structural kinds leave the DAG shape untouched.
+  /// Every applied mutant still passes validate_spec.
+  MutationResult mutate(const ScenarioSpec& spec, std::uint64_t seed,
+                        MutationKind kind) const;
 
   const GeneratorOptions& options() const { return options_; }
 

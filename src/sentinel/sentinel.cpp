@@ -1,0 +1,372 @@
+#include "sentinel/sentinel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "analysis/chains.hpp"
+#include "support/json_writer.hpp"
+#include "support/statistics.hpp"
+
+namespace tetra::sentinel {
+
+namespace {
+
+constexpr const char* kBaselineTraceId = "baseline";
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  return buffer;
+}
+
+/// Raw per-label execution-time samples (ns) of a synthesized model. A
+/// label maps to exactly one record per node list; records from several
+/// lists (one per node) never share labels.
+std::map<std::string, std::vector<double>> collect_exec_samples(
+    const core::TimingModel& model) {
+  std::map<std::string, std::vector<double>> samples;
+  for (const auto& list : model.node_callbacks) {
+    for (const auto& record : list.records) {
+      if (record.label.empty()) continue;
+      auto& out = samples[record.label];
+      out.reserve(out.size() + record.exec_times.size());
+      for (const auto exec : record.exec_times) {
+        out.push_back(static_cast<double>(exec.count_ns()));
+      }
+    }
+  }
+  return samples;
+}
+
+std::set<std::string> vertex_keys(const core::Dag& dag) {
+  std::set<std::string> keys;
+  for (const auto& vertex : dag.vertices()) keys.insert(vertex.key);
+  return keys;
+}
+
+using EdgeKey = std::tuple<std::string, std::string, std::string>;
+
+std::set<EdgeKey> edge_keys(const core::Dag& dag) {
+  std::set<EdgeKey> keys;
+  for (const auto& edge : dag.edges()) {
+    keys.insert(EdgeKey{edge.from, edge.to, edge.topic});
+  }
+  return keys;
+}
+
+std::string chain_key(const std::vector<std::string>& topics) {
+  std::string key;
+  for (const auto& topic : topics) {
+    if (!key.empty()) key += " -> ";
+    key += topic;
+  }
+  return key;
+}
+
+void add_structural_findings(const core::Dag& baseline, const core::Dag& window,
+                             std::vector<DriftFinding>& findings) {
+  const auto base_vertices = vertex_keys(baseline);
+  const auto window_vertices = vertex_keys(window);
+  for (const auto& key : base_vertices) {
+    if (window_vertices.count(key) == 0) {
+      findings.push_back(DriftFinding{
+          DriftKind::VertexRemoved, key,
+          "callback present in the baseline model never executed in the "
+          "window",
+          1.0, 0.0});
+    }
+  }
+  for (const auto& key : window_vertices) {
+    if (base_vertices.count(key) == 0) {
+      findings.push_back(DriftFinding{
+          DriftKind::VertexAdded, key,
+          "window executed a callback the baseline model does not contain",
+          1.0, 0.0});
+    }
+  }
+
+  const auto base_edges = edge_keys(baseline);
+  const auto win_edges = edge_keys(window);
+  for (const auto& [from, to, topic] : base_edges) {
+    if (win_edges.count(EdgeKey{from, to, topic}) == 0) {
+      findings.push_back(DriftFinding{DriftKind::EdgeRemoved,
+                                      from + " -> " + to,
+                                      "baseline precedence relation on " +
+                                          topic + " absent from the window",
+                                      1.0, 0.0});
+    }
+  }
+  for (const auto& [from, to, topic] : win_edges) {
+    if (base_edges.count(EdgeKey{from, to, topic}) == 0) {
+      findings.push_back(DriftFinding{DriftKind::EdgeAdded,
+                                      from + " -> " + to,
+                                      "window shows a precedence relation on " +
+                                          topic + " the baseline lacks",
+                                      1.0, 0.0});
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::VertexAdded: return "vertex-added";
+    case DriftKind::VertexRemoved: return "vertex-removed";
+    case DriftKind::EdgeAdded: return "edge-added";
+    case DriftKind::EdgeRemoved: return "edge-removed";
+    case DriftKind::ExecTimeShift: return "exec-time-shift";
+    case DriftKind::PeriodShift: return "period-shift";
+    case DriftKind::LatencyEnvelope: return "latency-envelope";
+    case DriftKind::DeadlineViolation: return "deadline-violation";
+  }
+  return "unknown";
+}
+
+std::string verdict_to_json(const DriftVerdict& verdict) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.kv("drifted", verdict.drifted);
+  writer.kv("checks", static_cast<std::uint64_t>(verdict.checks));
+  writer.key("baseline").begin_object();
+  writer.kv("events", static_cast<std::uint64_t>(verdict.baseline_events));
+  writer.kv("vertices", static_cast<std::uint64_t>(verdict.baseline_vertices));
+  writer.kv("edges", static_cast<std::uint64_t>(verdict.baseline_edges));
+  writer.end_object();
+  writer.key("window").begin_object();
+  writer.kv("events", static_cast<std::uint64_t>(verdict.window_events));
+  writer.kv("vertices", static_cast<std::uint64_t>(verdict.window_vertices));
+  writer.kv("edges", static_cast<std::uint64_t>(verdict.window_edges));
+  writer.end_object();
+  writer.key("findings").begin_array();
+  for (const auto& finding : verdict.findings) {
+    writer.begin_object();
+    writer.kv("kind", to_string(finding.kind));
+    writer.kv("subject", finding.subject);
+    writer.kv("detail", finding.detail);
+    writer.kv("statistic", finding.statistic);
+    writer.kv("p_value", finding.p_value);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return writer.str();
+}
+
+ModelSentinel::ModelSentinel(SentinelOptions options)
+    : options_(std::move(options)), session_(options_.synthesis) {}
+
+api::Result<api::SegmentInfo> ModelSentinel::ingest_baseline(
+    trace::EventVector events) {
+  baseline_.valid = false;
+  api::IngestOptions ingest;
+  ingest.trace_id = kBaselineTraceId;
+  return session_.ingest(std::move(events), ingest);
+}
+
+api::Result<api::SegmentInfo> ModelSentinel::ingest_baseline_file(
+    const std::string& path) {
+  baseline_.valid = false;
+  api::IngestOptions ingest;
+  ingest.trace_id = kBaselineTraceId;
+  return session_.ingest_file(path, ingest);
+}
+
+api::Result<core::TimingModel> ModelSentinel::baseline_model() {
+  const api::Error error = refresh_baseline();
+  if (error.code != api::ErrorCode::None) return error;
+  return baseline_.model;
+}
+
+api::Error ModelSentinel::refresh_baseline() {
+  if (baseline_.valid) return {};
+  auto model = session_.trace_model(kBaselineTraceId);
+  if (!model.ok()) {
+    if (model.error().code == api::ErrorCode::UnknownTrace) {
+      return api::Error{api::ErrorCode::InvalidArgument,
+                        "no baseline ingested before the first check",
+                        kBaselineTraceId};
+    }
+    return model.error();
+  }
+  auto events = session_.merged_events(kBaselineTraceId);
+  if (!events.ok()) return events.error();
+
+  baseline_.model = std::move(model).take();
+  baseline_.events = events.value().size();
+  baseline_.exec_samples = collect_exec_samples(baseline_.model);
+  baseline_.chains.clear();
+
+  const analysis::InstanceTimeline timeline(events.value());
+  const auto enumeration =
+      analysis::enumerate_chains(baseline_.model.dag, options_.max_chains);
+  for (const auto& chain : enumeration.chains) {
+    BaselineChain entry;
+    entry.topics = analysis::chain_topics(baseline_.model.dag, chain);
+    if (entry.topics.empty()) continue;
+    entry.key = chain_key(entry.topics);
+    entry.latency = analysis::measure_chain_latency(timeline, entry.topics);
+    // A chain the baseline itself never completed carries no envelope.
+    if (entry.latency.complete == 0) continue;
+    // Chains can repeat a topic path (per-caller service splits); keep the
+    // first — same topics means the same measured samples.
+    const bool duplicate =
+        std::any_of(baseline_.chains.begin(), baseline_.chains.end(),
+                    [&](const BaselineChain& c) { return c.key == entry.key; });
+    if (!duplicate) baseline_.chains.push_back(std::move(entry));
+  }
+  baseline_.valid = true;
+  return {};
+}
+
+api::Result<DriftVerdict> ModelSentinel::check(trace::EventVector events) {
+  const api::Error error = refresh_baseline();
+  if (error.code != api::ErrorCode::None) return error;
+  const std::string trace_id = "window-" + std::to_string(window_counter_);
+  api::IngestOptions ingest;
+  ingest.trace_id = trace_id;
+  auto segment = session_.ingest(std::move(events), ingest);
+  if (!segment.ok()) return segment.error();
+  return check_trace(trace_id);
+}
+
+api::Result<DriftVerdict> ModelSentinel::check_file(const std::string& path) {
+  const api::Error error = refresh_baseline();
+  if (error.code != api::ErrorCode::None) return error;
+  const std::string trace_id = "window-" + std::to_string(window_counter_);
+  api::IngestOptions ingest;
+  ingest.trace_id = trace_id;
+  auto segment = session_.ingest_file(path, ingest);
+  if (!segment.ok()) return segment.error();
+  return check_trace(trace_id);
+}
+
+api::Result<DriftVerdict> ModelSentinel::check_trace(
+    const std::string& trace_id) {
+  ++window_counter_;
+  auto model = session_.trace_model(trace_id);
+  if (!model.ok()) return model.error();
+  auto events = session_.merged_events(trace_id);
+  if (!events.ok()) return events.error();
+  const core::TimingModel& window = model.value();
+
+  DriftVerdict verdict;
+  verdict.baseline_events = baseline_.events;
+  verdict.baseline_vertices = baseline_.model.dag.vertex_count();
+  verdict.baseline_edges = baseline_.model.dag.edge_count();
+  verdict.window_events = events.value().size();
+  verdict.window_vertices = window.dag.vertex_count();
+  verdict.window_edges = window.dag.edge_count();
+
+  // Axis 1: structure (vertex and edge sets).
+  add_structural_findings(baseline_.model.dag, window.dag, verdict.findings);
+
+  // Axis 2: per-callback execution-time distributions (two-sample KS on
+  // the raw samples, gated on min_samples per side).
+  const auto window_samples = collect_exec_samples(window);
+  for (const auto& [label, base] : baseline_.exec_samples) {
+    const auto it = window_samples.find(label);
+    if (it == window_samples.end()) continue;  // structural finding already
+    if (base.size() < options_.min_samples ||
+        it->second.size() < options_.min_samples) {
+      continue;
+    }
+    ++verdict.checks;
+    const KsTestResult ks = two_sample_ks_test(base, it->second);
+    if (ks.significant(options_.alpha)) {
+      verdict.findings.push_back(DriftFinding{
+          DriftKind::ExecTimeShift, label,
+          "execution-time distribution shifted (D = " +
+              format_double(ks.statistic) + " over " +
+              std::to_string(ks.n1) + " baseline / " +
+              std::to_string(ks.n2) + " window samples)",
+          ks.statistic, ks.p_value});
+    }
+  }
+
+  // Axis 3: timer periods (estimated from start times by the synthesis).
+  for (const auto& base_vertex : baseline_.model.dag.vertices()) {
+    if (!base_vertex.period.has_value()) continue;
+    const auto* win_vertex = window.dag.find_vertex(base_vertex.key);
+    if (win_vertex == nullptr || !win_vertex->period.has_value()) continue;
+    const double base_ms = base_vertex.period->to_ms();
+    const double win_ms = win_vertex->period->to_ms();
+    if (base_ms <= 0.0) continue;
+    ++verdict.checks;
+    const double rel = std::abs(win_ms - base_ms) / base_ms;
+    if (rel > options_.period_tolerance) {
+      verdict.findings.push_back(DriftFinding{
+          DriftKind::PeriodShift, base_vertex.key,
+          "timer period moved from " + format_double(base_ms) + "ms to " +
+              format_double(win_ms) + "ms",
+          rel, 0.0});
+    }
+  }
+
+  // Axis 4: chain-latency envelopes (and configured deadlines).
+  const analysis::InstanceTimeline timeline(events.value());
+  for (const auto& chain : baseline_.chains) {
+    const auto latency = analysis::measure_chain_latency(timeline, chain.topics);
+    ++verdict.checks;
+    if (latency.complete == 0) {
+      verdict.findings.push_back(DriftFinding{
+          DriftKind::LatencyEnvelope, chain.key,
+          "chain completed " + std::to_string(chain.latency.complete) +
+              " times in the baseline but never in the window",
+          1.0, 0.0});
+      continue;
+    }
+    const double base_mean = chain.latency.latencies.mean();
+    const double win_mean = latency.latencies.mean();
+    if (base_mean > 0.0) {
+      const double rel = std::abs(win_mean - base_mean) / base_mean;
+      if (rel > options_.latency_tolerance) {
+        verdict.findings.push_back(DriftFinding{
+            DriftKind::LatencyEnvelope, chain.key,
+            "mean end-to-end latency moved from " +
+                format_double(base_mean / 1e6) + "ms to " +
+                format_double(win_mean / 1e6) + "ms",
+            rel, 0.0});
+      }
+    }
+    const auto deadline = options_.chain_deadlines.find(chain.key);
+    if (deadline != options_.chain_deadlines.end()) {
+      ++verdict.checks;
+      const auto limit = static_cast<double>(deadline->second.count_ns());
+      std::size_t misses = 0;
+      for (const double sample : latency.latencies.samples()) {
+        if (sample > limit) ++misses;
+      }
+      if (misses > 0) {
+        const double fraction =
+            static_cast<double>(misses) /
+            static_cast<double>(latency.latencies.count());
+        verdict.findings.push_back(DriftFinding{
+            DriftKind::DeadlineViolation, chain.key,
+            std::to_string(misses) + " of " +
+                std::to_string(latency.latencies.count()) +
+                " window instances exceeded the " +
+                format_double(deadline->second.to_ms()) + "ms deadline",
+            fraction, 0.0});
+      }
+    }
+  }
+
+  std::sort(verdict.findings.begin(), verdict.findings.end(),
+            [](const DriftFinding& a, const DriftFinding& b) {
+              return std::tie(a.kind, a.subject) < std::tie(b.kind, b.subject);
+            });
+  verdict.drifted = !verdict.findings.empty();
+
+  // Bound memory: the window's raw events are no longer needed (MergeDags
+  // keeps its cached model; under MergeTraces release is rejected and the
+  // events simply stay).
+  (void)session_.release_events(trace_id);
+  return verdict;
+}
+
+}  // namespace tetra::sentinel

@@ -14,7 +14,17 @@ bool JsonValue::as_bool() const {
 
 std::int64_t JsonValue::as_int() const {
   if (type_ == Type::Int) return int_;
-  if (type_ == Type::Double) return static_cast<std::int64_t>(double_);
+  if (type_ == Type::Double) {
+    // Only finite doubles inside the int64 range convert; NaN, "1e999"
+    // (inf after strtod) and integers that overflowed into Double must
+    // surface as a parse error, not as an undefined float-to-int cast.
+    constexpr double kInt64Bound = 9223372036854775808.0;  // 2^63 exactly
+    if (!std::isfinite(double_) || double_ < -kInt64Bound ||
+        double_ >= kInt64Bound) {
+      throw std::runtime_error("JsonValue: number not representable as int64");
+    }
+    return static_cast<std::int64_t>(double_);
+  }
   throw std::logic_error("JsonValue: not a number");
 }
 

@@ -86,6 +86,42 @@ class SampleSet {
   mutable bool sorted_ = false;
 };
 
+/// Result of a two-sample Kolmogorov–Smirnov test: the maximum distance
+/// between the empirical CDFs of the two samples, plus the asymptotic
+/// probability of seeing a distance at least that large when both samples
+/// come from one distribution. The model regression sentinel uses this to
+/// decide whether a callback's fresh execution-time window drifted from
+/// the baseline model.
+struct KsTestResult {
+  double statistic = 0.0;  ///< sup |F1(x) - F2(x)|, in [0, 1]
+  double p_value = 1.0;
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+
+  /// True when the null hypothesis (same distribution) is rejected at
+  /// significance level `alpha` (strict: p < alpha).
+  bool significant(double alpha) const { return p_value < alpha; }
+};
+
+/// Two-sample KS statistic, exact for the given samples (ties handled by
+/// advancing both ECDFs past every equal value before comparing). Either
+/// sample empty => 0.0 by definition (nothing to compare).
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Complementary CDF of the Kolmogorov distribution,
+/// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2), clamped to
+/// [0, 1]. Q(0+) -> 1, monotonically decreasing.
+double kolmogorov_q(double lambda);
+
+/// Two-sample KS test with the asymptotic p-value (Stephens' small-sample
+/// correction on the effective sample size n1*n2/(n1+n2)). Degenerate
+/// inputs never reject: an empty side or a single-point effective sample
+/// yields p = 1. The p-value is approximate below ~8 samples per side;
+/// callers gate on a minimum sample count for decisions that must not
+/// false-alarm (see sentinel::SentinelOptions::min_samples).
+KsTestResult two_sample_ks_test(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
 /// Equal-width histogram over a fixed range; used in reports of
 /// execution-time profiles.
 class Histogram {

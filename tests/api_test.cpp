@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <random>
 #include <string>
 #include <vector>
@@ -122,6 +123,99 @@ TEST(SynthesisSessionTest, UnknownTraceAndMissingFileErrors) {
   ASSERT_FALSE(io.ok());
   EXPECT_EQ(io.error().code, ErrorCode::Io);
   EXPECT_EQ(io.error().context, "/nonexistent/trace.jsonl");
+}
+
+// -- malformed JSONL ingestion ----------------------------------------------
+
+std::string write_temp_trace(const std::string& name,
+                             const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream f(path, std::ios::trunc | std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  f << content;
+  return path;
+}
+
+constexpr const char* kValidLine =
+    R"({"t":1000,"pid":1004,"probe":"P5","type":"cb_start","kind":"subscriber"})";
+
+/// Ingesting the file must fail with a typed Io error naming the path,
+/// and leave the session empty (the bad segment is rejected whole).
+void expect_io_rejection(const std::string& name, const std::string& content) {
+  SynthesisSession session;
+  const auto path = write_temp_trace(name, content);
+  const auto result = session.ingest_file(path);
+  ASSERT_FALSE(result.ok()) << name;
+  EXPECT_EQ(result.error().code, ErrorCode::Io) << name;
+  EXPECT_EQ(result.error().context, path) << name;
+  EXPECT_EQ(session.event_count(), 0u) << name;
+  EXPECT_EQ(session.segment_count(), 0u) << name;
+}
+
+TEST(MalformedIngestionTest, TruncatedLineIsTypedIoError) {
+  expect_io_rejection(
+      "truncated.jsonl",
+      std::string(kValidLine) + "\n" +
+          R"({"t":2000,"pid":1004,"probe":"P5","ty)" + "\n");
+}
+
+TEST(MalformedIngestionTest, NanTimestampIsTypedIoError) {
+  // NaN is not valid JSON; the parser must reject the literal instead of
+  // smuggling a NaN into the timestamp field.
+  expect_io_rejection(
+      "nan_ts.jsonl",
+      R"({"t":NaN,"pid":1004,"probe":"P5","type":"cb_start","kind":"timer"})"
+      "\n");
+}
+
+TEST(MalformedIngestionTest, InfiniteTimestampIsTypedIoError) {
+  // 1e999 parses as a double that overflows to infinity; converting it to
+  // an int64 timestamp must be a typed error, not an undefined cast.
+  expect_io_rejection(
+      "inf_ts.jsonl",
+      R"({"t":1e999,"pid":1004,"probe":"P5","type":"cb_start","kind":"timer"})"
+      "\n");
+}
+
+TEST(MalformedIngestionTest, OverflowIntegerTimestampIsTypedIoError) {
+  // Past int64 range the parser falls back to double; the value is then
+  // not representable as a timestamp.
+  expect_io_rejection(
+      "overflow_ts.jsonl",
+      R"({"t":99999999999999999999999999999999999999,"pid":1004,)"
+      R"("probe":"P5","type":"cb_start","kind":"timer"})"
+      "\n");
+}
+
+TEST(MalformedIngestionTest, WrongTypeTimestampIsTypedIoError) {
+  expect_io_rejection(
+      "string_ts.jsonl",
+      R"({"t":"soon","pid":1004,"probe":"P5","type":"cb_start","kind":"timer"})"
+      "\n");
+}
+
+TEST(MalformedIngestionTest, DuplicateEventLinesDoNotCrash) {
+  // A recorder hiccup that repeats event lines (same ids and timestamps)
+  // must flow through ingestion and synthesis without crashing: either a
+  // model comes back or a typed error does.
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const trace::EventVector original = trace::read_jsonl_file(fixture);
+  trace::EventVector doubled = original;
+  doubled.insert(doubled.end(), original.begin(), original.end());
+
+  SynthesisSession session;
+  const auto segment = session.ingest(std::move(doubled));
+  ASSERT_TRUE(segment.ok()) << segment.error().to_string();
+  EXPECT_EQ(segment->event_count, 2 * original.size());
+  EXPECT_FALSE(segment->arrived_sorted);
+
+  const auto model = session.model();
+  if (model.ok()) {
+    EXPECT_GT(model->dag.vertex_count(), 0u);
+  } else {
+    EXPECT_NE(model.error().code, ErrorCode::None);
+  }
 }
 
 TEST(SynthesisSessionTest, AutoTraceIdsNeverCollideWithExplicitIds) {

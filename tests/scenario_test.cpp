@@ -5,6 +5,11 @@
 // and the hand-written workloads flowing through the same validator.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
 #include "core/model_synthesis.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/runner.hpp"
@@ -324,6 +329,189 @@ TEST(WorkloadRoundTripTest, BuildersExposeSpecAndGroundTruth) {
   EXPECT_EQ(avp.spec.nodes.size(), 5u);
   EXPECT_EQ(avp.spec.external_inputs.size(), 2u);
   EXPECT_EQ(avp.ground_truth.dag.vertex_count(), 7u);
+}
+
+// ---- mutation axes ----------------------------------------------------------
+
+constexpr MutationKind kAllMutationKinds[] = {
+    MutationKind::DropEdge, MutationKind::AddEdge, MutationKind::RetimeTimer,
+    MutationKind::ScaleExecTime, MutationKind::Reprioritize};
+
+std::vector<EffectSpec>& effects_of(ScenarioSpec& spec,
+                                    const MutationResult& m) {
+  for (auto& node : spec.nodes) {
+    if (node.name != m.node) continue;
+    switch (m.callback_kind) {
+      case CallbackKind::Timer: return node.timers[m.callback_index].effects;
+      case CallbackKind::Subscription:
+        return node.subscriptions[m.callback_index].effects;
+      case CallbackKind::Service:
+        return node.services[m.callback_index].effects;
+      case CallbackKind::Client:
+        return node.clients[m.callback_index].effects;
+    }
+  }
+  throw std::logic_error("mutation target not found: " + m.node);
+}
+
+DurationDistribution& demand_of(ScenarioSpec& spec, const MutationResult& m) {
+  for (auto& node : spec.nodes) {
+    if (node.name != m.node) continue;
+    switch (m.callback_kind) {
+      case CallbackKind::Timer: return node.timers[m.callback_index].demand;
+      case CallbackKind::Subscription:
+        return node.subscriptions[m.callback_index].demand;
+      case CallbackKind::Service:
+        return node.services[m.callback_index].demand;
+      case CallbackKind::Client:
+        return node.clients[m.callback_index].demand;
+    }
+  }
+  throw std::logic_error("mutation target not found: " + m.node);
+}
+
+/// Undoes (or, for ScaleExecTime, normalizes away) exactly the axis the
+/// mutation reports; comparing the result against the equally-normalized
+/// original then proves no *other* axis moved.
+std::pair<ScenarioSpec, ScenarioSpec> normalize_pair(
+    const ScenarioSpec& original, const MutationResult& m) {
+  ScenarioSpec base = original;
+  ScenarioSpec reverted = m.spec;
+  switch (m.kind) {
+    case MutationKind::DropEdge: {
+      auto& effects = effects_of(reverted, m);
+      effects.insert(effects.begin() +
+                         static_cast<std::ptrdiff_t>(m.effect_index),
+                     m.removed_effect);
+      break;
+    }
+    case MutationKind::AddEdge: {
+      for (auto& node : reverted.nodes) {
+        if (node.name == m.node) node.subscriptions.pop_back();
+      }
+      break;
+    }
+    case MutationKind::RetimeTimer: {
+      for (auto& node : reverted.nodes) {
+        if (node.name == m.node) {
+          node.timers[m.callback_index].period = m.old_period;
+        }
+      }
+      break;
+    }
+    case MutationKind::ScaleExecTime: {
+      // Scaling rounds durations, so it cannot be inverted exactly:
+      // overwrite the target demand with one fixed profile on both sides.
+      const auto fixed = DurationDistribution::constant(Duration::ms(1));
+      demand_of(base, m) = fixed;
+      demand_of(reverted, m) = fixed;
+      break;
+    }
+    case MutationKind::Reprioritize: {
+      for (auto& node : reverted.nodes) {
+        if (node.name == m.node) node.priority = m.old_priority;
+      }
+      break;
+    }
+  }
+  return {std::move(base), std::move(reverted)};
+}
+
+std::set<std::pair<std::string, std::string>> truth_edges(
+    const GroundTruth& truth) {
+  std::set<std::pair<std::string, std::string>> out;
+  for (const auto& edge : truth.dag.edges()) out.insert({edge.from, edge.to});
+  return out;
+}
+
+std::set<std::string> truth_vertices(const GroundTruth& truth) {
+  std::set<std::string> out;
+  for (const auto& vertex : truth.dag.vertices()) out.insert(vertex.key);
+  return out;
+}
+
+TEST(MutationTest, KindNamesRoundTrip) {
+  for (const auto kind : kAllMutationKinds) {
+    const auto parsed = mutation_kind_from_string(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(mutation_kind_from_string("definitely-not-a-kind"));
+  EXPECT_FALSE(mutation_kind_from_string(""));
+}
+
+TEST(MutationTest, DeterministicInSeedAndKind) {
+  const ScenarioGenerator generator;
+  const Scenario scen = generator.generate(11);
+  for (const auto kind : kAllMutationKinds) {
+    const MutationResult a = generator.mutate(scen.spec, 3, kind);
+    const MutationResult b = generator.mutate(scen.spec, 3, kind);
+    EXPECT_EQ(a.applied, b.applied);
+    EXPECT_EQ(a.description, b.description);
+    EXPECT_EQ(spec_to_json(a.spec), spec_to_json(b.spec));
+  }
+}
+
+// Property sweep: every applied mutant is a valid spec, changes exactly
+// its labeled axis (undoing that one axis restores the original spec
+// byte-for-byte), and changes the ground-truth DAG structure iff the kind
+// is structural.
+TEST(MutationTest, EachKindChangesExactlyItsAxis) {
+  const ScenarioGenerator generator;
+  std::map<MutationKind, int> applied_count;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Scenario scen = generator.generate(seed);
+    const auto base_edges = truth_edges(scen.ground_truth);
+    const auto base_vertices = truth_vertices(scen.ground_truth);
+    for (const auto kind : kAllMutationKinds) {
+      const MutationResult m = generator.mutate(scen.spec, seed + 100, kind);
+      if (!m.applied) {
+        EXPECT_EQ(spec_to_json(m.spec), spec_to_json(scen.spec))
+            << "unapplied mutation must return the spec unchanged";
+        continue;
+      }
+      ++applied_count[kind];
+      EXPECT_EQ(m.kind, kind);
+      EXPECT_TRUE(validate_spec(m.spec).empty())
+          << "seed " << seed << " kind " << to_string(kind);
+      EXPECT_NE(spec_to_json(m.spec), spec_to_json(scen.spec));
+
+      const auto [base, reverted] = normalize_pair(scen.spec, m);
+      EXPECT_EQ(spec_to_json(reverted), spec_to_json(base))
+          << "seed " << seed << " kind " << to_string(kind) << ": "
+          << m.description;
+
+      const GroundTruth mutated = build_ground_truth(m.spec);
+      const bool structural = kind == MutationKind::DropEdge ||
+                              kind == MutationKind::AddEdge;
+      const bool dag_changed = truth_edges(mutated) != base_edges ||
+                               truth_vertices(mutated) != base_vertices;
+      EXPECT_EQ(dag_changed, structural)
+          << "seed " << seed << " kind " << to_string(kind) << ": "
+          << m.description;
+    }
+  }
+  // The sweep only proves the properties if the axes actually fire: the
+  // non-structural kinds always find a target, the structural ones on the
+  // vast majority of generated topologies.
+  EXPECT_EQ(applied_count[MutationKind::RetimeTimer], 25);
+  EXPECT_EQ(applied_count[MutationKind::ScaleExecTime], 25);
+  EXPECT_EQ(applied_count[MutationKind::Reprioritize], 25);
+  EXPECT_GE(applied_count[MutationKind::DropEdge], 15);
+  EXPECT_GE(applied_count[MutationKind::AddEdge], 20);
+}
+
+TEST(MutationTest, RetimeKeepsPeriodSampled) {
+  const ScenarioGenerator generator;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Scenario scen = generator.generate(seed);
+    const MutationResult m =
+        generator.mutate(scen.spec, seed, MutationKind::RetimeTimer);
+    if (!m.applied) continue;
+    EXPECT_NE(m.new_period, m.old_period);
+    // First fire lands one period in; at least a few instances must fit.
+    EXPECT_LE(m.new_period.count_ns() * 4, scen.spec.run_duration.count_ns());
+  }
 }
 
 }  // namespace

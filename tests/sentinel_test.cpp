@@ -1,0 +1,261 @@
+// Model regression sentinel: labeled drift/no-drift validation harness.
+//
+// The headline suite sweeps seeds x mutation kinds of labeled pairs: for
+// every seed, a baseline run of the generated scenario plus (a) a
+// resampled run of the *identical* spec — a no-drift pair that must not
+// alarm — and (b) one run per mutation kind of a single-axis mutant — a
+// drift pair the sentinel must flag. The resulting confusion matrix is
+// asserted: >= 95% detection, zero false alarms at the default alpha.
+//
+// Reprioritize mutants are exercised by the mutation property tests
+// (scenario_test.cpp) but excluded here: without CPU contention a
+// priority flip is unobservable in the trace, so it defines no detection
+// ground truth.
+//
+// Golden fixtures (regenerate after an intentional pipeline change):
+//   tetra_scenario --seed 7 --run-index 1 --quiet
+//       --trace-out tests/data/sentinel_seed7_clean.jsonl
+//   tetra_scenario --seed 7 --run-index 1 --mutate scale-exec-time --quiet
+//       --trace-out tests/data/sentinel_seed7_drift.jsonl
+//   tetra_sentinel --baseline tests/data/scenario_seed7_trace.jsonl
+//       --window tests/data/sentinel_seed7_drift.jsonl --quiet
+//       --json tests/data/sentinel_seed7_verdict.json
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "sentinel/sentinel.hpp"
+#include "trace/serialize.hpp"
+
+namespace tetra::sentinel {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(TETRA_TEST_DATA_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+// ---- unit behaviour ---------------------------------------------------------
+
+TEST(SentinelTest, CheckBeforeBaselineIsInvalidArgument) {
+  ModelSentinel sentinel;
+  const auto verdict = sentinel.check(trace::EventVector{});
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code, api::ErrorCode::InvalidArgument);
+  EXPECT_EQ(sentinel.windows_checked(), 0u);
+}
+
+TEST(SentinelTest, BaselineModelSynthesizesFromFixture) {
+  ModelSentinel sentinel;
+  ASSERT_TRUE(
+      sentinel.ingest_baseline_file(data_path("scenario_seed7_trace.jsonl"))
+          .ok());
+  const auto model = sentinel.baseline_model();
+  ASSERT_TRUE(model.ok()) << model.error().to_string();
+  EXPECT_GT(model->dag.vertex_count(), 0u);
+  EXPECT_GT(model->dag.edge_count(), 0u);
+}
+
+TEST(SentinelTest, UnreadableBaselineFileIsIoError) {
+  ModelSentinel sentinel;
+  const auto segment =
+      sentinel.ingest_baseline_file("/nonexistent/sentinel.jsonl");
+  ASSERT_FALSE(segment.ok());
+  EXPECT_EQ(segment.error().code, api::ErrorCode::Io);
+}
+
+TEST(SentinelTest, VerdictJsonIsStableAndComplete) {
+  DriftVerdict verdict;
+  verdict.drifted = true;
+  verdict.checks = 3;
+  verdict.baseline_events = 10;
+  verdict.baseline_vertices = 2;
+  verdict.baseline_edges = 1;
+  verdict.window_events = 12;
+  verdict.window_vertices = 2;
+  verdict.window_edges = 1;
+  verdict.findings.push_back(DriftFinding{DriftKind::ExecTimeShift, "n0/T1",
+                                          "shifted", 0.5, 0.001});
+  EXPECT_EQ(
+      verdict_to_json(verdict),
+      "{\"drifted\":true,\"checks\":3,"
+      "\"baseline\":{\"events\":10,\"vertices\":2,\"edges\":1},"
+      "\"window\":{\"events\":12,\"vertices\":2,\"edges\":1},"
+      "\"findings\":[{\"kind\":\"exec-time-shift\",\"subject\":\"n0/T1\","
+      "\"detail\":\"shifted\",\"statistic\":0.5,\"p_value\":0.001}]}");
+}
+
+TEST(SentinelTest, DriftKindNamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const auto kind :
+       {DriftKind::VertexAdded, DriftKind::VertexRemoved, DriftKind::EdgeAdded,
+        DriftKind::EdgeRemoved, DriftKind::ExecTimeShift,
+        DriftKind::PeriodShift, DriftKind::LatencyEnvelope,
+        DriftKind::DeadlineViolation}) {
+    EXPECT_TRUE(names.insert(to_string(kind)).second) << to_string(kind);
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+// ---- labeled-pair sweep -----------------------------------------------------
+
+// The four kinds with an observable trace effect. 3s runs give every
+// 40-200ms timer >= 15 instances, enough KS power for disjoint supports.
+constexpr scenario::MutationKind kSweepKinds[] = {
+    scenario::MutationKind::DropEdge, scenario::MutationKind::AddEdge,
+    scenario::MutationKind::RetimeTimer,
+    scenario::MutationKind::ScaleExecTime};
+constexpr std::uint64_t kSweepSeeds = 20;
+
+scenario::GeneratorOptions sweep_options() {
+  scenario::GeneratorOptions options;
+  options.run_duration = Duration::ms(3000);
+  return options;
+}
+
+TEST(SentinelSweepTest, DetectsDriftWithoutFalseAlarms) {
+  const scenario::ScenarioGenerator generator(sweep_options());
+  const scenario::ScenarioRunner runner;
+
+  int true_positive = 0;
+  int false_negative = 0;
+  int true_negative = 0;
+  int false_positive = 0;
+  std::map<scenario::MutationKind, int> applied;
+  std::vector<std::string> failures;
+
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    const scenario::Scenario scen = generator.generate(seed);
+    ModelSentinel sentinel;
+    {
+      scenario::ScenarioRunResult baseline = runner.run(scen.spec, 1.0, 0);
+      ASSERT_TRUE(sentinel.ingest_baseline(std::move(baseline.trace)).ok());
+    }
+
+    // No-drift pair: the identical spec, resampled (fresh run index).
+    {
+      scenario::ScenarioRunResult clean = runner.run(scen.spec, 1.0, 1);
+      const auto verdict = sentinel.check(std::move(clean.trace));
+      ASSERT_TRUE(verdict.ok()) << verdict.error().to_string();
+      if (verdict->drifted) {
+        ++false_positive;
+        failures.push_back("seed " + std::to_string(seed) +
+                           " false alarm: " + verdict_to_json(*verdict));
+      } else {
+        ++true_negative;
+      }
+    }
+
+    // Drift pairs: one single-axis mutant per kind.
+    for (const auto kind : kSweepKinds) {
+      const scenario::MutationResult mutant =
+          generator.mutate(scen.spec, seed, kind);
+      if (!mutant.applied) continue;
+      ++applied[kind];
+      scenario::ScenarioRunResult drifted = runner.run(mutant.spec, 1.0, 1);
+      const auto verdict = sentinel.check(std::move(drifted.trace));
+      ASSERT_TRUE(verdict.ok()) << verdict.error().to_string();
+      if (verdict->drifted) {
+        ++true_positive;
+      } else {
+        ++false_negative;
+        failures.push_back("seed " + std::to_string(seed) + " missed " +
+                           std::string(scenario::to_string(kind)) + " (" +
+                           mutant.description + ")");
+      }
+    }
+  }
+
+  std::string report;
+  for (const auto& failure : failures) report += "\n  " + failure;
+  std::printf("confusion matrix: TP=%d FN=%d TN=%d FP=%d\n", true_positive,
+              false_negative, true_negative, false_positive);
+
+  // Acceptance: zero false alarms on no-drift pairs, >= 95% detection on
+  // drifted pairs, and the sweep must actually have exercised every kind
+  // on a healthy majority of seeds.
+  EXPECT_EQ(false_positive, 0) << report;
+  EXPECT_EQ(true_negative, static_cast<int>(kSweepSeeds));
+  const int drift_pairs = true_positive + false_negative;
+  ASSERT_GT(drift_pairs, 0);
+  const double detection =
+      static_cast<double>(true_positive) / static_cast<double>(drift_pairs);
+  EXPECT_GE(detection, 0.95) << "detected " << true_positive << "/"
+                             << drift_pairs << report;
+  for (const auto kind : kSweepKinds) {
+    EXPECT_GE(applied[kind], static_cast<int>(kSweepSeeds) / 2)
+        << scenario::to_string(kind);
+  }
+}
+
+// ---- seed-7 golden verdict --------------------------------------------------
+
+class SentinelGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(sentinel_
+                    .ingest_baseline_file(
+                        data_path("scenario_seed7_trace.jsonl"))
+                    .ok());
+  }
+  ModelSentinel sentinel_;
+};
+
+TEST_F(SentinelGoldenTest, CleanWindowIsClean) {
+  const auto verdict =
+      sentinel_.check_file(data_path("sentinel_seed7_clean.jsonl"));
+  ASSERT_TRUE(verdict.ok()) << verdict.error().to_string();
+  EXPECT_FALSE(verdict->drifted) << verdict_to_json(*verdict);
+  EXPECT_TRUE(verdict->findings.empty());
+  EXPECT_GT(verdict->checks, 0u);
+  EXPECT_EQ(sentinel_.windows_checked(), 1u);
+}
+
+TEST_F(SentinelGoldenTest, DriftWindowMatchesGoldenVerdict) {
+  const auto verdict =
+      sentinel_.check_file(data_path("sentinel_seed7_drift.jsonl"));
+  ASSERT_TRUE(verdict.ok()) << verdict.error().to_string();
+  EXPECT_TRUE(verdict->drifted);
+  std::string golden = read_file(data_path("sentinel_seed7_verdict.json"));
+  if (!golden.empty() && golden.back() == '\n') golden.pop_back();
+  EXPECT_EQ(verdict_to_json(*verdict), golden);
+}
+
+TEST_F(SentinelGoldenTest, DeadlineViolationFiresOnConfiguredChain) {
+  // The drifted window's service chain mean moved to ~1.8ms; a 1ms
+  // deadline on that chain must raise DeadlineViolation on top of the
+  // envelope finding.
+  SentinelOptions options;
+  options.chain_deadlines["/svc0Request -> /svc0Reply"] = Duration::ms(1);
+  ModelSentinel strict(options);
+  ASSERT_TRUE(
+      strict.ingest_baseline_file(data_path("scenario_seed7_trace.jsonl"))
+          .ok());
+  const auto verdict =
+      strict.check_file(data_path("sentinel_seed7_drift.jsonl"));
+  ASSERT_TRUE(verdict.ok()) << verdict.error().to_string();
+  bool deadline_finding = false;
+  for (const auto& finding : verdict->findings) {
+    deadline_finding =
+        deadline_finding || finding.kind == DriftKind::DeadlineViolation;
+  }
+  EXPECT_TRUE(deadline_finding) << verdict_to_json(*verdict);
+}
+
+}  // namespace
+}  // namespace tetra::sentinel

@@ -138,6 +138,98 @@ TEST(HistogramTest, BinningAndClamping) {
   EXPECT_FALSE(h.to_ascii().empty());
 }
 
+TEST(KsTest, IdenticalSamplesHaveZeroDistance) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+  const KsTestResult r = two_sample_ks_test(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(r.significant(0.05));
+}
+
+TEST(KsTest, DisjointSamplesHaveDistanceOne) {
+  std::vector<double> a, b;
+  for (int i = 1; i <= 20; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>(i + 100));
+  }
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 1.0);
+  const KsTestResult r = two_sample_ks_test(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_TRUE(r.significant(1e-4));
+}
+
+TEST(KsTest, UniformVsShiftedUniformClosedForm) {
+  // Evenly spaced grids stand in for Uniform(0,10) and Uniform(5,15):
+  // the ECDF gap peaks where the supports stop overlapping, at exactly
+  // the shift fraction 5/10 = 0.5.
+  std::vector<double> a, b;
+  for (int i = 1; i <= 10; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>(i) + 5.0);
+  }
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+  // A 2.5 shift off the integer grid: a has exactly {1, 2, 3} strictly
+  // below c's first point 3.5, so the peak ECDF gap is 3/10.
+  std::vector<double> c;
+  for (int i = 1; i <= 10; ++i) c.push_back(static_cast<double>(i) + 2.5);
+  EXPECT_DOUBLE_EQ(ks_statistic(a, c), 0.3);
+  // The statistic is symmetric in its arguments.
+  EXPECT_DOUBLE_EQ(ks_statistic(b, a), 0.5);
+}
+
+TEST(KsTest, TiedValuesStepBothSides) {
+  // All mass tied at one point: identical distributions, distance 0.
+  const std::vector<double> a = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, a), 0.0);
+  // Half of b ties with a's single atom, half sits above: the ECDF gap
+  // after the tie is |1 - 0.5| = 0.5.
+  const std::vector<double> b = {3.0, 3.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(a, b), 0.5);
+}
+
+TEST(KsTest, KolmogorovQKnownValues) {
+  // Critical values of the Kolmogorov distribution: Q(1.358) ~ 0.05 and
+  // Q(1.628) ~ 0.01 (standard tables), Q monotonically decreasing.
+  EXPECT_NEAR(kolmogorov_q(1.358), 0.05, 2e-3);
+  EXPECT_NEAR(kolmogorov_q(1.628), 0.01, 1e-3);
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.1), 1.0);
+  double prev = 1.0;
+  for (double lambda = 0.3; lambda < 3.0; lambda += 0.1) {
+    const double q = kolmogorov_q(lambda);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+  EXPECT_LT(kolmogorov_q(3.0), 1e-7);
+}
+
+TEST(KsTest, AlphaThresholdBoundary) {
+  KsTestResult r;
+  r.p_value = 0.05;
+  EXPECT_FALSE(r.significant(0.05));  // strict inequality at the boundary
+  r.p_value = std::nextafter(0.05, 0.0);
+  EXPECT_TRUE(r.significant(0.05));
+  r.p_value = 1.0;
+  EXPECT_FALSE(r.significant(1.0));
+}
+
+TEST(KsTest, DegenerateInputsNeverReject) {
+  const std::vector<double> some = {1.0, 2.0, 3.0};
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(ks_statistic(some, none), 0.0);
+  EXPECT_DOUBLE_EQ(ks_statistic(none, none), 0.0);
+  KsTestResult r = two_sample_ks_test(some, none);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(r.significant(0.5));
+  // Two single-point samples: effective size <= 1, no power, p stays 1
+  // even though the statistic is maximal.
+  r = two_sample_ks_test({1.0}, {1000.0});
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
 TEST(RngTest, Deterministic) {
   Rng a(42), b(42);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());

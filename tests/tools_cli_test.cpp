@@ -1,7 +1,9 @@
 // Process-level regression tests for the CLI exit-code contract:
 // tetra_scenario --validate and tetra_predict must report round-trip /
 // prediction failures through their exit status even when --quiet
-// suppresses every table — CI sweeps rely on the status alone.
+// suppresses every table, and tetra_sentinel must carry its drift
+// verdict in the status (0 clean / 1 drift / 2 usage / 3 runtime) — CI
+// gates rely on the status alone.
 //
 // The tests exec the real binaries from the build tree
 // (TETRA_BINARY_DIR); they skip when the tools were not built.
@@ -113,6 +115,80 @@ TEST(PredictCliTest, MissingTraceExitsNonZero) {
                         " --trace /nonexistent/trace.jsonl --quiet")
                 .exit_code,
             1);
+}
+
+TEST(SentinelCliTest, CleanWindowExitsZero) {
+  REQUIRE_TOOL("tetra_sentinel");
+  const std::string data = std::string(TETRA_TEST_DATA_DIR);
+  const CommandResult result = run_command(
+      binary("tetra_sentinel") + " --baseline " + data +
+      "/scenario_seed7_trace.jsonl --window " + data +
+      "/sentinel_seed7_clean.jsonl --quiet");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+TEST(SentinelCliTest, DriftWindowExitsOneEvenQuiet) {
+  REQUIRE_TOOL("tetra_sentinel");
+  const std::string data = std::string(TETRA_TEST_DATA_DIR);
+  const std::string base = binary("tetra_sentinel") + " --baseline " + data +
+                           "/scenario_seed7_trace.jsonl --window " + data +
+                           "/sentinel_seed7_drift.jsonl";
+  const CommandResult loud = run_command(base);
+  EXPECT_EQ(loud.exit_code, 1);
+  EXPECT_NE(loud.output.find("DRIFT"), std::string::npos) << loud.output;
+  const CommandResult quiet = run_command(base + " --quiet");
+  EXPECT_EQ(quiet.exit_code, 1);
+  EXPECT_TRUE(quiet.output.empty()) << quiet.output;
+}
+
+TEST(SentinelCliTest, JsonVerdictMatchesGolden) {
+  REQUIRE_TOOL("tetra_sentinel");
+  const std::string data = std::string(TETRA_TEST_DATA_DIR);
+  const std::string json_path = ::testing::TempDir() + "verdict.json";
+  const CommandResult result = run_command(
+      binary("tetra_sentinel") + " --baseline " + data +
+      "/scenario_seed7_trace.jsonl --window " + data +
+      "/sentinel_seed7_drift.jsonl --json " + json_path + " --quiet");
+  EXPECT_EQ(result.exit_code, 1);
+  std::ifstream produced(json_path, std::ios::binary);
+  std::ifstream golden(data + "/sentinel_seed7_verdict.json",
+                       std::ios::binary);
+  ASSERT_TRUE(produced.good());
+  ASSERT_TRUE(golden.good());
+  std::stringstream produced_text, golden_text;
+  produced_text << produced.rdbuf();
+  golden_text << golden.rdbuf();
+  EXPECT_EQ(produced_text.str(), golden_text.str());
+  std::remove(json_path.c_str());
+}
+
+TEST(SentinelCliTest, UsageErrorsExitTwo) {
+  REQUIRE_TOOL("tetra_sentinel");
+  EXPECT_EQ(run_command(binary("tetra_sentinel")).exit_code, 2);
+  EXPECT_EQ(run_command(binary("tetra_sentinel") + " --bogus").exit_code, 2);
+  EXPECT_EQ(
+      run_command(binary("tetra_sentinel") + " --baseline a.jsonl").exit_code,
+      2);
+  EXPECT_EQ(run_command(binary("tetra_sentinel") +
+                        " --baseline a.jsonl --window b.jsonl --alpha nope")
+                .exit_code,
+            2);
+}
+
+TEST(SentinelCliTest, UnreadableFilesExitThree) {
+  REQUIRE_TOOL("tetra_sentinel");
+  const std::string data = std::string(TETRA_TEST_DATA_DIR);
+  EXPECT_EQ(run_command(binary("tetra_sentinel") +
+                        " --baseline /nonexistent/base.jsonl --window " +
+                        data + "/sentinel_seed7_clean.jsonl --quiet")
+                .exit_code,
+            3);
+  EXPECT_EQ(run_command(binary("tetra_sentinel") + " --baseline " + data +
+                        "/scenario_seed7_trace.jsonl --window "
+                        "/nonexistent/window.jsonl --quiet")
+                .exit_code,
+            3);
 }
 
 TEST(PredictCliTest, WorkerSweepRuns) {

@@ -7,12 +7,21 @@
 //   tetra_scenario --seed N [--count K] [--validate]
 //                  [--cpus C] [--duration-ms D] [--interference T]
 //                  [--threads W] [--modes] [--mt | --st]
+//                  [--mutate KIND] [--run-index N]
 //                  [--json FILE] [--dot FILE]
 //                  [--trace-out FILE] [--quiet]
 //
 // --mt forces every generated node onto a multi-threaded executor with
 // callback groups; --st forces single-threaded executors everywhere
 // (the default rolls the executor dimension per node).
+//
+// --mutate KIND (drop-edge | add-edge | retime-timer | scale-exec-time |
+// reprioritize) perturbs each generated spec along that one axis before
+// running it (mutation seed = scenario seed); validation then runs
+// against the *mutant's* ground truth. --run-index N re-runs the same
+// spec with a different sampling stream (N > 0 gives a resampled run of
+// the identical application). Together they produce the sentinel's
+// labeled drift / no-drift window fixtures.
 //
 // With --validate (the main mode), exits 0 only when every scenario's
 // synthesized DAG matches its ground truth; mismatch reports go to
@@ -22,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "core/export.hpp"
@@ -37,6 +47,7 @@ void usage(const char* argv0) {
                "usage: %s --seed N [--count K] [--validate]\n"
                "          [--cpus C] [--duration-ms D] [--interference T]\n"
                "          [--threads W] [--modes] [--mt | --st]\n"
+               "          [--mutate KIND] [--run-index N]\n"
                "          [--json FILE] [--dot FILE]\n"
                "          [--trace-out FILE] [--quiet]\n",
                argv0);
@@ -59,6 +70,8 @@ int main(int argc, char** argv) {
   bool validate = false;
   bool run_modes = false;
   bool quiet = false;
+  std::optional<scenario::MutationKind> mutation;
+  std::uint64_t run_index = 0;
   std::string json_path, dot_path, trace_path;
   scenario::GeneratorOptions generator_options;
   scenario::RunnerOptions runner_options;
@@ -98,6 +111,20 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--modes") {
       run_modes = true;
+    } else if (arg == "--mutate") {
+      const std::string value = next();
+      const auto parsed = scenario::mutation_kind_from_string(value);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "error: --mutate expects drop-edge | add-edge | "
+                     "retime-timer | scale-exec-time | reprioritize, got "
+                     "'%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      mutation = parsed;
+    } else if (arg == "--run-index") {
+      run_index = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--mt") {
       generator_options.p_multithreaded = 1.0;
     } else if (arg == "--st") {
@@ -144,9 +171,28 @@ int main(int argc, char** argv) {
     for (int k = 0; k < count; ++k) {
       const std::uint64_t scenario_seed = seed + static_cast<std::uint64_t>(k);
       const scenario::Scenario scen = generator.generate(scenario_seed);
+      scenario::ScenarioSpec spec = scen.spec;
+      scenario::GroundTruth truth = scen.ground_truth;
+      if (mutation.has_value()) {
+        const scenario::MutationResult mutant =
+            generator.mutate(scen.spec, scenario_seed, *mutation);
+        if (!mutant.applied) {
+          std::fprintf(stderr, "seed %llu: mutation not applicable: %s\n",
+                       static_cast<unsigned long long>(scenario_seed),
+                       mutant.description.c_str());
+          return 1;
+        }
+        if (!quiet) {
+          std::fprintf(stderr, "seed %llu: %s\n",
+                       static_cast<unsigned long long>(scenario_seed),
+                       mutant.description.c_str());
+        }
+        spec = mutant.spec;
+        truth = scenario::build_ground_truth(spec);
+      }
 
       if (k == 0 && !json_path.empty()) {
-        write_file(json_path, scenario::spec_to_json(scen.spec));
+        write_file(json_path, scenario::spec_to_json(spec));
       }
 
       const bool validating = validate || run_modes;
@@ -157,18 +203,17 @@ int main(int argc, char** argv) {
           std::printf("seed %llu: %zu nodes, %zu callbacks, %zu vertices, "
                       "%zu edges, %zu chains\n",
                       static_cast<unsigned long long>(scenario_seed),
-                      scen.spec.nodes.size(), scen.spec.callback_count(),
-                      scen.ground_truth.dag.vertex_count(),
-                      scen.ground_truth.dag.edge_count(),
-                      scen.ground_truth.chain_count);
+                      spec.nodes.size(), spec.callback_count(),
+                      truth.dag.vertex_count(), truth.dag.edge_count(),
+                      truth.chain_count);
         }
         continue;
       }
 
       scenario::ValidationReport report;
       if (run_modes) {
-        const core::MultiModeDag modes = runner.run_modes(scen.spec);
-        report = validator.validate_dag(modes.combined(), scen.ground_truth);
+        const core::MultiModeDag modes = runner.run_modes(spec);
+        report = validator.validate_dag(modes.combined(), truth);
         if (k == 0 && !dot_path.empty()) {
           write_file(dot_path, core::to_dot(modes.combined()));
         }
@@ -178,9 +223,10 @@ int main(int argc, char** argv) {
                        "produce no single merged trace)\n");
         }
       } else {
-        const scenario::ScenarioRunResult result = runner.run(scen.spec);
+        const scenario::ScenarioRunResult result =
+            runner.run(spec, 1.0, run_index);
         if (validating) {
-          report = validator.validate(result.model, scen.ground_truth);
+          report = validator.validate(result.model, truth);
         }
         if (k == 0 && !trace_path.empty()) {
           trace::write_jsonl_file(trace_path, result.trace);
@@ -203,9 +249,8 @@ int main(int argc, char** argv) {
       } else if (!quiet) {
         std::printf("seed %llu: OK (%zu vertices, %zu edges, %zu chains)\n",
                     static_cast<unsigned long long>(scenario_seed),
-                    scen.ground_truth.dag.vertex_count(),
-                    scen.ground_truth.dag.edge_count(),
-                    scen.ground_truth.chain_count);
+                    truth.dag.vertex_count(), truth.dag.edge_count(),
+                    truth.chain_count);
       }
     }
   } catch (const std::exception& e) {

@@ -1,0 +1,181 @@
+// tetra_sentinel — model drift detection for CI-style gating.
+//
+// Holds a baseline synthesized from one or more JSONL trace files, checks
+// one or more fresh trace windows against it, and reports structured
+// drift verdicts (added/removed DAG structure, execution-time
+// distribution shifts, timer period shifts, chain-latency envelope and
+// deadline violations).
+//
+//   tetra_sentinel --baseline FILE [--baseline FILE ...]
+//                  --window FILE [--window FILE ...]
+//                  [--alpha A] [--min-samples N]
+//                  [--period-tol F] [--latency-tol F]
+//                  [--deadline 'TOPICS=MS'] [--json FILE] [--quiet]
+//
+// Each --window is checked independently, in order. --json writes the
+// verdict JSON (the verdict object for one window, an array for several).
+// --deadline attaches a latency deadline to the chain whose plain topic
+// path (joined with " -> ") equals TOPICS, e.g. --deadline '/tp0 ->
+// /tp2=12.5'.
+//
+// Exit status: 0 = no drift in any window, 1 = drift detected, 2 = usage
+// error, 3 = runtime error (unreadable file, synthesis failure).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sentinel/sentinel.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline FILE [--baseline FILE ...]\n"
+               "          --window FILE [--window FILE ...]\n"
+               "          [--alpha A] [--min-samples N]\n"
+               "          [--period-tol F] [--latency-tol F]\n"
+               "          [--deadline 'TOPICS=MS'] [--json FILE] [--quiet]\n",
+               argv0);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f << content;
+}
+
+double parse_positive_double(const char* argv0, const std::string& flag,
+                             const std::string& value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || parsed <= 0.0) {
+    std::fprintf(stderr, "error: %s expects a positive number, got '%s'\n",
+                 flag.c_str(), value.c_str());
+    usage(argv0);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tetra;
+
+  std::vector<std::string> baseline_files;
+  std::vector<std::string> window_files;
+  std::string json_path;
+  bool quiet = false;
+  sentinel::SentinelOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_files.push_back(next());
+    } else if (arg == "--window") {
+      window_files.push_back(next());
+    } else if (arg == "--alpha") {
+      options.alpha = parse_positive_double(argv[0], arg, next());
+    } else if (arg == "--min-samples") {
+      options.min_samples =
+          static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--period-tol") {
+      options.period_tolerance = parse_positive_double(argv[0], arg, next());
+    } else if (arg == "--latency-tol") {
+      options.latency_tolerance = parse_positive_double(argv[0], arg, next());
+    } else if (arg == "--deadline") {
+      const std::string value = next();
+      const auto eq = value.rfind('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= value.size()) {
+        std::fprintf(stderr,
+                     "error: --deadline expects 'TOPICS=MS', got '%s'\n",
+                     value.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+      const double ms =
+          parse_positive_double(argv[0], arg, value.substr(eq + 1));
+      options.chain_deadlines[value.substr(0, eq)] = Duration::ms_f(ms);
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (baseline_files.empty() || window_files.empty()) {
+    std::fprintf(stderr,
+                 "error: at least one --baseline and one --window are "
+                 "required\n");
+    usage(argv[0]);
+    return 2;
+  }
+
+  sentinel::ModelSentinel sentinel(options);
+  for (const auto& path : baseline_files) {
+    const auto segment = sentinel.ingest_baseline_file(path);
+    if (!segment.ok()) {
+      std::fprintf(stderr, "error: %s\n", segment.error().to_string().c_str());
+      return 3;
+    }
+  }
+
+  bool any_drift = false;
+  std::vector<std::string> verdict_jsons;
+  for (const auto& path : window_files) {
+    const auto verdict = sentinel.check_file(path);
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "error: %s\n", verdict.error().to_string().c_str());
+      return 3;
+    }
+    any_drift = any_drift || verdict->drifted;
+    verdict_jsons.push_back(sentinel::verdict_to_json(*verdict));
+    if (!quiet) {
+      std::printf("%s: %s (%zu findings, %zu checks)\n", path.c_str(),
+                  verdict->drifted ? "DRIFT" : "clean",
+                  verdict->findings.size(), verdict->checks);
+      for (const auto& finding : verdict->findings) {
+        std::printf("  [%s] %s: %s\n",
+                    std::string(to_string(finding.kind)).c_str(),
+                    finding.subject.c_str(), finding.detail.c_str());
+      }
+    }
+  }
+
+  if (!json_path.empty()) {
+    try {
+      if (verdict_jsons.size() == 1) {
+        write_file(json_path, verdict_jsons.front() + "\n");
+      } else {
+        std::string out = "[";
+        for (std::size_t i = 0; i < verdict_jsons.size(); ++i) {
+          if (i > 0) out += ",";
+          out += verdict_jsons[i];
+        }
+        out += "]\n";
+        write_file(json_path, out);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 3;
+    }
+  }
+
+  // The exit status carries the verdict regardless of --quiet.
+  return any_drift ? 1 : 0;
+}
