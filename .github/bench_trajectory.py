@@ -3,7 +3,8 @@
 
 Usage: bench_trajectory.py PREV_DIR CURRENT_DIR
 
-Reads BENCH_synthesis.json / BENCH_predict.json from both directories and
+Reads the BENCH_*.json snapshots (synthesis, predict, ingest) from both
+directories and
 prints a GitHub-flavored-markdown table of metric deltas (previous run ->
 this run). Missing files degrade gracefully: the table only covers what
 both snapshots have. Informational only — the caller must not gate on it.
@@ -12,10 +13,10 @@ import json
 import os
 import sys
 
-BENCHES = ("BENCH_synthesis.json", "BENCH_predict.json")
+BENCHES = ("BENCH_synthesis.json", "BENCH_predict.json", "BENCH_ingest.json")
 # Keys that describe the configuration, not performance.
 SKIP = {"bench", "seed", "traces", "threads", "hardware_threads", "what_ifs",
-        "duration_s", "horizon_s"}
+        "duration_s", "horizon_s", "robots", "shards"}
 
 
 def flatten(prefix, value, out):

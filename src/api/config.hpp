@@ -60,6 +60,15 @@ class SynthesisConfig {
     core_.extract.compute_waiting_times = on;
     return *this;
   }
+  /// Incremental per-trace re-synthesis under MergeDags: each trace keeps
+  /// an appendable index plus per-node dependency sets, so a model query
+  /// after new segments re-extracts only the nodes those segments touched
+  /// (instead of the trace's full history). Produces byte-identical models
+  /// to full re-synthesis. Ignored under MergeTraces.
+  SynthesisConfig& incremental(bool on) {
+    incremental_ = on;
+    return *this;
+  }
   /// Full passthrough for callers that already hold core options.
   SynthesisConfig& core_options(const core::SynthesisOptions& options) {
     core_ = options;
@@ -70,12 +79,14 @@ class SynthesisConfig {
   MergeStrategy merge_strategy() const { return merge_strategy_; }
   int threads() const { return threads_; }
   const std::string& default_mode() const { return default_mode_; }
+  bool incremental() const { return incremental_; }
   const core::SynthesisOptions& core_options() const { return core_; }
 
  private:
   MergeStrategy merge_strategy_ = MergeStrategy::MergeDags;
   int threads_ = 1;
   std::string default_mode_ = "nominal";
+  bool incremental_ = false;
   core::SynthesisOptions core_;
 };
 

@@ -10,6 +10,7 @@
 #include "core/extract.hpp"
 #include "trace/event_view.hpp"
 #include "trace/serialize.hpp"
+#include "trace/ttb.hpp"
 
 namespace tetra::api {
 
@@ -71,9 +72,19 @@ Result<SegmentInfo> SynthesisSession::ingest(trace::EventVector events,
   if (!info.arrived_sorted) trace::sort_by_time(events);
 
   event_count_ += events.size();
-  segment_locator_.push_back(
-      {trace_index_.at(trace.id), trace.segments.size()});
-  trace.segments.push_back(std::move(events));
+  if (use_incremental()) {
+    // Events go straight into the trace's appendable index; no per-segment
+    // copy is retained.
+    if (!trace.inc) {
+      trace.inc = std::make_unique<core::IncrementalSynthesizer>(
+          config_.core_options());
+    }
+    trace.inc->append(events);
+  } else {
+    segment_locator_.push_back(
+        {trace_index_.at(trace.id), trace.segments.size()});
+    trace.segments.push_back(std::move(events));
+  }
   trace.dirty = true;
   merged_dirty_ = true;
   segments_.push_back(info);
@@ -84,7 +95,8 @@ Result<SegmentInfo> SynthesisSession::ingest_file(const std::string& path,
                                                   const IngestOptions& options) {
   trace::EventVector events;
   try {
-    events = trace::read_jsonl_file(path);
+    events = trace::is_ttb_file(path) ? trace::TtbReader(path).materialize()
+                                      : trace::read_jsonl_file(path);
   } catch (const std::exception& e) {
     return make_error(ErrorCode::Io, e.what(), path);
   }
@@ -131,11 +143,15 @@ Result<std::vector<SegmentInfo>> SynthesisSession::ingest_database(
 
 void SynthesisSession::synthesize_trace(TraceState& trace,
                                         const core::SynthesisOptions& options) {
-  std::vector<const trace::EventVector*> parts;
-  parts.reserve(trace.segments.size());
-  for (const auto& segment : trace.segments) parts.push_back(&segment);
-
-  core::TraceIndex index(trace::SortedEventView::merged(parts));
+  if (trace.inc) {
+    trace.model = trace.inc->model();
+    trace.dirty = false;
+    return;
+  }
+  // Appending the segments in ingestion order reproduces the k-way merged
+  // chronological stream (the index keeps (time, arrival) order).
+  core::TraceIndex index;
+  for (const auto& segment : trace.segments) index.append(segment);
   core::TimingModel model;
   model.node_callbacks = core::extract_all_nodes(index, options.extract);
   // Multi-threaded executors yield one per-worker list each; unify them
@@ -205,15 +221,14 @@ Result<core::TimingModel> SynthesisSession::model() {
 
   if (config_.merge_strategy() == MergeStrategy::MergeTraces) {
     if (merged_dirty_) {
-      // Global single-pass k-way merge over every segment, in ingestion
-      // order (ties keep earlier-ingested segments first).
-      std::vector<const trace::EventVector*> parts;
-      parts.reserve(segment_locator_.size());
-      for (const auto& [trace_idx, seg_idx] : segment_locator_) {
-        parts.push_back(&traces_[trace_idx].segments[seg_idx]);
-      }
+      // Global merge over every segment, in ingestion order (ties keep
+      // earlier-ingested segments first — the index's (time, arrival)
+      // invariant).
       try {
-        core::TraceIndex index(trace::SortedEventView::merged(parts));
+        core::TraceIndex index;
+        for (const auto& [trace_idx, seg_idx] : segment_locator_) {
+          index.append(traces_[trace_idx].segments[seg_idx]);
+        }
         core::TimingModel model;
         model.node_callbacks =
             core::extract_all_nodes(index, config_.core_options().extract);
@@ -301,6 +316,7 @@ Result<trace::EventVector> SynthesisSession::merged_events(
     return make_error(ErrorCode::InvalidArgument,
                       "trace events were released", trace_id);
   }
+  if (trace.inc) return trace.inc->merged_events();
   std::vector<const trace::EventVector*> parts;
   parts.reserve(trace.segments.size());
   for (const auto& segment : trace.segments) parts.push_back(&segment);
@@ -328,9 +344,14 @@ Result<std::size_t> SynthesisSession::release_events(
     }
   }
   std::size_t freed = 0;
-  for (const auto& segment : trace.segments) freed += segment.size();
-  trace.segments.clear();
-  trace.segments.shrink_to_fit();
+  if (trace.inc) {
+    freed = trace.inc->event_count();
+    trace.inc.reset();
+  } else {
+    for (const auto& segment : trace.segments) freed += segment.size();
+    trace.segments.clear();
+    trace.segments.shrink_to_fit();
+  }
   trace.sealed = true;
   return freed;
 }

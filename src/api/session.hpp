@@ -22,11 +22,13 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/config.hpp"
 #include "api/result.hpp"
+#include "core/incremental.hpp"
 #include "core/model_synthesis.hpp"
 #include "predict/model_simulator.hpp"
 #include "trace/database.hpp"
@@ -56,8 +58,9 @@ class SynthesisSession {
   Result<SegmentInfo> ingest(trace::EventVector events,
                              const IngestOptions& options = {});
 
-  /// Reads a JSONL trace file and ingests it. The default trace id is the
-  /// path itself.
+  /// Reads a trace file and ingests it — .ttb traces are detected by magic
+  /// and decoded from the binary columns, everything else parses as JSONL.
+  /// The default trace id is the path itself.
   Result<SegmentInfo> ingest_file(const std::string& path,
                                   const IngestOptions& options = {});
 
@@ -124,12 +127,19 @@ class SynthesisSession {
     std::string id;
     std::string mode;
     std::vector<trace::EventVector> segments;  ///< each time-sorted
+    /// Set under config.incremental(): owns the appendable index and the
+    /// per-node dependency cache; `segments` stays empty then.
+    std::unique_ptr<core::IncrementalSynthesizer> inc;
     core::TimingModel model;                   ///< cache, valid when !dirty
     bool dirty = true;
     bool sealed = false;  ///< events released; model cached, no re-ingest
   };
 
   TraceState& trace_for(const IngestOptions& options);
+  bool use_incremental() const {
+    return config_.incremental() &&
+           config_.merge_strategy() == MergeStrategy::MergeDags;
+  }
   /// Synthesizes every dirty trace (worker pool when threads > 1).
   /// Returns an error naming the first failing trace, if any.
   Error synthesize_dirty();

@@ -58,6 +58,57 @@ void ExecTimeCalculator::index_event(const trace::TraceEvent& event) {
   }
 }
 
+void ExecTimeCalculator::append_columns(const trace::ColumnsView& v,
+                                        std::size_t from) {
+  // First-touch old sizes, so each per-PID list can be re-merged once.
+  std::map<Pid, std::size_t> switch_sizes;
+  std::map<Pid, std::size_t> wakeup_sizes;
+  for (std::size_t i = from; i < v.count; ++i) {
+    const auto type = static_cast<trace::EventType>(v.type[i]);
+    if (type == trace::EventType::SchedSwitch) {
+      const TimePoint t{v.time[i]};
+      const Pid prev = static_cast<Pid>(v.sched_prev_pid(i));
+      const Pid next = static_cast<Pid>(v.sched_next_pid(i));
+      if (prev != kIdlePid) {
+        auto& list = switches_[prev];
+        switch_sizes.emplace(prev, list.size());
+        list.push_back(Switch{
+            t, false,
+            static_cast<trace::ThreadRunState>(static_cast<char>(v.aux[i]))});
+      }
+      if (next != kIdlePid) {
+        auto& list = switches_[next];
+        switch_sizes.emplace(next, list.size());
+        list.push_back(Switch{t, true, trace::ThreadRunState::Runnable});
+      }
+    } else if (type == trace::EventType::SchedWakeup) {
+      const Pid pid = static_cast<Pid>(v.wakeup_pid(i));
+      auto& list = wakeups_[pid];
+      wakeup_sizes.emplace(pid, list.size());
+      list.push_back(TimePoint{v.time[i]});
+    }
+  }
+  // A stable merge keeps older entries first on time ties — identical to
+  // the stable_sort a full rebuild applies over the merged event order.
+  for (const auto& [pid, old_size] : switch_sizes) {
+    auto& list = switches_[pid];
+    if (old_size == 0 || old_size == list.size()) continue;
+    if (!(list[old_size].time < list[old_size - 1].time)) continue;
+    std::inplace_merge(
+        list.begin(), list.begin() + static_cast<std::ptrdiff_t>(old_size),
+        list.end(),
+        [](const Switch& a, const Switch& b) { return a.time < b.time; });
+  }
+  for (const auto& [pid, old_size] : wakeup_sizes) {
+    auto& list = wakeups_[pid];
+    if (old_size == 0 || old_size == list.size()) continue;
+    if (!(list[old_size] < list[old_size - 1])) continue;
+    std::inplace_merge(
+        list.begin(), list.begin() + static_cast<std::ptrdiff_t>(old_size),
+        list.end());
+  }
+}
+
 void ExecTimeCalculator::finalize_indices() {
   for (auto& [pid, list] : switches_) {
     std::stable_sort(list.begin(), list.end(),

@@ -18,6 +18,7 @@
 #include "support/ids.hpp"
 #include "support/time.hpp"
 #include "trace/event.hpp"
+#include "trace/event_columns.hpp"
 #include "trace/event_view.hpp"
 
 namespace tetra::core {
@@ -31,12 +32,21 @@ Duration exec_time_naive(TimePoint start, TimePoint end, Pid pid,
 /// (paper §VII).
 class ExecTimeCalculator {
  public:
+  /// Empty calculator; grow it with append_columns.
+  ExecTimeCalculator() = default;
+
   /// Builds per-PID indices from any event stream (non-sched events are
   /// ignored). Events need not be sorted.
   explicit ExecTimeCalculator(const trace::EventVector& events);
 
   /// Same, over a sorted view (no intermediate event copy).
   explicit ExecTimeCalculator(const trace::SortedEventView& view);
+
+  /// Indexes the sched events of columnar rows [from, view.count). Rows of
+  /// one batch must be time-sorted; per-PID lists stay sorted by (time,
+  /// append order), matching what a full rebuild over the merged trace
+  /// would produce.
+  void append_columns(const trace::ColumnsView& view, std::size_t from);
 
   /// Execution time of the window [start, end] for the thread `pid`:
   /// the sum of its on-CPU segments inside the window. The thread is

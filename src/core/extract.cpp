@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <set>
+#include <stdexcept>
 
 #include "support/string_utils.hpp"
 
@@ -12,14 +12,35 @@ const std::vector<std::size_t> TraceIndex::kEmpty{};
 
 namespace {
 
-bool is_ros2_event(const trace::TraceEvent& event) {
-  switch (event.type) {
+bool is_ros2_type(trace::EventType type) {
+  switch (type) {
     case trace::EventType::SchedSwitch:
     case trace::EventType::SchedWakeup:
       return false;
     default:
       return true;
   }
+}
+
+bool is_time_sorted(const std::int64_t* time, std::size_t count) {
+  for (std::size_t i = 1; i < count; ++i) {
+    if (time[i] < time[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Restores (time, seq) order after pushing a batch whose entries are
+/// themselves (time, seq)-sorted: one stable in-place merge, skipped when
+/// the batch already belongs at the tail (the overwhelmingly common case).
+void merge_tail(std::vector<std::size_t>& list, std::size_t old_size,
+                const trace::ColumnsView& v) {
+  if (old_size == 0 || old_size == list.size()) return;
+  const auto chrono_less = [&v](std::size_t a, std::size_t b) {
+    return v.time[a] < v.time[b] || (v.time[a] == v.time[b] && a < b);
+  };
+  if (!chrono_less(list[old_size], list[old_size - 1])) return;
+  std::inplace_merge(list.begin(), list.begin() + old_size, list.end(),
+                     chrono_less);
 }
 
 }  // namespace
@@ -35,30 +56,134 @@ bool is_service_reply_topic(const std::string& topic) {
   return ends_with(topic, ros2_reply_suffix());
 }
 
-TraceIndex::TraceIndex(const trace::EventVector& events)
-    : TraceIndex(trace::SortedEventView::over(events)) {}
+TraceIndex::TraceIndex(const trace::EventVector& events) {
+  const bool sorted = std::is_sorted(
+      events.begin(), events.end(),
+      [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
+        return a.time < b.time;
+      });
+  if (sorted) {
+    columns_.append(events);
+  } else {
+    trace::EventVector copy = events;
+    trace::sort_by_time(copy);
+    columns_.append(copy);
+  }
+  index_rows(0);
+}
 
-TraceIndex::TraceIndex(trace::SortedEventView view)
-    : view_(std::move(view)), exec_calc_(view_) {
-  for (std::size_t i = 0; i < view_.size(); ++i) {
-    const auto& event = view_[i];
-    if (event.type == trace::EventType::RmwCreateNode) {
-      nodes_[event.pid] = event.as<trace::NodeInfo>().node_name;
+AppendDelta TraceIndex::append(const trace::EventVector& sorted_segment) {
+  const bool sorted = std::is_sorted(
+      sorted_segment.begin(), sorted_segment.end(),
+      [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
+        return a.time < b.time;
+      });
+  if (!sorted) {
+    throw std::invalid_argument("TraceIndex::append requires a time-sorted "
+                                "segment");
+  }
+  const std::size_t base = columns_.size();
+  columns_.append(sorted_segment);
+  return index_rows(base);
+}
+
+AppendDelta TraceIndex::append(const trace::ColumnsView& view) {
+  if (!is_time_sorted(view.time, view.count)) {
+    throw std::invalid_argument("TraceIndex::append requires a time-sorted "
+                                "segment");
+  }
+  const std::size_t base = columns_.size();
+  columns_.append(view);
+  return index_rows(base);
+}
+
+AppendDelta TraceIndex::index_rows(std::size_t base) {
+  AppendDelta delta;
+  const trace::ColumnsView v = columns_.view();
+  // Old sizes of every per-pid / per-key list touched by this batch, so
+  // (time, seq) order can be restored with one merge each.
+  std::map<Pid, std::size_t> ros_sizes;
+  std::map<Pid, std::size_t> p14_sizes;
+  std::map<TopicTsKey, std::size_t> response_sizes;
+
+  for (std::size_t i = base; i < v.count; ++i) {
+    const auto type = static_cast<trace::EventType>(v.type[i]);
+    if (type == trace::EventType::SchedSwitch) {
+      const Pid prev = static_cast<Pid>(v.sched_prev_pid(i));
+      const Pid next = static_cast<Pid>(v.sched_next_pid(i));
+      if (prev != kIdlePid) delta.sched_pids.insert(prev);
+      if (next != kIdlePid) delta.sched_pids.insert(next);
+      continue;
     }
-    if (is_ros2_event(event)) {
-      ros_by_pid_[event.pid].push_back(i);
+    if (type == trace::EventType::SchedWakeup) {
+      delta.sched_pids.insert(static_cast<Pid>(v.wakeup_pid(i)));
+      continue;
     }
-    if (event.type == trace::EventType::DdsWrite) {
-      const auto& info = event.as<trace::DdsWriteInfo>();
-      writes_.emplace(TopicTsKey{info.topic, info.src_ts.count_ns()}, i);
-    } else if (event.type == trace::EventType::Take) {
-      const auto& info = event.as<trace::TakeInfo>();
-      if (info.kind == trace::TakeKind::Response) {
-        take_responses_[TopicTsKey{info.topic, info.src_ts.count_ns()}]
-            .push_back(i);
+
+    const Pid pid = static_cast<Pid>(v.pid[i]);
+    delta.ros_pids.insert(pid);
+    auto& ros = ros_by_pid_[pid];
+    ros_sizes.emplace(pid, ros.size());
+    ros.push_back(i);
+
+    switch (type) {
+      case trace::EventType::RmwCreateNode: {
+        const auto key = std::make_pair(v.time[i], i);
+        auto [it, inserted] = node_event_.emplace(pid, key);
+        // Last event in merged order names the node: the newcomer (larger
+        // seq) wins unless it is chronologically earlier.
+        if (inserted || key.first >= it->second.first) {
+          it->second = key;
+          nodes_[pid] = std::string(v.str(v.arg_c[i]));
+        }
+        break;
       }
+      case trace::EventType::DdsWrite: {
+        TopicTsKey key{std::string(v.str(v.arg_c[i])), v.arg_b[i]};
+        auto [it, inserted] = writes_.emplace(key, i);
+        // First event in merged order is canonical: replace only when the
+        // newcomer is strictly earlier.
+        if (!inserted && v.time[i] < v.time[it->second]) it->second = i;
+        delta.write_keys.insert(std::move(key));
+        break;
+      }
+      case trace::EventType::Take: {
+        if (static_cast<trace::TakeKind>(v.aux[i]) ==
+            trace::TakeKind::Response) {
+          TopicTsKey key{std::string(v.str(v.arg_c[i])), v.arg_b[i]};
+          auto& list = take_responses_[key];
+          response_sizes.emplace(key, list.size());
+          list.push_back(i);
+          delta.response_keys.insert(std::move(key));
+        }
+        break;
+      }
+      case trace::EventType::TakeTypeErased: {
+        auto& list = p14_by_pid_[pid];
+        p14_sizes.emplace(pid, list.size());
+        list.push_back(i);
+        break;
+      }
+      default:
+        break;
     }
   }
+
+  for (const auto& [pid, old_size] : ros_sizes) {
+    merge_tail(ros_by_pid_[pid], old_size, v);
+  }
+  for (const auto& [pid, old_size] : p14_sizes) {
+    merge_tail(p14_by_pid_[pid], old_size, v);
+  }
+  for (const auto& [key, old_size] : response_sizes) {
+    merge_tail(take_responses_[key], old_size, v);
+  }
+  exec_calc_.append_columns(v, base);
+  return delta;
+}
+
+trace::TraceEvent TraceIndex::event_at(std::size_t seq) const {
+  return trace::materialize_event(columns_.view(), seq);
 }
 
 const std::vector<std::size_t>& TraceIndex::ros_events_of(Pid pid) const {
@@ -66,78 +191,84 @@ const std::vector<std::size_t>& TraceIndex::ros_events_of(Pid pid) const {
   return it == ros_by_pid_.end() ? kEmpty : it->second;
 }
 
-const trace::TraceEvent* TraceIndex::find_write(const std::string& topic,
-                                                TimePoint src_ts) const {
+std::size_t TraceIndex::find_write(const std::string& topic,
+                                   TimePoint src_ts) const {
   auto it = writes_.find(TopicTsKey{topic, src_ts.count_ns()});
-  return it == writes_.end() ? nullptr : &view_[it->second];
+  return it == writes_.end() ? npos : it->second;
 }
 
-std::vector<std::size_t> TraceIndex::find_take_responses(
+const std::vector<std::size_t>& TraceIndex::find_take_responses(
     const std::string& topic, TimePoint src_ts) const {
   auto it = take_responses_.find(TopicTsKey{topic, src_ts.count_ns()});
-  return it == take_responses_.end() ? std::vector<std::size_t>{} : it->second;
+  return it == take_responses_.end() ? kEmpty : it->second;
 }
 
-const trace::TraceEvent* TraceIndex::next_take_type_erased(
-    Pid pid, std::size_t from) const {
-  for (std::size_t i = from; i < view_.size(); ++i) {
-    const auto& event = view_[i];
-    if (event.pid == pid && event.type == trace::EventType::TakeTypeErased) {
-      return &event;
-    }
-  }
-  return nullptr;
+std::size_t TraceIndex::next_take_type_erased_after(Pid pid,
+                                                    std::size_t after) const {
+  auto it = p14_by_pid_.find(pid);
+  if (it == p14_by_pid_.end()) return npos;
+  const trace::ColumnsView v = columns_.view();
+  const auto key = std::make_pair(v.time[after], after);
+  auto pos = std::upper_bound(
+      it->second.begin(), it->second.end(), key,
+      [&v](const std::pair<std::int64_t, std::size_t>& k, std::size_t seq) {
+        return k < std::make_pair(v.time[seq], seq);
+      });
+  return pos == it->second.end() ? npos : *pos;
 }
 
-CallbackId find_caller(const TraceIndex& index,
-                       const trace::TraceEvent& take_request) {
+CallbackId find_caller(const TraceIndex& index, std::size_t take_seq,
+                       ExtractDeps* deps) {
   // Step 1: the dds_write with the same topic and source timestamp as the
   // take identifies the writing process and the write instant.
-  const auto& take_info = take_request.as<trace::TakeInfo>();
-  const trace::TraceEvent* write =
-      index.find_write(take_info.topic, take_info.src_ts);
-  if (write == nullptr) return kInvalidCallbackId;
-  const Pid writer_pid = write->pid;
-  const TimePoint write_time = write->time;
+  const trace::ColumnsView v = index.view();
+  const std::string topic(v.str(v.arg_c[take_seq]));
+  const std::int64_t src_ts = v.arg_b[take_seq];
+  if (deps != nullptr) deps->write_keys.insert(TopicTsKey{topic, src_ts});
+  const std::size_t write_seq = index.find_write(topic, TimePoint{src_ts});
+  if (write_seq == TraceIndex::npos) return kInvalidCallbackId;
+  const Pid writer_pid = static_cast<Pid>(v.pid[write_seq]);
+  const std::int64_t write_time = v.time[write_seq];
+  if (deps != nullptr) deps->pids.insert(writer_pid);
 
   // Step 2: in the writer's event stream, the timer_call or take event
   // that chronologically precedes the write and follows the last CB start
   // identifies the caller callback.
-  const auto& writer_events = index.ros_events_of(writer_pid);
   CallbackId caller = kInvalidCallbackId;
-  for (std::size_t idx : writer_events) {
-    const auto& event = index.events()[idx];
-    if (event.time > write_time) break;
-    switch (event.type) {
+  for (std::size_t seq : index.ros_events_of(writer_pid)) {
+    if (v.time[seq] > write_time) break;
+    switch (static_cast<trace::EventType>(v.type[seq])) {
       case trace::EventType::CallbackStart:
         caller = kInvalidCallbackId;  // a new CB instance began
         break;
       case trace::EventType::TimerCall:
-        caller = event.as<trace::TimerCallInfo>().callback_id;
-        break;
       case trace::EventType::Take:
-        caller = event.as<trace::TakeInfo>().callback_id;
+        caller = static_cast<CallbackId>(v.arg_a[seq]);
         break;
       default:
         break;
     }
-    if (&event == write) break;
+    if (seq == write_seq) break;
   }
   return caller;
 }
 
-CallbackId find_client(const TraceIndex& index, std::size_t write_event_index) {
-  const auto& write = index.events()[write_event_index];
-  const auto& info = write.as<trace::DdsWriteInfo>();
+CallbackId find_client(const TraceIndex& index, std::size_t write_seq,
+                       ExtractDeps* deps) {
+  const trace::ColumnsView v = index.view();
+  const std::string topic(v.str(v.arg_c[write_seq]));
+  const std::int64_t src_ts = v.arg_b[write_seq];
+  if (deps != nullptr) deps->response_keys.insert(TopicTsKey{topic, src_ts});
   // All take_response events for this response — one per client node of
   // the service (ncl of them). Only the caller's P14 evaluates true.
-  for (std::size_t take_idx :
-       index.find_take_responses(info.topic, info.src_ts)) {
-    const auto& take = index.events()[take_idx];
-    const trace::TraceEvent* p14 =
-        index.next_take_type_erased(take.pid, take_idx + 1);
-    if (p14 != nullptr && p14->as<trace::TakeTypeErasedInfo>().will_dispatch) {
-      return take.as<trace::TakeInfo>().callback_id;
+  for (std::size_t take_seq :
+       index.find_take_responses(topic, TimePoint{src_ts})) {
+    const Pid take_pid = static_cast<Pid>(v.pid[take_seq]);
+    if (deps != nullptr) deps->pids.insert(take_pid);
+    const std::size_t p14 = index.next_take_type_erased_after(take_pid,
+                                                              take_seq);
+    if (p14 != TraceIndex::npos && v.aux[p14] != 0) {
+      return static_cast<CallbackId>(v.arg_a[take_seq]);
     }
   }
   return kInvalidCallbackId;
@@ -166,57 +297,62 @@ std::string id_suffix(CallbackId id) {
 }  // namespace
 
 CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
-                               const ExtractOptions& options) {
+                               const ExtractOptions& options,
+                               ExtractDeps* deps) {
+  if (deps != nullptr) {
+    *deps = ExtractDeps{};
+    deps->pids.insert(pid);
+  }
   CallbackList list;
   list.pid = pid;
   auto node_it = index.nodes().find(pid);
   list.node_name = node_it != index.nodes().end() ? node_it->second : "";
 
+  const trace::ColumnsView v = index.view();
   InFlight cb;
-  for (std::size_t idx : index.ros_events_of(pid)) {  // chronological
-    const auto& event = index.events()[idx];
-    switch (event.type) {
+  for (std::size_t seq : index.ros_events_of(pid)) {  // chronological
+    switch (static_cast<trace::EventType>(v.type[seq])) {
       case trace::EventType::CallbackStart: {  // lines 3-5
         cb.reset();
         cb.active = true;
-        cb.kind = event.as<trace::CallbackPhaseInfo>().kind;
-        cb.start = event.time;
+        cb.kind = static_cast<CallbackKind>(v.aux[seq]);
+        cb.start = TimePoint{v.time[seq]};
         break;
       }
       case trace::EventType::TimerCall: {  // lines 6-7
         if (!cb.active) break;
-        cb.id = event.as<trace::TimerCallInfo>().callback_id;
+        cb.id = static_cast<CallbackId>(v.arg_a[seq]);
         break;
       }
       case trace::EventType::Take: {  // lines 8-15
         if (!cb.active) break;
-        const auto& info = event.as<trace::TakeInfo>();
-        cb.id = info.callback_id;
-        switch (info.kind) {
+        cb.id = static_cast<CallbackId>(v.arg_a[seq]);
+        const std::string topic(v.str(v.arg_c[seq]));
+        switch (static_cast<trace::TakeKind>(v.aux[seq])) {
           case trace::TakeKind::Response:  // lines 10-11
-            cb.in_topic = annotate_topic(info.topic, id_suffix(cb.id));
+            cb.in_topic = annotate_topic(topic, id_suffix(cb.id));
             break;
           case trace::TakeKind::Request:  // lines 12-13
             cb.in_topic = annotate_topic(
-                info.topic, id_suffix(find_caller(index, event)));
+                topic, id_suffix(find_caller(index, seq, deps)));
             break;
           case trace::TakeKind::Data:  // lines 14-15
-            cb.in_topic = info.topic;
+            cb.in_topic = topic;
             break;
         }
         break;
       }
       case trace::EventType::DdsWrite: {  // lines 16-23
         if (!cb.active) break;
-        const auto& info = event.as<trace::DdsWriteInfo>();
+        const std::string topic(v.str(v.arg_c[seq]));
         std::string top_out;
-        if (is_service_request_topic(info.topic)) {  // lines 17-18
-          top_out = annotate_topic(info.topic, id_suffix(cb.id));
-        } else if (is_service_reply_topic(info.topic)) {  // lines 19-20
-          top_out =
-              annotate_topic(info.topic, id_suffix(find_client(index, idx)));
+        if (is_service_request_topic(topic)) {  // lines 17-18
+          top_out = annotate_topic(topic, id_suffix(cb.id));
+        } else if (is_service_reply_topic(topic)) {  // lines 19-20
+          top_out = annotate_topic(topic,
+                                   id_suffix(find_client(index, seq, deps)));
         } else {  // lines 21-22
-          top_out = info.topic;
+          top_out = topic;
         }
         if (std::find(cb.out_topics.begin(), cb.out_topics.end(), top_out) ==
             cb.out_topics.end()) {
@@ -225,9 +361,7 @@ CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
         break;
       }
       case trace::EventType::TakeTypeErased: {  // lines 24-25
-        if (!event.as<trace::TakeTypeErasedInfo>().will_dispatch) {
-          cb.reset();
-        }
+        if (v.aux[seq] == 0) cb.reset();
         break;
       }
       case trace::EventType::SyncOperator: {  // lines 26-27
@@ -237,7 +371,7 @@ CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
       }
       case trace::EventType::CallbackEnd: {  // lines 28-32
         if (!cb.active) break;
-        const TimePoint end = event.time;
+        const TimePoint end{v.time[seq]};
         const Duration et = index.exec_calc().exec_time(cb.start, end, pid);
 
         CallbackRecord instance;

@@ -9,14 +9,17 @@
 // later split into per-caller DAG vertices.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/callback_record.hpp"
 #include "core/exec_time.hpp"
 #include "trace/event.hpp"
-#include "trace/event_view.hpp"
+#include "trace/event_columns.hpp"
 
 namespace tetra::core {
 
@@ -34,71 +37,117 @@ const char* ros2_reply_suffix();
 bool is_service_request_topic(const std::string& topic);
 bool is_service_reply_topic(const std::string& topic);
 
+/// Lookup key of the (topic, source-timestamp) matching searches.
+using TopicTsKey = std::pair<std::string, std::int64_t>;
+
+/// Everything one per-node extraction read outside the node's own event
+/// stream. Recorded so incremental re-synthesis can invalidate exactly the
+/// nodes whose inputs a new segment touches.
+struct ExtractDeps {
+  std::set<Pid> pids;                  ///< event streams walked
+  std::set<TopicTsKey> write_keys;     ///< dds_write lookups (hit or miss)
+  std::set<TopicTsKey> response_keys;  ///< take-response lookups
+};
+
+/// What one appended segment contributed, in invalidation terms.
+struct AppendDelta {
+  std::set<Pid> ros_pids;              ///< pids with new ROS2 events
+  std::set<Pid> sched_pids;            ///< pids with new sched activity
+  std::set<TopicTsKey> write_keys;     ///< new dds_write keys
+  std::set<TopicTsKey> response_keys;  ///< new take-response keys
+};
+
 /// Pre-built indices over one trace, shared by per-node extractions and by
 /// the caller/client resolution searches.
 ///
-/// The index builds over a SortedEventView: an already-sorted EventVector
-/// is borrowed without copying (the caller keeps it alive), segmented
-/// ingestion feeds a k-way-merged owning view, and only unsorted input
-/// pays for a sorted copy.
+/// Storage is columnar (trace::EventColumns) and append-only: segments are
+/// appended in arrival order and every per-pid / per-key index keeps its
+/// entries sorted by (time, append-sequence). That order is exactly the
+/// k-way-merge order of the segments (ties resolve to the earlier-ingested
+/// segment, which always has the smaller sequence number), so an index
+/// grown by appends is indistinguishable from one built over the fully
+/// merged trace — the property incremental re-synthesis relies on.
 class TraceIndex {
  public:
-  /// Borrows `events` when already sorted; copies + sorts otherwise. The
-  /// vector must outlive the index.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  TraceIndex() = default;
+
+  /// Indexes a whole trace at once; copies + sorts when unsorted.
   explicit TraceIndex(const trace::EventVector& events);
 
-  /// Builds over a prepared view (moved in; borrowed storage must outlive
-  /// the index).
-  explicit TraceIndex(trace::SortedEventView view);
+  /// Appends one time-sorted segment (throws std::invalid_argument when
+  /// unsorted) and returns what it touched.
+  AppendDelta append(const trace::EventVector& sorted_segment);
 
-  const trace::SortedEventView& events() const { return view_; }
+  /// Same, straight from columnar storage (e.g. a mapped .ttb file).
+  AppendDelta append(const trace::ColumnsView& view);
 
-  /// Indices (into events()) of ROS2 events of `pid`, time-ordered.
+  /// Number of indexed events. Sequence numbers are [0, size()).
+  std::size_t size() const { return columns_.size(); }
+
+  /// Raw columnar view of the indexed events, in append order.
+  trace::ColumnsView view() const { return columns_.view(); }
+
+  /// Decodes one event (tests, diagnostics — not the hot path).
+  trace::TraceEvent event_at(std::size_t seq) const;
+
+  /// Sequences of ROS2 events of `pid`, chronological ((time, seq) order).
   const std::vector<std::size_t>& ros_events_of(Pid pid) const;
 
   /// Node name per PID from P1 events; empty map entry when unknown.
   const std::map<Pid, std::string>& nodes() const { return nodes_; }
 
-  /// The dds_write event matching (topic, src_ts), if any.
-  const trace::TraceEvent* find_write(const std::string& topic,
-                                      TimePoint src_ts) const;
+  /// Sequence of the dds_write matching (topic, src_ts), or npos. When
+  /// several match, the chronologically first one wins.
+  std::size_t find_write(const std::string& topic, TimePoint src_ts) const;
 
-  /// All take-response (P13) event indices matching (topic, src_ts).
-  std::vector<std::size_t> find_take_responses(const std::string& topic,
-                                               TimePoint src_ts) const;
+  /// All take-response (P13) sequences matching (topic, src_ts),
+  /// chronological.
+  const std::vector<std::size_t>& find_take_responses(const std::string& topic,
+                                                      TimePoint src_ts) const;
 
-  /// The chronologically next P14 event of `pid` at/after index `from`.
-  const trace::TraceEvent* next_take_type_erased(Pid pid,
-                                                 std::size_t from) const;
+  /// The chronologically next P14 event of `pid` strictly after sequence
+  /// `after` (in (time, seq) order), or npos.
+  std::size_t next_take_type_erased_after(Pid pid, std::size_t after) const;
 
   const ExecTimeCalculator& exec_calc() const { return exec_calc_; }
 
  private:
-  using TopicTsKey = std::pair<std::string, std::int64_t>;
+  AppendDelta index_rows(std::size_t base);
 
-  trace::SortedEventView view_;
+  trace::EventColumns columns_;
   std::map<Pid, std::vector<std::size_t>> ros_by_pid_;
   std::map<TopicTsKey, std::size_t> writes_;
   std::map<TopicTsKey, std::vector<std::size_t>> take_responses_;
+  std::map<Pid, std::vector<std::size_t>> p14_by_pid_;
+  /// (time, seq) of the P1 event currently naming each pid — appends only
+  /// replace a name when the newcomer is chronologically no earlier.
+  std::map<Pid, std::pair<std::int64_t, std::size_t>> node_event_;
   std::map<Pid, std::string> nodes_;
   ExecTimeCalculator exec_calc_;
   static const std::vector<std::size_t> kEmpty;
 };
 
 /// FindCaller (Alg. 1, line 13): resolves which callback issued the
-/// service request that a take_request event consumed. Returns
-/// kInvalidCallbackId when unresolvable.
-CallbackId find_caller(const TraceIndex& index,
-                       const trace::TraceEvent& take_request);
+/// service request that the take_request event at `take_seq` consumed.
+/// Returns kInvalidCallbackId when unresolvable. When `deps` is given,
+/// records everything the search read.
+CallbackId find_caller(const TraceIndex& index, std::size_t take_seq,
+                       ExtractDeps* deps = nullptr);
 
 /// FindClient (Alg. 1, line 20): resolves which client callback a service
 /// response dds_write is dispatched to. Returns kInvalidCallbackId when
 /// unresolvable.
-CallbackId find_client(const TraceIndex& index, std::size_t write_event_index);
+CallbackId find_client(const TraceIndex& index, std::size_t write_seq,
+                       ExtractDeps* deps = nullptr);
 
 /// Runs Algorithm 1 for one node. `pid` must be a node discovered via P1.
+/// When `deps` is given it is reset and filled with the extraction's full
+/// read set (for incremental invalidation).
 CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
-                               const ExtractOptions& options = {});
+                               const ExtractOptions& options = {},
+                               ExtractDeps* deps = nullptr);
 
 /// Convenience: extraction for every node discovered in the trace.
 std::vector<CallbackList> extract_all_nodes(const TraceIndex& index,

@@ -33,6 +33,42 @@ EventType event_type_from_string(std::string_view name) {
   throw std::invalid_argument("unknown event type: " + std::string(name));
 }
 
+EventType event_type_from_int(std::int64_t value) {
+  if (value < 0 || value > static_cast<std::int64_t>(EventType::SchedWakeup)) {
+    throw std::invalid_argument("bad event type: " + std::to_string(value));
+  }
+  return static_cast<EventType>(value);
+}
+
+TakeKind take_kind_from_int(std::int64_t value) {
+  switch (value) {
+    case 0: return TakeKind::Data;
+    case 1: return TakeKind::Request;
+    case 2: return TakeKind::Response;
+    default:
+      throw std::invalid_argument("bad take_kind: " + std::to_string(value));
+  }
+}
+
+ThreadRunState thread_run_state_from_char(char state) {
+  switch (state) {
+    case 'R': return ThreadRunState::Runnable;
+    case 'S': return ThreadRunState::Sleeping;
+    case 'D': return ThreadRunState::DiskSleep;
+    case 'X': return ThreadRunState::Dead;
+    default:
+      throw std::invalid_argument(std::string("bad prev_state: '") + state +
+                                  "' (expected R, S, D or X)");
+  }
+}
+
+CallbackKind callback_kind_from_int(std::int64_t value) {
+  if (value < 0 || value > static_cast<std::int64_t>(CallbackKind::Client)) {
+    throw std::invalid_argument("bad callback kind: " + std::to_string(value));
+  }
+  return static_cast<CallbackKind>(value);
+}
+
 TraceEvent make_node_event(TimePoint t, Pid pid, std::string node_name) {
   return TraceEvent{t, pid, ProbeId::P1_RmwCreateNode, EventType::RmwCreateNode,
                     NodeInfo{std::move(node_name)}};

@@ -104,6 +104,14 @@ struct SchedWakeupInfo {
   bool operator==(const SchedWakeupInfo&) const = default;
 };
 
+/// Validating decoders for enum-bearing fields arriving from external
+/// input (JSONL lines, .ttb records). Out-of-range values raise
+/// std::invalid_argument instead of being static_cast into garbage.
+EventType event_type_from_int(std::int64_t value);
+TakeKind take_kind_from_int(std::int64_t value);
+ThreadRunState thread_run_state_from_char(char state);
+CallbackKind callback_kind_from_int(std::int64_t value);
+
 using EventPayload =
     std::variant<NodeInfo, CallbackPhaseInfo, TimerCallInfo, TakeInfo,
                  TakeTypeErasedInfo, SyncOperatorInfo, DdsWriteInfo,

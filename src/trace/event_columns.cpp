@@ -1,0 +1,261 @@
+#include "trace/event_columns.hpp"
+
+#include <stdexcept>
+
+namespace tetra::trace {
+
+namespace {
+
+std::uint64_t pack_pid_pair(std::int32_t low, std::int32_t high) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(low)) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(high)) << 32);
+}
+
+}  // namespace
+
+std::string_view ColumnsView::str(std::uint32_t index) const {
+  if (index >= string_count) {
+    throw std::invalid_argument("string index out of range: " +
+                                std::to_string(index));
+  }
+  const std::uint32_t begin = str_offsets[index];
+  const std::uint32_t end = str_offsets[index + 1];
+  return std::string_view(blob + begin, end - begin);
+}
+
+EventColumns::EventColumns() {
+  str_offsets_ = {0, 0};  // index 0 is the empty string
+  intern_.emplace(std::string(), 0);
+}
+
+std::uint32_t EventColumns::intern(std::string_view s) {
+  auto it = intern_.find(s);
+  if (it != intern_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(str_offsets_.size() - 1);
+  blob_.append(s);
+  str_offsets_.push_back(static_cast<std::uint32_t>(blob_.size()));
+  intern_.emplace(std::string(s), index);
+  return index;
+}
+
+void EventColumns::reserve(std::size_t additional_events) {
+  const std::size_t target = time_.size() + additional_events;
+  time_.reserve(target);
+  arg_a_.reserve(target);
+  arg_b_.reserve(target);
+  pid_.reserve(target);
+  arg_c_.reserve(target);
+  probe_.reserve(target);
+  type_.reserve(target);
+  aux_.reserve(target);
+}
+
+void EventColumns::append(const TraceEvent& e) {
+  std::uint64_t arg_a = 0;
+  std::int64_t arg_b = 0;
+  std::uint32_t arg_c = 0;
+  std::uint8_t aux = 0;
+  switch (e.type) {
+    case EventType::RmwCreateNode:
+      arg_c = intern(e.as<NodeInfo>().node_name);
+      break;
+    case EventType::CallbackStart:
+    case EventType::CallbackEnd:
+      aux = static_cast<std::uint8_t>(e.as<CallbackPhaseInfo>().kind);
+      break;
+    case EventType::TimerCall:
+      arg_a = static_cast<std::uint64_t>(e.as<TimerCallInfo>().callback_id);
+      break;
+    case EventType::Take: {
+      const auto& info = e.as<TakeInfo>();
+      aux = static_cast<std::uint8_t>(info.kind);
+      arg_a = static_cast<std::uint64_t>(info.callback_id);
+      arg_b = info.src_ts.count_ns();
+      arg_c = intern(info.topic);
+      break;
+    }
+    case EventType::TakeTypeErased:
+      aux = e.as<TakeTypeErasedInfo>().will_dispatch ? 1 : 0;
+      break;
+    case EventType::SyncOperator:
+      arg_a = static_cast<std::uint64_t>(e.as<SyncOperatorInfo>().callback_id);
+      break;
+    case EventType::DdsWrite: {
+      const auto& info = e.as<DdsWriteInfo>();
+      arg_b = info.src_ts.count_ns();
+      arg_c = intern(info.topic);
+      break;
+    }
+    case EventType::SchedSwitch: {
+      const auto& info = e.as<SchedSwitchInfo>();
+      aux = static_cast<std::uint8_t>(static_cast<char>(info.prev_state));
+      arg_a = pack_pid_pair(info.prev_pid, info.next_pid);
+      arg_b = static_cast<std::int64_t>(
+          pack_pid_pair(info.cpu, info.prev_prio));
+      arg_c = static_cast<std::uint32_t>(info.next_prio);
+      break;
+    }
+    case EventType::SchedWakeup: {
+      const auto& info = e.as<SchedWakeupInfo>();
+      arg_a = pack_pid_pair(info.woken_pid, info.target_cpu);
+      break;
+    }
+  }
+  time_.push_back(e.time.count_ns());
+  arg_a_.push_back(arg_a);
+  arg_b_.push_back(arg_b);
+  pid_.push_back(static_cast<std::int32_t>(e.pid));
+  arg_c_.push_back(arg_c);
+  probe_.push_back(static_cast<std::uint8_t>(e.probe));
+  type_.push_back(static_cast<std::uint8_t>(e.type));
+  aux_.push_back(aux);
+}
+
+void EventColumns::append(const EventVector& events) {
+  reserve(events.size());
+  for (const auto& e : events) append(e);
+}
+
+void EventColumns::append(const ColumnsView& v) {
+  const std::size_t base = size();
+  time_.insert(time_.end(), v.time, v.time + v.count);
+  arg_a_.insert(arg_a_.end(), v.arg_a, v.arg_a + v.count);
+  arg_b_.insert(arg_b_.end(), v.arg_b, v.arg_b + v.count);
+  pid_.insert(pid_.end(), v.pid, v.pid + v.count);
+  arg_c_.insert(arg_c_.end(), v.arg_c, v.arg_c + v.count);
+  probe_.insert(probe_.end(), v.probe, v.probe + v.count);
+  type_.insert(type_.end(), v.type, v.type + v.count);
+  aux_.insert(aux_.end(), v.aux, v.aux + v.count);
+  // String-bearing rows index the source view's table; rewrite them to
+  // indices in our own.
+  for (std::size_t i = 0; i < v.count; ++i) {
+    switch (static_cast<EventType>(v.type[i])) {
+      case EventType::RmwCreateNode:
+      case EventType::Take:
+      case EventType::DdsWrite:
+        arg_c_[base + i] = intern(v.str(v.arg_c[i]));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+ColumnsView EventColumns::view() const {
+  ColumnsView v;
+  v.time = time_.data();
+  v.arg_a = arg_a_.data();
+  v.arg_b = arg_b_.data();
+  v.pid = pid_.data();
+  v.arg_c = arg_c_.data();
+  v.probe = probe_.data();
+  v.type = type_.data();
+  v.aux = aux_.data();
+  v.count = time_.size();
+  v.str_offsets = str_offsets_.data();
+  v.string_count = str_offsets_.size() - 1;
+  v.blob = blob_.data();
+  v.blob_size = blob_.size();
+  return v;
+}
+
+TraceEvent materialize_event(const ColumnsView& v, std::size_t i) {
+  if (i >= v.count) {
+    throw std::out_of_range("event row out of range: " + std::to_string(i));
+  }
+  TraceEvent e;
+  e.time = TimePoint{v.time[i]};
+  e.pid = static_cast<Pid>(v.pid[i]);
+  e.probe = probe_id_from_int(v.probe[i]);
+  e.type = event_type_from_int(v.type[i]);
+  switch (e.type) {
+    case EventType::RmwCreateNode:
+      e.payload = NodeInfo{std::string(v.str(v.arg_c[i]))};
+      break;
+    case EventType::CallbackStart:
+    case EventType::CallbackEnd:
+      e.payload = CallbackPhaseInfo{callback_kind_from_int(v.aux[i])};
+      break;
+    case EventType::TimerCall:
+      e.payload = TimerCallInfo{static_cast<CallbackId>(v.arg_a[i])};
+      break;
+    case EventType::Take:
+      e.payload = TakeInfo{take_kind_from_int(v.aux[i]),
+                           static_cast<CallbackId>(v.arg_a[i]),
+                           std::string(v.str(v.arg_c[i])),
+                           TimePoint{v.arg_b[i]}};
+      break;
+    case EventType::TakeTypeErased:
+      e.payload = TakeTypeErasedInfo{v.aux[i] != 0};
+      break;
+    case EventType::SyncOperator:
+      e.payload = SyncOperatorInfo{static_cast<CallbackId>(v.arg_a[i])};
+      break;
+    case EventType::DdsWrite:
+      e.payload = DdsWriteInfo{std::string(v.str(v.arg_c[i])),
+                               TimePoint{v.arg_b[i]}};
+      break;
+    case EventType::SchedSwitch: {
+      SchedSwitchInfo info;
+      info.cpu = static_cast<CpuId>(v.sched_cpu(i));
+      info.prev_pid = static_cast<Pid>(v.sched_prev_pid(i));
+      info.prev_prio = static_cast<int>(v.sched_prev_prio(i));
+      info.prev_state =
+          thread_run_state_from_char(static_cast<char>(v.aux[i]));
+      info.next_pid = static_cast<Pid>(v.sched_next_pid(i));
+      info.next_prio = static_cast<int>(v.sched_next_prio(i));
+      e.payload = info;
+      break;
+    }
+    case EventType::SchedWakeup: {
+      SchedWakeupInfo info;
+      info.woken_pid = static_cast<Pid>(v.wakeup_pid(i));
+      info.target_cpu = static_cast<CpuId>(v.wakeup_cpu(i));
+      e.payload = info;
+      break;
+    }
+  }
+  return e;
+}
+
+EventVector materialize(const ColumnsView& view) {
+  EventVector out;
+  out.reserve(view.count);
+  for (std::size_t i = 0; i < view.count; ++i) {
+    out.push_back(materialize_event(view, i));
+  }
+  return out;
+}
+
+void validate_columns(const ColumnsView& v) {
+  for (std::size_t i = 0; i < v.count; ++i) {
+    try {
+      probe_id_from_int(v.probe[i]);
+      const EventType type = event_type_from_int(v.type[i]);
+      switch (type) {
+        case EventType::RmwCreateNode:
+        case EventType::DdsWrite:
+          v.str(v.arg_c[i]);
+          break;
+        case EventType::CallbackStart:
+        case EventType::CallbackEnd:
+          callback_kind_from_int(v.aux[i]);
+          break;
+        case EventType::Take:
+          take_kind_from_int(v.aux[i]);
+          v.str(v.arg_c[i]);
+          break;
+        case EventType::SchedSwitch:
+          thread_run_state_from_char(static_cast<char>(v.aux[i]));
+          break;
+        default:
+          break;
+      }
+    } catch (const std::invalid_argument& err) {
+      throw std::invalid_argument("invalid event row " + std::to_string(i) +
+                                  ": " + err.what());
+    }
+  }
+}
+
+}  // namespace tetra::trace

@@ -1,0 +1,131 @@
+// Columnar (SoA) trace event storage. Events are decomposed into eight
+// fixed-width columns plus a deduplicated string table, so hot analysis
+// loops (TraceIndex, ExecTimeCalculator) scan contiguous timestamp / pid /
+// probe arrays instead of chasing variant payloads, and the whole layout
+// maps 1:1 onto the on-disk .ttb format for zero-copy mmap ingestion.
+//
+// Per-type packing of the generic argument columns (unused fields are 0):
+//
+//   type            aux           arg_a                 arg_b       arg_c
+//   RmwCreateNode   -             -                     -           node str
+//   CallbackStart   kind          -                     -           -
+//   CallbackEnd     kind          -                     -           -
+//   TimerCall       -             callback_id           -           -
+//   Take            take_kind     callback_id           src_ts      topic str
+//   TakeTypeErased  dispatch 0/1  -                     -           -
+//   SyncOperator    -             callback_id           -           -
+//   DdsWrite        -             -                     src_ts      topic str
+//   SchedSwitch     prev_state    prev_pid|next_pid<<32 cpu|prev_prio<<32
+//                                                                   next_prio
+//   SchedWakeup     -             woken_pid|cpu<<32     -           -
+//
+// String columns hold indices into the table; index 0 is always "".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace tetra::trace {
+
+/// Non-owning view over columnar event storage. The pointers may target an
+/// EventColumns instance or a memory-mapped .ttb file — analysis code is
+/// agnostic. All accessors are bounds-unchecked except str().
+struct ColumnsView {
+  const std::int64_t* time = nullptr;
+  const std::uint64_t* arg_a = nullptr;
+  const std::int64_t* arg_b = nullptr;
+  const std::int32_t* pid = nullptr;
+  const std::uint32_t* arg_c = nullptr;
+  const std::uint8_t* probe = nullptr;
+  const std::uint8_t* type = nullptr;
+  const std::uint8_t* aux = nullptr;
+  std::size_t count = 0;
+
+  /// String table: offsets has string_count + 1 entries; string i spans
+  /// blob[offsets[i], offsets[i + 1]).
+  const std::uint32_t* str_offsets = nullptr;
+  std::size_t string_count = 0;
+  const char* blob = nullptr;
+  std::size_t blob_size = 0;
+
+  /// Bounds-checked string lookup; throws std::invalid_argument on a bad
+  /// index (possible with corrupt .ttb input).
+  std::string_view str(std::uint32_t index) const;
+
+  /// Decoded accessors for the packed sched columns.
+  std::int32_t sched_prev_pid(std::size_t i) const {
+    return static_cast<std::int32_t>(static_cast<std::uint32_t>(arg_a[i]));
+  }
+  std::int32_t sched_next_pid(std::size_t i) const {
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(arg_a[i] >> 32));
+  }
+  std::int32_t sched_cpu(std::size_t i) const {
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(arg_b[i])));
+  }
+  std::int32_t sched_prev_prio(std::size_t i) const {
+    return static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(arg_b[i]) >> 32));
+  }
+  std::int32_t sched_next_prio(std::size_t i) const {
+    return static_cast<std::int32_t>(arg_c[i]);
+  }
+  std::int32_t wakeup_pid(std::size_t i) const { return sched_prev_pid(i); }
+  std::int32_t wakeup_cpu(std::size_t i) const { return sched_next_pid(i); }
+};
+
+/// Owning, append-only columnar store.
+class EventColumns {
+ public:
+  EventColumns();
+
+  void append(const TraceEvent& event);
+  void append(const EventVector& events);
+  /// Bulk append; fixed columns are copied, string columns re-interned.
+  void append(const ColumnsView& view);
+
+  void reserve(std::size_t additional_events);
+
+  std::size_t size() const { return time_.size(); }
+  bool empty() const { return time_.empty(); }
+
+  /// View over the current content. Invalidated by any append.
+  ColumnsView view() const;
+
+  /// Interns a string, returning its table index ("" is always 0).
+  std::uint32_t intern(std::string_view s);
+
+ private:
+  std::vector<std::int64_t> time_;
+  std::vector<std::uint64_t> arg_a_;
+  std::vector<std::int64_t> arg_b_;
+  std::vector<std::int32_t> pid_;
+  std::vector<std::uint32_t> arg_c_;
+  std::vector<std::uint8_t> probe_;
+  std::vector<std::uint8_t> type_;
+  std::vector<std::uint8_t> aux_;
+  std::vector<std::uint32_t> str_offsets_;  ///< string_count + 1 entries
+  std::string blob_;
+  std::map<std::string, std::uint32_t, std::less<>> intern_;
+};
+
+/// Reconstructs one TraceEvent from columnar storage, validating every
+/// enum-bearing and string-index field (throws std::invalid_argument on
+/// corrupt data, std::out_of_range on a bad row index).
+TraceEvent materialize_event(const ColumnsView& view, std::size_t i);
+
+/// Reconstructs the whole view in row order.
+EventVector materialize(const ColumnsView& view);
+
+/// O(n) structural validation: probe/type/enum ranges and string indices.
+/// Throws std::invalid_argument naming the first offending row. Used when
+/// opening untrusted .ttb files so later scans can skip per-row checks.
+void validate_columns(const ColumnsView& view);
+
+}  // namespace tetra::trace

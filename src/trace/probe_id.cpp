@@ -39,4 +39,12 @@ ProbeId probe_id_from_string(std::string_view name) {
   throw std::invalid_argument("unknown probe id: " + std::string(name));
 }
 
+ProbeId probe_id_from_int(std::int64_t value) {
+  if (value < static_cast<std::int64_t>(ProbeId::P1_RmwCreateNode) ||
+      value > static_cast<std::int64_t>(ProbeId::SchedWakeup)) {
+    throw std::invalid_argument("bad probe id: " + std::to_string(value));
+  }
+  return static_cast<ProbeId>(value);
+}
+
 }  // namespace tetra::trace

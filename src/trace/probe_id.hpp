@@ -35,4 +35,8 @@ std::string_view to_string(ProbeId id);
 /// Parses the short name back; throws std::invalid_argument on unknown.
 ProbeId probe_id_from_string(std::string_view name);
 
+/// Validates a raw numeric probe id (binary trace decoding); throws
+/// std::invalid_argument when out of range.
+ProbeId probe_id_from_int(std::int64_t value);
+
 }  // namespace tetra::trace

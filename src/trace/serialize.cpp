@@ -106,7 +106,7 @@ TraceEvent from_jsonl(std::string_view line) {
       break;
     case EventType::Take: {
       TakeInfo info;
-      info.kind = static_cast<TakeKind>(j.at("take_kind").as_int());
+      info.kind = take_kind_from_int(j.at("take_kind").as_int());
       info.callback_id = static_cast<CallbackId>(j.at("cb").as_int());
       info.topic = j.at("topic").as_string();
       info.src_ts = TimePoint{j.at("src_ts").as_int()};
@@ -130,8 +130,11 @@ TraceEvent from_jsonl(std::string_view line) {
       info.prev_pid = static_cast<Pid>(j.at("prev_pid").as_int());
       info.prev_prio = static_cast<int>(j.at("prev_prio").as_int());
       const std::string& st = j.at("prev_state").as_string();
-      info.prev_state = st.empty() ? ThreadRunState::Runnable
-                                   : static_cast<ThreadRunState>(st[0]);
+      if (st.size() != 1) {
+        throw std::invalid_argument("bad prev_state: '" + st +
+                                    "' (expected a single R/S/D/X letter)");
+      }
+      info.prev_state = thread_run_state_from_char(st[0]);
       info.next_pid = static_cast<Pid>(j.at("next_pid").as_int());
       info.next_prio = static_cast<int>(j.at("next_prio").as_int());
       e.payload = info;
@@ -164,6 +167,9 @@ EventVector events_from_jsonl(std::string_view text) {
     std::size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(start, end - start);
+    // Tolerate CRLF (and lone-CR-before-LF) line endings from traces that
+    // passed through Windows tooling.
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (!line.empty()) out.push_back(from_jsonl(line));
     start = end + 1;
   }

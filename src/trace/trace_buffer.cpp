@@ -25,6 +25,9 @@ std::size_t TraceBuffer::footprint_bytes() const {
   return total;
 }
 
-void TraceBuffer::clear() { events_.clear(); }
+void TraceBuffer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
 
 }  // namespace tetra::trace

@@ -32,6 +32,7 @@ class TraceBuffer {
   /// Approximate wire footprint of the current content in bytes.
   std::size_t footprint_bytes() const;
 
+  /// Empties the buffer and resets drop accounting — reuse starts fresh.
   void clear();
 
  private:

@@ -58,8 +58,8 @@ TEST(TraceIndexTest, DiscoversNodesAndIndexes) {
   TraceIndex index(events);
   EXPECT_EQ(index.nodes().size(), 3u);
   EXPECT_EQ(index.nodes().at(kNodeA), "node_a");
-  EXPECT_NE(index.find_write("/svRequest", TimePoint{150}), nullptr);
-  EXPECT_EQ(index.find_write("/svRequest", TimePoint{999}), nullptr);
+  EXPECT_NE(index.find_write("/svRequest", TimePoint{150}), TraceIndex::npos);
+  EXPECT_EQ(index.find_write("/svRequest", TimePoint{999}), TraceIndex::npos);
   EXPECT_EQ(index.find_take_responses("/svReply", TimePoint{380}).size(), 2u);
 }
 
@@ -67,32 +67,33 @@ TEST(FindCallerTest, ResolvesTimerCaller) {
   const auto events = service_scenario();
   TraceIndex index(events);
   // Locate the take_request event.
-  const TraceEvent* take = nullptr;
-  for (const auto& e : index.events()) {
+  std::size_t take_seq = TraceIndex::npos;
+  for (std::size_t seq = 0; seq < index.size(); ++seq) {
+    const TraceEvent e = index.event_at(seq);
     if (e.type == EventType::Take &&
         e.as<TakeInfo>().kind == TakeKind::Request) {
-      take = &e;
+      take_seq = seq;
     }
   }
-  ASSERT_NE(take, nullptr);
-  EXPECT_EQ(find_caller(index, *take), 0x10u);
+  ASSERT_NE(take_seq, TraceIndex::npos);
+  EXPECT_EQ(find_caller(index, take_seq), 0x10u);
 }
 
 TEST(FindClientTest, ResolvesDispatchedClientOnly) {
   const auto events = service_scenario();
   TraceIndex index(events);
   // Locate the reply dds_write.
-  std::size_t write_index = 0;
-  for (std::size_t i = 0; i < index.events().size(); ++i) {
-    const auto& e = index.events()[i];
+  std::size_t write_seq = 0;
+  for (std::size_t seq = 0; seq < index.size(); ++seq) {
+    const TraceEvent e = index.event_at(seq);
     if (e.type == EventType::DdsWrite &&
         e.as<DdsWriteInfo>().topic == "/svReply") {
-      write_index = i;
+      write_seq = seq;
     }
   }
   // Node C's client saw the response first but returned P14=false; the
   // resolution must pick node A's client (0x11).
-  EXPECT_EQ(find_client(index, write_index), 0x11u);
+  EXPECT_EQ(find_client(index, write_seq), 0x11u);
 }
 
 TEST(ExtractTest, TimerCallbackAttributes) {

@@ -1,0 +1,208 @@
+// Tests for the fleet-scale ingest path: incremental re-synthesis must be
+// byte-identical to full synthesis over many generated scenarios and
+// arbitrary segmentations, and the sharded ingest service must produce the
+// same model regardless of shard count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "api/ingest_service.hpp"
+#include "api/session.hpp"
+#include "core/export.hpp"
+#include "core/incremental.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "trace/serialize.hpp"
+
+namespace tetra {
+namespace {
+
+trace::EventVector scenario_trace(std::uint64_t seed) {
+  const scenario::Scenario scen = scenario::ScenarioGenerator().generate(seed);
+  return scenario::ScenarioRunner().run(scen.spec).trace;
+}
+
+std::string model_json(const core::TimingModel& model) {
+  return core::to_json(model.dag);
+}
+
+/// Splits `events` into `parts` contiguous chunks at pseudo-random cut
+/// points (deterministic in `seed`). Each chunk inherits sortedness.
+std::vector<trace::EventVector> random_cuts(const trace::EventVector& events,
+                                            std::size_t parts,
+                                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> cuts{0, events.size()};
+  std::uniform_int_distribution<std::size_t> dist(0, events.size());
+  for (std::size_t i = 1; i < parts; ++i) cuts.push_back(dist(rng));
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<trace::EventVector> segments;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    segments.emplace_back(events.begin() + cuts[i],
+                          events.begin() + cuts[i + 1]);
+  }
+  return segments;
+}
+
+TEST(IncrementalTest, MatchesFullSynthesisAcrossSeeds) {
+  // The acceptance bar: over >= 20 generator seeds, a session that ingests
+  // the trace in random segments with incremental re-synthesis produces a
+  // model byte-identical to one full-synthesis pass.
+  for (std::uint64_t seed = 1; seed <= 22; ++seed) {
+    const trace::EventVector events = scenario_trace(seed);
+    api::SynthesisSession full;
+    ASSERT_TRUE(full.ingest(events, {.trace_id = "t", .mode = ""}).ok());
+    const std::string expected = model_json(full.model().value());
+
+    api::SynthesisSession inc(api::SynthesisConfig().incremental(true));
+    for (auto& segment : random_cuts(events, 4, seed * 7919)) {
+      ASSERT_TRUE(
+          inc.ingest(std::move(segment), {.trace_id = "t", .mode = ""}).ok());
+      // Query mid-stream too: interleaved model() calls must not perturb
+      // the final result (they exercise the re-extraction bookkeeping).
+      ASSERT_TRUE(inc.model().ok());
+    }
+    EXPECT_EQ(model_json(inc.model().value()), expected) << "seed " << seed;
+  }
+}
+
+TEST(IncrementalTest, MatchesFullSynthesisOnPerPidPartition) {
+  // Out-of-order arrival: segments partitioned by pid overlap completely in
+  // time, so every append lands in the middle of the existing index.
+  const trace::EventVector events = scenario_trace(3);
+  api::SynthesisSession full;
+  ASSERT_TRUE(full.ingest(events, {.trace_id = "t", .mode = ""}).ok());
+  const std::string expected = model_json(full.model().value());
+
+  api::SynthesisSession inc(api::SynthesisConfig().incremental(true));
+  trace::EventVector odd, even;
+  for (const auto& e : events) {
+    (static_cast<std::uint32_t>(e.pid) % 2 == 0 ? even : odd).push_back(e);
+  }
+  ASSERT_TRUE(inc.ingest(std::move(even), {.trace_id = "t", .mode = ""}).ok());
+  ASSERT_TRUE(inc.ingest(std::move(odd), {.trace_id = "t", .mode = ""}).ok());
+  EXPECT_EQ(model_json(inc.model().value()), expected);
+}
+
+TEST(IncrementalTest, RepeatQueryExtractsNothing) {
+  core::IncrementalSynthesizer inc;
+  inc.append(scenario_trace(5));
+  inc.model();
+  EXPECT_GT(inc.last_extracted(), 0u);
+  inc.model();
+  // Nothing changed between the queries: the dependency tracking must
+  // report zero re-extracted nodes, not a silent full pass.
+  EXPECT_EQ(inc.last_extracted(), 0u);
+}
+
+TEST(IncrementalTest, MergedEventsReproducesChronologicalStream) {
+  const trace::EventVector events = scenario_trace(2);
+  api::SynthesisSession inc(api::SynthesisConfig().incremental(true));
+  for (auto& segment : random_cuts(events, 3, 99)) {
+    ASSERT_TRUE(
+        inc.ingest(std::move(segment), {.trace_id = "t", .mode = ""}).ok());
+  }
+  const auto merged = inc.merged_events("t");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(trace::to_jsonl(merged.value()), trace::to_jsonl(events));
+}
+
+TEST(ShardedIngestTest, ModelIndependentOfShardCount) {
+  std::vector<std::pair<std::string, trace::EventVector>> fleet;
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    fleet.emplace_back("robot-" + std::to_string(seed), scenario_trace(seed));
+  }
+  std::string expected;
+  for (const std::size_t shards : {1u, 2u, 4u}) {
+    api::IngestServiceConfig config;
+    config.shards = shards;
+    config.session.incremental(true);
+    api::ShardedIngestService service(config);
+    for (const auto& [id, events] : fleet) service.submit(id, events);
+    const auto model = service.model();
+    ASSERT_TRUE(model.ok()) << model.error().to_string();
+    const std::string json = model_json(model.value());
+    if (expected.empty()) {
+      expected = json;
+    } else {
+      EXPECT_EQ(json, expected) << shards << " shards diverged";
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  // And the service agrees with a plain single session over the same fleet
+  // (trace ids ingested in the service's lexicographic combine order).
+  api::SynthesisSession session;
+  for (const auto& [id, events] : fleet) {
+    ASSERT_TRUE(session.ingest(events, {.trace_id = id, .mode = ""}).ok());
+  }
+  EXPECT_EQ(model_json(session.model().value()), expected);
+}
+
+TEST(ShardedIngestTest, JsonlSubmissionMatchesParsedSubmission) {
+  const trace::EventVector events = scenario_trace(6);
+  api::ShardedIngestService a;
+  a.submit("t", events);
+  api::IngestServiceConfig config;
+  config.shards = 2;
+  api::ShardedIngestService b(config);
+  b.submit_jsonl("t", trace::to_jsonl(events));
+  const auto ma = a.model();
+  const auto mb = b.model();
+  ASSERT_TRUE(ma.ok());
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(model_json(ma.value()), model_json(mb.value()));
+  EXPECT_EQ(b.events_ingested(), events.size());
+}
+
+TEST(ShardedIngestTest, RoutesThousandsOfTraceIds) {
+  api::IngestServiceConfig config;
+  config.shards = 4;
+  api::ShardedIngestService service(config);
+  std::vector<std::size_t> per_shard(service.shard_count(), 0);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string id = "robot-" + std::to_string(i);
+    ++per_shard[service.shard_of(id)];
+    trace::EventVector tiny;
+    tiny.push_back(
+        trace::make_node_event(TimePoint{0}, 1000 + i, "node"));
+    tiny.push_back(trace::make_callback_start(TimePoint{10}, 1000 + i,
+                                              CallbackKind::Timer));
+    tiny.push_back(trace::make_timer_call(TimePoint{11}, 1000 + i, 1));
+    tiny.push_back(trace::make_callback_end(TimePoint{20}, 1000 + i,
+                                            CallbackKind::Timer));
+    total += tiny.size();
+    service.submit(id, std::move(tiny));
+  }
+  service.flush();
+  EXPECT_EQ(service.events_ingested(), total);
+  EXPECT_EQ(service.first_error().code, api::ErrorCode::None);
+  for (std::size_t shard = 0; shard < per_shard.size(); ++shard) {
+    EXPECT_GT(per_shard[shard], 0u) << "shard " << shard << " never used";
+  }
+  EXPECT_TRUE(service.model().ok());
+}
+
+TEST(ShardedIngestTest, LatchesAndSurfacesParseErrors) {
+  api::ShardedIngestService service;
+  service.submit_jsonl("bad", "{\"t\":0,\"pid\":1,\"probe\":\"P1\"");
+  service.flush();
+  EXPECT_NE(service.first_error().code, api::ErrorCode::None);
+  const auto model = service.model();
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.error().context, "bad");
+}
+
+TEST(ShardedIngestTest, EmptyServiceReportsEmptySession) {
+  api::ShardedIngestService service;
+  const auto model = service.model();
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.error().code, api::ErrorCode::EmptySession);
+}
+
+}  // namespace
+}  // namespace tetra

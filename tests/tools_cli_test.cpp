@@ -191,6 +191,94 @@ TEST(SentinelCliTest, UnreadableFilesExitThree) {
             3);
 }
 
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(SynthCliTest, TtbConversionRoundTripsByteIdentical) {
+  REQUIRE_TOOL("tetra_synth");
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const std::string ttb = ::testing::TempDir() + "cli_seed7.ttb";
+  const std::string back = ::testing::TempDir() + "cli_seed7_back.jsonl";
+  EXPECT_EQ(run_command(binary("tetra_synth") + " --trace " + fixture +
+                        " --to-ttb " + ttb)
+                .exit_code,
+            0);
+  EXPECT_EQ(run_command(binary("tetra_synth") + " --trace " + ttb +
+                        " --to-jsonl " + back)
+                .exit_code,
+            0);
+  EXPECT_EQ(slurp(back), slurp(fixture));
+  std::remove(ttb.c_str());
+  std::remove(back.c_str());
+}
+
+TEST(SynthCliTest, TtbTraceSynthesizesLikeJsonl) {
+  REQUIRE_TOOL("tetra_synth");
+  // Binary ingestion is transparent: synthesizing from the .ttb twin must
+  // produce the identical model JSON, with or without --incremental.
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const std::string ttb = ::testing::TempDir() + "cli_synth.ttb";
+  ASSERT_EQ(run_command(binary("tetra_synth") + " --trace " + fixture +
+                        " --to-ttb " + ttb)
+                .exit_code,
+            0);
+  const std::string from_jsonl = ::testing::TempDir() + "model_jsonl.json";
+  const std::string from_ttb = ::testing::TempDir() + "model_ttb.json";
+  ASSERT_EQ(run_command(binary("tetra_synth") + " --trace " + fixture +
+                        " --json " + from_jsonl)
+                .exit_code,
+            0);
+  ASSERT_EQ(run_command(binary("tetra_synth") + " --trace " + ttb +
+                        " --incremental --json " + from_ttb)
+                .exit_code,
+            0);
+  EXPECT_EQ(slurp(from_ttb), slurp(from_jsonl));
+  std::remove(ttb.c_str());
+  std::remove(from_jsonl.c_str());
+  std::remove(from_ttb.c_str());
+}
+
+TEST(SynthCliTest, ConversionUsageErrorsExitTwo) {
+  REQUIRE_TOOL("tetra_synth");
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  // Conversion needs exactly one input trace.
+  EXPECT_EQ(run_command(binary("tetra_synth") + " --trace " + fixture +
+                        " --trace " + fixture + " --to-ttb /tmp/x.ttb")
+                .exit_code,
+            2);
+  EXPECT_EQ(run_command(binary("tetra_synth") + " --to-ttb /tmp/x.ttb")
+                .exit_code,
+            2);
+}
+
+TEST(ScenarioCliTest, TtbOutMatchesTraceOut) {
+  REQUIRE_TOOL("tetra_scenario");
+  REQUIRE_TOOL("tetra_synth");
+  const std::string jsonl = ::testing::TempDir() + "scen.jsonl";
+  const std::string ttb = ::testing::TempDir() + "scen.ttb";
+  ASSERT_EQ(run_command(binary("tetra_scenario") +
+                        " --seed 7 --trace-out " + jsonl + " --ttb-out " +
+                        ttb + " --quiet")
+                .exit_code,
+            0);
+  const std::string back = ::testing::TempDir() + "scen_back.jsonl";
+  ASSERT_EQ(run_command(binary("tetra_synth") + " --trace " + ttb +
+                        " --to-jsonl " + back)
+                .exit_code,
+            0);
+  EXPECT_EQ(slurp(back), slurp(jsonl));
+  std::remove(jsonl.c_str());
+  std::remove(ttb.c_str());
+  std::remove(back.c_str());
+}
+
 TEST(PredictCliTest, WorkerSweepRuns) {
   REQUIRE_TOOL("tetra_predict");
   const std::string fixture =

@@ -97,6 +97,56 @@ TEST(SerializeTest, MissingFileThrows) {
   EXPECT_THROW(read_jsonl_file("/nonexistent/nope.jsonl"), std::runtime_error);
 }
 
+TEST(SerializeTest, ParsesCrlfLineEndings) {
+  // Traces shuttled through Windows tooling or `git core.autocrlf` arrive
+  // with \r\n terminators; the parser must not feed the \r into the JSON.
+  EventVector events{sample_take(), make_node_event(TimePoint{2}, 3, "x")};
+  std::string text = to_jsonl(events);
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  EXPECT_EQ(events_from_jsonl(crlf), events);
+}
+
+TEST(SerializeTest, ParsesMixedLineEndings) {
+  // One producer per line: \n and \r\n may interleave in a concatenated
+  // stream. A lone \r must survive inside string values, too.
+  EventVector events;
+  events.push_back(make_node_event(TimePoint{1}, 10, "node_a"));
+  events.push_back(make_dds_write(TimePoint{2}, 10, "/t", TimePoint{2}));
+  events.push_back(sample_take());
+  const std::string lines = to_jsonl(events);
+  const std::size_t first_break = lines.find('\n');
+  std::string mixed = lines.substr(0, first_break) + "\r\n" +
+                      lines.substr(first_break + 1);
+  EXPECT_EQ(events_from_jsonl(mixed), events);
+}
+
+TEST(SerializeTest, RejectsOutOfRangeTakeKind) {
+  const std::string line = to_jsonl(EventVector{sample_take()});
+  std::string bad = line;
+  const std::size_t pos = bad.find("\"take_kind\":1");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 13, "\"take_kind\":7");
+  EXPECT_THROW(events_from_jsonl(bad), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsMalformedPrevState) {
+  const TraceEvent sw = make_sched_switch(
+      TimePoint{9}, SchedSwitchInfo{2, 10, 5, ThreadRunState::Sleeping, 11, 0});
+  const std::string line = to_jsonl(EventVector{sw});
+  for (const std::string bad_state : {"Z", "", "RS"}) {
+    std::string bad = line;
+    const std::size_t pos = bad.find("\"prev_state\":\"S\"");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 16, "\"prev_state\":\"" + bad_state + "\"");
+    EXPECT_THROW(events_from_jsonl(bad), std::invalid_argument)
+        << "prev_state '" << bad_state << "' must be rejected";
+  }
+}
+
 TEST(SerializeTest, FootprintCountsCompactBytes) {
   EventVector events{sample_take()};
   const std::size_t bytes = binary_footprint_bytes(events);
@@ -115,6 +165,20 @@ TEST(TraceBufferTest, DropsWhenFull) {
   EXPECT_EQ(drained.size(), 2u);
   EXPECT_EQ(buffer.size(), 0u);
   EXPECT_TRUE(buffer.push(sample_take()));
+}
+
+TEST(TraceBufferTest, ClearResetsDropCounter) {
+  TraceBuffer buffer(1);
+  EXPECT_TRUE(buffer.push(sample_take()));
+  EXPECT_FALSE(buffer.push(sample_take()));
+  EXPECT_EQ(buffer.dropped(), 1u);
+  buffer.clear();
+  // A cleared buffer starts a fresh accounting period: stale drop counts
+  // must not leak into the next capture window.
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(buffer.push(sample_take()));
+  EXPECT_EQ(buffer.dropped(), 0u);
 }
 
 TEST(MergeTest, MergeSortedInterleaves) {

@@ -9,7 +9,7 @@
 //                  [--threads W] [--modes] [--mt | --st]
 //                  [--mutate KIND] [--run-index N]
 //                  [--json FILE] [--dot FILE]
-//                  [--trace-out FILE] [--quiet]
+//                  [--trace-out FILE] [--ttb-out FILE] [--quiet]
 //
 // --mt forces every generated node onto a multi-threaded executor with
 // callback groups; --st forces single-threaded executors everywhere
@@ -27,7 +27,8 @@
 // synthesized DAG matches its ground truth; mismatch reports go to
 // stderr. --json/--dot/--trace-out dump the first scenario's spec,
 // synthesized DAG and merged trace (the latter feeds the golden-trace
-// regression test).
+// regression test); --ttb-out writes the same merged trace in the
+// compact binary format (docs/TRACE_FORMAT.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,6 +40,7 @@
 #include "scenario/runner.hpp"
 #include "scenario/validator.hpp"
 #include "trace/serialize.hpp"
+#include "trace/ttb.hpp"
 
 namespace {
 
@@ -49,7 +51,7 @@ void usage(const char* argv0) {
                "          [--threads W] [--modes] [--mt | --st]\n"
                "          [--mutate KIND] [--run-index N]\n"
                "          [--json FILE] [--dot FILE]\n"
-               "          [--trace-out FILE] [--quiet]\n",
+               "          [--trace-out FILE] [--ttb-out FILE] [--quiet]\n",
                argv0);
 }
 
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::optional<scenario::MutationKind> mutation;
   std::uint64_t run_index = 0;
-  std::string json_path, dot_path, trace_path;
+  std::string json_path, dot_path, trace_path, ttb_path;
   scenario::GeneratorOptions generator_options;
   scenario::RunnerOptions runner_options;
 
@@ -135,6 +137,8 @@ int main(int argc, char** argv) {
       dot_path = next();
     } else if (arg == "--trace-out") {
       trace_path = next();
+    } else if (arg == "--ttb-out") {
+      ttb_path = next();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -196,8 +200,8 @@ int main(int argc, char** argv) {
       }
 
       const bool validating = validate || run_modes;
-      const bool needs_run =
-          validating || !trace_path.empty() || !dot_path.empty();
+      const bool needs_run = validating || !trace_path.empty() ||
+                             !ttb_path.empty() || !dot_path.empty();
       if (!needs_run) {
         if (!quiet) {
           std::printf("seed %llu: %zu nodes, %zu callbacks, %zu vertices, "
@@ -217,10 +221,10 @@ int main(int argc, char** argv) {
         if (k == 0 && !dot_path.empty()) {
           write_file(dot_path, core::to_dot(modes.combined()));
         }
-        if (k == 0 && !trace_path.empty()) {
+        if (k == 0 && (!trace_path.empty() || !ttb_path.empty())) {
           std::fprintf(stderr,
-                       "--trace-out is ignored with --modes (per-mode runs "
-                       "produce no single merged trace)\n");
+                       "--trace-out/--ttb-out are ignored with --modes "
+                       "(per-mode runs produce no single merged trace)\n");
         }
       } else {
         const scenario::ScenarioRunResult result =
@@ -232,6 +236,11 @@ int main(int argc, char** argv) {
           trace::write_jsonl_file(trace_path, result.trace);
           std::fprintf(stderr, "wrote %zu events to %s\n", result.trace.size(),
                        trace_path.c_str());
+        }
+        if (k == 0 && !ttb_path.empty()) {
+          trace::write_ttb_file(ttb_path, result.trace);
+          std::fprintf(stderr, "wrote %zu events to %s\n", result.trace.size(),
+                       ttb_path.c_str());
         }
         if (k == 0 && !dot_path.empty()) {
           write_file(dot_path, core::to_dot(result.model.dag));

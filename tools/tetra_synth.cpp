@@ -6,14 +6,23 @@
 //
 //   tetra_synth --trace run1.jsonl [--trace run2.jsonl ...]
 //               [--merge-dags | --merge-traces] [--threads N]
+//               [--incremental]
 //               [--dot out.dot] [--json out.json] [--report]
 //               [--no-service-split] [--no-and-junction]
 //               [--waiting-times]
+//   tetra_synth --trace run1.jsonl --to-ttb run1.ttb
+//   tetra_synth --trace run1.ttb --to-jsonl run1.jsonl
 //
 // With several --trace inputs, --merge-dags (default; §V option ii)
 // synthesizes per trace — on N worker threads with --threads — and
 // merges the DAGs; --merge-traces (option i, for segments of one run)
-// k-way merges the event streams first.
+// k-way merges the event streams first. --incremental keeps appendable
+// per-trace indexes so repeat queries only re-extract touched nodes.
+//
+// --to-ttb / --to-jsonl are pure format conversions (docs/TRACE_FORMAT.md):
+// exactly one --trace input, event order preserved byte-for-byte, no
+// synthesis. Either format is accepted as input (.ttb detected by magic),
+// so jsonl -> ttb -> jsonl is an identity.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +33,8 @@
 #include "api/session.hpp"
 #include "core/export.hpp"
 #include "support/string_utils.hpp"
+#include "trace/serialize.hpp"
+#include "trace/ttb.hpp"
 
 namespace {
 
@@ -31,10 +42,12 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --trace FILE [--trace FILE ...]\n"
                "          [--merge-dags | --merge-traces] [--threads N]\n"
+               "          [--incremental]\n"
                "          [--dot FILE] [--json FILE] [--report]\n"
                "          [--no-service-split] [--no-and-junction]\n"
-               "          [--waiting-times]\n",
-               argv0);
+               "          [--waiting-times]\n"
+               "       %s --trace FILE --to-ttb FILE | --to-jsonl FILE\n",
+               argv0, argv0);
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -63,6 +76,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> trace_paths;
   std::string dot_path;
   std::string json_path;
+  std::string to_ttb_path;
+  std::string to_jsonl_path;
   bool report = false;
   api::SynthesisConfig config;
 
@@ -82,6 +97,12 @@ int main(int argc, char** argv) {
       dot_path = next();
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--to-ttb") {
+      to_ttb_path = next();
+    } else if (arg == "--to-jsonl") {
+      to_jsonl_path = next();
+    } else if (arg == "--incremental") {
+      config.incremental(true);
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--merge-traces") {
@@ -114,6 +135,39 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: at least one --trace FILE is required\n");
     usage(argv[0]);
     return 2;
+  }
+
+  // Conversion mode: no synthesis, no session — the raw event sequence is
+  // read in file order and re-emitted as-is, so converting back and forth
+  // reproduces the original file byte-for-byte.
+  if (!to_ttb_path.empty() || !to_jsonl_path.empty()) {
+    if (trace_paths.size() != 1) {
+      std::fprintf(stderr,
+                   "error: --to-ttb/--to-jsonl convert exactly one --trace "
+                   "input (got %zu)\n",
+                   trace_paths.size());
+      return 2;
+    }
+    try {
+      const std::string& in = trace_paths[0];
+      const trace::EventVector events = trace::is_ttb_file(in)
+                                            ? trace::TtbReader(in).materialize()
+                                            : trace::read_jsonl_file(in);
+      if (!to_ttb_path.empty()) {
+        trace::write_ttb_file(to_ttb_path, events);
+        std::fprintf(stderr, "wrote %zu events to %s\n", events.size(),
+                     to_ttb_path.c_str());
+      }
+      if (!to_jsonl_path.empty()) {
+        trace::write_jsonl_file(to_jsonl_path, events);
+        std::fprintf(stderr, "wrote %zu events to %s\n", events.size(),
+                     to_jsonl_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    return 0;
   }
 
   try {
