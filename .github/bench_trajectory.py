@@ -3,8 +3,8 @@
 
 Usage: bench_trajectory.py PREV_DIR CURRENT_DIR
 
-Reads the BENCH_*.json snapshots (synthesis, predict, ingest) from both
-directories and
+Reads the BENCH_*.json snapshots (synthesis, predict, ingest, overhead)
+from both directories and
 prints a GitHub-flavored-markdown table of metric deltas (previous run ->
 this run). Missing files degrade gracefully: the table only covers what
 both snapshots have. Informational only — the caller must not gate on it.
@@ -13,16 +13,30 @@ import json
 import os
 import sys
 
-BENCHES = ("BENCH_synthesis.json", "BENCH_predict.json", "BENCH_ingest.json")
+BENCHES = ("BENCH_synthesis.json", "BENCH_predict.json", "BENCH_ingest.json",
+           "BENCH_overhead.json")
 # Keys that describe the configuration, not performance.
 SKIP = {"bench", "seed", "traces", "threads", "hardware_threads", "what_ifs",
-        "duration_s", "horizon_s", "robots", "shards"}
+        "duration_s", "horizon_s", "robots", "shards", "runs", "profile"}
+# Leaf names that label a sweep point rather than measure it.
+SKIP_LEAVES = {"body_us", "k", "n"}
 
 
 def flatten(prefix, value, out):
     if isinstance(value, dict):
         for key, child in value.items():
             flatten(f"{prefix}.{key}" if prefix else key, child, out)
+    elif isinstance(value, list):
+        # Sweep arrays (e.g. the overhead matrix): label entries by their
+        # own key field when they carry one, else by position.
+        for i, child in enumerate(value):
+            label = str(i)
+            if isinstance(child, dict):
+                for key_field in ("body_us", "k"):
+                    if key_field in child:
+                        label = f"{key_field}={child[key_field]:g}"
+                        break
+            flatten(f"{prefix}[{label}]", child, out)
     elif isinstance(value, (int, float)):
         out[prefix] = float(value)
 
@@ -35,7 +49,9 @@ def load(path):
         return None
     out = {}
     flatten("", data, out)
-    return {k: v for k, v in out.items() if k.split(".")[0] not in SKIP}
+    return {k: v for k, v in out.items()
+            if k.split(".")[0] not in SKIP
+            and k.rsplit(".", 1)[-1] not in SKIP_LEAVES}
 
 
 def main():

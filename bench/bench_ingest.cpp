@@ -41,24 +41,6 @@ namespace {
 
 using namespace tetra;
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-trace::EventVector trace_one_run(std::uint64_t seed, Duration duration) {
-  ros2::Context::Config config;
-  config.seed = seed;
-  ros2::Context ctx(config);
-  ebpf::TracerSuite suite(ctx);
-  suite.start_init();
-  workloads::build_syn_app(ctx);
-  auto init_trace = suite.stop_init();
-  suite.start_runtime();
-  ctx.run_for(duration);
-  return trace::merge_sorted({init_trace, suite.stop_runtime()});
-}
-
 /// Splits JSONL text into `parts` chunks of whole lines (fleet segments of
 /// one robot's stream).
 std::vector<std::string> split_lines(const std::string& text,
@@ -92,7 +74,7 @@ double sharded_pass(std::size_t shards, const std::vector<FleetItem>& items) {
   const auto t0 = std::chrono::steady_clock::now();
   for (const auto& item : items) service.submit_jsonl(item.id, item.jsonl);
   service.flush();
-  const double elapsed = seconds_since(t0);
+  const double elapsed = bench::seconds_since(t0);
   if (service.first_error().code != api::ErrorCode::None) {
     std::fprintf(stderr, "FAIL: shard error: %s\n",
                  service.first_error().to_string().c_str());
@@ -122,7 +104,7 @@ int main() {
   std::vector<std::string> jsonl_paths, ttb_paths;
   std::size_t total_events = 0;
   for (int robot = 0; robot < robots; ++robot) {
-    const trace::EventVector events = trace_one_run(
+    const trace::EventVector events = bench::trace_one_run(
         0xf1ee7 + static_cast<std::uint64_t>(robot), duration);
     total_events += events.size();
     const std::string stem = "robot-" + std::to_string(robot);
@@ -151,11 +133,11 @@ int main() {
   auto t0 = std::chrono::steady_clock::now();
   std::size_t jsonl_rows = 0;
   for (const auto& path : jsonl_paths) jsonl_rows += jsonl_ingest(path);
-  const double jsonl_s = seconds_since(t0);
+  const double jsonl_s = bench::seconds_since(t0);
   t0 = std::chrono::steady_clock::now();
   std::size_t ttb_rows = 0;
   for (const auto& path : ttb_paths) ttb_rows += ttb_ingest(path);
-  const double ttb_s = seconds_since(t0);
+  const double ttb_s = bench::seconds_since(t0);
   if (jsonl_rows != total_events || ttb_rows != total_events) {
     std::fprintf(stderr, "FAIL: ingest row counts diverge (%zu / %zu / %zu)\n",
                  jsonl_rows, ttb_rows, total_events);
@@ -203,7 +185,7 @@ int main() {
   // ---- 3. incremental re-synthesis ----------------------------------------
   // Hold back the second half of one pid's ROS events: the delta touches a
   // handful of nodes, so the incremental path should re-extract only those.
-  const trace::EventVector events = trace_one_run(0xf1ee7, duration);
+  const trace::EventVector events = bench::trace_one_run(0xf1ee7, duration);
   const auto is_sched = [](const trace::TraceEvent& e) {
     return e.type == trace::EventType::SchedSwitch ||
            e.type == trace::EventType::SchedWakeup;
@@ -229,7 +211,7 @@ int main() {
   full.append(events);
   t0 = std::chrono::steady_clock::now();
   const std::string full_json = core::to_json(full.model().dag);
-  const double full_s = seconds_since(t0);
+  const double full_s = bench::seconds_since(t0);
   const std::size_t nodes_total = full.index().nodes().size();
 
   core::IncrementalSynthesizer inc;
@@ -238,7 +220,7 @@ int main() {
   inc.append(delta);
   t0 = std::chrono::steady_clock::now();
   const std::string inc_json = core::to_json(inc.model().dag);
-  const double inc_s = seconds_since(t0);
+  const double inc_s = bench::seconds_since(t0);
   const std::size_t nodes_reextracted = inc.last_extracted();
   const bool identical = inc_json == full_json;
   const double inc_speedup = inc_s > 0.0 ? full_s / inc_s : 0.0;

@@ -1,67 +1,272 @@
-// Reproduces the §VI "Tracing overheads" evaluation: running SYN and AVP
-// localization together for 60 s, the paper reports (i) 9 MB of trace
-// data and (ii) eBPF probes consuming 0.008 CPU cores on average — 0.3%
-// of the computational load produced by the applications.
+// bench_overhead — tracer-overhead injection, compensation accuracy and
+// the adaptive-sampling trade-off (docs/OVERHEAD.md), extending the §VI
+// "Tracing overheads" evaluation with a scenario sweep.
 //
-// Knobs: TETRA_DURATION (seconds, default 60).
+// Matrix: 6 callback body durations x TETRA_RUNS seeded runs of a
+// two-node pipeline (sensor timer -> processing subscription). Every run
+// is traced probe-free (ground truth) and under a 5 us constant-cost
+// probe profile; the probed trace is synthesized twice — with and without
+// overhead compensation — and per-vertex mean execution times are diffed
+// against the truth. Relative errors are summarized as mean/std/ci95
+// across runs per duration.
+//
+// Sampling sweep: 1-in-K instance sampling (K in {1, 4, 16}) under the
+// uprobe preset, quantifying the accuracy-vs-overhead trade-off: events
+// recorded and injected probe time fall monotonically with K while the
+// compensated model error is reported per K.
+//
+// Knobs:
+//   TETRA_RUNS             runs per matrix cell (default 5)
+//   TETRA_BENCH_JSON       output path (default BENCH_overhead.json)
+//   TETRA_REQUIRE_SPEEDUP  0 = report only, never fail the gates
+//
+// Gates (strict): per duration, compensated error < uncompensated error
+// and compensated mean relative error <= 15%; over K, recorded events and
+// injected time strictly decrease.
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "ebpf/tracers.hpp"
-#include "sched/interference.hpp"
+#include "overhead/profile.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "support/json_writer.hpp"
 #include "support/string_utils.hpp"
-#include "trace/serialize.hpp"
-#include "workloads/avp_localization.hpp"
-#include "workloads/syn_app.hpp"
+
+namespace {
+
+using namespace tetra;
+
+/// Two-node pipeline: a 5 ms sensor timer feeding one processing
+/// subscription, both with the swept constant body duration.
+scenario::ScenarioSpec make_spec(Duration body, std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "overhead-matrix";
+  spec.seed = seed;
+  spec.num_cpus = 2;
+  spec.run_duration = Duration::ms(500);
+
+  scenario::ScenarioNodeSpec sensor;
+  sensor.name = "sensor";
+  scenario::TimerSpec timer;
+  timer.period = Duration::ms(5);
+  timer.demand = DurationDistribution::constant(body);
+  timer.effects.push_back(scenario::publish_effect("/points"));
+  sensor.timers.push_back(timer);
+
+  scenario::ScenarioNodeSpec proc;
+  proc.name = "proc";
+  scenario::SubscriptionSpec sub;
+  sub.topic = "/points";
+  sub.demand = DurationDistribution::constant(body);
+  proc.subscriptions.push_back(sub);
+
+  spec.nodes = {sensor, proc};
+  return spec;
+}
+
+/// Mean relative mACET error over the matched vertices (truth > 0).
+double rel_error(const scenario::OverheadRoundTrip& trip) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& entry : trip.entries) {
+    if (entry.truth_ns <= 0) continue;
+    sum += std::abs(static_cast<double>(entry.measured_ns - entry.truth_ns)) /
+           static_cast<double>(entry.truth_ns);
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+void summary_json(JsonWriter& json, const char* key, const bench::Summary& s) {
+  json.key(key)
+      .begin_object()
+      .kv("mean", s.mean)
+      .kv("stddev", s.stddev)
+      .kv("ci95", s.ci95)
+      .end_object();
+}
+
+}  // namespace
 
 int main() {
-  using namespace tetra;
-  bench::banner("§VI Tracing overheads - SYN + AVP for 60 s");
+  bench::banner("tracer overhead - injection, compensation, sampling");
 
-  const Duration duration =
-      bench::env_seconds("TETRA_DURATION", Duration::sec(60));
-  ros2::Context::Config config;
-  config.num_cpus = 12;
-  ros2::Context ctx(config);
-  ebpf::TracerSuite suite(ctx);
-  suite.start_init();
-  workloads::AvpOptions avp_options;
-  avp_options.run_duration = duration;
-  // The returned app owns the sensor replay writers; it must outlive the run.
-  const auto avp = workloads::build_avp_localization(ctx, avp_options);
-  workloads::build_syn_app(ctx);
-  auto init_trace = suite.stop_init();
-  Rng rng(99);
-  sched::spawn_interference(ctx.machine(), rng, 2, sched::InterferenceConfig{});
-  suite.start_runtime();
-  ctx.run_for(duration);
-  auto events = suite.stop_runtime();
+  const int runs = bench::env_int("TETRA_RUNS", 5);
+  const bool strict = bench::env_int("TETRA_REQUIRE_SPEEDUP", 1) != 0;
+  const overhead::ProbeCostProfile profile =
+      *overhead::ProbeCostProfile::parse("5us");
 
-  const auto report = suite.overhead_report();
-  std::printf("observed span             : %.1f s\n", report.elapsed.to_sec());
-  std::printf("events recorded           : %llu\n",
-              static_cast<unsigned long long>(report.events));
-  std::printf("trace data (compact)      : %.2f MB   (paper: 9 MB / 60 s)\n",
-              static_cast<double>(report.trace_bytes) / 1e6);
-  std::printf("trace data (JSONL)        : %.2f MB\n",
-              static_cast<double>(trace::to_jsonl(events).size()) / 1e6);
-  std::printf("application busy CPU time : %.2f s\n",
-              report.app_busy_time.to_sec());
-  std::printf("eBPF program run time     : %.4f s\n",
-              report.ebpf_run_time.to_sec());
-  std::printf("eBPF average CPU cores    : %.4f    (paper: 0.008 cores)\n",
-              report.cpu_cores());
-  std::printf("eBPF / application load   : %.2f %%  (paper: 0.3 %%)\n",
-              report.fraction_of_app_load() * 100.0);
+  const std::vector<Duration> bodies = {Duration::us(5),   Duration::us(20),
+                                        Duration::us(50),  Duration::us(100),
+                                        Duration::us(500), Duration::ms(1)};
 
-  std::printf("\nPer-program statistics (bpftool-style):\n");
-  std::printf("  %-28s %-38s %-10s %-10s\n", "program", "attach target",
-              "runs", "time(ms)");
-  for (const auto& program : suite.program_reports()) {
-    std::printf("  %-28s %-38s %-10llu %-10.2f\n", program.name.c_str(),
-                program.target.c_str(),
-                static_cast<unsigned long long>(program.run_count),
-                program.run_time.to_ms());
+  struct Cell {
+    Duration body;
+    bench::Summary uncompensated;
+    bench::Summary compensated;
+    bench::Summary overhead_fraction;
+    bench::Summary estimated_per_hit_ns;
+  };
+  std::vector<Cell> cells;
+
+  std::printf("\nprofile: %s, %d runs per duration\n\n",
+              profile.describe().c_str(), runs);
+  std::printf("%-12s %18s %18s %10s %14s\n", "body", "uncomp err", "comp err",
+              "overhead", "est/hit (ns)");
+  for (std::size_t d = 0; d < bodies.size(); ++d) {
+    std::vector<double> uncomp, comp, fraction, per_hit;
+    for (int r = 0; r < runs; ++r) {
+      const std::uint64_t seed =
+          0x0eadULL + d * 100ULL + static_cast<std::uint64_t>(r);
+      const scenario::OverheadRoundTripResult trip =
+          scenario::run_overhead_round_trip(make_spec(bodies[d], seed),
+                                            profile);
+      uncomp.push_back(rel_error(trip.uncompensated));
+      comp.push_back(rel_error(trip.compensated));
+      fraction.push_back(
+          trip.overhead.app_busy_time > Duration::zero()
+              ? static_cast<double>(trip.overhead.injected_time.count_ns()) /
+                    static_cast<double>(trip.overhead.app_busy_time.count_ns())
+              : 0.0);
+      per_hit.push_back(
+          static_cast<double>(trip.estimated_per_hit.count_ns()));
+    }
+    Cell cell;
+    cell.body = bodies[d];
+    cell.uncompensated = bench::summarize(uncomp);
+    cell.compensated = bench::summarize(comp);
+    cell.overhead_fraction = bench::summarize(fraction);
+    cell.estimated_per_hit_ns = bench::summarize(per_hit);
+    std::printf("%-12s %10.1f%% ±%4.1f %10.2f%% ±%4.2f %9.1f%% %14.0f\n",
+                format("%g us", cell.body.to_us()).c_str(),
+                cell.uncompensated.mean * 100.0,
+                cell.uncompensated.ci95 * 100.0, cell.compensated.mean * 100.0,
+                cell.compensated.ci95 * 100.0,
+                cell.overhead_fraction.mean * 100.0,
+                cell.estimated_per_hit_ns.mean);
+    cells.push_back(cell);
+  }
+
+  // ---- adaptive sampling sweep -------------------------------------------
+  struct SamplePoint {
+    unsigned k = 1;
+    std::uint64_t events = 0;
+    double injected_ms = 0.0;
+    std::uint64_t instances_traced = 0;
+    std::uint64_t instances_total = 0;
+    double rel_error = 0.0;
+  };
+  std::vector<SamplePoint> sweep;
+  {
+    const scenario::ScenarioSpec spec = make_spec(Duration::us(100), 0x5a3b);
+    const core::TimingModel truth =
+        scenario::ScenarioRunner(scenario::RunnerOptions{}).run(spec).model;
+
+    std::printf("\n%-6s %10s %14s %16s %12s\n", "K", "events", "injected ms",
+                "instances", "comp err");
+    for (unsigned k : {1u, 4u, 16u}) {
+      scenario::RunnerOptions options;
+      options.probe_profile = *overhead::ProbeCostProfile::preset("uprobe");
+      options.probe_profile.sample_every = k;
+      options.compensate_overhead = true;
+      const scenario::ScenarioRunResult run =
+          scenario::ScenarioRunner(options).run(spec);
+
+      SamplePoint point;
+      point.k = k;
+      point.events = run.overhead.events;
+      point.injected_ms = run.overhead.injected_time.to_ms();
+      point.instances_traced = run.overhead.instances_sampled;
+      point.instances_total = run.overhead.instances_total;
+      scenario::OverheadRoundTrip trip;
+      for (const auto& vertex : truth.dag.vertices()) {
+        const core::DagVertex* other = run.model.dag.find_vertex(vertex.key);
+        if (other == nullptr) continue;
+        trip.entries.push_back({vertex.key, vertex.macet().count_ns(),
+                                other->macet().count_ns()});
+      }
+      point.rel_error = rel_error(trip);
+      std::printf("%-6u %10llu %14.3f %10llu/%-5llu %11.2f%%\n", k,
+                  static_cast<unsigned long long>(point.events),
+                  point.injected_ms,
+                  static_cast<unsigned long long>(point.instances_traced),
+                  static_cast<unsigned long long>(point.instances_total),
+                  point.rel_error * 100.0);
+      sweep.push_back(point);
+    }
+  }
+
+  // ---- JSON ---------------------------------------------------------------
+  JsonWriter json;
+  json.begin_object()
+      .kv("bench", "overhead")
+      .kv("runs", runs)
+      .kv("profile", profile.describe())
+      .key("matrix")
+      .begin_array();
+  for (const auto& cell : cells) {
+    json.begin_object().kv("body_us", cell.body.to_us());
+    summary_json(json, "uncompensated_rel_error", cell.uncompensated);
+    summary_json(json, "compensated_rel_error", cell.compensated);
+    summary_json(json, "overhead_fraction", cell.overhead_fraction);
+    summary_json(json, "estimated_per_hit_ns", cell.estimated_per_hit_ns);
+    json.end_object();
+  }
+  json.end_array().key("sampling").begin_array();
+  for (const auto& point : sweep) {
+    json.begin_object()
+        .kv("k", static_cast<std::uint64_t>(point.k))
+        .kv("events", point.events)
+        .kv("injected_ms", point.injected_ms)
+        .kv("instances_traced", point.instances_traced)
+        .kv("instances_total", point.instances_total)
+        .kv("compensated_rel_error", point.rel_error)
+        .end_object();
+  }
+  json.end_array().end_object();
+
+  const char* out_env = std::getenv("TETRA_BENCH_JSON");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_overhead.json";
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json.str() << "\n";
+  bench::note(format("\nwrote %s", out_path.c_str()));
+
+  // ---- gates --------------------------------------------------------------
+  if (strict) {
+    for (const auto& cell : cells) {
+      if (cell.compensated.mean >= cell.uncompensated.mean) {
+        std::fprintf(stderr,
+                     "FAIL: body %g us: compensated error %.3f not below "
+                     "uncompensated %.3f\n",
+                     cell.body.to_us(), cell.compensated.mean,
+                     cell.uncompensated.mean);
+        return 1;
+      }
+      if (cell.compensated.mean > 0.15) {
+        std::fprintf(stderr,
+                     "FAIL: body %g us: compensated error %.3f > 0.15\n",
+                     cell.body.to_us(), cell.compensated.mean);
+        return 1;
+      }
+    }
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      if (sweep[i].events >= sweep[i - 1].events ||
+          sweep[i].injected_ms >= sweep[i - 1].injected_ms) {
+        std::fprintf(stderr,
+                     "FAIL: sampling K=%u did not reduce overhead "
+                     "(events %llu -> %llu, injected %.3f -> %.3f ms)\n",
+                     sweep[i].k,
+                     static_cast<unsigned long long>(sweep[i - 1].events),
+                     static_cast<unsigned long long>(sweep[i].events),
+                     sweep[i - 1].injected_ms, sweep[i].injected_ms);
+        return 1;
+      }
+    }
   }
   return 0;
 }

@@ -36,11 +36,6 @@ namespace {
 
 using namespace tetra;
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
 }  // namespace
 
 int main() {
@@ -106,7 +101,7 @@ int main() {
             analysis::measure_chain_latency(timeline, topics).complete;
       }
     }
-    const double elapsed = seconds_since(t0);
+    const double elapsed = bench::seconds_since(t0);
     if (rep == 0 || elapsed < substrate_s) substrate_s = elapsed;
   }
 
@@ -126,7 +121,7 @@ int main() {
         predicted_samples += chain.latency.complete;
       }
     }
-    const double elapsed = seconds_since(t1);
+    const double elapsed = bench::seconds_since(t1);
     if (rep == 0 || elapsed < model_s) model_s = elapsed;
   }
 

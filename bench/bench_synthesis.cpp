@@ -33,24 +33,6 @@ namespace {
 
 using namespace tetra;
 
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-trace::EventVector trace_one_run(std::uint64_t seed, Duration duration) {
-  ros2::Context::Config config;
-  config.seed = seed;
-  ros2::Context ctx(config);
-  ebpf::TracerSuite suite(ctx);
-  suite.start_init();
-  workloads::build_syn_app(ctx);
-  auto init_trace = suite.stop_init();
-  suite.start_runtime();
-  ctx.run_for(duration);
-  return trace::merge_sorted({init_trace, suite.stop_runtime()});
-}
-
 double session_pass(const std::vector<trace::EventVector>& traces,
                     api::SynthesisConfig config, std::size_t* vertices) {
   api::SynthesisSession session(std::move(config));
@@ -60,7 +42,7 @@ double session_pass(const std::vector<trace::EventVector>& traces,
   }
   const auto t0 = std::chrono::steady_clock::now();
   const core::TimingModel model = session.model().value();
-  const double elapsed = seconds_since(t0);
+  const double elapsed = bench::seconds_since(t0);
   if (vertices != nullptr) *vertices = model.dag.vertex_count();
   return elapsed;
 }
@@ -81,7 +63,7 @@ int main() {
   std::vector<trace::EventVector> traces;
   std::size_t total_events = 0;
   for (int run = 0; run < runs; ++run) {
-    traces.push_back(trace_one_run(0xbe7c + static_cast<std::uint64_t>(run),
+    traces.push_back(bench::trace_one_run(0xbe7c + static_cast<std::uint64_t>(run),
                                    duration));
     total_events += traces.back().size();
   }
@@ -111,7 +93,7 @@ int main() {
   warm.ingest(traces[0], {.trace_id = "run-extra", .mode = ""});
   const auto t1 = std::chrono::steady_clock::now();
   warm.model().value();
-  const double incremental_s = seconds_since(t1);
+  const double incremental_s = bench::seconds_since(t1);
 
   const double pool_speedup = pool_s > 0.0 ? stream1_s / pool_s : 0.0;
   const auto rate = [total_events](double s) {

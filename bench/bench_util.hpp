@@ -1,13 +1,21 @@
 // Shared helpers for the reproduction benches: environment-variable knobs
 // for run counts/durations (so CI can run fast while the full paper
-// configuration remains the default) and banner/printing utilities.
+// configuration remains the default), banner/printing utilities, wall-clock
+// timing, the common SYN-app trace producer and mean/std/CI summaries.
 #pragma once
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "ebpf/tracers.hpp"
+#include "ros2/context.hpp"
 #include "support/time.hpp"
+#include "trace/merge.hpp"
+#include "workloads/syn_app.hpp"
 
 namespace tetra::bench {
 
@@ -30,5 +38,51 @@ inline void banner(const std::string& title) {
 }
 
 inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Wall-clock seconds elapsed since `t0`.
+inline double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One traced SYN-app run (init + runtime segments merged) — the standard
+/// trace producer of the self-timed benches.
+inline trace::EventVector trace_one_run(std::uint64_t seed,
+                                        Duration duration) {
+  ros2::Context::Config config;
+  config.seed = seed;
+  ros2::Context ctx(config);
+  ebpf::TracerSuite suite(ctx);
+  suite.start_init();
+  workloads::build_syn_app(ctx);
+  auto init_trace = suite.stop_init();
+  suite.start_runtime();
+  ctx.run_for(duration);
+  return trace::merge_sorted({init_trace, suite.stop_runtime()});
+}
+
+/// Sample statistics of repeated measurements: mean, sample standard
+/// deviation and the 95% normal-approximation confidence half-width.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  ///< 1.96 * stddev / sqrt(n); 0 for n < 2
+};
+
+inline Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n < 2) return s;
+  double sq = 0.0;
+  for (double x : samples) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+  s.ci95 = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
+  return s;
+}
 
 }  // namespace tetra::bench

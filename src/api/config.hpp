@@ -69,6 +69,20 @@ class SynthesisConfig {
     incremental_ = on;
     return *this;
   }
+  /// Tracer-overhead compensation (src/overhead/): estimate the per-probe
+  /// cost from each trace (or take probe_cost_hint) and subtract
+  /// hit-count × cost from every instance's execution time before DAG
+  /// annotation. Disables incremental re-synthesis (the estimate depends
+  /// on the whole trace, so appends invalidate every node).
+  SynthesisConfig& compensate_overhead(bool on) {
+    compensate_overhead_ = on;
+    return *this;
+  }
+  /// Known per-probe-hit cost; zero (default) means estimate per trace.
+  SynthesisConfig& probe_cost_hint(Duration per_hit) {
+    probe_cost_hint_ = per_hit;
+    return *this;
+  }
   /// Full passthrough for callers that already hold core options.
   SynthesisConfig& core_options(const core::SynthesisOptions& options) {
     core_ = options;
@@ -80,6 +94,8 @@ class SynthesisConfig {
   int threads() const { return threads_; }
   const std::string& default_mode() const { return default_mode_; }
   bool incremental() const { return incremental_; }
+  bool compensate_overhead() const { return compensate_overhead_; }
+  Duration probe_cost_hint() const { return probe_cost_hint_; }
   const core::SynthesisOptions& core_options() const { return core_; }
 
  private:
@@ -87,6 +103,8 @@ class SynthesisConfig {
   int threads_ = 1;
   std::string default_mode_ = "nominal";
   bool incremental_ = false;
+  bool compensate_overhead_ = false;
+  Duration probe_cost_hint_ = Duration::zero();
   core::SynthesisOptions core_;
 };
 

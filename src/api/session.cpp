@@ -8,6 +8,7 @@
 
 #include "core/dag_builder.hpp"
 #include "core/extract.hpp"
+#include "overhead/estimator.hpp"
 #include "trace/event_view.hpp"
 #include "trace/serialize.hpp"
 #include "trace/ttb.hpp"
@@ -18,6 +19,23 @@ namespace {
 
 Error make_error(ErrorCode code, std::string message, std::string context) {
   return Error{code, std::move(message), std::move(context)};
+}
+
+/// Extraction options with overhead compensation resolved against one
+/// trace: an explicit probe-cost hint wins, otherwise the per-hit cost is
+/// estimated from the trace itself (zero for probe-free traces, which
+/// makes compensation a no-op).
+core::ExtractOptions compensated_extract(const SynthesisConfig& config,
+                                         const core::TraceIndex& index) {
+  core::ExtractOptions extract = config.core_options().extract;
+  if (config.compensate_overhead() &&
+      extract.compensate_per_hit == Duration::zero()) {
+    extract.compensate_per_hit =
+        config.probe_cost_hint() > Duration::zero()
+            ? config.probe_cost_hint()
+            : overhead::estimate_probe_cost(index).per_hit;
+  }
+  return extract;
 }
 
 }  // namespace
@@ -142,7 +160,8 @@ Result<std::vector<SegmentInfo>> SynthesisSession::ingest_database(
 }
 
 void SynthesisSession::synthesize_trace(TraceState& trace,
-                                        const core::SynthesisOptions& options) {
+                                        const SynthesisConfig& config) {
+  const core::SynthesisOptions& options = config.core_options();
   if (trace.inc) {
     trace.model = trace.inc->model();
     trace.dirty = false;
@@ -153,7 +172,8 @@ void SynthesisSession::synthesize_trace(TraceState& trace,
   core::TraceIndex index;
   for (const auto& segment : trace.segments) index.append(segment);
   core::TimingModel model;
-  model.node_callbacks = core::extract_all_nodes(index, options.extract);
+  model.node_callbacks =
+      core::extract_all_nodes(index, compensated_extract(config, index));
   // Multi-threaded executors yield one per-worker list each; unify them
   // per node before labels are assigned.
   core::merge_worker_lists(model.node_callbacks);
@@ -170,7 +190,6 @@ Error SynthesisSession::synthesize_dirty() {
   }
   if (dirty.empty()) return {};
 
-  const core::SynthesisOptions& options = config_.core_options();
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(config_.threads()),
                             dirty.size());
@@ -179,7 +198,7 @@ Error SynthesisSession::synthesize_dirty() {
   if (workers <= 1) {
     for (std::size_t i = 0; i < dirty.size(); ++i) {
       try {
-        synthesize_trace(*dirty[i], options);
+        synthesize_trace(*dirty[i], config_);
       } catch (const std::exception& e) {
         failures[i] = e.what();
       }
@@ -190,7 +209,7 @@ Error SynthesisSession::synthesize_dirty() {
       for (std::size_t i = next.fetch_add(1); i < dirty.size();
            i = next.fetch_add(1)) {
         try {
-          synthesize_trace(*dirty[i], options);
+          synthesize_trace(*dirty[i], config_);
         } catch (const std::exception& e) {
           failures[i] = e.what();
         } catch (...) {
@@ -231,7 +250,7 @@ Result<core::TimingModel> SynthesisSession::model() {
         }
         core::TimingModel model;
         model.node_callbacks =
-            core::extract_all_nodes(index, config_.core_options().extract);
+            core::extract_all_nodes(index, compensated_extract(config_, index));
         core::merge_worker_lists(model.node_callbacks);
         core::normalize_labels(model.node_callbacks);
         model.dag =
@@ -296,7 +315,7 @@ Result<core::TimingModel> SynthesisSession::trace_model(
   TraceState& trace = traces_[it->second];
   if (trace.dirty) {
     try {
-      synthesize_trace(trace, config_.core_options());
+      synthesize_trace(trace, config_);
     } catch (const std::exception& e) {
       return make_error(ErrorCode::SynthesisFailed, e.what(), trace_id);
     }
@@ -338,7 +357,7 @@ Result<std::size_t> SynthesisSession::release_events(
   TraceState& trace = traces_[it->second];
   if (trace.dirty) {
     try {
-      synthesize_trace(trace, config_.core_options());
+      synthesize_trace(trace, config_);
     } catch (const std::exception& e) {
       return make_error(ErrorCode::SynthesisFailed, e.what(), trace_id);
     }

@@ -137,14 +137,17 @@ class SynthesisSession {
 
   TraceState& trace_for(const IngestOptions& options);
   bool use_incremental() const {
+    // Overhead compensation estimates the probe cost from the whole trace,
+    // so appends invalidate every node — incremental caching cannot help.
     return config_.incremental() &&
-           config_.merge_strategy() == MergeStrategy::MergeDags;
+           config_.merge_strategy() == MergeStrategy::MergeDags &&
+           !config_.compensate_overhead();
   }
   /// Synthesizes every dirty trace (worker pool when threads > 1).
   /// Returns an error naming the first failing trace, if any.
   Error synthesize_dirty();
   static void synthesize_trace(TraceState& trace,
-                               const core::SynthesisOptions& options);
+                               const SynthesisConfig& config);
 
   SynthesisConfig config_;
   std::vector<TraceState> traces_;                ///< ingestion order

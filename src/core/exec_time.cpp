@@ -9,6 +9,7 @@ Duration exec_time_naive(TimePoint start, TimePoint end, Pid pid,
   // Paper Alg. 2. Line numbering follows the pseudocode; the trailing
   // "no event after end" case (the loop running out) is handled after the
   // loop, which the pseudocode leaves implicit.
+  if (end < start) return Duration::zero();  // inverted window: no time
   Duration exec_time = Duration::zero();   // line 1
   TimePoint last_start = start;            // line 2
   bool on_cpu = true;  // the CB start event is emitted from the running thread
@@ -127,6 +128,9 @@ const std::vector<ExecTimeCalculator::Switch>* ExecTimeCalculator::switches_for(
 
 Duration ExecTimeCalculator::exec_time(TimePoint start, TimePoint end,
                                        Pid pid) const {
+  // Inverted windows (corrupt or hand-edited traces) have no well-defined
+  // on-CPU intersection; report zero rather than a negative duration.
+  if (end < start) return Duration::zero();
   const auto* list = switches_for(pid);
   if (list == nullptr) return end - start;  // never switched: ran throughout
   Duration total = Duration::zero();

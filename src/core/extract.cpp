@@ -285,6 +285,10 @@ struct InFlight {
   std::string in_topic;
   std::vector<std::string> out_topics;
   bool is_sync_subscriber = false;
+  /// Probe executions whose cost lands inside the instance's [start, end]
+  /// measurement window (the CB-end exit probe fires after `end` and is
+  /// excluded; rmw_take contributes an entry and an exit probe).
+  std::int64_t probe_hits = 0;
 
   void reset() { *this = InFlight{}; }
 };
@@ -317,16 +321,19 @@ CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
         cb.active = true;
         cb.kind = static_cast<CallbackKind>(v.aux[seq]);
         cb.start = TimePoint{v.time[seq]};
+        cb.probe_hits = 1;
         break;
       }
       case trace::EventType::TimerCall: {  // lines 6-7
         if (!cb.active) break;
         cb.id = static_cast<CallbackId>(v.arg_a[seq]);
+        ++cb.probe_hits;
         break;
       }
       case trace::EventType::Take: {  // lines 8-15
         if (!cb.active) break;
         cb.id = static_cast<CallbackId>(v.arg_a[seq]);
+        cb.probe_hits += 2;  // rmw_take entry + exit probes
         const std::string topic(v.str(v.arg_c[seq]));
         switch (static_cast<trace::TakeKind>(v.aux[seq])) {
           case trace::TakeKind::Response:  // lines 10-11
@@ -344,6 +351,7 @@ CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
       }
       case trace::EventType::DdsWrite: {  // lines 16-23
         if (!cb.active) break;
+        ++cb.probe_hits;
         const std::string topic(v.str(v.arg_c[seq]));
         std::string top_out;
         if (is_service_request_topic(topic)) {  // lines 17-18
@@ -361,18 +369,25 @@ CallbackList extract_callbacks(const TraceIndex& index, Pid pid,
         break;
       }
       case trace::EventType::TakeTypeErased: {  // lines 24-25
+        if (cb.active) ++cb.probe_hits;
         if (v.aux[seq] == 0) cb.reset();
         break;
       }
       case trace::EventType::SyncOperator: {  // lines 26-27
         if (!cb.active) break;
         cb.is_sync_subscriber = true;
+        ++cb.probe_hits;
         break;
       }
       case trace::EventType::CallbackEnd: {  // lines 28-32
         if (!cb.active) break;
         const TimePoint end{v.time[seq]};
-        const Duration et = index.exec_calc().exec_time(cb.start, end, pid);
+        Duration et = index.exec_calc().exec_time(cb.start, end, pid);
+        if (options.compensate_per_hit > Duration::zero() &&
+            cb.probe_hits > 0) {
+          const Duration overhead = options.compensate_per_hit * cb.probe_hits;
+          et = et > overhead ? et - overhead : Duration::zero();
+        }
 
         CallbackRecord instance;
         instance.kind = cb.kind;

@@ -26,6 +26,11 @@ namespace tetra::core {
 struct ExtractOptions {
   /// Also compute waiting times from sched_wakeup events (paper §VII).
   bool compute_waiting_times = false;
+  /// Tracer-overhead compensation (src/overhead/): when positive, each
+  /// instance's execution time is reduced by this per-probe-hit cost times
+  /// the number of probe executions inside its [start, end] window
+  /// (clamped at zero). Zero keeps measurements as-is.
+  Duration compensate_per_hit = Duration::zero();
 };
 
 /// Topic-name suffix conventions by which Alg. 1 classifies dds_write

@@ -1,5 +1,7 @@
 #include "ebpf/tracers.hpp"
 
+#include <algorithm>
+
 #include "trace/merge.hpp"
 #include "trace/serialize.hpp"
 
@@ -9,8 +11,12 @@ namespace tetra::ebpf {
 
 Ros2InitTracer::Ros2InitTracer(ros2::Context& ctx,
                                std::shared_ptr<PidMap> traced_pids,
-                               ProbeCostModel cost_model)
-    : ctx_(ctx), traced_pids_(std::move(traced_pids)), cost_model_(cost_model) {}
+                               ProbeCostModel cost_model,
+                               overhead::OverheadInjector* injector)
+    : ctx_(ctx),
+      traced_pids_(std::move(traced_pids)),
+      cost_model_(cost_model),
+      injector_(injector) {}
 
 void Ros2InitTracer::attach() {
   attached_ = true;
@@ -18,8 +24,10 @@ void Ros2InitTracer::attach() {
                                         const std::string& node_name) {
     if (!attached_) return;
     traced_pids_->update(pid, 1);
-    buffer_.push(trace::make_node_event(t, pid, node_name));
+    const TimePoint ts = injector_ != nullptr ? injector_->stamp(t, pid) : t;
+    buffer_.push(trace::make_node_event(ts, pid, node_name));
     program_.account_run(cost_model_, /*map_ops=*/1, /*submits=*/1);
+    if (injector_ != nullptr) injector_->charge(pid);
   };
 }
 
@@ -41,11 +49,13 @@ Ros2RtTracer::Ros2RtTracer(ros2::Context& ctx,
 
 Ros2RtTracer::Ros2RtTracer(ros2::Context& ctx,
                            std::shared_ptr<PidMap> traced_pids, Options options,
-                           ProbeCostModel cost_model)
+                           ProbeCostModel cost_model,
+                           overhead::OverheadInjector* injector)
     : ctx_(ctx),
       traced_pids_(std::move(traced_pids)),
       options_(options),
       cost_model_(cost_model),
+      injector_(injector),
       buffer_(options.buffer_capacity) {
   auto add = [this](const char* name, AttachType type, const char* target) {
     programs_.emplace(name, Program{name, type, target});
@@ -79,17 +89,39 @@ void Ros2RtTracer::attach() {
   hooks.execute_callback = [this](TimePoint t, Pid pid, CallbackKind kind,
                                   bool is_entry) {
     if (!attached_ || !pid_allowed(pid)) return;
+    if (injector_ != nullptr) {
+      // Instance boundary: the entry probe decides (1-in-K) whether this
+      // instance is traced; suppressed instances pay only the early-exit
+      // cost on every probe until the exit hook closes the window.
+      if (is_entry) {
+        if (!injector_->begin_instance(pid)) {
+          injector_->charge_skip(pid);
+          return;
+        }
+      } else {
+        const bool traced = injector_->instance_traced(pid);
+        injector_->end_instance(pid);
+        if (!traced) {
+          injector_->charge_skip(pid);
+          return;
+        }
+      }
+    }
     Program& program = programs_.at(is_entry ? "tetra_execute_entry"
                                              : "tetra_execute_exit");
-    submit(is_entry ? trace::make_callback_start(t, pid, kind)
-                    : trace::make_callback_end(t, pid, kind),
+    const TimePoint ts = stamped(t, pid);
+    submit(is_entry ? trace::make_callback_start(ts, pid, kind)
+                    : trace::make_callback_end(ts, pid, kind),
            program, /*map_ops=*/0);
+    charge(pid);
   };
 
   hooks.rcl_timer_call = [this](TimePoint t, Pid pid, CallbackId id) {
     if (!attached_ || !pid_allowed(pid)) return;
-    submit(trace::make_timer_call(t, pid, id),
+    if (sampled_out(pid)) return;
+    submit(trace::make_timer_call(stamped(t, pid), pid, id),
            programs_.at("tetra_rcl_timer_call"), /*map_ops=*/0);
+    charge(pid);
   };
 
   // The srcTS technique (paper §III-A): the entry probe can read the
@@ -101,46 +133,57 @@ void Ros2RtTracer::attach() {
                                 std::uint64_t addr, CallbackId cb,
                                 const std::string& topic) {
     if (!attached_ || !pid_allowed(pid)) return;
+    if (sampled_out(pid)) return;
     take_stash_.update(stash_key(pid, addr), StashValue{kind, cb, topic});
     programs_.at("tetra_rmw_take_entry")
         .account_run(cost_model_, /*map_ops=*/1, /*submits=*/0);
+    charge(pid);
   };
 
   hooks.rmw_take_exit = [this](TimePoint t, Pid pid, trace::TakeKind kind,
                                std::uint64_t addr, TimePoint src_ts) {
     if (!attached_ || !pid_allowed(pid)) return;
+    if (sampled_out(pid)) return;
     Program& program = programs_.at("tetra_rmw_take_exit");
     const StashKey key = stash_key(pid, addr);
     auto stashed = take_stash_.lookup(key);
     if (!stashed.has_value()) {
       // Exit without a matching entry (tracer attached mid-call): drop.
       program.account_run(cost_model_, /*map_ops=*/1, /*submits=*/0);
+      charge(pid);
       return;
     }
     take_stash_.erase(key);
-    submit(trace::make_take(t, pid, kind, stashed->callback_id, stashed->topic,
-                            src_ts),
+    submit(trace::make_take(stamped(t, pid), pid, kind, stashed->callback_id,
+                            stashed->topic, src_ts),
            program, /*map_ops=*/2);
+    charge(pid);
   };
 
   hooks.take_type_erased_response = [this](TimePoint t, Pid pid, bool taken) {
     if (!attached_ || !pid_allowed(pid)) return;
-    submit(trace::make_take_type_erased(t, pid, taken),
+    if (sampled_out(pid)) return;
+    submit(trace::make_take_type_erased(stamped(t, pid), pid, taken),
            programs_.at("tetra_take_type_erased"), /*map_ops=*/0);
+    charge(pid);
   };
 
   hooks.message_filter_operator = [this](TimePoint t, Pid pid, CallbackId id) {
     if (!attached_ || !pid_allowed(pid)) return;
-    submit(trace::make_sync_operator(t, pid, id),
+    if (sampled_out(pid)) return;
+    submit(trace::make_sync_operator(stamped(t, pid), pid, id),
            programs_.at("tetra_msg_filter_op"), /*map_ops=*/0);
+    charge(pid);
   };
 
   ctx_.domain().set_hooks(dds::DdsHooks{
       [this](TimePoint t, Pid pid, const std::string& topic, TimePoint src_ts,
              std::size_t) {
         if (!attached_ || !pid_allowed(pid)) return;
-        submit(trace::make_dds_write(t, pid, topic, src_ts),
+        if (sampled_out(pid)) return;
+        submit(trace::make_dds_write(stamped(t, pid), pid, topic, src_ts),
                programs_.at("tetra_dds_write"), /*map_ops=*/0);
+        charge(pid);
       }});
 }
 
@@ -247,10 +290,16 @@ TracerSuite::TracerSuite(ros2::Context& ctx) : TracerSuite(ctx, Options{}) {}
 
 TracerSuite::TracerSuite(ros2::Context& ctx, Options options)
     : ctx_(ctx), traced_pids_(std::make_shared<PidMap>(4096)) {
+  if (options.probe_profile.active()) {
+    injector_ = std::make_unique<overhead::OverheadInjector>(
+        ctx_.machine(), options.probe_profile);
+  }
   init_ = std::make_unique<Ros2InitTracer>(ctx_, traced_pids_,
-                                           options.cost_model);
+                                           options.cost_model, injector_.get());
   rt_ = std::make_unique<Ros2RtTracer>(ctx_, traced_pids_, options.rt,
-                                        options.cost_model);
+                                        options.cost_model, injector_.get());
+  // Kernel tracepoints are not injected: sched events already shift
+  // because the injected debt physically delays the traced threads.
   kernel_ = std::make_unique<KernelTracer>(ctx_.machine(), traced_pids_,
                                            options.kernel, options.cost_model);
 }
@@ -279,6 +328,16 @@ trace::EventVector TracerSuite::stop_runtime() {
   traced_elapsed_ += ctx_.simulator().now() - runtime_started_;
   trace::EventVector rt_events = rt_->buffer().drain();
   trace::EventVector kernel_events = kernel_->buffer().drain();
+  if (injector_ != nullptr && injector_->injects()) {
+    // Stamped timestamps are monotone per pid but not across pids (a
+    // thread deep in probe debt stamps ahead of a lightly-probed one);
+    // merge_sorted below requires globally sorted inputs. The stable sort
+    // preserves per-pid causal order on ties.
+    std::stable_sort(rt_events.begin(), rt_events.end(),
+                     [](const trace::TraceEvent& a, const trace::TraceEvent& b) {
+                       return a.time < b.time;
+                     });
+  }
   bytes_collected_ += trace::binary_footprint_bytes(rt_events) +
                       trace::binary_footprint_bytes(kernel_events);
   events_collected_ += rt_events.size() + kernel_events.size();
@@ -293,6 +352,12 @@ OverheadReport TracerSuite::overhead_report() const {
   report.app_busy_time = ctx_.machine().total_busy_time();
   report.trace_bytes = bytes_collected_;
   report.events = events_collected_;
+  if (injector_ != nullptr) {
+    report.injected_time = injector_->injected_total();
+    report.probe_hits = injector_->charges();
+    report.instances_total = injector_->instances_total();
+    report.instances_sampled = injector_->instances_sampled();
+  }
   return report;
 }
 

@@ -20,6 +20,8 @@
 
 #include "ebpf/bpf_map.hpp"
 #include "ebpf/program.hpp"
+#include "overhead/injector.hpp"
+#include "overhead/profile.hpp"
 #include "ros2/context.hpp"
 #include "trace/trace_buffer.hpp"
 
@@ -32,7 +34,8 @@ using PidMap = BpfMap<Pid, std::uint8_t>;
 class Ros2InitTracer {
  public:
   Ros2InitTracer(ros2::Context& ctx, std::shared_ptr<PidMap> traced_pids,
-                 ProbeCostModel cost_model = {});
+                 ProbeCostModel cost_model = {},
+                 overhead::OverheadInjector* injector = nullptr);
 
   /// Installs the P1 uprobe handler. Must run before nodes are created.
   void attach();
@@ -47,6 +50,7 @@ class Ros2InitTracer {
   ros2::Context& ctx_;
   std::shared_ptr<PidMap> traced_pids_;
   ProbeCostModel cost_model_;
+  overhead::OverheadInjector* injector_ = nullptr;
   Program program_{"tetra_p1_rmw_create_node", AttachType::Uprobe,
                    "rmw_cyclonedds_cpp:rmw_create_node"};
   trace::TraceBuffer buffer_{1u << 12};
@@ -68,7 +72,8 @@ class Ros2RtTracer {
 
   Ros2RtTracer(ros2::Context& ctx, std::shared_ptr<PidMap> traced_pids);
   Ros2RtTracer(ros2::Context& ctx, std::shared_ptr<PidMap> traced_pids,
-               Options options, ProbeCostModel cost_model = {});
+               Options options, ProbeCostModel cost_model = {},
+               overhead::OverheadInjector* injector = nullptr);
 
   void attach();
   void detach();
@@ -98,10 +103,28 @@ class Ros2RtTracer {
   bool pid_allowed(Pid pid) const;
   void submit(trace::TraceEvent event, Program& program, int map_ops);
 
+  /// Event timestamp as a probed backend would record it (hook time plus
+  /// the thread's pending probe debt); hook time when tracing is free.
+  TimePoint stamped(TimePoint t, Pid pid) const {
+    return injector_ != nullptr ? injector_->stamp(t, pid) : t;
+  }
+  /// Charges one probe execution to the traced thread (no-op when free).
+  void charge(Pid pid) {
+    if (injector_ != nullptr) injector_->charge(pid);
+  }
+  /// True when 1-in-K sampling suppressed this probe hit for `pid`'s
+  /// current callback instance (the probe early-exits; charges skip cost).
+  bool sampled_out(Pid pid) {
+    if (injector_ == nullptr || injector_->instance_traced(pid)) return false;
+    injector_->charge_skip(pid);
+    return true;
+  }
+
   ros2::Context& ctx_;
   std::shared_ptr<PidMap> traced_pids_;
   Options options_;
   ProbeCostModel cost_model_;
+  overhead::OverheadInjector* injector_ = nullptr;
   BpfMap<StashKey, StashValue> take_stash_{1024};
   std::map<std::string, Program> programs_;
   trace::TraceBuffer buffer_;
@@ -158,6 +181,13 @@ struct OverheadReport {
   std::size_t trace_bytes = 0;                ///< compact record footprint
   std::uint64_t events = 0;
 
+  // Injected-overhead accounting (zero under the free profile) ------------
+  /// Simulated time the probes consumed on the traced threads.
+  Duration injected_time = Duration::zero();
+  std::uint64_t probe_hits = 0;            ///< charged probe executions
+  std::uint64_t instances_total = 0;       ///< callback instances observed
+  std::uint64_t instances_sampled = 0;     ///< instances actually traced
+
   /// Average CPU cores consumed by the probes (bpftool-style).
   double cpu_cores() const {
     return elapsed > Duration::zero()
@@ -183,12 +213,17 @@ class TracerSuite {
     Ros2RtTracer::Options rt;
     KernelTracer::Options kernel;
     ProbeCostModel cost_model;
+    /// Per-probe cost/sampling profile; the default "free" profile keeps
+    /// the legacy zero-overhead behaviour.
+    overhead::ProbeCostProfile probe_profile;
   };
 
   explicit TracerSuite(ros2::Context& ctx);
   TracerSuite(ros2::Context& ctx, Options options);
 
   Ros2InitTracer& init_tracer() { return *init_; }
+  /// Non-null when the suite runs with an active (non-free) profile.
+  const overhead::OverheadInjector* injector() const { return injector_.get(); }
   Ros2RtTracer& rt_tracer() { return *rt_; }
   KernelTracer& kernel_tracer() { return *kernel_; }
   std::shared_ptr<PidMap> traced_pids() { return traced_pids_; }
@@ -211,6 +246,7 @@ class TracerSuite {
  private:
   ros2::Context& ctx_;
   std::shared_ptr<PidMap> traced_pids_;
+  std::unique_ptr<overhead::OverheadInjector> injector_;
   std::unique_ptr<Ros2InitTracer> init_;
   std::unique_ptr<Ros2RtTracer> rt_;
   std::unique_ptr<KernelTracer> kernel_;

@@ -1,0 +1,86 @@
+#include "overhead/estimator.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "support/statistics.hpp"
+
+namespace tetra::overhead {
+
+namespace {
+
+// Gaps wider than this are not probe overhead (no real backend costs
+// milliseconds per hit); guards against malformed traces.
+constexpr std::int64_t kOutlierNs = 10'000'000;
+
+struct Fit {
+  long double delta_sum = 0;
+  std::uint64_t hit_sum = 0;
+  RunningStats per_hit;
+
+  void add(std::int64_t delta_ns, int hits) {
+    if (delta_ns < 0 || delta_ns > kOutlierNs) return;
+    delta_sum += static_cast<long double>(delta_ns);
+    hit_sum += static_cast<std::uint64_t>(hits);
+    per_hit.add(static_cast<double>(delta_ns) / hits);
+  }
+};
+
+}  // namespace
+
+OverheadEstimate estimate_probe_cost(const core::TraceIndex& index) {
+  const trace::ColumnsView v = index.view();
+  Fit fit;
+  for (const auto& [pid, name] : index.nodes()) {
+    (void)name;
+    // Walk the pid's chronological ROS2 events tracking the previous
+    // zero-work anchor (callback start or take).
+    enum class Prev { Other, Start, Take };
+    Prev prev = Prev::Other;
+    std::int64_t prev_time = 0;
+    for (const std::size_t seq : index.ros_events_of(pid)) {
+      const auto type = static_cast<trace::EventType>(v.type[seq]);
+      const std::int64_t t = v.time[seq];
+      switch (type) {
+        case trace::EventType::CallbackStart:
+          prev = Prev::Start;
+          prev_time = t;
+          break;
+        case trace::EventType::TimerCall:
+          if (prev == Prev::Start) fit.add(t - prev_time, 1);
+          prev = Prev::Other;
+          break;
+        case trace::EventType::Take:
+          // rmw_take runs an entry and an exit probe: two hits between
+          // the callback-start stamp and the take stamp.
+          if (prev == Prev::Start) fit.add(t - prev_time, 2);
+          prev = Prev::Take;
+          prev_time = t;
+          break;
+        case trace::EventType::SyncOperator:
+        case trace::EventType::TakeTypeErased:
+          if (prev == Prev::Take) fit.add(t - prev_time, 1);
+          prev = Prev::Other;
+          break;
+        default:
+          prev = Prev::Other;
+          break;
+      }
+    }
+  }
+
+  OverheadEstimate est;
+  est.samples = fit.per_hit.count();
+  if (fit.hit_sum > 0) {
+    est.per_hit = Duration::ns(static_cast<std::int64_t>(
+        std::llroundl(fit.delta_sum / static_cast<long double>(fit.hit_sum))));
+    est.stddev_ns = fit.per_hit.stddev();
+  }
+  return est;
+}
+
+OverheadEstimate estimate_probe_cost(const trace::EventVector& events) {
+  return estimate_probe_cost(core::TraceIndex(events));
+}
+
+}  // namespace tetra::overhead

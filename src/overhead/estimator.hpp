@@ -1,0 +1,40 @@
+// Estimates the per-probe tracer cost from a trace itself.
+//
+// The estimator exploits the known probe placement (trace::ProbeId): in
+// the instrumented rclcpp/rmw code paths several probe pairs fire with
+// *zero* application work between them — execute_callback is followed
+// immediately by rcl_timer_call (timers) or rmw_take (subscriptions /
+// services / clients), rmw_take by the message-filter operator or the
+// client's take_type_erased. Any timestamp gap inside such a pair is
+// pure probe overhead, and because rmw_take runs an entry *and* an exit
+// probe it contributes two hits. Fitting one constant through all pairs
+// (weighted by hit count) recovers the per-hit cost; a probe-free trace
+// has zero gaps and estimates zero.
+#pragma once
+
+#include <cstddef>
+
+#include "core/extract.hpp"
+#include "support/time.hpp"
+#include "trace/event.hpp"
+
+namespace tetra::overhead {
+
+struct OverheadEstimate {
+  /// Fitted per-probe-hit cost (zero for probe-free traces).
+  Duration per_hit = Duration::zero();
+  /// Number of zero-work probe pairs the fit used.
+  std::size_t samples = 0;
+  /// Standard deviation of the per-hit samples (jitter indicator).
+  double stddev_ns = 0.0;
+
+  bool usable() const { return samples > 0; }
+};
+
+/// Fits the per-hit probe cost over every node pid in the index.
+OverheadEstimate estimate_probe_cost(const core::TraceIndex& index);
+
+/// Convenience overload: indexes `events` and fits.
+OverheadEstimate estimate_probe_cost(const trace::EventVector& events);
+
+}  // namespace tetra::overhead

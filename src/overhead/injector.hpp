@@ -1,0 +1,130 @@
+// Applies a ProbeCostProfile to the running substrate: stamps the
+// timestamps a probed tracer would observe and charges each probe
+// execution to the traced thread as scheduler debt (Thread::
+// inject_overhead), so downstream events are physically delayed.
+//
+// Timestamping model: a real probe reads the clock at entry, then burns
+// its cost before the application resumes. The simulator fires all
+// same-instant hooks at one `now`, so the injector keeps a per-thread
+// pending-debt ledger: an event is stamped at now + pending(pid), and
+// the probe's own (jittered) cost is charged afterwards. Per-pid stamps
+// are monotone; the suite re-sorts the shared buffer across pids.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "overhead/profile.hpp"
+#include "sched/machine.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+#include "support/time.hpp"
+
+namespace tetra::overhead {
+
+class OverheadInjector {
+ public:
+  OverheadInjector(sched::Machine& machine, ProbeCostProfile profile)
+      : machine_(machine), profile_(std::move(profile)), rng_(profile_.seed) {}
+
+  const ProbeCostProfile& profile() const { return profile_; }
+  bool injects() const { return profile_.injects(); }
+  bool sampling() const { return profile_.sample_every > 1; }
+
+  /// Timestamp a probe firing at hook-time `now` on `pid` records: the
+  /// hook time plus the thread's not-yet-consumed probe debt. Pids
+  /// without a simulated thread (external writers) are never delayed.
+  TimePoint stamp(TimePoint now, Pid pid) {
+    const sched::Thread* t = thread_of(pid);
+    return t != nullptr ? now + t->pending_overhead() : now;
+  }
+
+  /// Charges one full probe execution (constant + jitter) to `pid`.
+  void charge(Pid pid) { charge_amount(pid, sample_cost()); }
+
+  /// Charges the early-exit cost of a probe whose instance is sampled out.
+  void charge_skip(Pid pid) { charge_amount(pid, profile_.skip_cost); }
+
+  /// Decides whether the callback instance beginning now on `pid` is
+  /// traced (1-in-K, deterministic in (seed, pid, instance ordinal)).
+  bool begin_instance(Pid pid) {
+    ++instances_;
+    const std::uint64_t ordinal = instance_counter_[pid]++;
+    bool traced = true;
+    if (sampling()) {
+      traced = sample_hash(pid, ordinal) % profile_.sample_every == 0;
+    }
+    instance_traced_[pid] = traced;
+    if (traced) ++sampled_;
+    return traced;
+  }
+  /// True when the instance currently executing on `pid` is traced.
+  /// Pids outside any begin/end window (external writers) count as traced.
+  bool instance_traced(Pid pid) const {
+    const auto it = instance_traced_.find(pid);
+    return it == instance_traced_.end() || it->second;
+  }
+  void end_instance(Pid pid) { instance_traced_[pid] = true; }
+
+  // --- accounting ---------------------------------------------------------
+  Duration injected_total() const { return injected_; }
+  std::uint64_t charges() const { return charges_; }
+  std::uint64_t instances_total() const { return instances_; }
+  std::uint64_t instances_sampled() const { return sampled_; }
+
+ private:
+  sched::Thread* thread_of(Pid pid) {
+    const auto it = thread_cache_.find(pid);
+    if (it != thread_cache_.end()) return it->second;
+    sched::Thread* t = machine_.thread_by_pid(pid);
+    // Misses are not cached: a pid probed before its thread registers
+    // (and external writer pids, which never do) must stay re-resolvable.
+    if (t != nullptr) thread_cache_.emplace(pid, t);
+    return t;
+  }
+
+  Duration sample_cost() {
+    Duration c = profile_.cost;
+    if (profile_.jitter > Duration::zero()) {
+      const std::int64_t j = profile_.jitter.count_ns();
+      c += Duration::ns(rng_.uniform_int(-j, j));
+    }
+    return c < Duration::zero() ? Duration::zero() : c;
+  }
+
+  void charge_amount(Pid pid, Duration cost) {
+    if (cost <= Duration::zero()) return;
+    sched::Thread* t = thread_of(pid);
+    if (t == nullptr) return;  // external pid: nothing to slow down
+    t->inject_overhead(cost);
+    injected_ += cost;
+    ++charges_;
+  }
+
+  std::uint64_t sample_hash(Pid pid, std::uint64_t ordinal) const {
+    // SplitMix64 over (seed, pid, ordinal): stable across runs and
+    // independent of the jitter stream's consumption order.
+    std::uint64_t x = profile_.seed ^ (static_cast<std::uint64_t>(pid) *
+                                       0x9e37'79b9'7f4a'7c15ULL) ^
+                      (ordinal * 0xbf58'476d'1ce4'e5b9ULL);
+    x ^= x >> 30;
+    x *= 0xbf58'476d'1ce4'e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d0'49bb'1331'11ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  sched::Machine& machine_;
+  ProbeCostProfile profile_;
+  Rng rng_;
+  std::map<Pid, sched::Thread*> thread_cache_;
+  std::map<Pid, std::uint64_t> instance_counter_;
+  std::map<Pid, bool> instance_traced_;
+  Duration injected_ = Duration::zero();
+  std::uint64_t charges_ = 0;
+  std::uint64_t instances_ = 0;
+  std::uint64_t sampled_ = 0;
+};
+
+}  // namespace tetra::overhead

@@ -1,0 +1,94 @@
+#include "overhead/profile.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tetra::overhead {
+
+namespace {
+
+ProbeCostProfile make(std::string backend, Duration cost, Duration jitter,
+                      Duration skip) {
+  ProbeCostProfile p;
+  p.backend = std::move(backend);
+  p.cost = cost;
+  p.jitter = jitter;
+  p.skip_cost = skip;
+  return p;
+}
+
+}  // namespace
+
+std::optional<ProbeCostProfile> ProbeCostProfile::preset(std::string_view name) {
+  // Costs follow the uprobe-vs-USDT-vs-LTTng benchmarking consensus: a
+  // uprobe traps into the kernel (~5 µs, noticeably noisy), USDT is a
+  // lighter trap, LTTng writes to a user-space ring buffer.
+  if (name == "free") return make("free", Duration::zero(), Duration::zero(), Duration::zero());
+  if (name == "uprobe") return make("uprobe", Duration::us(5), Duration::ns(500), Duration::ns(600));
+  if (name == "usdt") return make("usdt", Duration::ns(1500), Duration::ns(150), Duration::ns(200));
+  if (name == "lttng") return make("lttng", Duration::ns(200), Duration::ns(20), Duration::ns(50));
+  return std::nullopt;
+}
+
+std::optional<Duration> parse_duration(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return std::nullopt;
+  const std::string number(text.substr(0, i));
+  char* end = nullptr;
+  const double value = std::strtod(number.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  const std::string_view unit = text.substr(i);
+  double scale = 1.0;  // bare number = nanoseconds
+  if (unit == "ns" || unit.empty()) {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else {
+    return std::nullopt;
+  }
+  return Duration::ns(static_cast<std::int64_t>(value * scale + 0.5));
+}
+
+std::optional<ProbeCostProfile> ProbeCostProfile::parse(std::string_view spec) {
+  if (auto p = preset(spec)) return p;
+  std::string_view cost_text = spec;
+  std::string_view jitter_text;
+  if (const auto tilde = spec.find('~'); tilde != std::string_view::npos) {
+    cost_text = spec.substr(0, tilde);
+    jitter_text = spec.substr(tilde + 1);
+  }
+  const auto cost = parse_duration(cost_text);
+  if (!cost || *cost < Duration::zero()) return std::nullopt;
+  Duration jitter = Duration::zero();
+  if (!jitter_text.empty()) {
+    const auto j = parse_duration(jitter_text);
+    if (!j || *j < Duration::zero()) return std::nullopt;
+    jitter = *j;
+  }
+  // Custom profiles model the same early-exit path as a uprobe filter:
+  // a fixed fraction of the full probe cost.
+  return make("custom", *cost, jitter, *cost / 8);
+}
+
+std::string ProbeCostProfile::describe() const {
+  std::string out = backend + " (" + std::to_string(cost.count_ns()) + "ns";
+  if (jitter > Duration::zero()) {
+    out += " ± " + std::to_string(jitter.count_ns()) + "ns";
+  }
+  if (sample_every > 1) {
+    out += ", 1-in-" + std::to_string(sample_every);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tetra::overhead

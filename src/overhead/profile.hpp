@@ -1,0 +1,56 @@
+// Per-probe cost profiles for tracer-overhead injection.
+//
+// Real tracing backends are not free: a uprobe costs a near-constant
+// ~5 µs per hit (trap into the kernel and back), a USDT probe ~1.5 µs,
+// an LTTng tracepoint a few hundred ns. A ProbeCostProfile describes
+// that cost (constant + seeded jitter) plus an optional 1-in-K instance
+// sampling mode; the OverheadInjector applies it to the simulated
+// tracers so every probe hit consumes time on the traced thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/time.hpp"
+
+namespace tetra::overhead {
+
+struct ProbeCostProfile {
+  /// Preset name ("uprobe", "usdt", "lttng", "free") or "custom".
+  std::string backend = "free";
+  /// Constant cost charged to the traced thread per probe execution.
+  Duration cost = Duration::zero();
+  /// Half-range of uniform per-hit jitter around `cost` (seeded).
+  Duration jitter = Duration::zero();
+  /// Cost of a probe that early-exits because the current callback
+  /// instance is sampled out (the filter map lookup still runs).
+  Duration skip_cost = Duration::zero();
+  /// Seed for the jitter stream and the sampling hash.
+  std::uint64_t seed = 0x0ead'bee7ULL;
+  /// Trace 1 in K callback instances per pid (1 = trace everything).
+  unsigned sample_every = 1;
+
+  /// True when probe hits consume simulated time.
+  bool injects() const {
+    return cost > Duration::zero() || jitter > Duration::zero();
+  }
+  /// True when the profile changes tracer behaviour at all.
+  bool active() const { return injects() || sample_every > 1; }
+
+  /// Named preset; unknown names return std::nullopt.
+  static std::optional<ProbeCostProfile> preset(std::string_view name);
+
+  /// Parses "uprobe" | "usdt" | "lttng" | "free" | "COST[~JITTER]" where
+  /// COST/JITTER are durations like "5us", "500ns", "1ms", or bare ns.
+  static std::optional<ProbeCostProfile> parse(std::string_view spec);
+
+  /// Human-readable one-liner ("uprobe (5us ± 500ns)").
+  std::string describe() const;
+};
+
+/// Parses "12ns" / "5us" / "3ms" / "1s" / bare integer (= ns).
+std::optional<Duration> parse_duration(std::string_view text);
+
+}  // namespace tetra::overhead

@@ -1,8 +1,11 @@
 #include "scenario/runner.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "api/session.hpp"
+#include "overhead/estimator.hpp"
 #include "trace/merge.hpp"
 
 namespace tetra::scenario {
@@ -131,7 +134,13 @@ ScenarioRunner::TracedRun ScenarioRunner::trace_run(
   config.seed = spec.seed * 1000003ULL + run_index + 0x7e74ULL;
   ros2::Context ctx(config);
 
-  ebpf::TracerSuite suite(ctx);
+  ebpf::TracerSuite::Options suite_options;
+  suite_options.probe_profile = options_.probe_profile;
+  // Mix the run seed into the jitter/sampling seed: re-running the same
+  // (spec, profile, run_index) reproduces the trace byte for byte, while
+  // distinct runs draw independent jitter.
+  suite_options.probe_profile.seed ^= config.seed;
+  ebpf::TracerSuite suite(ctx, suite_options);
   suite.start_init();
   ScenarioInstance instance = instantiate(ctx, spec, demand_scale);
   if (options_.interference_threads > 0) {
@@ -155,7 +164,8 @@ api::SynthesisConfig ScenarioRunner::session_config(
   return api::SynthesisConfig()
       .merge_strategy(strategy)
       .core_options(options_.synthesis)
-      .threads(options_.threads);
+      .threads(options_.threads)
+      .compensate_overhead(options_.compensate_overhead);
 }
 
 ScenarioRunResult ScenarioRunner::run(const ScenarioSpec& spec,
@@ -206,6 +216,83 @@ core::MultiModeDag ScenarioRunner::run_modes(const ScenarioSpec& spec) const {
                              result.error().to_string());
   }
   return std::move(result).take();
+}
+
+namespace {
+
+core::TimingModel synthesize_events(const trace::EventVector& events,
+                                    api::SynthesisConfig config) {
+  api::SynthesisSession session(std::move(config));
+  session.ingest(events, {.trace_id = "round-trip", .mode = ""});
+  api::Result<core::TimingModel> model = session.model();
+  if (!model.ok()) {
+    throw std::runtime_error("round-trip synthesis failed: " +
+                             model.error().to_string());
+  }
+  return std::move(model).take();
+}
+
+OverheadRoundTrip compare_to_truth(const core::Dag& truth,
+                                   const core::Dag& probed) {
+  OverheadRoundTrip result;
+  double abs_sum = 0.0;
+  for (const auto& vertex : truth.vertices()) {
+    const core::DagVertex* other = probed.find_vertex(vertex.key);
+    if (other == nullptr) {
+      ++result.unmatched;
+      continue;
+    }
+    OverheadRoundTrip::Entry entry;
+    entry.label = vertex.key;
+    entry.truth_ns = vertex.macet().count_ns();
+    entry.measured_ns = other->macet().count_ns();
+    const double err =
+        std::abs(static_cast<double>(entry.measured_ns - entry.truth_ns));
+    abs_sum += err;
+    if (err > result.max_abs_error_ns) result.max_abs_error_ns = err;
+    result.entries.push_back(std::move(entry));
+    ++result.matched;
+  }
+  for (const auto& vertex : probed.vertices()) {
+    if (truth.find_vertex(vertex.key) == nullptr) ++result.unmatched;
+  }
+  if (result.matched > 0) {
+    result.mean_abs_error_ns = abs_sum / static_cast<double>(result.matched);
+  }
+  return result;
+}
+
+}  // namespace
+
+OverheadRoundTripResult run_overhead_round_trip(
+    const ScenarioSpec& spec, const overhead::ProbeCostProfile& profile,
+    const RunnerOptions& base) {
+  // Ground truth: the same run under a cost-free tracer.
+  RunnerOptions free_options = base;
+  free_options.probe_profile = overhead::ProbeCostProfile{};
+  free_options.compensate_overhead = false;
+  const ScenarioRunResult truth = ScenarioRunner(free_options).run(spec);
+
+  // One probed run; its merged trace is synthesized both ways below, so
+  // the comparison isolates compensation (not run-to-run variation).
+  RunnerOptions probed_options = base;
+  probed_options.probe_profile = profile;
+  probed_options.compensate_overhead = false;
+  ScenarioRunner probed_runner(probed_options);
+  const ScenarioRunResult probed = probed_runner.run(spec);
+
+  OverheadRoundTripResult result;
+  result.overhead = probed.overhead;
+  result.estimated_per_hit =
+      overhead::estimate_probe_cost(probed.trace).per_hit;
+  result.uncompensated =
+      compare_to_truth(truth.model.dag, probed.model.dag);
+  const core::TimingModel compensated = synthesize_events(
+      probed.trace,
+      probed_runner.session_config(api::MergeStrategy::MergeTraces)
+          .compensate_overhead(true));
+  result.compensated = compare_to_truth(truth.model.dag, compensated.dag);
+  return result;
 }
 
 }  // namespace tetra::scenario

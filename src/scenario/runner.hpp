@@ -15,6 +15,7 @@
 #include "core/model_synthesis.hpp"
 #include "dds/domain.hpp"
 #include "ebpf/tracers.hpp"
+#include "overhead/profile.hpp"
 #include "ros2/context.hpp"
 #include "sched/interference.hpp"
 #include "scenario/spec.hpp"
@@ -30,6 +31,14 @@ struct RunnerOptions {
   /// Worker threads for the synthesis session (per-trace parallelism in
   /// multi-run/multi-mode synthesis).
   int threads = 1;
+  /// Per-probe tracer cost injected into every run (src/overhead/). The
+  /// profile's jitter seed is mixed with the run seed, so distinct runs
+  /// draw distinct jitter while identical (spec, profile) runs stay
+  /// byte-reproducible.
+  overhead::ProbeCostProfile probe_profile;
+  /// Estimate the injected probe cost from each trace and subtract it from
+  /// execution-time statistics during synthesis.
+  bool compensate_overhead = false;
 };
 
 /// Handles to a spec instantiated into a Context. Owns the untraced
@@ -70,6 +79,8 @@ class ScenarioRunner {
 
   const RunnerOptions& options() const { return options_; }
 
+  api::SynthesisConfig session_config(api::MergeStrategy strategy) const;
+
  private:
   /// One traced simulation without synthesis: the init/runtime tracer
   /// outputs are returned as separate segments for session ingestion.
@@ -80,9 +91,39 @@ class ScenarioRunner {
   };
   TracedRun trace_run(const ScenarioSpec& spec, double demand_scale,
                       std::uint64_t run_index) const;
-  api::SynthesisConfig session_config(api::MergeStrategy strategy) const;
 
   RunnerOptions options_;
 };
+
+/// Per-vertex comparison of a probed model against the probe-free truth.
+struct OverheadRoundTrip {
+  struct Entry {
+    std::string label;
+    std::int64_t truth_ns = 0;     ///< free-trace mACET
+    std::int64_t measured_ns = 0;  ///< probed-trace mACET
+  };
+  std::vector<Entry> entries;
+  std::size_t matched = 0;    ///< vertices present in both models
+  std::size_t unmatched = 0;  ///< vertices missing on either side
+  double mean_abs_error_ns = 0.0;
+  double max_abs_error_ns = 0.0;
+};
+
+/// Round-trip validation of overhead compensation (ISSUE 8 acceptance):
+/// runs `spec` probe-free for the ground-truth model, runs it once under
+/// `profile`, then synthesizes that single probed trace twice — with and
+/// without compensation — and compares per-vertex mean execution times
+/// against the truth. A working estimator makes `compensated` much closer
+/// to the truth than `uncompensated`.
+struct OverheadRoundTripResult {
+  OverheadRoundTrip compensated;
+  OverheadRoundTrip uncompensated;
+  Duration estimated_per_hit;  ///< estimator output on the probed trace
+  ebpf::OverheadReport overhead;  ///< of the probed run
+};
+
+OverheadRoundTripResult run_overhead_round_trip(
+    const ScenarioSpec& spec, const overhead::ProbeCostProfile& profile,
+    const RunnerOptions& base = {});
 
 }  // namespace tetra::scenario

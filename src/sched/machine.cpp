@@ -207,6 +207,8 @@ void Machine::service(CpuId cpu_id) {
     in_thread_context_ = false;
     context_thread_ = nullptr;
 
+    consume_overhead(*t);
+
     switch (t->request_) {
       case Thread::Request::Compute:
         t->remaining_ = t->request_duration_;
@@ -235,6 +237,49 @@ void Machine::service(CpuId cpu_id) {
                                "' continuation made no scheduling request");
     }
     t->request_ = Thread::Request::None;
+  }
+}
+
+void Machine::consume_overhead(Thread& thread) {
+  if (thread.overhead_pending_ <= Duration::zero()) return;
+  const Duration debt = thread.overhead_pending_;
+  thread.overhead_pending_ = Duration::zero();
+  thread.overhead_consumed_ += debt;
+  Thread* t = &thread;
+  switch (thread.request_) {
+    case Thread::Request::Compute:
+      // Probe executions ran on this thread before/within the burst; the
+      // burst simply takes longer.
+      thread.request_duration_ += debt;
+      break;
+    case Thread::Request::Block: {
+      // Burn the debt on-CPU first, then re-issue the block. The rewritten
+      // continuation runs in thread context, where block() is legal.
+      Thread::Continuation k = std::move(thread.request_continuation_);
+      thread.request_ = Thread::Request::Compute;
+      thread.request_duration_ = debt;
+      thread.request_continuation_ = [t, k = std::move(k)]() mutable {
+        t->block(std::move(k));
+      };
+      break;
+    }
+    case Thread::Request::Sleep: {
+      Thread::Continuation k = std::move(thread.request_continuation_);
+      const Duration delay = thread.request_duration_;
+      thread.request_ = Thread::Request::Compute;
+      thread.request_duration_ = debt;
+      thread.request_continuation_ = [t, delay, k = std::move(k)]() mutable {
+        t->sleep_for(delay, std::move(k));
+      };
+      break;
+    }
+    case Thread::Request::Terminate:
+      thread.request_ = Thread::Request::Compute;
+      thread.request_duration_ = debt;
+      thread.request_continuation_ = [t] { t->terminate(); };
+      break;
+    case Thread::Request::None:
+      break;  // service() reports the missing request as usual
   }
 }
 

@@ -97,6 +97,11 @@ class Machine {
   /// CPU goes idle. The heart of the scheduler.
   void service(CpuId cpu);
 
+  /// Folds the thread's pending probe-overhead debt into its staged
+  /// request so the debt is consumed as on-CPU time before the request
+  /// takes effect.
+  void consume_overhead(Thread& thread);
+
   void switch_to(CpuId cpu, Thread* next, trace::ThreadRunState prev_state);
   void preempt(CpuId cpu);
   void arm_completion(CpuId cpu);

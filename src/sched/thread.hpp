@@ -48,6 +48,18 @@ class Thread {
   /// Total CPU time consumed so far (excludes current in-flight segment).
   Duration cpu_time() const { return cpu_time_; }
 
+  /// --- Tracer-overhead injection (src/overhead/) ------------------------
+
+  /// Adds simulated probe-execution debt to this thread. The Machine
+  /// consumes the debt as extra on-CPU time before the thread's next
+  /// scheduling request takes effect, so every downstream timestamp is
+  /// physically delayed. Callable from any context.
+  void inject_overhead(Duration d) { overhead_pending_ += d; }
+  /// Debt injected but not yet consumed by the scheduler.
+  Duration pending_overhead() const { return overhead_pending_; }
+  /// Total injected debt consumed as CPU time so far.
+  Duration overhead_time() const { return overhead_consumed_; }
+
   /// --- Requests; callable only from this thread's running context ------
 
   /// Consume `d` of CPU time, then continue at `k` (still on-CPU).
@@ -80,6 +92,8 @@ class Thread {
   Duration remaining_ = Duration::zero();  ///< compute left in current burst
   Continuation pending_;                   ///< next continuation to run
   Duration cpu_time_ = Duration::zero();
+  Duration overhead_pending_ = Duration::zero();
+  Duration overhead_consumed_ = Duration::zero();
 
   // Request staging set by compute()/block()/... and consumed by Machine.
   Request request_ = Request::None;

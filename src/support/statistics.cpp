@@ -2,9 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace tetra {
+
+std::int64_t checked_ns(double x) {
+  if (!std::isfinite(x)) return 0;
+  // Largest doubles exactly representable on both sides of int64's range.
+  constexpr double kLo = -9.2e18;
+  constexpr double kHi = 9.2e18;
+  if (x <= kLo) return std::numeric_limits<std::int64_t>::min();
+  if (x >= kHi) return std::numeric_limits<std::int64_t>::max();
+  return static_cast<std::int64_t>(x);
+}
 
 void RunningStats::add(double x) {
   if (n_ == 0) {

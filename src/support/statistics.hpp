@@ -42,8 +42,15 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// NaN-safe, saturating conversion of a nanosecond double to int64. A
+/// plain static_cast of a non-finite or out-of-range double is undefined
+/// behaviour; summaries deserialized from external JSON can carry both.
+std::int64_t checked_ns(double x);
+
 /// Execution-time statistics of one callback, in the units the paper
-/// reports (derived from nanosecond samples).
+/// reports (derived from nanosecond samples). Degenerate accumulators are
+/// well-defined: empty stats report zero for every metric, a single
+/// sample reports mBCET == mACET == mWCET == the sample with zero stddev.
 struct ExecStats {
   void add(Duration sample);
   void merge(const ExecStats& other);
@@ -52,12 +59,12 @@ struct ExecStats {
   bool empty() const { return stats.empty(); }
 
   /// Measured best-case execution time.
-  Duration mbcet() const { return Duration{static_cast<std::int64_t>(stats.min())}; }
+  Duration mbcet() const { return Duration{checked_ns(stats.min())}; }
   /// Measured average execution time.
-  Duration macet() const { return Duration{static_cast<std::int64_t>(stats.mean())}; }
+  Duration macet() const { return Duration{checked_ns(stats.mean())}; }
   /// Measured worst-case execution time.
-  Duration mwcet() const { return Duration{static_cast<std::int64_t>(stats.max())}; }
-  Duration stddev() const { return Duration{static_cast<std::int64_t>(stats.stddev())}; }
+  Duration mwcet() const { return Duration{checked_ns(stats.max())}; }
+  Duration stddev() const { return Duration{checked_ns(stats.stddev())}; }
 
   RunningStats stats;
 };

@@ -3,8 +3,12 @@
 // against the paper-faithful naive transcription.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/exec_time.hpp"
 #include "support/rng.hpp"
+#include "support/statistics.hpp"
 
 namespace tetra::core {
 namespace {
@@ -166,6 +170,58 @@ TEST_P(ExecTimeDifferentialTest, IndexedMatchesNaive) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExecTimeDifferentialTest,
                          ::testing::Range(1, 26));
+
+// ---- degenerate windows and statistics -----------------------------------
+
+TEST(ExecTimeTest, InvertedWindowIsZero) {
+  trace::EventVector sched;
+  sched.push_back(make_sched_switch(TimePoint{200}, switch_out(kPid)));
+  sched.push_back(make_sched_switch(TimePoint{350}, switch_in(kPid)));
+  ExecTimeCalculator calc(sched);
+  EXPECT_EQ(calc.exec_time(TimePoint{600}, TimePoint{100}, kPid),
+            Duration::zero());
+  EXPECT_EQ(exec_time_naive(TimePoint{600}, TimePoint{100}, kPid, sched),
+            Duration::zero());
+}
+
+TEST(ExecStatsTest, EmptyStatsReportZeroEverywhere) {
+  const ExecStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.mbcet(), Duration::zero());
+  EXPECT_EQ(stats.macet(), Duration::zero());
+  EXPECT_EQ(stats.mwcet(), Duration::zero());
+  EXPECT_EQ(stats.stddev(), Duration::zero());
+}
+
+TEST(ExecStatsTest, SingleSampleCollapsesAllMetrics) {
+  ExecStats stats;
+  stats.add(Duration::us(42));
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mbcet(), Duration::us(42));
+  EXPECT_EQ(stats.macet(), Duration::us(42));
+  EXPECT_EQ(stats.mwcet(), Duration::us(42));
+  EXPECT_EQ(stats.stddev(), Duration::zero());
+}
+
+TEST(ExecStatsTest, NonFiniteSummariesStayFinite) {
+  const double nan = std::nan("");
+  ExecStats stats;
+  stats.stats = RunningStats::from_summary(3, nan, nan, nan, nan);
+  EXPECT_EQ(stats.mbcet(), Duration::zero());
+  EXPECT_EQ(stats.macet(), Duration::zero());
+  EXPECT_EQ(stats.mwcet(), Duration::zero());
+  EXPECT_EQ(stats.stddev(), Duration::zero());
+}
+
+TEST(ExecStatsTest, CheckedNsSaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(checked_ns(0.0), 0);
+  EXPECT_EQ(checked_ns(1234.5), 1234);
+  EXPECT_EQ(checked_ns(std::nan("")), 0);
+  EXPECT_EQ(checked_ns(1e300), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(checked_ns(-1e300), std::numeric_limits<std::int64_t>::min());
+  // Non-finite values (NaN and both infinities) all collapse to zero.
+  EXPECT_EQ(checked_ns(std::numeric_limits<double>::infinity()), 0);
+}
 
 }  // namespace
 }  // namespace tetra::core

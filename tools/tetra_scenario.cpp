@@ -8,8 +8,16 @@
 //                  [--cpus C] [--duration-ms D] [--interference T]
 //                  [--threads W] [--modes] [--mt | --st]
 //                  [--mutate KIND] [--run-index N]
+//                  [--probe-cost SPEC] [--sample-every K]
+//                  [--compensate-overhead]
 //                  [--json FILE] [--dot FILE]
 //                  [--trace-out FILE] [--ttb-out FILE] [--quiet]
+//
+// --probe-cost SPEC injects simulated tracer overhead into every probe
+// hit (presets uprobe | usdt | lttng | free, or "COST[~JITTER]" like
+// "5us~500ns"); --sample-every K traces only one in K callback instances;
+// --compensate-overhead estimates the injected cost from the trace and
+// subtracts it during synthesis (docs/OVERHEAD.md).
 //
 // --mt forces every generated node onto a multi-threaded executor with
 // callback groups; --st forces single-threaded executors everywhere
@@ -36,6 +44,7 @@
 #include <string>
 
 #include "core/export.hpp"
+#include "overhead/profile.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/validator.hpp"
@@ -50,6 +59,8 @@ void usage(const char* argv0) {
                "          [--cpus C] [--duration-ms D] [--interference T]\n"
                "          [--threads W] [--modes] [--mt | --st]\n"
                "          [--mutate KIND] [--run-index N]\n"
+               "          [--probe-cost SPEC] [--sample-every K]\n"
+               "          [--compensate-overhead]\n"
                "          [--json FILE] [--dot FILE]\n"
                "          [--trace-out FILE] [--ttb-out FILE] [--quiet]\n",
                argv0);
@@ -127,6 +138,32 @@ int main(int argc, char** argv) {
       mutation = parsed;
     } else if (arg == "--run-index") {
       run_index = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--probe-cost") {
+      const std::string value = next();
+      const auto profile = overhead::ProbeCostProfile::parse(value);
+      if (!profile.has_value()) {
+        std::fprintf(stderr,
+                     "error: --probe-cost expects uprobe | usdt | lttng | "
+                     "free or COST[~JITTER] (e.g. 5us~500ns), got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      const unsigned keep_sampling = runner_options.probe_profile.sample_every;
+      runner_options.probe_profile = *profile;
+      runner_options.probe_profile.sample_every = keep_sampling;
+    } else if (arg == "--sample-every") {
+      const std::string value = next();
+      const int k = std::atoi(value.c_str());
+      if (k < 1) {
+        std::fprintf(stderr,
+                     "error: --sample-every expects a positive integer, got "
+                     "'%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      runner_options.probe_profile.sample_every = static_cast<unsigned>(k);
+    } else if (arg == "--compensate-overhead") {
+      runner_options.compensate_overhead = true;
     } else if (arg == "--mt") {
       generator_options.p_multithreaded = 1.0;
     } else if (arg == "--st") {

@@ -10,6 +10,7 @@
 //               [--dot out.dot] [--json out.json] [--report]
 //               [--no-service-split] [--no-and-junction]
 //               [--waiting-times]
+//               [--compensate-overhead] [--probe-cost DUR]
 //   tetra_synth --trace run1.jsonl --to-ttb run1.ttb
 //   tetra_synth --trace run1.ttb --to-jsonl run1.jsonl
 //
@@ -18,6 +19,10 @@
 // merges the DAGs; --merge-traces (option i, for segments of one run)
 // k-way merges the event streams first. --incremental keeps appendable
 // per-trace indexes so repeat queries only re-extract touched nodes.
+//
+// --compensate-overhead subtracts the per-probe tracer cost — estimated
+// from the trace, or given via --probe-cost (e.g. "5us", implies
+// compensation) — from every execution-time statistic (docs/OVERHEAD.md).
 //
 // --to-ttb / --to-jsonl are pure format conversions (docs/TRACE_FORMAT.md):
 // exactly one --trace input, event order preserved byte-for-byte, no
@@ -32,6 +37,7 @@
 #include "analysis/chains.hpp"
 #include "api/session.hpp"
 #include "core/export.hpp"
+#include "overhead/profile.hpp"
 #include "support/string_utils.hpp"
 #include "trace/serialize.hpp"
 #include "trace/ttb.hpp"
@@ -46,6 +52,7 @@ void usage(const char* argv0) {
                "          [--dot FILE] [--json FILE] [--report]\n"
                "          [--no-service-split] [--no-and-junction]\n"
                "          [--waiting-times]\n"
+               "          [--compensate-overhead] [--probe-cost DUR]\n"
                "       %s --trace FILE --to-ttb FILE | --to-jsonl FILE\n",
                argv0, argv0);
 }
@@ -124,6 +131,19 @@ int main(int argc, char** argv) {
       config.model_sync_with_and_junction(false);
     } else if (arg == "--waiting-times") {
       config.compute_waiting_times(true);
+    } else if (arg == "--compensate-overhead") {
+      config.compensate_overhead(true);
+    } else if (arg == "--probe-cost") {
+      const std::string value = next();
+      const auto cost = overhead::parse_duration(value);
+      if (!cost.has_value() || *cost < Duration::zero()) {
+        std::fprintf(stderr,
+                     "error: --probe-cost expects a duration like 5us or "
+                     "200ns, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      config.compensate_overhead(true).probe_cost_hint(*cost);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
