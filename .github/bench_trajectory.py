@@ -3,10 +3,12 @@
 
 Usage: bench_trajectory.py PREV_DIR CURRENT_DIR
 
-Reads the BENCH_*.json snapshots (synthesis, predict, ingest, overhead)
-from both directories and
+Reads the BENCH_*.json snapshots (synthesis, predict, ingest, overhead,
+telemetry) from both directories and
 prints a GitHub-flavored-markdown table of metric deltas (previous run ->
-this run). Missing files degrade gracefully: the table only covers what
+this run), followed by a per-stage time breakdown aggregated from each
+snapshot's embedded telemetry span records (docs/TELEMETRY.md). Missing
+files degrade gracefully: the table only covers what
 both snapshots have. Informational only — the caller must not gate on it.
 """
 import json
@@ -14,10 +16,13 @@ import os
 import sys
 
 BENCHES = ("BENCH_synthesis.json", "BENCH_predict.json", "BENCH_ingest.json",
-           "BENCH_overhead.json")
-# Keys that describe the configuration, not performance.
+           "BENCH_overhead.json", "BENCH_telemetry.json")
+# Keys that describe the configuration, not performance. "telemetry" is the
+# embedded snapshot — rendered separately as the stage breakdown, not
+# diffed metric by metric.
 SKIP = {"bench", "seed", "traces", "threads", "hardware_threads", "what_ifs",
-        "duration_s", "horizon_s", "robots", "shards", "runs", "profile"}
+        "duration_s", "horizon_s", "robots", "shards", "runs", "profile",
+        "telemetry", "tolerance_pct"}
 # Leaf names that label a sweep point rather than measure it.
 SKIP_LEAVES = {"body_us", "k", "n"}
 
@@ -52,6 +57,43 @@ def load(path):
     return {k: v for k, v in out.items()
             if k.split(".")[0] not in SKIP
             and k.rsplit(".", 1)[-1] not in SKIP_LEAVES}
+
+
+def stage_breakdown(path):
+    """Aggregates the embedded telemetry spans by name: (count, wall_ms,
+    items) per stage, sorted by total wall time descending."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError):
+        return None
+    spans = data.get("telemetry", {}).get("spans")
+    if not spans:
+        return None
+    stages = {}
+    for span in spans:
+        name = span.get("name", "?")
+        count, wall_ns, items = stages.get(name, (0, 0, 0))
+        stages[name] = (count + 1, wall_ns + span.get("wall_ns", 0),
+                        items + span.get("items", 0))
+    return sorted(stages.items(), key=lambda kv: -kv[1][1])
+
+
+def print_stage_breakdowns(cur_dir):
+    any_stages = False
+    for bench in BENCHES:
+        stages = stage_breakdown(os.path.join(cur_dir, bench))
+        if not stages:
+            continue
+        if not any_stages:
+            print("## Per-stage telemetry breakdown (this run)\n")
+            any_stages = True
+        print(f"### {bench}\n")
+        print("| stage | count | wall (ms) | items |")
+        print("|---|---:|---:|---:|")
+        for name, (count, wall_ns, items) in stages:
+            print(f"| {name} | {count} | {wall_ns / 1e6:.3f} | {items} |")
+        print()
 
 
 def main():
@@ -90,6 +132,7 @@ def main():
         print()
     if not any_rows:
         print("_No bench data available._")
+    print_stage_breakdowns(cur_dir)
     return 0
 
 

@@ -133,7 +133,7 @@ int main() {
   const std::string out_path =
       out_env != nullptr ? out_env : "BENCH_synthesis.json";
   std::ofstream out(out_path, std::ios::trunc);
-  out << json.str() << "\n";
+  out << bench::with_telemetry(json.str()) << "\n";
   bench::note(format("\nwrote %s", out_path.c_str()));
 
   // The >= 2x pool-speedup bar only makes sense with enough cores; on

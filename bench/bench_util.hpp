@@ -14,6 +14,7 @@
 #include "ebpf/tracers.hpp"
 #include "ros2/context.hpp"
 #include "support/time.hpp"
+#include "telemetry/snapshot.hpp"
 #include "trace/merge.hpp"
 #include "workloads/syn_app.hpp"
 
@@ -59,6 +60,16 @@ inline trace::EventVector trace_one_run(std::uint64_t seed,
   suite.start_runtime();
   ctx.run_for(duration);
   return trace::merge_sorted({init_trace, suite.stop_runtime()});
+}
+
+/// Grafts the process telemetry snapshot into a completed JSON document
+/// (`doc` must be a single object) as a final "telemetry" member, so every
+/// BENCH_*.json carries the pipeline's own stage/metric breakdown that
+/// .github/bench_trajectory.py prints.
+inline std::string with_telemetry(std::string doc) {
+  doc.insert(doc.size() - 1,
+             ",\"telemetry\":" + telemetry::snapshot_to_json());
+  return doc;
 }
 
 /// Sample statistics of repeated measurements: mean, sample standard

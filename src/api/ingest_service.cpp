@@ -4,9 +4,36 @@
 #include <exception>
 #include <utility>
 
+#include "telemetry/span.hpp"
 #include "trace/serialize.hpp"
 
 namespace tetra::api {
+
+namespace {
+
+struct IngestMetrics {
+  telemetry::Counter& routed = telemetry::MetricsRegistry::global().counter(
+      "ingest.segments_routed");
+  telemetry::Counter& processed = telemetry::MetricsRegistry::global().counter(
+      "ingest.segments_processed");
+  telemetry::Counter& events = telemetry::MetricsRegistry::global().counter(
+      "ingest.events_ingested");
+  telemetry::Counter& stalls = telemetry::MetricsRegistry::global().counter(
+      "ingest.backpressure_stalls");
+  /// Time submit() spent blocked on a full shard queue; observed only on
+  /// actual stalls so uncontended runs stay deterministic.
+  telemetry::Histogram& block_ns =
+      telemetry::MetricsRegistry::global().histogram(
+          "ingest.enqueue_block_ns",
+          {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000});
+
+  static IngestMetrics& get() {
+    static IngestMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ShardedIngestService::ShardedIngestService(IngestServiceConfig config)
     : config_(std::move(config)) {
@@ -16,6 +43,9 @@ ShardedIngestService::ShardedIngestService(IngestServiceConfig config)
   for (std::size_t i = 0; i < config_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->session = SynthesisSession(config_.session);
+    shard->depth_gauge = &telemetry::MetricsRegistry::global().gauge(
+        "ingest.queue_depth", {{"shard", std::to_string(i)}});
+    shard->depth_gauge->set(0);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -65,10 +95,18 @@ void ShardedIngestService::submit_jsonl(const std::string& trace_id,
 void ShardedIngestService::enqueue(std::size_t shard_index, Item item) {
   Shard& shard = *shards_[shard_index];
   std::unique_lock lock(shard.mutex);
-  shard.cv.wait(lock, [&] {
+  const auto has_space = [&] {
     return shard.queue.size() < config_.queue_capacity;
-  });
+  };
+  if (!has_space()) {
+    IngestMetrics::get().stalls.inc();
+    const std::int64_t blocked_at = telemetry::clock_now();
+    shard.cv.wait(lock, has_space);
+    IngestMetrics::get().block_ns.observe(telemetry::clock_now() - blocked_at);
+  }
+  if (!item.synthesize) IngestMetrics::get().routed.inc();
   shard.queue.push_back(std::move(item));
+  shard.depth_gauge->set(static_cast<std::int64_t>(shard.queue.size()));
   shard.cv.notify_all();
 }
 
@@ -86,6 +124,7 @@ void ShardedIngestService::worker(Shard& shard) {
     if (shard.queue.empty()) return;  // stop requested, queue drained
     Item item = std::move(shard.queue.front());
     shard.queue.pop_front();
+    shard.depth_gauge->set(static_cast<std::int64_t>(shard.queue.size()));
     shard.busy = true;
     shard.cv.notify_all();  // a slot freed up
     lock.unlock();
@@ -112,6 +151,10 @@ void ShardedIngestService::worker(Shard& shard) {
       }
     } catch (const std::exception& e) {
       error = Error{ErrorCode::Io, e.what(), item.trace_id};
+    }
+    if (!item.synthesize) {
+      IngestMetrics::get().processed.inc();
+      IngestMetrics::get().events.add(ingested);
     }
     if (ingested > 0) events_ingested_.fetch_add(ingested);
 
@@ -145,6 +188,7 @@ Result<core::TimingModel> ShardedIngestService::model() {
     token.synthesize = true;
     std::lock_guard lock(shard->mutex);
     shard->queue.push_back(std::move(token));
+    shard->depth_gauge->set(static_cast<std::int64_t>(shard->queue.size()));
     shard->cv.notify_all();
   }
   flush();

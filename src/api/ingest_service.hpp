@@ -28,6 +28,7 @@
 #include "api/config.hpp"
 #include "api/result.hpp"
 #include "api/session.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tetra::api {
 
@@ -89,6 +90,9 @@ class ShardedIngestService {
     Error error;  ///< first failure, latched
     SynthesisSession session;
     std::thread thread;
+    /// "ingest.queue_depth{shard=i}" — registered at construction so every
+    /// shard shows up in snapshots even when idle.
+    telemetry::Gauge* depth_gauge = nullptr;
   };
 
   void worker(Shard& shard);

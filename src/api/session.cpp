@@ -9,6 +9,8 @@
 #include "core/dag_builder.hpp"
 #include "core/extract.hpp"
 #include "overhead/estimator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "trace/event_view.hpp"
 #include "trace/serialize.hpp"
 #include "trace/ttb.hpp"
@@ -20,6 +22,27 @@ namespace {
 Error make_error(ErrorCode code, std::string message, std::string context) {
   return Error{code, std::move(message), std::move(context)};
 }
+
+struct SessionMetrics {
+  telemetry::Counter& segments = telemetry::MetricsRegistry::global().counter(
+      "session.segments_ingested");
+  telemetry::Counter& events = telemetry::MetricsRegistry::global().counter(
+      "session.events_ingested");
+  telemetry::Counter& cache_hits =
+      telemetry::MetricsRegistry::global().counter("session.cache_hits");
+  telemetry::Counter& dirty_rebuilds =
+      telemetry::MetricsRegistry::global().counter("session.dirty_rebuilds");
+  telemetry::Counter& incremental =
+      telemetry::MetricsRegistry::global().counter(
+          "session.incremental_synthesis");
+  telemetry::Counter& full = telemetry::MetricsRegistry::global().counter(
+      "session.full_synthesis");
+
+  static SessionMetrics& get() {
+    static SessionMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Extraction options with overhead compensation resolved against one
 /// trace: an explicit probe-cost hint wins, otherwise the per-hit cost is
@@ -90,6 +113,8 @@ Result<SegmentInfo> SynthesisSession::ingest(trace::EventVector events,
   if (!info.arrived_sorted) trace::sort_by_time(events);
 
   event_count_ += events.size();
+  SessionMetrics::get().segments.inc();
+  SessionMetrics::get().events.add(events.size());
   if (use_incremental()) {
     // Events go straight into the trace's appendable index; no per-segment
     // copy is retained.
@@ -160,25 +185,43 @@ Result<std::vector<SegmentInfo>> SynthesisSession::ingest_database(
 }
 
 void SynthesisSession::synthesize_trace(TraceState& trace,
-                                        const SynthesisConfig& config) {
+                                        const SynthesisConfig& config,
+                                        std::uint64_t span_parent) {
   const core::SynthesisOptions& options = config.core_options();
   if (trace.inc) {
+    telemetry::ScopedSpan span("synth.trace", span_parent,
+                               trace.inc->event_count());
+    SessionMetrics::get().incremental.inc();
     trace.model = trace.inc->model();
     trace.dirty = false;
     return;
   }
+  telemetry::ScopedSpan span("synth.trace", span_parent, 0);
+  SessionMetrics::get().full.inc();
   // Appending the segments in ingestion order reproduces the k-way merged
   // chronological stream (the index keeps (time, arrival) order).
   core::TraceIndex index;
-  for (const auto& segment : trace.segments) index.append(segment);
+  {
+    telemetry::ScopedSpan merge_span("synth.merge");
+    for (const auto& segment : trace.segments) index.append(segment);
+    merge_span.set_items(index.size());
+  }
+  span.set_items(index.size());
   core::TimingModel model;
-  model.node_callbacks =
-      core::extract_all_nodes(index, compensated_extract(config, index));
-  // Multi-threaded executors yield one per-worker list each; unify them
-  // per node before labels are assigned.
-  core::merge_worker_lists(model.node_callbacks);
-  core::normalize_labels(model.node_callbacks);
-  model.dag = core::build_dag(model.node_callbacks, options.dag);
+  {
+    telemetry::ScopedSpan extract_span("synth.extract", index.size());
+    model.node_callbacks =
+        core::extract_all_nodes(index, compensated_extract(config, index));
+    // Multi-threaded executors yield one per-worker list each; unify them
+    // per node before labels are assigned.
+    core::merge_worker_lists(model.node_callbacks);
+    core::normalize_labels(model.node_callbacks);
+  }
+  {
+    telemetry::ScopedSpan build_span("synth.build",
+                                     model.node_callbacks.size());
+    model.dag = core::build_dag(model.node_callbacks, options.dag);
+  }
   trace.model = std::move(model);
   trace.dirty = false;
 }
@@ -188,17 +231,20 @@ Error SynthesisSession::synthesize_dirty() {
   for (auto& trace : traces_) {
     if (trace.dirty) dirty.push_back(&trace);
   }
+  SessionMetrics::get().cache_hits.add(traces_.size() - dirty.size());
   if (dirty.empty()) return {};
+  SessionMetrics::get().dirty_rebuilds.add(dirty.size());
 
   const std::size_t workers =
       std::min<std::size_t>(static_cast<std::size_t>(config_.threads()),
                             dirty.size());
   std::vector<std::string> failures(dirty.size());
+  const std::uint64_t span_parent = telemetry::ScopedSpan::current_id();
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < dirty.size(); ++i) {
       try {
-        synthesize_trace(*dirty[i], config_);
+        synthesize_trace(*dirty[i], config_, span_parent);
       } catch (const std::exception& e) {
         failures[i] = e.what();
       }
@@ -209,7 +255,7 @@ Error SynthesisSession::synthesize_dirty() {
       for (std::size_t i = next.fetch_add(1); i < dirty.size();
            i = next.fetch_add(1)) {
         try {
-          synthesize_trace(*dirty[i], config_);
+          synthesize_trace(*dirty[i], config_, span_parent);
         } catch (const std::exception& e) {
           failures[i] = e.what();
         } catch (...) {
@@ -237,30 +283,47 @@ Result<core::TimingModel> SynthesisSession::model() {
     return make_error(ErrorCode::EmptySession,
                       "no events ingested before model()", "");
   }
+  telemetry::ScopedSpan model_span("session.model", event_count_);
 
   if (config_.merge_strategy() == MergeStrategy::MergeTraces) {
     if (merged_dirty_) {
+      SessionMetrics::get().dirty_rebuilds.inc();
+      SessionMetrics::get().full.inc();
       // Global merge over every segment, in ingestion order (ties keep
       // earlier-ingested segments first — the index's (time, arrival)
       // invariant).
       try {
+        telemetry::ScopedSpan trace_span("synth.trace", event_count_);
         core::TraceIndex index;
-        for (const auto& [trace_idx, seg_idx] : segment_locator_) {
-          index.append(traces_[trace_idx].segments[seg_idx]);
+        {
+          telemetry::ScopedSpan merge_span("synth.merge");
+          for (const auto& [trace_idx, seg_idx] : segment_locator_) {
+            index.append(traces_[trace_idx].segments[seg_idx]);
+          }
+          merge_span.set_items(index.size());
         }
         core::TimingModel model;
-        model.node_callbacks =
-            core::extract_all_nodes(index, compensated_extract(config_, index));
-        core::merge_worker_lists(model.node_callbacks);
-        core::normalize_labels(model.node_callbacks);
-        model.dag =
-            core::build_dag(model.node_callbacks, config_.core_options().dag);
+        {
+          telemetry::ScopedSpan extract_span("synth.extract", index.size());
+          model.node_callbacks = core::extract_all_nodes(
+              index, compensated_extract(config_, index));
+          core::merge_worker_lists(model.node_callbacks);
+          core::normalize_labels(model.node_callbacks);
+        }
+        {
+          telemetry::ScopedSpan build_span("synth.build",
+                                           model.node_callbacks.size());
+          model.dag =
+              core::build_dag(model.node_callbacks, config_.core_options().dag);
+        }
         merged_model_ = std::move(model);
       } catch (const std::exception& e) {
         return make_error(ErrorCode::SynthesisFailed, e.what(),
                           "merged stream");
       }
       merged_dirty_ = false;
+    } else {
+      SessionMetrics::get().cache_hits.inc();
     }
     return merged_model_;
   }
@@ -315,7 +378,7 @@ Result<core::TimingModel> SynthesisSession::trace_model(
   TraceState& trace = traces_[it->second];
   if (trace.dirty) {
     try {
-      synthesize_trace(trace, config_);
+      synthesize_trace(trace, config_, telemetry::ScopedSpan::current_id());
     } catch (const std::exception& e) {
       return make_error(ErrorCode::SynthesisFailed, e.what(), trace_id);
     }
@@ -357,7 +420,7 @@ Result<std::size_t> SynthesisSession::release_events(
   TraceState& trace = traces_[it->second];
   if (trace.dirty) {
     try {
-      synthesize_trace(trace, config_);
+      synthesize_trace(trace, config_, telemetry::ScopedSpan::current_id());
     } catch (const std::exception& e) {
       return make_error(ErrorCode::SynthesisFailed, e.what(), trace_id);
     }

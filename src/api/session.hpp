@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -146,8 +147,12 @@ class SynthesisSession {
   /// Synthesizes every dirty trace (worker pool when threads > 1).
   /// Returns an error naming the first failing trace, if any.
   Error synthesize_dirty();
+  /// `span_parent` anchors the "synth.trace" telemetry span under the
+  /// caller's open span even on pool threads (whose RAII span stacks
+  /// start empty).
   static void synthesize_trace(TraceState& trace,
-                               const SynthesisConfig& config);
+                               const SynthesisConfig& config,
+                               std::uint64_t span_parent);
 
   SynthesisConfig config_;
   std::vector<TraceState> traces_;                ///< ingestion order

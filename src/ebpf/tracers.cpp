@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
 #include "trace/merge.hpp"
 #include "trace/serialize.hpp"
 
@@ -311,6 +312,9 @@ trace::EventVector TracerSuite::stop_init() {
   trace::EventVector events = init_->buffer().drain();
   bytes_collected_ += trace::binary_footprint_bytes(events);
   events_collected_ += events.size();
+  static telemetry::Counter& captured_counter =
+      telemetry::MetricsRegistry::global().counter("trace.events_captured");
+  captured_counter.add(events.size());
   return events;
 }
 
@@ -341,6 +345,9 @@ trace::EventVector TracerSuite::stop_runtime() {
   bytes_collected_ += trace::binary_footprint_bytes(rt_events) +
                       trace::binary_footprint_bytes(kernel_events);
   events_collected_ += rt_events.size() + kernel_events.size();
+  static telemetry::Counter& captured_counter =
+      telemetry::MetricsRegistry::global().counter("trace.events_captured");
+  captured_counter.add(rt_events.size() + kernel_events.size());
   return trace::merge_sorted({std::move(rt_events), std::move(kernel_events)});
 }
 

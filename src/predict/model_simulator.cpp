@@ -10,6 +10,8 @@
 #include "predict/sampler.hpp"
 #include "sched/machine.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace tetra::predict {
 
@@ -578,7 +580,16 @@ ModelSimulator::Replay ModelSimulator::replay() const {
     }
   }
   Engine engine(*dag_, config_, source_periods);
-  return engine.run();
+  telemetry::ScopedSpan span("predict.replay");
+  Replay run = engine.run();
+  span.set_items(run.activations);
+  static telemetry::Counter& activations_counter =
+      telemetry::MetricsRegistry::global().counter("predict.activations");
+  static telemetry::Counter& deliveries_counter =
+      telemetry::MetricsRegistry::global().counter("predict.deliveries");
+  activations_counter.add(run.activations);
+  deliveries_counter.add(run.deliveries);
+  return run;
 }
 
 PredictionResult ModelSimulator::predict() const {

@@ -10,12 +10,32 @@
 #include "analysis/chains.hpp"
 #include "support/json_writer.hpp"
 #include "support/statistics.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace tetra::sentinel {
 
 namespace {
 
 constexpr const char* kBaselineTraceId = "baseline";
+
+struct SentinelMetrics {
+  telemetry::Counter& windows = telemetry::MetricsRegistry::global().counter(
+      "sentinel.windows_checked");
+  telemetry::Histogram& ks_ns = telemetry::MetricsRegistry::global().histogram(
+      "sentinel.ks_test_ns",
+      {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000});
+
+  static SentinelMetrics& get() {
+    static SentinelMetrics metrics;
+    return metrics;
+  }
+
+  telemetry::Counter& findings(DriftKind kind) {
+    return telemetry::MetricsRegistry::global().counter(
+        "sentinel.findings", {{"kind", std::string(to_string(kind))}});
+  }
+};
 
 std::string format_double(double v) {
   char buffer[64];
@@ -248,6 +268,8 @@ api::Result<DriftVerdict> ModelSentinel::check_file(const std::string& path) {
 api::Result<DriftVerdict> ModelSentinel::check_trace(
     const std::string& trace_id) {
   ++window_counter_;
+  SentinelMetrics::get().windows.inc();
+  telemetry::ScopedSpan check_span("sentinel.check");
   auto model = session_.trace_model(trace_id);
   if (!model.ok()) return model.error();
   auto events = session_.merged_events(trace_id);
@@ -276,7 +298,9 @@ api::Result<DriftVerdict> ModelSentinel::check_trace(
       continue;
     }
     ++verdict.checks;
+    const std::int64_t ks_started = telemetry::clock_now();
     const KsTestResult ks = two_sample_ks_test(base, it->second);
+    SentinelMetrics::get().ks_ns.observe(telemetry::clock_now() - ks_started);
     if (ks.significant(options_.alpha)) {
       verdict.findings.push_back(DriftFinding{
           DriftKind::ExecTimeShift, label,
@@ -361,6 +385,10 @@ api::Result<DriftVerdict> ModelSentinel::check_trace(
               return std::tie(a.kind, a.subject) < std::tie(b.kind, b.subject);
             });
   verdict.drifted = !verdict.findings.empty();
+  for (const DriftFinding& finding : verdict.findings) {
+    SentinelMetrics::get().findings(finding.kind).inc();
+  }
+  check_span.set_items(verdict.checks);
 
   // Bound memory: the window's raw events are no longer needed (MergeDags
   // keeps its cached model; under MergeTraces release is rejected and the

@@ -31,9 +31,19 @@ const char* level_name(LogLevel level) {
 void Log::write(LogLevel level, std::string_view component,
                 std::string_view message) {
   if (!enabled(level)) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  // Compose the whole line first and emit it with one fwrite: stdio only
+  // guarantees atomicity per call, and the worker pool / shard threads log
+  // concurrently — per-field fprintf would interleave fragments.
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace tetra

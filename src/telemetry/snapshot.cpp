@@ -1,0 +1,301 @@
+#include "telemetry/snapshot.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+#include "support/json_writer.hpp"
+
+namespace tetra::telemetry {
+
+namespace {
+
+// Splits a flat key "name{k1=v1,k2=v2}" back into name and label pairs
+// (the registry guarantees the embedded form is sorted and well formed).
+struct ParsedKey {
+  std::string name;
+  Labels labels;
+};
+
+ParsedKey parse_flat_key(std::string_view key) {
+  ParsedKey parsed;
+  const std::size_t brace = key.find('{');
+  if (brace == std::string_view::npos) {
+    parsed.name = std::string(key);
+    return parsed;
+  }
+  parsed.name = std::string(key.substr(0, brace));
+  std::string_view body = key.substr(brace + 1);
+  if (!body.empty() && body.back() == '}') body.remove_suffix(1);
+  while (!body.empty()) {
+    const std::size_t comma = body.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? body : body.substr(0, comma);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      parsed.labels.emplace_back(std::string(pair.substr(0, eq)),
+                                 std::string(pair.substr(eq + 1)));
+    }
+    if (comma == std::string_view::npos) break;
+    body = body.substr(comma + 1);
+  }
+  return parsed;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else becomes
+// '_'. All series carry the "tetra_" namespace prefix.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "tetra_";
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')
+               ? c
+               : '_';
+  }
+  return out;
+}
+
+void append_prometheus_labels(std::string& out, const Labels& labels,
+                              const std::string* extra_key = nullptr,
+                              const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += JsonWriter::escape(v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += *extra_key;
+    out += "=\"";
+    out += *extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+struct SpanAggregate {
+  std::uint64_t count = 0;
+  std::int64_t wall_ns = 0;
+  std::uint64_t items = 0;
+};
+
+std::map<std::string, SpanAggregate> aggregate_spans(
+    const std::vector<SpanRecord>& spans) {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanRecord& span : spans) {
+    SpanAggregate& agg = by_name[span.name];
+    ++agg.count;
+    agg.wall_ns += span.wall_ns;
+    agg.items += span.items;
+  }
+  return by_name;
+}
+
+}  // namespace
+
+std::string snapshot_to_json(const MetricsRegistry::Snapshot& metrics,
+                             const std::vector<SpanRecord>& spans,
+                             std::uint64_t spans_dropped) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [key, value] : metrics.counters) w.kv(key, value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [key, value] : metrics.gauges) w.kv(key, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [key, data] : metrics.histograms) {
+    w.key(key).begin_object();
+    w.key("boundaries").begin_array();
+    for (const std::int64_t b : data.boundaries) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : data.counts) w.value(c);
+    w.end_array();
+    w.kv("count", data.count);
+    w.kv("sum", data.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("spans").begin_array();
+  for (const SpanRecord& span : spans) {
+    w.begin_object();
+    w.kv("name", span.name);
+    w.kv("id", span.id);
+    w.kv("parent", span.parent);
+    w.kv("start_ns", span.start_ns);
+    w.kv("wall_ns", span.wall_ns);
+    w.kv("items", span.items);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("spans_dropped", spans_dropped);
+  w.end_object();
+  return w.str();
+}
+
+std::string snapshot_to_json() {
+  return snapshot_to_json(MetricsRegistry::global().snapshot(),
+                          SpanRecorder::global().snapshot(),
+                          SpanRecorder::global().dropped());
+}
+
+std::string snapshot_to_prometheus(const MetricsRegistry::Snapshot& metrics) {
+  std::string out;
+  for (const auto& [key, value] : metrics.counters) {
+    const ParsedKey parsed = parse_flat_key(key);
+    out += prometheus_name(parsed.name);
+    append_prometheus_labels(out, parsed.labels);
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [key, value] : metrics.gauges) {
+    const ParsedKey parsed = parse_flat_key(key);
+    out += prometheus_name(parsed.name);
+    append_prometheus_labels(out, parsed.labels);
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [key, data] : metrics.histograms) {
+    const ParsedKey parsed = parse_flat_key(key);
+    const std::string name = prometheus_name(parsed.name);
+    const std::string le = "le";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.counts.size(); ++i) {
+      cumulative += data.counts[i];
+      const std::string bound = i < data.boundaries.size()
+                                    ? std::to_string(data.boundaries[i])
+                                    : std::string("+Inf");
+      out += name;
+      out += "_bucket";
+      append_prometheus_labels(out, parsed.labels, &le, &bound);
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += name;
+    out += "_sum";
+    append_prometheus_labels(out, parsed.labels);
+    out += ' ';
+    out += std::to_string(data.sum);
+    out += '\n';
+    out += name;
+    out += "_count";
+    append_prometheus_labels(out, parsed.labels);
+    out += ' ';
+    out += std::to_string(data.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string snapshot_to_prometheus() {
+  return snapshot_to_prometheus(MetricsRegistry::global().snapshot());
+}
+
+std::string summary_text() {
+  const MetricsRegistry::Snapshot metrics =
+      MetricsRegistry::global().snapshot();
+  const std::vector<SpanRecord> spans = SpanRecorder::global().snapshot();
+  const std::uint64_t dropped = SpanRecorder::global().dropped();
+
+  std::string out = "== tetra telemetry ==\n";
+  if (!metrics.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [key, value] : metrics.counters) {
+      out += "  " + key + " = " + std::to_string(value) + "\n";
+    }
+  }
+  if (!metrics.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [key, value] : metrics.gauges) {
+      out += "  " + key + " = " + std::to_string(value) + "\n";
+    }
+  }
+  if (!metrics.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& [key, data] : metrics.histograms) {
+      out += "  " + key + ": count=" + std::to_string(data.count) +
+             " sum=" + std::to_string(data.sum) + "\n";
+    }
+  }
+  const auto by_name = aggregate_spans(spans);
+  if (!by_name.empty()) {
+    out += "spans (aggregated by name):\n";
+    char line[256];
+    for (const auto& [name, agg] : by_name) {
+      std::snprintf(line, sizeof(line),
+                    "  %s: count=%llu wall_ms=%.3f items=%llu\n", name.c_str(),
+                    static_cast<unsigned long long>(agg.count),
+                    static_cast<double>(agg.wall_ns) / 1e6,
+                    static_cast<unsigned long long>(agg.items));
+      out += line;
+    }
+  }
+  if (dropped > 0) {
+    out += "spans dropped: " + std::to_string(dropped) + "\n";
+  }
+  if (metrics.counters.empty() && metrics.gauges.empty() &&
+      metrics.histograms.empty() && by_name.empty()) {
+    out += "(no telemetry recorded)\n";
+  }
+  return out;
+}
+
+void write_summary(std::FILE* out) {
+  const std::string text = summary_text();
+  std::fwrite(text.data(), 1, text.size(), out);
+  std::fflush(out);
+}
+
+bool write_snapshot_file(const std::string& path, std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  const std::string json = snapshot_to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != json.size() || !newline_ok || !close_ok) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+void dump_summary_at_exit() { write_summary(stderr); }
+}  // namespace
+
+void init_from_environment() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* clock = std::getenv("TETRA_STATS_CLOCK");
+    if (clock != nullptr && std::string_view(clock) == "sim") {
+      use_simulated_clock();
+    }
+    const char* stats = std::getenv("TETRA_STATS");
+    if (stats != nullptr && std::string_view(stats) != "" &&
+        std::string_view(stats) != "0") {
+      // The dump reads the registry (alive: global() calls us after
+      // constructing it) and the span ring; construct the ring BEFORE
+      // registering the handler so its static destructor runs after it.
+      (void)SpanRecorder::global();
+      std::atexit(&dump_summary_at_exit);
+    }
+  });
+}
+
+}  // namespace tetra::telemetry

@@ -1,0 +1,50 @@
+// Export surface for the telemetry subsystem: byte-stable JSON snapshots,
+// Prometheus-style text exposition, a human summary table, and the
+// TETRA_STATS / TETRA_STATS_CLOCK environment hooks.
+//
+// The JSON writer emits sorted keys (registry snapshots are std::map) and
+// spans in close order, so two identical seeded runs under the simulated
+// clock produce byte-identical documents — the property the CI
+// determinism job byte-diffs. Schema details live in docs/TELEMETRY.md.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace tetra::telemetry {
+
+/// JSON document for explicit state — what the tests golden against.
+std::string snapshot_to_json(const MetricsRegistry::Snapshot& metrics,
+                             const std::vector<SpanRecord>& spans,
+                             std::uint64_t spans_dropped);
+/// JSON document for the process-wide registry + span recorder.
+std::string snapshot_to_json();
+
+/// Prometheus text exposition ("name{k=\"v\"} value", histograms as
+/// cumulative `_bucket{le=...}` series) for explicit state.
+std::string snapshot_to_prometheus(const MetricsRegistry::Snapshot& metrics);
+/// Prometheus text exposition for the process-wide registry.
+std::string snapshot_to_prometheus();
+
+/// Human-readable summary table (counters, gauges, histogram totals, span
+/// aggregates by name) of the process-wide state.
+std::string summary_text();
+/// Writes summary_text() to `out` (tools pass stderr for --stats).
+void write_summary(std::FILE* out);
+
+/// Writes snapshot_to_json() to `path`. Returns false and fills `error`
+/// (when non-null) on I/O failure.
+bool write_snapshot_file(const std::string& path, std::string* error);
+
+/// Idempotent: arms the TETRA_STATS=1 at-exit summary dump and the
+/// TETRA_STATS_CLOCK=sim simulated clock. Called from
+/// MetricsRegistry::global() so any instrumented binary honors the
+/// environment without code changes.
+void init_from_environment();
+
+}  // namespace tetra::telemetry

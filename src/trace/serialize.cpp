@@ -7,10 +7,25 @@
 #include "support/json_parser.hpp"
 #include "support/json_writer.hpp"
 #include "support/string_utils.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tetra::trace {
 
 namespace {
+
+struct JsonlMetrics {
+  telemetry::Counter& bytes =
+      telemetry::MetricsRegistry::global().counter("trace.jsonl_bytes");
+  telemetry::Counter& events =
+      telemetry::MetricsRegistry::global().counter("trace.jsonl_events");
+  telemetry::Counter& malformed = telemetry::MetricsRegistry::global().counter(
+      "trace.jsonl_malformed_skipped");
+
+  static JsonlMetrics& get() {
+    static JsonlMetrics metrics;
+    return metrics;
+  }
+};
 
 void write_common(JsonWriter& w, const TraceEvent& e) {
   w.kv("t", e.time.count_ns());
@@ -173,7 +188,48 @@ EventVector events_from_jsonl(std::string_view text) {
     if (!line.empty()) out.push_back(from_jsonl(line));
     start = end + 1;
   }
+  JsonlMetrics::get().bytes.add(text.size());
+  JsonlMetrics::get().events.add(out.size());
   return out;
+}
+
+EventVector events_from_jsonl_lenient(std::string_view text,
+                                      JsonlParseStats* stats) {
+  EventVector out;
+  std::size_t malformed = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      try {
+        out.push_back(from_jsonl(line));
+      } catch (const std::exception&) {
+        ++malformed;
+      }
+    }
+    start = end + 1;
+  }
+  JsonlMetrics::get().bytes.add(text.size());
+  JsonlMetrics::get().events.add(out.size());
+  JsonlMetrics::get().malformed.add(malformed);
+  if (stats != nullptr) {
+    stats->events = out.size();
+    stats->malformed_skipped = malformed;
+    stats->bytes = text.size();
+  }
+  return out;
+}
+
+EventVector read_jsonl_file_lenient(const std::string& path,
+                                    JsonlParseStats* stats) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return events_from_jsonl_lenient(ss.str(), stats);
 }
 
 void write_jsonl_file(const std::string& path, const EventVector& events) {

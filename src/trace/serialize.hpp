@@ -25,6 +25,25 @@ std::string to_jsonl(const EventVector& events);
 /// Parses a JSONL document (empty lines ignored).
 EventVector events_from_jsonl(std::string_view text);
 
+/// Per-call accounting of a lenient JSONL parse.
+struct JsonlParseStats {
+  std::size_t events = 0;
+  std::size_t malformed_skipped = 0;
+  std::size_t bytes = 0;
+};
+
+/// Parses a JSONL document, skipping (and counting) malformed lines
+/// instead of throwing — the fleet-ingest posture where one corrupt line
+/// must not sink a whole upload. Skips also increment the
+/// "trace.jsonl_malformed_skipped" telemetry counter so the loss is never
+/// silent.
+EventVector events_from_jsonl_lenient(std::string_view text,
+                                      JsonlParseStats* stats = nullptr);
+
+/// Lenient counterpart of read_jsonl_file; still throws on I/O failure.
+EventVector read_jsonl_file_lenient(const std::string& path,
+                                    JsonlParseStats* stats = nullptr);
+
 /// Writes events to a file; throws std::runtime_error on I/O failure.
 void write_jsonl_file(const std::string& path, const EventVector& events);
 

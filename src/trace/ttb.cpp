@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define TETRA_TTB_HAVE_MMAP 1
 #include <fcntl.h>
@@ -247,6 +249,15 @@ void TtbReader::unmap() {
   mapped_ = false;
 }
 
-EventVector TtbReader::materialize() const { return trace::materialize(view_); }
+EventVector TtbReader::materialize() const {
+  EventVector events = trace::materialize(view_);
+  static telemetry::Counter& bytes_counter =
+      telemetry::MetricsRegistry::global().counter("trace.ttb_bytes");
+  static telemetry::Counter& events_counter =
+      telemetry::MetricsRegistry::global().counter("trace.ttb_events");
+  bytes_counter.add(mapped_ ? map_size_ : fallback_.size());
+  events_counter.add(events.size());
+  return events;
+}
 
 }  // namespace tetra::trace

@@ -1,0 +1,257 @@
+// Telemetry subsystem: registry concurrency, histogram bucket semantics,
+// span recording/nesting, and the byte-stable JSON snapshot contract the
+// CI determinism job relies on (docs/TELEMETRY.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/span.hpp"
+
+namespace tetra::telemetry {
+namespace {
+
+// These tests exercise local MetricsRegistry instances (the global one is
+// shared with the instrumented library code) and reset the global span
+// recorder / clock around every use.
+
+TEST(MetricsRegistryTest, CounterConcurrencyExactSum) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Registration races on purpose: every thread looks up the same
+      // (name, labels) instance and must get the same Counter back.
+      Counter& shared = registry.counter("test.shared");
+      Counter& labeled = registry.counter("test.labeled", {{"shard", "3"}});
+      for (std::uint64_t i = 0; i < kIncrements; ++i) {
+        shared.inc();
+        labeled.add(2);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("test.shared").value(), kThreads * kIncrements);
+  EXPECT_EQ(registry.counter("test.labeled", {{"shard", "3"}}).value(),
+            2 * kThreads * kIncrements);
+}
+
+TEST(MetricsRegistryTest, HistogramConcurrencyExactCount) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kObservations = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Histogram& h = registry.histogram("test.hist", {10, 100, 1000});
+      for (std::uint64_t i = 0; i < kObservations; ++i) {
+        h.observe(t);  // all under the first boundary
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  Histogram& h = registry.histogram("test.hist", {10, 100, 1000});
+  EXPECT_EQ(h.count(), kThreads * kObservations);
+  EXPECT_EQ(h.bucket_counts()[0], kThreads * kObservations);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& depth = registry.gauge("test.depth");
+  depth.set(5);
+  depth.add(-7);
+  EXPECT_EQ(depth.value(), -2);
+}
+
+TEST(MetricsRegistryTest, FlatKeySortsLabels) {
+  EXPECT_EQ(MetricsRegistry::flat_key("m", {}), "m");
+  EXPECT_EQ(MetricsRegistry::flat_key("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=1,b=2}");
+  // Label order does not create distinct instances.
+  MetricsRegistry registry;
+  Counter& one = registry.counter("m", {{"b", "2"}, {"a", "1"}});
+  Counter& two = registry.counter("m", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&one, &two);
+}
+
+TEST(HistogramTest, BucketEdgeCases) {
+  Histogram h({10, 20, 30});
+  h.observe(-5);  // below everything -> first bucket (le 10)
+  h.observe(10);  // exactly on a boundary -> that boundary's bucket
+  h.observe(11);  // just above -> next bucket
+  h.observe(30);  // exactly on the last boundary -> last finite bucket
+  h.observe(31);  // above the last boundary -> overflow bucket
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 boundaries + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), -5 + 10 + 11 + 30 + 31);
+}
+
+TEST(HistogramTest, EmptyBoundariesIsOneOverflowBucket) {
+  Histogram h({});
+  h.observe(123);
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], 1u);
+}
+
+TEST(HistogramTest, RejectsNonIncreasingBoundaries) {
+  EXPECT_THROW(Histogram({10, 10}), std::invalid_argument);
+  EXPECT_THROW(Histogram({20, 10}), std::invalid_argument);
+}
+
+TEST(HistogramTest, DisabledRecordsNothing) {
+  Histogram h({10});
+  set_enabled(false);
+  h.observe(5);
+  set_enabled(true);
+  EXPECT_EQ(h.count(), 0u);
+  h.observe(5);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(SpanRecorderTest, NestingAndExplicitParent) {
+  SpanRecorder::global().reset();
+  use_simulated_clock(1000);
+  {
+    ScopedSpan outer("outer");
+    EXPECT_EQ(ScopedSpan::current_id(), outer.id());
+    {
+      ScopedSpan inner("inner", /*items=*/4);
+      EXPECT_EQ(ScopedSpan::current_id(), inner.id());
+    }
+    // Cross-thread form: the parent id is passed explicitly.
+    { ScopedSpan pooled("pooled", outer.id(), /*items=*/0); }
+  }
+  set_clock(nullptr);
+  const std::vector<SpanRecord> spans = SpanRecorder::global().snapshot();
+  SpanRecorder::global().reset();
+  ASSERT_EQ(spans.size(), 3u);  // close order: inner, pooled, outer
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "pooled");
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[0].parent, spans[2].id);
+  EXPECT_EQ(spans[1].parent, spans[2].id);
+  EXPECT_EQ(spans[2].parent, 0u);
+  EXPECT_EQ(spans[0].items, 4u);
+  // Simulated clock: every read advances 1000ns, so wall times are exact.
+  EXPECT_EQ(spans[0].wall_ns, 1000);
+  EXPECT_GT(spans[2].wall_ns, spans[0].wall_ns);
+}
+
+TEST(SpanRecorderTest, RingOverflowDropsOldest) {
+  SpanRecorder recorder(/*capacity=*/2);
+  for (int i = 0; i < 3; ++i) {
+    SpanRecord record;
+    record.name = "s" + std::to_string(i);
+    recorder.record(std::move(record));
+  }
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+  const std::vector<SpanRecord> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "s1");  // s0 was overwritten
+  EXPECT_EQ(spans[1].name, "s2");
+}
+
+TEST(SpanRecorderTest, SetCapacityKeepsNewest) {
+  SpanRecorder recorder(/*capacity=*/4);
+  for (int i = 0; i < 4; ++i) {
+    SpanRecord record;
+    record.name = "s" + std::to_string(i);
+    recorder.record(std::move(record));
+  }
+  recorder.set_capacity(2);
+  const std::vector<SpanRecord> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "s2");
+  EXPECT_EQ(spans[1].name, "s3");
+}
+
+// Builds a fixed workload against fully controlled state and returns its
+// JSON snapshot. Two invocations must produce byte-identical documents —
+// the property `--stats-out` + TETRA_STATS_CLOCK=sim gives seeded runs.
+std::string build_golden_snapshot() {
+  SpanRecorder::global().reset();
+  use_simulated_clock(1000);
+  MetricsRegistry registry;
+  registry.counter("b.count").add(3);
+  registry.counter("a.count", {{"shard", "1"}}).inc();
+  registry.gauge("depth").set(-2);
+  Histogram& lat = registry.histogram("lat", {10, 20});
+  lat.observe(5);
+  lat.observe(15);
+  lat.observe(25);
+  {
+    ScopedSpan outer("outer", /*items=*/2);
+    ScopedSpan inner("inner");
+    inner.set_items(7);
+  }
+  const std::string json =
+      snapshot_to_json(registry.snapshot(), SpanRecorder::global().snapshot(),
+                       SpanRecorder::global().dropped());
+  set_clock(nullptr);
+  SpanRecorder::global().reset();
+  return json;
+}
+
+TEST(SnapshotTest, JsonIsByteStableUnderSimulatedClock) {
+  const std::string first = build_golden_snapshot();
+  const std::string second = build_golden_snapshot();
+  EXPECT_EQ(first, second);
+  // Golden document: sorted keys, spans in close order, simulated clock
+  // readings 1000/2000/3000/4000 (open outer, open inner, close inner,
+  // close outer).
+  EXPECT_EQ(first,
+            "{\"counters\":{\"a.count{shard=1}\":1,\"b.count\":3},"
+            "\"gauges\":{\"depth\":-2},"
+            "\"histograms\":{\"lat\":{\"boundaries\":[10,20],"
+            "\"counts\":[1,1,1],\"count\":3,\"sum\":45}},"
+            "\"spans\":["
+            "{\"name\":\"inner\",\"id\":2,\"parent\":1,\"start_ns\":2000,"
+            "\"wall_ns\":1000,\"items\":7},"
+            "{\"name\":\"outer\",\"id\":1,\"parent\":0,\"start_ns\":1000,"
+            "\"wall_ns\":3000,\"items\":2}],"
+            "\"spans_dropped\":0}");
+}
+
+TEST(SnapshotTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("session.cache_hits").add(4);
+  registry.gauge("ingest.queue_depth", {{"shard", "0"}}).set(3);
+  Histogram& h = registry.histogram("ks", {100});
+  h.observe(50);
+  h.observe(500);
+  const std::string text = snapshot_to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("tetra_session_cache_hits 4\n"), std::string::npos);
+  EXPECT_NE(text.find("tetra_ingest_queue_depth{shard=\"0\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tetra_ks_bucket{le=\"100\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("tetra_ks_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("tetra_ks_sum 550\n"), std::string::npos);
+  EXPECT_NE(text.find("tetra_ks_count 2\n"), std::string::npos);
+}
+
+TEST(SnapshotTest, RuntimeDisableStopsRecording) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("toggle.count");
+  c.inc();
+  set_enabled(false);
+  c.inc();
+  set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 2u);
+}
+
+}  // namespace
+}  // namespace tetra::telemetry

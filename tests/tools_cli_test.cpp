@@ -279,6 +279,101 @@ TEST(ScenarioCliTest, TtbOutMatchesTraceOut) {
   std::remove(back.c_str());
 }
 
+TEST(ScenarioCliTest, StatsSnapshotIsDeterministicUnderSimClock) {
+  REQUIRE_TOOL("tetra_scenario");
+  // Two identical seeded runs under TETRA_STATS_CLOCK=sim must write
+  // byte-identical telemetry snapshots — the CI determinism property.
+  const std::string first = ::testing::TempDir() + "stats1.json";
+  const std::string second = ::testing::TempDir() + "stats2.json";
+  const std::string base = "TETRA_STATS_CLOCK=sim " + binary("tetra_scenario") +
+                           " --seed 7 --validate --shards 2 --quiet";
+  ASSERT_EQ(run_command(base + " --stats-out " + first).exit_code, 0);
+  ASSERT_EQ(run_command(base + " --stats-out " + second).exit_code, 0);
+  const std::string snapshot = slurp(first);
+  EXPECT_EQ(snapshot, slurp(second));
+  EXPECT_FALSE(snapshot.empty());
+  // The instrumented run must actually report: ingested segments, the
+  // per-shard queue gauges and the synthesis span tree.
+  EXPECT_NE(snapshot.find("\"session.segments_ingested\":"),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("ingest.queue_depth{shard=1}"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"name\":\"session.model\""), std::string::npos);
+  EXPECT_NE(snapshot.find("\"name\":\"synth.extract\""), std::string::npos);
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST(SynthCliTest, LenientSkipsMalformedLines) {
+  REQUIRE_TOOL("tetra_synth");
+  // A corrupt line fails the strict parser but is skipped (and counted in
+  // trace.jsonl_malformed_skipped) under --lenient.
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const std::string corrupt = ::testing::TempDir() + "corrupt.jsonl";
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    out << slurp(fixture);
+    out << "this is not json\n";
+  }
+  EXPECT_EQ(run_command(binary("tetra_synth") + " --trace " + corrupt)
+                .exit_code,
+            1);
+  EXPECT_EQ(run_command(binary("tetra_synth") + " --trace " + corrupt +
+                        " --lenient")
+                .exit_code,
+            0);
+  std::remove(corrupt.c_str());
+}
+
+TEST(SynthCliTest, StatsEnvDumpsSummaryAtExit) {
+  REQUIRE_TOOL("tetra_synth");
+  // TETRA_STATS=1 arms an at-exit summary dump on stderr with no flag;
+  // regression for the static-destruction-order crash in the handler.
+  // The subshell routes stderr (the summary) into the captured stream.
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const CommandResult result =
+      run_command("(TETRA_STATS=1 " + binary("tetra_synth") + " --trace " +
+                  fixture + " 2>&1 >/dev/null)");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("== tetra telemetry =="), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("session.segments_ingested"), std::string::npos)
+      << result.output;
+}
+
+TEST(PredictCliTest, StatsOutWritesSnapshot) {
+  REQUIRE_TOOL("tetra_predict");
+  const std::string fixture =
+      std::string(TETRA_TEST_DATA_DIR) + "/scenario_seed7_trace.jsonl";
+  const std::string stats = ::testing::TempDir() + "predict_stats.json";
+  ASSERT_EQ(run_command(binary("tetra_predict") + " --trace " + fixture +
+                        " --quiet --stats-out " + stats)
+                .exit_code,
+            0);
+  const std::string snapshot = slurp(stats);
+  EXPECT_NE(snapshot.find("\"predict.activations\":"), std::string::npos);
+  EXPECT_NE(snapshot.find("\"name\":\"predict.replay\""), std::string::npos);
+  std::remove(stats.c_str());
+}
+
+TEST(SentinelCliTest, StatsOutWritesSnapshot) {
+  REQUIRE_TOOL("tetra_sentinel");
+  const std::string data = std::string(TETRA_TEST_DATA_DIR);
+  const std::string stats = ::testing::TempDir() + "sentinel_stats.json";
+  ASSERT_EQ(run_command(binary("tetra_sentinel") + " --baseline " + data +
+                        "/scenario_seed7_trace.jsonl --window " + data +
+                        "/sentinel_seed7_clean.jsonl --quiet --stats-out " +
+                        stats)
+                .exit_code,
+            0);
+  const std::string snapshot = slurp(stats);
+  EXPECT_NE(snapshot.find("\"sentinel.windows_checked\":1"),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("\"name\":\"sentinel.check\""), std::string::npos);
+  std::remove(stats.c_str());
+}
+
 TEST(PredictCliTest, WorkerSweepRuns) {
   REQUIRE_TOOL("tetra_predict");
   const std::string fixture =

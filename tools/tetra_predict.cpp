@@ -16,6 +16,7 @@
 //                 [--sweep-cpus N1,N2,...] [--sweep-workers NODE=N1,N2,...]
 //                 [--objective worst-mean|worst-p99|worst-max|mean-mean]
 //                 [--json FILE] [--report] [--quiet]
+//                 [--stats] [--stats-out FILE]
 //
 // --cpus switches the replay to the contention-aware machine mode (one
 // executor per node on N simulated CPUs); without it the replay is
@@ -38,6 +39,7 @@
 #include "predict/report.hpp"
 #include "predict/what_if.hpp"
 #include "support/string_utils.hpp"
+#include "tool_stats.hpp"
 
 namespace {
 
@@ -56,6 +58,7 @@ void usage(const char* argv0) {
       "          [--sweep-cpus N1,N2,...] [--sweep-workers NODE=N1,N2,...]\n"
       "          [--objective worst-mean|worst-p99|worst-max|mean-mean]\n"
       "          [--json FILE] [--report] [--quiet]\n"
+      "          [--stats] [--stats-out FILE]\n"
       "--report additionally prints the best candidate's chain table in\n"
       "sweep mode (single predictions always print theirs).\n",
       argv0);
@@ -122,6 +125,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::vector<int>>> worker_sweeps;
   predict::Objective objective = predict::Objective::WorstChainP99;
   bool quiet = false;
+  tetra::tools::StatsOptions stats;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -232,6 +236,10 @@ int main(int argc, char** argv) {
       report = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--stats") {
+      stats.summary = true;
+    } else if (arg == "--stats-out") {
+      stats.out_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -341,5 +349,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+  return tetra::tools::emit_stats(stats);
 }

@@ -12,6 +12,7 @@
 //                  [--compensate-overhead]
 //                  [--json FILE] [--dot FILE]
 //                  [--trace-out FILE] [--ttb-out FILE] [--quiet]
+//                  [--shards N] [--stats] [--stats-out FILE]
 //
 // --probe-cost SPEC injects simulated tracer overhead into every probe
 // hit (presets uprobe | usdt | lttng | free, or "COST[~JITTER]" like
@@ -37,17 +38,25 @@
 // synthesized DAG and merged trace (the latter feeds the golden-trace
 // regression test); --ttb-out writes the same merged trace in the
 // compact binary format (docs/TRACE_FORMAT.md).
+//
+// --shards N re-ingests the first scenario's merged trace through a
+// ShardedIngestService in chunks and cross-checks the resulting model
+// against the session-synthesized one (exit 1 on mismatch); --stats /
+// --stats-out dump the telemetry snapshot (docs/TELEMETRY.md).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 
+#include "api/ingest_service.hpp"
 #include "core/export.hpp"
 #include "overhead/profile.hpp"
 #include "scenario/generator.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/validator.hpp"
+#include "tool_stats.hpp"
 #include "trace/serialize.hpp"
 #include "trace/ttb.hpp"
 
@@ -62,7 +71,8 @@ void usage(const char* argv0) {
                "          [--probe-cost SPEC] [--sample-every K]\n"
                "          [--compensate-overhead]\n"
                "          [--json FILE] [--dot FILE]\n"
-               "          [--trace-out FILE] [--ttb-out FILE] [--quiet]\n",
+               "          [--trace-out FILE] [--ttb-out FILE] [--quiet]\n"
+               "          [--shards N] [--stats] [--stats-out FILE]\n",
                argv0);
 }
 
@@ -85,6 +95,8 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::optional<scenario::MutationKind> mutation;
   std::uint64_t run_index = 0;
+  int shards = 0;
+  tools::StatsOptions stats;
   std::string json_path, dot_path, trace_path, ttb_path;
   scenario::GeneratorOptions generator_options;
   scenario::RunnerOptions runner_options;
@@ -178,6 +190,19 @@ int main(int argc, char** argv) {
       ttb_path = next();
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--shards") {
+      const std::string value = next();
+      shards = std::atoi(value.c_str());
+      if (shards < 1) {
+        std::fprintf(stderr,
+                     "error: --shards expects a positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--stats") {
+      stats.summary = true;
+    } else if (arg == "--stats-out") {
+      stats.out_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -238,7 +263,8 @@ int main(int argc, char** argv) {
 
       const bool validating = validate || run_modes;
       const bool needs_run = validating || !trace_path.empty() ||
-                             !ttb_path.empty() || !dot_path.empty();
+                             !ttb_path.empty() || !dot_path.empty() ||
+                             shards > 0;
       if (!needs_run) {
         if (!quiet) {
           std::printf("seed %llu: %zu nodes, %zu callbacks, %zu vertices, "
@@ -263,6 +289,11 @@ int main(int argc, char** argv) {
                        "--trace-out/--ttb-out are ignored with --modes "
                        "(per-mode runs produce no single merged trace)\n");
         }
+        if (k == 0 && shards > 0) {
+          std::fprintf(stderr,
+                       "--shards is ignored with --modes (per-mode runs "
+                       "produce no single merged trace)\n");
+        }
       } else {
         const scenario::ScenarioRunResult result =
             runner.run(spec, 1.0, run_index);
@@ -281,6 +312,53 @@ int main(int argc, char** argv) {
         }
         if (k == 0 && !dot_path.empty()) {
           write_file(dot_path, core::to_dot(result.model.dag));
+        }
+        if (k == 0 && shards > 0) {
+          // Fleet-path cross-check: re-ingest the merged trace through the
+          // sharded service in chunks under one trace id (all chunks land
+          // on one shard, so merge order is submission order) and require
+          // the same model shape the in-process session produced. This also
+          // populates the ingest.* metric family for --stats/--stats-out.
+          api::IngestServiceConfig service_config;
+          service_config.shards = static_cast<std::size_t>(shards);
+          service_config.session =
+              runner.session_config(api::MergeStrategy::MergeTraces);
+          api::ShardedIngestService service(service_config);
+          const std::size_t chunk =
+              std::max<std::size_t>(1, result.trace.size() / 8);
+          for (std::size_t begin = 0; begin < result.trace.size();
+               begin += chunk) {
+            const std::size_t end =
+                std::min(result.trace.size(), begin + chunk);
+            service.submit("run",
+                           trace::EventVector(result.trace.begin() + begin,
+                                              result.trace.begin() + end));
+          }
+          api::Result<core::TimingModel> sharded = service.model();
+          if (!sharded.ok()) {
+            ++mismatches;
+            std::fprintf(stderr, "seed %llu: sharded ingest failed: %s\n",
+                         static_cast<unsigned long long>(scenario_seed),
+                         sharded.error().to_string().c_str());
+          } else if (sharded->dag.vertex_count() !=
+                         result.model.dag.vertex_count() ||
+                     sharded->dag.edge_count() !=
+                         result.model.dag.edge_count()) {
+            ++mismatches;
+            std::fprintf(
+                stderr,
+                "seed %llu: sharded model (%zu vertices, %zu edges) != "
+                "session model (%zu vertices, %zu edges)\n",
+                static_cast<unsigned long long>(scenario_seed),
+                sharded->dag.vertex_count(), sharded->dag.edge_count(),
+                result.model.dag.vertex_count(),
+                result.model.dag.edge_count());
+          } else if (!quiet) {
+            std::fprintf(
+                stderr, "seed %llu: sharded cross-check OK (%d shard%s)\n",
+                static_cast<unsigned long long>(scenario_seed), shards,
+                shards == 1 ? "" : "s");
+          }
         }
       }
 
@@ -310,5 +388,6 @@ int main(int argc, char** argv) {
     std::printf("%d/%d scenarios matched ground truth\n", count - mismatches,
                 count);
   }
-  return mismatches == 0 ? 0 : 1;
+  const int stats_rc = tools::emit_stats(stats);
+  return mismatches == 0 ? stats_rc : 1;
 }

@@ -11,6 +11,7 @@
 //                  [--alpha A] [--min-samples N]
 //                  [--period-tol F] [--latency-tol F]
 //                  [--deadline 'TOPICS=MS'] [--json FILE] [--quiet]
+//                  [--stats] [--stats-out FILE]
 //
 // Each --window is checked independently, in order. --json writes the
 // verdict JSON (the verdict object for one window, an array for several).
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "sentinel/sentinel.hpp"
+#include "tool_stats.hpp"
 
 namespace {
 
@@ -36,7 +38,8 @@ void usage(const char* argv0) {
                "          --window FILE [--window FILE ...]\n"
                "          [--alpha A] [--min-samples N]\n"
                "          [--period-tol F] [--latency-tol F]\n"
-               "          [--deadline 'TOPICS=MS'] [--json FILE] [--quiet]\n",
+               "          [--deadline 'TOPICS=MS'] [--json FILE] [--quiet]\n"
+               "          [--stats] [--stats-out FILE]\n",
                argv0);
 }
 
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> window_files;
   std::string json_path;
   bool quiet = false;
+  tools::StatsOptions stats;
   sentinel::SentinelOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -109,6 +113,10 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--stats") {
+      stats.summary = true;
+    } else if (arg == "--stats-out") {
+      stats.out_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -176,6 +184,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The exit status carries the verdict regardless of --quiet.
-  return any_drift ? 1 : 0;
+  // The exit status carries the verdict regardless of --quiet; a failed
+  // snapshot write only surfaces when the windows were clean.
+  const int stats_rc = tools::emit_stats(stats);
+  return any_drift ? 1 : stats_rc;
 }

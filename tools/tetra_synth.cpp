@@ -39,6 +39,7 @@
 #include "core/export.hpp"
 #include "overhead/profile.hpp"
 #include "support/string_utils.hpp"
+#include "tool_stats.hpp"
 #include "trace/serialize.hpp"
 #include "trace/ttb.hpp"
 
@@ -53,6 +54,7 @@ void usage(const char* argv0) {
                "          [--no-service-split] [--no-and-junction]\n"
                "          [--waiting-times]\n"
                "          [--compensate-overhead] [--probe-cost DUR]\n"
+               "          [--lenient] [--stats] [--stats-out FILE]\n"
                "       %s --trace FILE --to-ttb FILE | --to-jsonl FILE\n",
                argv0, argv0);
 }
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
   std::string to_ttb_path;
   std::string to_jsonl_path;
   bool report = false;
+  bool lenient = false;
+  tools::StatsOptions stats;
   api::SynthesisConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -144,6 +148,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.compensate_overhead(true).probe_cost_hint(*cost);
+    } else if (arg == "--lenient") {
+      lenient = true;
+    } else if (arg == "--stats") {
+      stats.summary = true;
+    } else if (arg == "--stats-out") {
+      stats.out_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -187,13 +197,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
-    return 0;
+    return tools::emit_stats(stats);
   }
 
   try {
     api::SynthesisSession session(config);
     for (const auto& path : trace_paths) {
-      api::Result<api::SegmentInfo> segment = session.ingest_file(path);
+      std::size_t malformed_skipped = 0;
+      const api::Result<api::SegmentInfo> segment =
+          [&]() -> api::Result<api::SegmentInfo> {
+        if (lenient && !trace::is_ttb_file(path)) {
+          // Fleet posture: one corrupt line must not sink the upload. Skips
+          // are counted here and in trace.jsonl_malformed_skipped.
+          trace::JsonlParseStats parse_stats;
+          trace::EventVector events =
+              trace::read_jsonl_file_lenient(path, &parse_stats);
+          malformed_skipped = parse_stats.malformed_skipped;
+          api::IngestOptions options;
+          options.trace_id = path;
+          return session.ingest(std::move(events), options);
+        }
+        return session.ingest_file(path);
+      }();
       if (!segment.ok()) {
         std::fprintf(stderr, "error: %s\n", segment.error().to_string().c_str());
         return 1;
@@ -201,6 +226,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "loaded %zu events from %s%s\n",
                    segment->event_count, path.c_str(),
                    segment->arrived_sorted ? "" : " (re-sorted)");
+      if (malformed_skipped > 0) {
+        std::fprintf(stderr, "warning: skipped %zu malformed line%s in %s\n",
+                     malformed_skipped, malformed_skipped == 1 ? "" : "s",
+                     path.c_str());
+      }
     }
 
     api::Result<core::TimingModel> model = session.model();
@@ -242,5 +272,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
+  return tools::emit_stats(stats);
 }

@@ -1,0 +1,34 @@
+// Shared --stats / --stats-out handling for the CLI tools: every tool
+// parses the two flags into a StatsOptions and calls emit_stats() once
+// the run is done (docs/TELEMETRY.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/snapshot.hpp"
+
+namespace tetra::tools {
+
+struct StatsOptions {
+  bool summary = false;  ///< --stats: human table to stderr
+  std::string out_path;  ///< --stats-out FILE: JSON snapshot
+};
+
+/// Writes the requested telemetry outputs. Returns a process exit code:
+/// 0 on success, 1 when the snapshot file cannot be written.
+inline int emit_stats(const StatsOptions& options) {
+  if (!options.out_path.empty()) {
+    std::string error;
+    if (!telemetry::write_snapshot_file(options.out_path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote telemetry snapshot to %s\n",
+                 options.out_path.c_str());
+  }
+  if (options.summary) telemetry::write_summary(stderr);
+  return 0;
+}
+
+}  // namespace tetra::tools
