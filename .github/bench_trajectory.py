@@ -16,12 +16,14 @@ import os
 import sys
 
 BENCHES = ("BENCH_synthesis.json", "BENCH_predict.json", "BENCH_ingest.json",
-           "BENCH_overhead.json", "BENCH_telemetry.json")
+           "BENCH_overhead.json", "BENCH_telemetry.json",
+           "BENCH_sentinel.json")
 # Keys that describe the configuration, not performance. "telemetry" is the
 # embedded snapshot — rendered separately as the stage breakdown, not
 # diffed metric by metric.
 SKIP = {"bench", "seed", "traces", "threads", "hardware_threads", "what_ifs",
         "duration_s", "horizon_s", "robots", "shards", "runs", "profile",
+        "segments", "span_ms",
         "telemetry", "tolerance_pct"}
 # Leaf names that label a sweep point rather than measure it.
 SKIP_LEAVES = {"body_us", "k", "n"}

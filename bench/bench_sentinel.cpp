@@ -1,0 +1,170 @@
+// Streaming sentinel benchmark: sliding-window drift detection cost.
+// Emits machine-readable results as BENCH_sentinel.json.
+//
+// Two measurements over a clean multi-segment scenario stream:
+//   1. streaming throughput (events/sec) with the default overlapping
+//      geometry (advance = span/2) — every event is analyzed twice
+//   2. the same stream with disjoint windows (advance = span); the ratio
+//      is the overlap overhead factor (gate: <= 4.0x, overlap doubles
+//      the evaluated windows so the factor should stay near 2)
+//
+// A clean stream must never alarm: any alarm fails the bench outright
+// (correctness, not performance).
+//
+// Knobs:
+//   TETRA_RUNS       stream segments fed after the baseline (default 4)
+//   TETRA_DURATION   per-segment simulated seconds (default 6)
+//   TETRA_SPAN_MS    window span in ms (default 1000)
+//   TETRA_BENCH_JSON output path (default BENCH_sentinel.json)
+//   TETRA_REQUIRE_SPEEDUP  0 = report only, never fail the gates
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "scenario/generator.hpp"
+#include "scenario/runner.hpp"
+#include "sentinel/stream.hpp"
+#include "support/json_writer.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+using namespace tetra;
+
+struct StreamPass {
+  double seconds = 0.0;
+  std::size_t windows = 0;
+  std::size_t alarms = 0;
+};
+
+StreamPass run_stream(const sentinel::SentinelConfig& config,
+                      const trace::EventVector& baseline,
+                      const std::vector<trace::EventVector>& segments) {
+  sentinel::StreamSentinel stream(config);
+  if (!stream.ingest_baseline(baseline).ok()) {
+    std::fprintf(stderr, "FAIL: baseline ingest failed\n");
+    std::exit(1);
+  }
+  StreamPass pass;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& segment : segments) {
+    const auto verdicts = stream.feed(segment);
+    if (!verdicts.ok()) {
+      std::fprintf(stderr, "FAIL: feed failed: %s\n",
+                   verdicts.error().to_string().c_str());
+      std::exit(1);
+    }
+    for (const auto& window : verdicts.value()) {
+      pass.alarms += window.alarmed ? 1 : 0;
+    }
+    pass.windows += verdicts->size();
+  }
+  pass.seconds = bench::seconds_since(t0);
+  return pass;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("streaming sentinel - sliding windows over a live stream");
+
+  const int runs = bench::env_int("TETRA_RUNS", 4);
+  const Duration duration =
+      bench::env_seconds("TETRA_DURATION", Duration::sec(6));
+  const int span_ms = bench::env_int("TETRA_SPAN_MS", 1000);
+  bench::note(format("%d stream segments x %.0fs, %dms windows", runs,
+                     duration.to_sec(), span_ms));
+
+  scenario::GeneratorOptions generator_options;
+  generator_options.run_duration = duration;
+  const scenario::ScenarioGenerator generator(generator_options);
+  const scenario::ScenarioRunner runner;
+  const scenario::Scenario scen = generator.generate(7);
+
+  const trace::EventVector baseline = runner.run(scen.spec, 1.0, 0).trace;
+  std::vector<trace::EventVector> segments;
+  std::size_t stream_events = 0;
+  for (int run = 0; run < runs; ++run) {
+    segments.push_back(
+        runner.run(scen.spec, 1.0, static_cast<std::uint64_t>(run) + 1).trace);
+    stream_events += segments.back().size();
+  }
+  bench::note(format("baseline %zu events, stream %zu events", baseline.size(),
+                     stream_events));
+
+  sentinel::SentinelConfig overlapping;
+  overlapping.window_span = Duration::ms(span_ms);
+  overlapping.window_advance = Duration::ms(span_ms / 2);
+  overlapping.rebase_segments = true;
+  sentinel::SentinelConfig disjoint = overlapping;
+  disjoint.window_advance = overlapping.window_span;
+
+  (void)run_stream(disjoint, baseline, segments);  // warm-up
+  const StreamPass disjoint_pass = run_stream(disjoint, baseline, segments);
+  const StreamPass overlap_pass = run_stream(overlapping, baseline, segments);
+
+  const auto rate = [stream_events](double s) {
+    return s > 0.0 ? static_cast<double>(stream_events) / s : 0.0;
+  };
+  const double overhead_factor = disjoint_pass.seconds > 0.0
+                                     ? overlap_pass.seconds /
+                                           disjoint_pass.seconds
+                                     : 0.0;
+
+  std::printf("\n%-40s %12s %14s %8s\n", "pass", "wall (ms)", "events/sec",
+              "windows");
+  const auto row = [&](const std::string& name, const StreamPass& pass) {
+    std::printf("%-40s %12.1f %14.0f %8zu\n", name.c_str(),
+                pass.seconds * 1e3, rate(pass.seconds), pass.windows);
+  };
+  row("disjoint windows (advance = span)", disjoint_pass);
+  row("overlapping windows (advance = span/2)", overlap_pass);
+  std::printf("%-40s %12.2fx\n", "overlap overhead factor", overhead_factor);
+
+  JsonWriter json;
+  json.begin_object()
+      .kv("bench", "sentinel")
+      .kv("segments", runs)
+      .kv("duration_s", duration.to_sec())
+      .kv("span_ms", span_ms)
+      .kv("stream_events", static_cast<std::uint64_t>(stream_events))
+      .key("events_per_sec")
+      .begin_object()
+      .kv("disjoint", rate(disjoint_pass.seconds))
+      .kv("overlapping", rate(overlap_pass.seconds))
+      .end_object()
+      .key("windows")
+      .begin_object()
+      .kv("disjoint", static_cast<std::uint64_t>(disjoint_pass.windows))
+      .kv("overlapping", static_cast<std::uint64_t>(overlap_pass.windows))
+      .end_object()
+      .kv("overhead_factor", overhead_factor)
+      .kv("alarms",
+          static_cast<std::uint64_t>(disjoint_pass.alarms +
+                                     overlap_pass.alarms))
+      .end_object();
+  const char* out_env = std::getenv("TETRA_BENCH_JSON");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "BENCH_sentinel.json";
+  std::ofstream out(out_path, std::ios::trunc);
+  out << bench::with_telemetry(json.str()) << "\n";
+  bench::note(format("\nwrote %s", out_path.c_str()));
+
+  // A clean stream alarming is a correctness failure: always gating.
+  if (disjoint_pass.alarms + overlap_pass.alarms > 0) {
+    std::fprintf(stderr, "FAIL: clean stream raised %zu alarms\n",
+                 disjoint_pass.alarms + overlap_pass.alarms);
+    return 1;
+  }
+  const bool strict = bench::env_int("TETRA_REQUIRE_SPEEDUP", 1) != 0;
+  if (strict && overhead_factor > 4.0) {
+    std::fprintf(stderr,
+                 "FAIL: overlap overhead factor %.2fx > 4.0x allowed\n",
+                 overhead_factor);
+    return 1;
+  }
+  return 0;
+}

@@ -12,16 +12,6 @@ const std::vector<std::size_t> TraceIndex::kEmpty{};
 
 namespace {
 
-bool is_ros2_type(trace::EventType type) {
-  switch (type) {
-    case trace::EventType::SchedSwitch:
-    case trace::EventType::SchedWakeup:
-      return false;
-    default:
-      return true;
-  }
-}
-
 bool is_time_sorted(const std::int64_t* time, std::size_t count) {
   for (std::size_t i = 1; i < count; ++i) {
     if (time[i] < time[i - 1]) return false;

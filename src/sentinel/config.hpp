@@ -1,0 +1,99 @@
+// SentinelConfig: the one configuration shared by both sentinel entry
+// points — the one-shot ModelSentinel::check and the streaming
+// StreamSentinel::feed. Per-window thresholds come first (they also gate
+// the transient findings of every streaming window); the streaming
+// window geometry and sequential-evidence knobs follow.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "api/config.hpp"
+#include "support/time.hpp"
+
+namespace tetra::sentinel {
+
+struct SentinelConfig {
+  // -- per-window thresholds ----------------------------------------------
+
+  /// Significance level of the two-sample KS execution-time test. The
+  /// default trades detection lag for a near-zero false-alarm rate over
+  /// the hundreds of per-callback tests a long-running sentinel performs.
+  double alpha = 1e-4;
+  /// Minimum samples per side before the KS test can produce a
+  /// per-window finding; below this the asymptotic p-value is unreliable
+  /// in both directions.
+  std::size_t min_samples = 8;
+  /// Relative timer-period change that counts as drift.
+  double period_tolerance = 0.2;
+  /// Relative mean chain-latency change that counts as drift.
+  double latency_tolerance = 0.5;
+  /// Chain enumeration guard (pathological DAGs).
+  std::size_t max_chains = 256;
+  /// Optional per-chain deadlines, keyed by the chain's plain topic path
+  /// joined with " -> " (the DriftFinding subject format). Any window
+  /// instance above the deadline raises DeadlineViolation — immediately,
+  /// even in streaming mode (a hard violation is not statistical).
+  std::map<std::string, Duration> chain_deadlines;
+  /// Synthesis pipeline configuration. Must keep MergeStrategy::MergeDags
+  /// (the sentinel compares per-trace models and releases window events).
+  api::SynthesisConfig synthesis;
+
+  // -- streaming window geometry ------------------------------------------
+
+  /// Event-time span of one sliding window. Must comfortably exceed the
+  /// longest timer period in the system or every window looks
+  /// structurally starved.
+  Duration window_span = Duration::ms(1000);
+  /// Event-time step between window starts; advance < span overlaps
+  /// windows, advance == span tiles them. feed() rejects advance > span
+  /// (events would be skipped) and non-positive values.
+  Duration window_advance = Duration::ms(500);
+  /// Rebase each fed segment to start rebase_gap after the previous
+  /// segment's last event. Required when following a directory of
+  /// per-run segment files that each restart near t=0.
+  bool rebase_segments = false;
+  Duration rebase_gap = Duration::ms(1);
+
+  // -- sequential evidence ------------------------------------------------
+
+  /// Per-stream alarm budget: sequential evidence must reach
+  /// ln(1/evidence_alpha) (exec-time e-process) or the per-axis CUSUM
+  /// threshold before an alarm fires. By Ville's inequality this bounds
+  /// the probability a clean stream ever alarms on one accumulator.
+  double evidence_alpha = 1e-3;
+  /// Minimum samples per side before a window's KS result feeds the
+  /// sequential exec-time accumulator (lower than min_samples: evidence
+  /// merely accumulates, it does not alarm by itself).
+  std::size_t sequential_min_samples = 4;
+  /// Clamp on one window's e-value contribution, so a single aberrant
+  /// window (or an optimistic small-sample p approximation) cannot carry
+  /// an alarm alone.
+  double max_window_e_value = 20.0;
+  /// Consecutive windows a structural difference must persist before its
+  /// alarm fires; debounces transient drops and window-boundary effects.
+  std::size_t structural_hits = 2;
+  /// CUSUM geometry for the period/latency delta axes, as fractions of
+  /// the matching per-window tolerance: the reference (allowance)
+  /// absorbs reference_fraction * tolerance of drift per window, and the
+  /// alarm threshold sits at threshold_fraction * tolerance of
+  /// accumulated excess.
+  double cusum_reference_fraction = 0.5;
+  double cusum_threshold_fraction = 2.0;
+
+  // -- baseline auto-refresh ----------------------------------------------
+
+  /// After this many consecutive clean-but-shifted windows (transient
+  /// findings present, no sequential alarm active) the stream is folded
+  /// into a new baseline and a BaselineRefreshed event is emitted. Keep
+  /// it well above the typical alarm latency or a real drift can be
+  /// absorbed before it alarms. 0 disables auto-refresh (default).
+  std::size_t refresh_after = 0;
+};
+
+/// Historical name of the one-shot configuration; both entry points now
+/// share SentinelConfig.
+using SentinelOptions = SentinelConfig;
+
+}  // namespace tetra::sentinel

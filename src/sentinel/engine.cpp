@@ -1,4 +1,4 @@
-#include "sentinel/sentinel.hpp"
+#include "sentinel/engine.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -8,7 +8,6 @@
 #include <utility>
 
 #include "analysis/chains.hpp"
-#include "support/json_writer.hpp"
 #include "support/statistics.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span.hpp"
@@ -87,25 +86,36 @@ std::string chain_key(const std::vector<std::string>& topics) {
   return key;
 }
 
-void add_structural_findings(const core::Dag& baseline, const core::Dag& window,
-                             std::vector<DriftFinding>& findings) {
+AxisObservation structural_observation(DriftKind kind, std::string subject,
+                                       std::string detail) {
+  AxisObservation obs;
+  obs.kind = kind;
+  obs.subject = std::move(subject);
+  obs.value = 1.0;
+  obs.p_value = 0.0;
+  obs.finding = true;
+  obs.detail = std::move(detail);
+  return obs;
+}
+
+void add_structural_observations(const core::Dag& baseline,
+                                 const core::Dag& window,
+                                 std::vector<AxisObservation>& observations) {
   const auto base_vertices = vertex_keys(baseline);
   const auto window_vertices = vertex_keys(window);
   for (const auto& key : base_vertices) {
     if (window_vertices.count(key) == 0) {
-      findings.push_back(DriftFinding{
+      observations.push_back(structural_observation(
           DriftKind::VertexRemoved, key,
           "callback present in the baseline model never executed in the "
-          "window",
-          1.0, 0.0});
+          "window"));
     }
   }
   for (const auto& key : window_vertices) {
     if (base_vertices.count(key) == 0) {
-      findings.push_back(DriftFinding{
+      observations.push_back(structural_observation(
           DriftKind::VertexAdded, key,
-          "window executed a callback the baseline model does not contain",
-          1.0, 0.0});
+          "window executed a callback the baseline model does not contain"));
     }
   }
 
@@ -113,74 +123,28 @@ void add_structural_findings(const core::Dag& baseline, const core::Dag& window,
   const auto win_edges = edge_keys(window);
   for (const auto& [from, to, topic] : base_edges) {
     if (win_edges.count(EdgeKey{from, to, topic}) == 0) {
-      findings.push_back(DriftFinding{DriftKind::EdgeRemoved,
-                                      from + " -> " + to,
-                                      "baseline precedence relation on " +
-                                          topic + " absent from the window",
-                                      1.0, 0.0});
+      observations.push_back(structural_observation(
+          DriftKind::EdgeRemoved, from + " -> " + to,
+          "baseline precedence relation on " + topic +
+              " absent from the window"));
     }
   }
   for (const auto& [from, to, topic] : win_edges) {
     if (base_edges.count(EdgeKey{from, to, topic}) == 0) {
-      findings.push_back(DriftFinding{DriftKind::EdgeAdded,
-                                      from + " -> " + to,
-                                      "window shows a precedence relation on " +
-                                          topic + " the baseline lacks",
-                                      1.0, 0.0});
+      observations.push_back(structural_observation(
+          DriftKind::EdgeAdded, from + " -> " + to,
+          "window shows a precedence relation on " + topic +
+              " the baseline lacks"));
     }
   }
 }
 
 }  // namespace
 
-std::string_view to_string(DriftKind kind) {
-  switch (kind) {
-    case DriftKind::VertexAdded: return "vertex-added";
-    case DriftKind::VertexRemoved: return "vertex-removed";
-    case DriftKind::EdgeAdded: return "edge-added";
-    case DriftKind::EdgeRemoved: return "edge-removed";
-    case DriftKind::ExecTimeShift: return "exec-time-shift";
-    case DriftKind::PeriodShift: return "period-shift";
-    case DriftKind::LatencyEnvelope: return "latency-envelope";
-    case DriftKind::DeadlineViolation: return "deadline-violation";
-  }
-  return "unknown";
-}
+DriftEngine::DriftEngine(SentinelConfig config)
+    : config_(std::move(config)), session_(config_.synthesis) {}
 
-std::string verdict_to_json(const DriftVerdict& verdict) {
-  JsonWriter writer;
-  writer.begin_object();
-  writer.kv("drifted", verdict.drifted);
-  writer.kv("checks", static_cast<std::uint64_t>(verdict.checks));
-  writer.key("baseline").begin_object();
-  writer.kv("events", static_cast<std::uint64_t>(verdict.baseline_events));
-  writer.kv("vertices", static_cast<std::uint64_t>(verdict.baseline_vertices));
-  writer.kv("edges", static_cast<std::uint64_t>(verdict.baseline_edges));
-  writer.end_object();
-  writer.key("window").begin_object();
-  writer.kv("events", static_cast<std::uint64_t>(verdict.window_events));
-  writer.kv("vertices", static_cast<std::uint64_t>(verdict.window_vertices));
-  writer.kv("edges", static_cast<std::uint64_t>(verdict.window_edges));
-  writer.end_object();
-  writer.key("findings").begin_array();
-  for (const auto& finding : verdict.findings) {
-    writer.begin_object();
-    writer.kv("kind", to_string(finding.kind));
-    writer.kv("subject", finding.subject);
-    writer.kv("detail", finding.detail);
-    writer.kv("statistic", finding.statistic);
-    writer.kv("p_value", finding.p_value);
-    writer.end_object();
-  }
-  writer.end_array();
-  writer.end_object();
-  return writer.str();
-}
-
-ModelSentinel::ModelSentinel(SentinelOptions options)
-    : options_(std::move(options)), session_(options_.synthesis) {}
-
-api::Result<api::SegmentInfo> ModelSentinel::ingest_baseline(
+api::Result<api::SegmentInfo> DriftEngine::ingest_baseline(
     trace::EventVector events) {
   baseline_.valid = false;
   api::IngestOptions ingest;
@@ -188,7 +152,7 @@ api::Result<api::SegmentInfo> ModelSentinel::ingest_baseline(
   return session_.ingest(std::move(events), ingest);
 }
 
-api::Result<api::SegmentInfo> ModelSentinel::ingest_baseline_file(
+api::Result<api::SegmentInfo> DriftEngine::ingest_baseline_file(
     const std::string& path) {
   baseline_.valid = false;
   api::IngestOptions ingest;
@@ -196,13 +160,18 @@ api::Result<api::SegmentInfo> ModelSentinel::ingest_baseline_file(
   return session_.ingest_file(path, ingest);
 }
 
-api::Result<core::TimingModel> ModelSentinel::baseline_model() {
-  const api::Error error = refresh_baseline();
+api::Result<core::TimingModel> DriftEngine::baseline_model() {
+  const api::Error error = ensure_baseline();
   if (error.code != api::ErrorCode::None) return error;
   return baseline_.model;
 }
 
-api::Error ModelSentinel::refresh_baseline() {
+void DriftEngine::reset_baseline() {
+  session_.clear();
+  baseline_ = BaselineCache{};
+}
+
+api::Error DriftEngine::ensure_baseline() {
   if (baseline_.valid) return {};
   auto model = session_.trace_model(kBaselineTraceId);
   if (!model.ok()) {
@@ -223,7 +192,7 @@ api::Error ModelSentinel::refresh_baseline() {
 
   const analysis::InstanceTimeline timeline(events.value());
   const auto enumeration =
-      analysis::enumerate_chains(baseline_.model.dag, options_.max_chains);
+      analysis::enumerate_chains(baseline_.model.dag, config_.max_chains);
   for (const auto& chain : enumeration.chains) {
     BaselineChain entry;
     entry.topics = analysis::chain_topics(baseline_.model.dag, chain);
@@ -243,40 +212,42 @@ api::Error ModelSentinel::refresh_baseline() {
   return {};
 }
 
-api::Result<DriftVerdict> ModelSentinel::check(trace::EventVector events) {
-  const api::Error error = refresh_baseline();
+api::Result<WindowAnalysis> DriftEngine::analyze(trace::EventVector events) {
+  const api::Error error = ensure_baseline();
   if (error.code != api::ErrorCode::None) return error;
-  const std::string trace_id = "window-" + std::to_string(window_counter_);
+  api::SynthesisSession window_session(config_.synthesis);
   api::IngestOptions ingest;
-  ingest.trace_id = trace_id;
-  auto segment = session_.ingest(std::move(events), ingest);
+  ingest.trace_id = "window";
+  auto segment = window_session.ingest(std::move(events), ingest);
   if (!segment.ok()) return segment.error();
-  return check_trace(trace_id);
+  return analyze_ingested(window_session, ingest.trace_id);
 }
 
-api::Result<DriftVerdict> ModelSentinel::check_file(const std::string& path) {
-  const api::Error error = refresh_baseline();
+api::Result<WindowAnalysis> DriftEngine::analyze_file(
+    const std::string& path) {
+  const api::Error error = ensure_baseline();
   if (error.code != api::ErrorCode::None) return error;
-  const std::string trace_id = "window-" + std::to_string(window_counter_);
+  api::SynthesisSession window_session(config_.synthesis);
   api::IngestOptions ingest;
-  ingest.trace_id = trace_id;
-  auto segment = session_.ingest_file(path, ingest);
+  ingest.trace_id = "window";
+  auto segment = window_session.ingest_file(path, ingest);
   if (!segment.ok()) return segment.error();
-  return check_trace(trace_id);
+  return analyze_ingested(window_session, ingest.trace_id);
 }
 
-api::Result<DriftVerdict> ModelSentinel::check_trace(
-    const std::string& trace_id) {
+api::Result<WindowAnalysis> DriftEngine::analyze_ingested(
+    api::SynthesisSession& window_session, const std::string& trace_id) {
   ++window_counter_;
   SentinelMetrics::get().windows.inc();
   telemetry::ScopedSpan check_span("sentinel.check");
-  auto model = session_.trace_model(trace_id);
+  auto model = window_session.trace_model(trace_id);
   if (!model.ok()) return model.error();
-  auto events = session_.merged_events(trace_id);
+  auto events = window_session.merged_events(trace_id);
   if (!events.ok()) return events.error();
   const core::TimingModel& window = model.value();
 
-  DriftVerdict verdict;
+  WindowAnalysis analysis;
+  DriftVerdict& verdict = analysis.verdict;
   verdict.baseline_events = baseline_.events;
   verdict.baseline_vertices = baseline_.model.dag.vertex_count();
   verdict.baseline_edges = baseline_.model.dag.edge_count();
@@ -285,31 +256,44 @@ api::Result<DriftVerdict> ModelSentinel::check_trace(
   verdict.window_edges = window.dag.edge_count();
 
   // Axis 1: structure (vertex and edge sets).
-  add_structural_findings(baseline_.model.dag, window.dag, verdict.findings);
+  add_structural_observations(baseline_.model.dag, window.dag,
+                              analysis.observations);
 
   // Axis 2: per-callback execution-time distributions (two-sample KS on
-  // the raw samples, gated on min_samples per side).
+  // the raw samples). The test runs from sequential_min_samples per side
+  // so streaming evidence can accumulate early, but a per-window finding
+  // still requires min_samples (the asymptotic p-value is unreliable
+  // below that, in both directions).
+  const std::size_t ks_gate =
+      std::min(config_.min_samples, config_.sequential_min_samples);
   const auto window_samples = collect_exec_samples(window);
   for (const auto& [label, base] : baseline_.exec_samples) {
     const auto it = window_samples.find(label);
     if (it == window_samples.end()) continue;  // structural finding already
-    if (base.size() < options_.min_samples ||
-        it->second.size() < options_.min_samples) {
-      continue;
-    }
-    ++verdict.checks;
+    if (base.size() < ks_gate || it->second.size() < ks_gate) continue;
     const std::int64_t ks_started = telemetry::clock_now();
     const KsTestResult ks = two_sample_ks_test(base, it->second);
     SentinelMetrics::get().ks_ns.observe(telemetry::clock_now() - ks_started);
-    if (ks.significant(options_.alpha)) {
-      verdict.findings.push_back(DriftFinding{
-          DriftKind::ExecTimeShift, label,
-          "execution-time distribution shifted (D = " +
-              format_double(ks.statistic) + " over " +
-              std::to_string(ks.n1) + " baseline / " +
-              std::to_string(ks.n2) + " window samples)",
-          ks.statistic, ks.p_value});
+
+    AxisObservation obs;
+    obs.kind = DriftKind::ExecTimeShift;
+    obs.subject = label;
+    obs.value = ks.statistic;
+    obs.p_value = ks.p_value;
+    obs.n_baseline = ks.n1;
+    obs.n_window = ks.n2;
+    const bool gated =
+        base.size() >= config_.min_samples &&
+        it->second.size() >= config_.min_samples;
+    if (gated) ++verdict.checks;
+    if (gated && ks.significant(config_.alpha)) {
+      obs.finding = true;
+      obs.detail = "execution-time distribution shifted (D = " +
+                   format_double(ks.statistic) + " over " +
+                   std::to_string(ks.n1) + " baseline / " +
+                   std::to_string(ks.n2) + " window samples)";
     }
+    analysis.observations.push_back(std::move(obs));
   }
 
   // Axis 3: timer periods (estimated from start times by the synthesis).
@@ -322,43 +306,54 @@ api::Result<DriftVerdict> ModelSentinel::check_trace(
     if (base_ms <= 0.0) continue;
     ++verdict.checks;
     const double rel = std::abs(win_ms - base_ms) / base_ms;
-    if (rel > options_.period_tolerance) {
-      verdict.findings.push_back(DriftFinding{
-          DriftKind::PeriodShift, base_vertex.key,
-          "timer period moved from " + format_double(base_ms) + "ms to " +
-              format_double(win_ms) + "ms",
-          rel, 0.0});
+    AxisObservation obs;
+    obs.kind = DriftKind::PeriodShift;
+    obs.subject = base_vertex.key;
+    obs.value = rel;
+    if (rel > config_.period_tolerance) {
+      obs.finding = true;
+      obs.detail = "timer period moved from " + format_double(base_ms) +
+                   "ms to " + format_double(win_ms) + "ms";
     }
+    analysis.observations.push_back(std::move(obs));
   }
 
   // Axis 4: chain-latency envelopes (and configured deadlines).
   const analysis::InstanceTimeline timeline(events.value());
   for (const auto& chain : baseline_.chains) {
-    const auto latency = analysis::measure_chain_latency(timeline, chain.topics);
+    const auto latency =
+        analysis::measure_chain_latency(timeline, chain.topics);
     ++verdict.checks;
+    AxisObservation obs;
+    obs.kind = DriftKind::LatencyEnvelope;
+    obs.subject = chain.key;
     if (latency.complete == 0) {
-      verdict.findings.push_back(DriftFinding{
-          DriftKind::LatencyEnvelope, chain.key,
-          "chain completed " + std::to_string(chain.latency.complete) +
-              " times in the baseline but never in the window",
-          1.0, 0.0});
+      // Never completing is the strongest latency signal a window can
+      // give; the magnitude saturates well past the per-window tolerance
+      // so the sequential accumulator crosses within a couple windows.
+      obs.value = config_.latency_tolerance * 2.0 + 1.0;
+      obs.finding = true;
+      obs.detail = "chain completed " +
+                   std::to_string(chain.latency.complete) +
+                   " times in the baseline but never in the window";
+      analysis.observations.push_back(std::move(obs));
       continue;
     }
     const double base_mean = chain.latency.latencies.mean();
     const double win_mean = latency.latencies.mean();
     if (base_mean > 0.0) {
       const double rel = std::abs(win_mean - base_mean) / base_mean;
-      if (rel > options_.latency_tolerance) {
-        verdict.findings.push_back(DriftFinding{
-            DriftKind::LatencyEnvelope, chain.key,
-            "mean end-to-end latency moved from " +
-                format_double(base_mean / 1e6) + "ms to " +
-                format_double(win_mean / 1e6) + "ms",
-            rel, 0.0});
+      obs.value = rel;
+      if (rel > config_.latency_tolerance) {
+        obs.finding = true;
+        obs.detail = "mean end-to-end latency moved from " +
+                     format_double(base_mean / 1e6) + "ms to " +
+                     format_double(win_mean / 1e6) + "ms";
       }
+      analysis.observations.push_back(std::move(obs));
     }
-    const auto deadline = options_.chain_deadlines.find(chain.key);
-    if (deadline != options_.chain_deadlines.end()) {
+    const auto deadline = config_.chain_deadlines.find(chain.key);
+    if (deadline != config_.chain_deadlines.end()) {
       ++verdict.checks;
       const auto limit = static_cast<double>(deadline->second.count_ns());
       std::size_t misses = 0;
@@ -369,17 +364,33 @@ api::Result<DriftVerdict> ModelSentinel::check_trace(
         const double fraction =
             static_cast<double>(misses) /
             static_cast<double>(latency.latencies.count());
-        verdict.findings.push_back(DriftFinding{
-            DriftKind::DeadlineViolation, chain.key,
-            std::to_string(misses) + " of " +
-                std::to_string(latency.latencies.count()) +
-                " window instances exceeded the " +
-                format_double(deadline->second.to_ms()) + "ms deadline",
-            fraction, 0.0});
+        AxisObservation miss;
+        miss.kind = DriftKind::DeadlineViolation;
+        miss.subject = chain.key;
+        miss.value = fraction;
+        miss.p_value = 0.0;
+        miss.finding = true;
+        miss.detail = std::to_string(misses) + " of " +
+                      std::to_string(latency.latencies.count()) +
+                      " window instances exceeded the " +
+                      format_double(deadline->second.to_ms()) + "ms deadline";
+        analysis.observations.push_back(std::move(miss));
       }
     }
   }
 
+  // The per-window verdict keeps the original one-shot semantics: every
+  // observation that crossed its threshold becomes a finding.
+  for (const AxisObservation& obs : analysis.observations) {
+    if (!obs.finding) continue;
+    DriftFinding finding;
+    finding.kind = obs.kind;
+    finding.subject = obs.subject;
+    finding.detail = obs.detail;
+    finding.statistic = obs.value;
+    finding.p_value = obs.kind == DriftKind::ExecTimeShift ? obs.p_value : 0.0;
+    verdict.findings.push_back(std::move(finding));
+  }
   std::sort(verdict.findings.begin(), verdict.findings.end(),
             [](const DriftFinding& a, const DriftFinding& b) {
               return std::tie(a.kind, a.subject) < std::tie(b.kind, b.subject);
@@ -389,12 +400,7 @@ api::Result<DriftVerdict> ModelSentinel::check_trace(
     SentinelMetrics::get().findings(finding.kind).inc();
   }
   check_span.set_items(verdict.checks);
-
-  // Bound memory: the window's raw events are no longer needed (MergeDags
-  // keeps its cached model; under MergeTraces release is rejected and the
-  // events simply stay).
-  (void)session_.release_events(trace_id);
-  return verdict;
+  return analysis;
 }
 
 }  // namespace tetra::sentinel

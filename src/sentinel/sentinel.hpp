@@ -1,9 +1,9 @@
-// Model regression sentinel: continuous drift detection against a
-// baseline synthesized model.
+// Model regression sentinel: one-shot drift detection against a baseline
+// synthesized model.
 //
 // The paper synthesizes a timing model once from a recorded trace; a
 // fleet operator re-synthesizes continuously and needs to know when the
-// model stopped matching reality. The ModelSentinel holds a baseline
+// model stopped matching reality. ModelSentinel holds a baseline
 // (ingested as one or more trace segments through the streaming
 // api::SynthesisSession machinery), accepts fresh trace windows, and
 // emits a structured DriftVerdict per window covering both drift axes the
@@ -15,153 +15,68 @@
 //   auto verdict = sentinel.check_file("window.jsonl");
 //   if (verdict.ok() && verdict->drifted) alert(verdict_to_json(*verdict));
 //
-// Every check synthesizes the window with the same pipeline as the
-// baseline (same labels, same DAG construction), compares, then releases
-// the window's events — long-running sentinels stay bounded in memory.
+// ModelSentinel is a thin one-window wrapper over sentinel::StreamSentinel
+// (sentinel/stream.hpp), which additionally accumulates evidence
+// *sequentially* across a sliding window over a continuous stream. Both
+// entry points share one SentinelConfig (sentinel/config.hpp) and one
+// verdict vocabulary (sentinel/verdict.hpp).
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
-#include <map>
 #include <string>
-#include <string_view>
-#include <vector>
 
-#include "analysis/latency.hpp"
-#include "api/config.hpp"
 #include "api/result.hpp"
-#include "api/session.hpp"
 #include "core/model_synthesis.hpp"
-#include "support/time.hpp"
+#include "sentinel/config.hpp"
+#include "sentinel/stream.hpp"
+#include "sentinel/verdict.hpp"
 #include "trace/event.hpp"
 
 namespace tetra::sentinel {
 
-/// One detected drift axis.
-enum class DriftKind : std::uint8_t {
-  VertexAdded,        ///< callback/junction in the window, not the baseline
-  VertexRemoved,      ///< callback/junction in the baseline, not the window
-  EdgeAdded,          ///< precedence relation only the window shows
-  EdgeRemoved,        ///< precedence relation the window lost
-  ExecTimeShift,      ///< execution-time distribution shifted (two-sample KS)
-  PeriodShift,        ///< timer period moved beyond the tolerance
-  LatencyEnvelope,    ///< chain latency left the baseline envelope
-  DeadlineViolation,  ///< chain latency exceeded a configured deadline
-};
-
-std::string_view to_string(DriftKind kind);
-
-struct DriftFinding {
-  DriftKind kind = DriftKind::VertexAdded;
-  /// What drifted: a vertex key, a callback label, "from -> to" for
-  /// edges, or a chain's plain topic path joined with " -> ".
-  std::string subject;
-  std::string detail;  ///< human-readable explanation
-  /// Axis-specific magnitude: KS statistic, relative period/latency
-  /// delta, or deadline-miss fraction. 1.0 for structural findings.
-  double statistic = 1.0;
-  /// KS p-value for ExecTimeShift; 0.0 elsewhere (the change is certain).
-  double p_value = 0.0;
-};
-
-/// Structured verdict of one window check. `drifted` is true iff any
-/// finding fired; `checks` counts the statistical comparisons that ran
-/// (sample-starved callbacks are skipped, not silently passed).
-struct DriftVerdict {
-  bool drifted = false;
-  std::vector<DriftFinding> findings;  ///< sorted by (kind, subject)
-  std::size_t checks = 0;
-
-  std::size_t baseline_events = 0;
-  std::size_t baseline_vertices = 0;
-  std::size_t baseline_edges = 0;
-  std::size_t window_events = 0;
-  std::size_t window_vertices = 0;
-  std::size_t window_edges = 0;
-};
-
-/// Compact single-object JSON rendering of a verdict (schema documented
-/// in docs/SENTINEL.md). Deterministic for a deterministic input trace.
-std::string verdict_to_json(const DriftVerdict& verdict);
-
-struct SentinelOptions {
-  /// Significance level of the two-sample KS execution-time test. The
-  /// default trades detection lag for a near-zero false-alarm rate over
-  /// the hundreds of per-callback tests a long-running sentinel performs.
-  double alpha = 1e-4;
-  /// Minimum samples per side before the KS test is consulted at all;
-  /// below this the asymptotic p-value is unreliable in both directions.
-  std::size_t min_samples = 8;
-  /// Relative timer-period change that counts as drift.
-  double period_tolerance = 0.2;
-  /// Relative mean chain-latency change that counts as drift.
-  double latency_tolerance = 0.5;
-  /// Chain enumeration guard (pathological DAGs).
-  std::size_t max_chains = 256;
-  /// Optional per-chain deadlines, keyed by the chain's plain topic path
-  /// joined with " -> " (the DriftFinding subject format). Any window
-  /// instance above the deadline raises DeadlineViolation.
-  std::map<std::string, Duration> chain_deadlines;
-  /// Synthesis pipeline configuration. Must keep MergeStrategy::MergeDags
-  /// (the sentinel compares per-trace models and releases window events).
-  api::SynthesisConfig synthesis;
-};
-
 class ModelSentinel {
  public:
-  ModelSentinel() : ModelSentinel(SentinelOptions{}) {}
-  explicit ModelSentinel(SentinelOptions options);
+  ModelSentinel() : ModelSentinel(SentinelConfig{}) {}
+  explicit ModelSentinel(SentinelConfig config) : stream_(std::move(config)) {}
 
   // -- baseline -----------------------------------------------------------
 
   /// Adds one event segment to the baseline trace. May be called several
   /// times (segments k-way merge); the baseline model is re-synthesized
   /// lazily on the next check.
-  api::Result<api::SegmentInfo> ingest_baseline(trace::EventVector events);
-  /// Reads a JSONL trace file into the baseline.
-  api::Result<api::SegmentInfo> ingest_baseline_file(const std::string& path);
+  api::Result<api::SegmentInfo> ingest_baseline(trace::EventVector events) {
+    return stream_.ingest_baseline(std::move(events));
+  }
+  /// Reads a JSONL or .ttb trace file into the baseline.
+  api::Result<api::SegmentInfo> ingest_baseline_file(const std::string& path) {
+    return stream_.ingest_baseline_file(path);
+  }
 
   /// The baseline model (synthesizing it first if dirty).
-  api::Result<core::TimingModel> baseline_model();
+  api::Result<core::TimingModel> baseline_model() {
+    return stream_.baseline_model();
+  }
 
   // -- window checks ------------------------------------------------------
 
   /// Synthesizes `events` as a fresh window, compares it against the
   /// baseline and returns the verdict. InvalidArgument before any
-  /// baseline was ingested. The window's events are released afterwards.
-  api::Result<DriftVerdict> check(trace::EventVector events);
-  /// Reads a JSONL trace file and checks it as a window.
-  api::Result<DriftVerdict> check_file(const std::string& path);
+  /// baseline was ingested.
+  api::Result<DriftVerdict> check(trace::EventVector events) {
+    return stream_.check_window(std::move(events));
+  }
+  /// Reads a JSONL or .ttb trace file and checks it as a window.
+  api::Result<DriftVerdict> check_file(const std::string& path) {
+    return stream_.check_window_file(path);
+  }
 
   // -- introspection ------------------------------------------------------
 
-  const SentinelOptions& options() const { return options_; }
-  std::size_t windows_checked() const { return window_counter_; }
+  const SentinelConfig& options() const { return stream_.config(); }
+  std::size_t windows_checked() const { return stream_.windows_checked(); }
 
  private:
-  struct BaselineChain {
-    std::string key;                  ///< plain topic path, " -> " joined
-    std::vector<std::string> topics;  ///< measure_chain_latency argument
-    analysis::ChainLatencyResult latency;
-  };
-  struct BaselineCache {
-    bool valid = false;
-    core::TimingModel model;
-    std::size_t events = 0;
-    /// Per-label raw execution-time samples (ns), KS baseline side.
-    std::map<std::string, std::vector<double>> exec_samples;
-    std::vector<BaselineChain> chains;
-  };
-
-  /// Re-synthesizes the baseline cache when dirty; ErrorCode::None on
-  /// success.
-  api::Error refresh_baseline();
-  api::Result<DriftVerdict> check_trace(const std::string& trace_id);
-
-  SentinelOptions options_;
-  api::SynthesisSession session_;
-  BaselineCache baseline_;
-  std::size_t window_counter_ = 0;
+  StreamSentinel stream_;
 };
 
 }  // namespace tetra::sentinel

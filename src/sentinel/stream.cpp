@@ -1,0 +1,471 @@
+#include "sentinel/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <tuple>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+#include "trace/serialize.hpp"
+#include "trace/ttb.hpp"
+
+namespace tetra::sentinel {
+
+namespace {
+
+std::string format_double(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  return buffer;
+}
+
+struct StreamMetrics {
+  telemetry::Counter& advanced = telemetry::MetricsRegistry::global().counter(
+      "sentinel.windows_advanced");
+  telemetry::Counter& refreshes = telemetry::MetricsRegistry::global().counter(
+      "sentinel.refreshes");
+
+  static StreamMetrics& get() {
+    static StreamMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Shifts an event batch along the stream clock. Embedded source
+/// timestamps (the write/take matching key) must move together with the
+/// event times or cross-segment windows never match publications.
+void shift_events(trace::EventVector& events, Duration offset) {
+  for (trace::TraceEvent& event : events) {
+    event.time += offset;
+    if (auto* take = std::get_if<trace::TakeInfo>(&event.payload)) {
+      take->src_ts += offset;
+    } else if (auto* write =
+                   std::get_if<trace::DdsWriteInfo>(&event.payload)) {
+      write->src_ts += offset;
+    }
+  }
+}
+
+/// The mutation axes drift localization ranks, in rank-tie order.
+constexpr const char* kAxisDropEdge = "drop-edge";
+constexpr const char* kAxisAddEdge = "add-edge";
+constexpr const char* kAxisRetimeTimer = "retime-timer";
+constexpr const char* kAxisScaleExecTime = "scale-exec-time";
+constexpr const char* kAxisReprioritize = "reprioritize";
+
+/// How strongly evidence on one drift axis implicates each mutation
+/// axis. Structural evidence is near-diagnostic; latency evidence is
+/// shared — a retimed timer, a scaled callback and a reprioritized
+/// executor all move chain latency, but only the last moves *nothing
+/// else*, so reprioritize leans on it hardest.
+std::vector<std::pair<const char*, double>> axis_weights(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::VertexRemoved: return {{kAxisDropEdge, 0.9}};
+    case DriftKind::EdgeRemoved: return {{kAxisDropEdge, 1.0}};
+    case DriftKind::VertexAdded: return {{kAxisAddEdge, 0.9}};
+    case DriftKind::EdgeAdded: return {{kAxisAddEdge, 1.0}};
+    case DriftKind::PeriodShift: return {{kAxisRetimeTimer, 1.0}};
+    case DriftKind::ExecTimeShift: return {{kAxisScaleExecTime, 1.0}};
+    case DriftKind::LatencyEnvelope:
+      return {{kAxisReprioritize, 0.5},
+              {kAxisRetimeTimer, 0.2},
+              {kAxisScaleExecTime, 0.2}};
+    case DriftKind::DeadlineViolation:
+      return {{kAxisReprioritize, 0.3}, {kAxisScaleExecTime, 0.2}};
+  }
+  return {};
+}
+
+}  // namespace
+
+StreamSentinel::StreamSentinel(SentinelConfig config)
+    : config_(std::move(config)), engine_(config_) {}
+
+api::Result<api::SegmentInfo> StreamSentinel::ingest_baseline(
+    trace::EventVector events) {
+  return engine_.ingest_baseline(std::move(events));
+}
+
+api::Result<api::SegmentInfo> StreamSentinel::ingest_baseline_file(
+    const std::string& path) {
+  return engine_.ingest_baseline_file(path);
+}
+
+api::Result<core::TimingModel> StreamSentinel::baseline_model() {
+  return engine_.baseline_model();
+}
+
+api::Result<DriftVerdict> StreamSentinel::check_window(
+    trace::EventVector events) {
+  auto analysis = engine_.analyze(std::move(events));
+  if (!analysis.ok()) return analysis.error();
+  return std::move(analysis).take().verdict;
+}
+
+api::Result<DriftVerdict> StreamSentinel::check_window_file(
+    const std::string& path) {
+  auto analysis = engine_.analyze_file(path);
+  if (!analysis.ok()) return analysis.error();
+  return std::move(analysis).take().verdict;
+}
+
+api::Result<std::vector<WindowVerdict>> StreamSentinel::feed(
+    trace::EventVector events) {
+  const Duration span = config_.window_span;
+  const Duration advance = config_.window_advance;
+  if (span.count_ns() <= 0 || advance.count_ns() <= 0) {
+    return api::Error{api::ErrorCode::InvalidArgument,
+                      "window span and advance must be positive", "stream"};
+  }
+  if (advance > span) {
+    return api::Error{
+        api::ErrorCode::InvalidArgument,
+        "window advance exceeds the span: events between windows would "
+        "never be checked",
+        "stream"};
+  }
+  const api::Error baseline_error = engine_.ensure_baseline();
+  if (baseline_error.code != api::ErrorCode::None) return baseline_error;
+
+  telemetry::ScopedSpan stream_span("sentinel.stream");
+  trace::sort_by_time(events);
+
+  if (config_.rebase_segments && have_origin_ && !events.empty()) {
+    const Duration offset =
+        (stream_end_ + config_.rebase_gap) - events.front().time;
+    shift_events(events, offset);
+  }
+  if (!config_.rebase_segments && have_origin_) {
+    // Late events precede the window the stream already committed to;
+    // dropping them keeps verdicts append-only and deterministic.
+    auto fresh = std::partition_point(
+        events.begin(), events.end(), [&](const trace::TraceEvent& e) {
+          return e.time < window_start_;
+        });
+    late_events_ += static_cast<std::size_t>(fresh - events.begin());
+    events.erase(events.begin(), fresh);
+  }
+  if (!events.empty()) {
+    if (!have_origin_) {
+      have_origin_ = true;
+      window_start_ = events.front().time;
+      stream_end_ = events.front().time;
+    }
+    stream_end_ = std::max(stream_end_, events.back().time);
+    for (const trace::TraceEvent& event : events) {
+      if (event.type == trace::EventType::RmwCreateNode) {
+        node_events_[event.pid] = event;
+      }
+    }
+    const std::size_t old_size = buffer_.size();
+    buffer_.insert(buffer_.end(), events.begin(), events.end());
+    std::inplace_merge(buffer_.begin(),
+                       buffer_.begin() + static_cast<std::ptrdiff_t>(old_size),
+                       buffer_.end(),
+                       [](const trace::TraceEvent& a,
+                          const trace::TraceEvent& b) {
+                         return a.time < b.time;
+                       });
+  }
+
+  auto verdicts = advance_windows();
+  if (verdicts.ok()) {
+    stream_span.set_items(verdicts.value().size());
+  }
+  return verdicts;
+}
+
+api::Result<std::vector<WindowVerdict>> StreamSentinel::feed_file(
+    const std::string& path) {
+  trace::EventVector events;
+  try {
+    events = trace::is_ttb_file(path) ? trace::TtbReader(path).materialize()
+                                      : trace::read_jsonl_file(path);
+  } catch (const std::exception& e) {
+    return api::Error{api::ErrorCode::Io, e.what(), path};
+  }
+  return feed(std::move(events));
+}
+
+trace::EventVector StreamSentinel::window_slice(TimePoint begin,
+                                                TimePoint end) const {
+  trace::EventVector slice;
+  // The sticky node table rides along even when the creation events fall
+  // outside the window: extraction resolves node names by pid, not time.
+  for (const auto& [pid, event] : node_events_) slice.push_back(event);
+  const auto lo = std::partition_point(
+      buffer_.begin(), buffer_.end(),
+      [&](const trace::TraceEvent& e) { return e.time < begin; });
+  const auto hi = std::partition_point(
+      lo, buffer_.end(),
+      [&](const trace::TraceEvent& e) { return e.time < end; });
+  for (auto it = lo; it != hi; ++it) {
+    if (it->type == trace::EventType::RmwCreateNode) continue;  // already in
+    slice.push_back(*it);
+  }
+  trace::sort_by_time(slice);
+  return slice;
+}
+
+api::Result<std::vector<WindowVerdict>> StreamSentinel::advance_windows() {
+  std::vector<WindowVerdict> verdicts;
+  if (!have_origin_) return verdicts;
+  const Duration span = config_.window_span;
+  const Duration advance = config_.window_advance;
+
+  while (stream_end_ - window_start_ >= span) {
+    const TimePoint begin = window_start_;
+    const TimePoint end = begin + span;
+    trace::EventVector slice = window_slice(begin, end);
+    const bool empty = slice.size() <= node_events_.size();
+    if (empty) {
+      // A gap in the stream (e.g. a large rebase jump): skip empty
+      // windows in one step instead of evaluating vacuous total drift
+      // once per advance.
+      const auto next = std::partition_point(
+          buffer_.begin(), buffer_.end(),
+          [&](const trace::TraceEvent& e) { return e.time < begin; });
+      if (next == buffer_.end()) {
+        // Nothing buffered ahead either; wait for more data.
+        break;
+      }
+      const std::int64_t gap_ns = (next->time - begin).count_ns();
+      const std::int64_t steps =
+          std::max<std::int64_t>(1, gap_ns / advance.count_ns());
+      windows_skipped_empty_ += static_cast<std::size_t>(steps);
+      window_index_ += static_cast<std::size_t>(steps);
+      window_start_ += advance * steps;
+      continue;
+    }
+
+    auto analysis = engine_.analyze(std::move(slice));
+    if (!analysis.ok()) return analysis.error();
+    WindowVerdict verdict = evaluate_window(begin, end, analysis.value());
+
+    if (config_.refresh_after > 0 && !verdict.alarmed &&
+        verdict.window_drifted &&
+        consecutive_shifted_ >= config_.refresh_after) {
+      const api::Error error = refresh_baseline_from_stream(begin, end);
+      if (error.code != api::ErrorCode::None) return error;
+      verdict.refreshed = true;
+    }
+
+    verdicts.push_back(std::move(verdict));
+    ++windows_advanced_;
+    ++window_index_;
+    StreamMetrics::get().advanced.inc();
+    window_start_ += advance;
+
+    // Evict behind the window, keeping the refresh horizon when
+    // auto-refresh needs to fold recent windows into a new baseline.
+    Duration retain = Duration::zero();
+    if (config_.refresh_after > 0) {
+      retain = advance * static_cast<std::int64_t>(config_.refresh_after);
+    }
+    const TimePoint evict_before = window_start_ - retain;
+    const auto keep = std::partition_point(
+        buffer_.begin(), buffer_.end(),
+        [&](const trace::TraceEvent& e) { return e.time < evict_before; });
+    buffer_.erase(buffer_.begin(), keep);
+  }
+  return verdicts;
+}
+
+CusumAccumulator StreamSentinel::make_accumulator(DriftKind kind) const {
+  switch (kind) {
+    case DriftKind::VertexAdded:
+    case DriftKind::VertexRemoved:
+    case DriftKind::EdgeAdded:
+    case DriftKind::EdgeRemoved:
+      // Presence indicator (0/1) with allowance 0.5: crosses after
+      // structural_hits consecutive present windows, decays at the same
+      // rate over absent ones.
+      return CusumAccumulator(
+          0.5, 0.5 * static_cast<double>(config_.structural_hits));
+    case DriftKind::PeriodShift:
+      return CusumAccumulator(
+          config_.cusum_reference_fraction * config_.period_tolerance,
+          config_.cusum_threshold_fraction * config_.period_tolerance);
+    case DriftKind::LatencyEnvelope:
+      return CusumAccumulator(
+          config_.cusum_reference_fraction * config_.latency_tolerance,
+          config_.cusum_threshold_fraction * config_.latency_tolerance);
+    case DriftKind::ExecTimeShift:
+      // Restarted e-process: log e-values accumulate with no allowance;
+      // Ville's inequality puts the crossing budget at ln(1/alpha).
+      return CusumAccumulator(0.0,
+                              e_value_log_threshold(config_.evidence_alpha));
+    case DriftKind::DeadlineViolation:
+      break;  // alarms immediately, never accumulated
+  }
+  return CusumAccumulator(0.0, 1.0);
+}
+
+WindowVerdict StreamSentinel::evaluate_window(TimePoint begin, TimePoint end,
+                                              const WindowAnalysis& analysis) {
+  WindowVerdict verdict;
+  verdict.index = window_index_;
+  verdict.begin = begin;
+  verdict.end = end;
+  verdict.events = analysis.verdict.window_events;
+  verdict.checks = analysis.verdict.checks;
+  verdict.transient = analysis.verdict.findings;
+  verdict.window_drifted = analysis.verdict.drifted;
+
+  // Feed this window's observations into the sequential accumulators.
+  std::set<AccumulatorKey> observed;
+  for (const AxisObservation& obs : analysis.observations) {
+    if (obs.kind == DriftKind::DeadlineViolation) {
+      // Hard violations alarm immediately; there is nothing to
+      // accumulate about an SLO breach.
+      DriftFinding finding;
+      finding.kind = obs.kind;
+      finding.subject = obs.subject;
+      finding.detail = obs.detail;
+      finding.statistic = obs.value;
+      finding.p_value = 0.0;
+      finding.evidence = obs.value;
+      finding.windows = 1;
+      verdict.alarms.push_back(std::move(finding));
+      continue;
+    }
+    const AccumulatorKey key{obs.kind, obs.subject};
+    auto [it, inserted] =
+        accumulators_.try_emplace(key, make_accumulator(obs.kind));
+    CusumAccumulator& acc = it->second;
+    if (obs.kind == DriftKind::ExecTimeShift) {
+      if (obs.n_baseline < config_.sequential_min_samples ||
+          obs.n_window < config_.sequential_min_samples) {
+        continue;  // starved window: no evidence either way
+      }
+      acc.observe(std::log(
+          p_to_e_value(obs.p_value, config_.max_window_e_value)));
+    } else {
+      acc.observe(obs.value);
+    }
+    observed.insert(key);
+    if (!obs.detail.empty()) {
+      last_details_[key] = obs.detail;
+    } else if (obs.kind == DriftKind::ExecTimeShift) {
+      last_details_[key] = "KS D = " + format_double(obs.value);
+    }
+  }
+  // Structural accumulators decay over windows where the difference is
+  // gone (the debounce half of the hysteresis); the delta axes re-observe
+  // every window by construction, so only structural keys need this.
+  for (auto& [key, acc] : accumulators_) {
+    const bool structural = key.first == DriftKind::VertexAdded ||
+                            key.first == DriftKind::VertexRemoved ||
+                            key.first == DriftKind::EdgeAdded ||
+                            key.first == DriftKind::EdgeRemoved;
+    if (structural && observed.count(key) == 0) acc.observe(0.0);
+  }
+
+  // Emit an alarm for every accumulator over its budgeted level.
+  for (const auto& [key, acc] : accumulators_) {
+    if (!acc.crossed()) continue;
+    DriftFinding finding;
+    finding.kind = key.first;
+    finding.subject = key.second;
+    finding.statistic = acc.value();
+    finding.evidence = acc.value();
+    finding.windows = acc.observations();
+    if (key.first == DriftKind::ExecTimeShift) {
+      // Anytime-valid bound on the accumulated e-process (satellite 3:
+      // NOT a per-window KS p-value).
+      finding.p_value = std::min(1.0, std::exp(-acc.value()));
+    } else {
+      finding.p_value = config_.evidence_alpha;
+    }
+    std::string detail = "sequential evidence crossed after " +
+                         std::to_string(acc.observations()) +
+                         " windows (S = " + format_double(acc.value()) +
+                         ", threshold = " + format_double(acc.threshold()) +
+                         ")";
+    const auto detail_it = last_details_.find(key);
+    if (detail_it != last_details_.end() && !detail_it->second.empty()) {
+      detail += "; last window: " + detail_it->second;
+    }
+    finding.detail = std::move(detail);
+    verdict.alarms.push_back(std::move(finding));
+  }
+  std::sort(verdict.alarms.begin(), verdict.alarms.end(),
+            [](const DriftFinding& a, const DriftFinding& b) {
+              return std::tie(a.kind, a.subject) < std::tie(b.kind, b.subject);
+            });
+  verdict.alarmed = !verdict.alarms.empty();
+  // Localization explains findings; a clean window has nothing to
+  // localize and must not render its residual evidence as a ranking.
+  if (verdict.alarmed || verdict.window_drifted) {
+    verdict.localization = localize();
+  }
+
+  // Refresh hysteresis: count consecutive clean-but-shifted windows. A
+  // window under an active alarm never counts (the operator is already
+  // paged; auto-refresh must not absorb alarmed drift), and a clean
+  // window breaks the streak.
+  if (verdict.alarmed || !verdict.window_drifted) {
+    consecutive_shifted_ = 0;
+  } else {
+    ++consecutive_shifted_;
+  }
+  return verdict;
+}
+
+std::vector<AxisScore> StreamSentinel::localize() const {
+  // Accumulators far from their threshold are noise (a clean stream's
+  // e-process wobbles a little above zero); ranking them would render a
+  // confident-looking localization out of nothing.
+  constexpr double kMinFraction = 0.1;
+  std::map<std::string, double> scores;
+  for (const auto& [key, acc] : accumulators_) {
+    if (acc.value() <= 0.0) continue;
+    const double fraction =
+        acc.threshold() > 0.0 ? std::min(1.0, acc.value() / acc.threshold())
+                              : 1.0;
+    if (fraction < kMinFraction) continue;
+    for (const auto& [axis, weight] : axis_weights(key.first)) {
+      scores[axis] += weight * fraction;
+    }
+  }
+  double total = 0.0;
+  for (const auto& [axis, score] : scores) total += score;
+  std::vector<AxisScore> ranked;
+  if (total <= 0.0) return ranked;
+  for (const auto& [axis, score] : scores) {
+    ranked.push_back(AxisScore{axis, score / total});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const AxisScore& a, const AxisScore& b) {
+              return std::tie(b.score, a.axis) < std::tie(a.score, b.axis);
+            });
+  return ranked;
+}
+
+api::Error StreamSentinel::refresh_baseline_from_stream(TimePoint window_begin,
+                                                        TimePoint window_end) {
+  // Fold the union of the last refresh_after windows into the new
+  // baseline: [begin - (K-1) * advance, end) is still buffered because
+  // eviction retains the refresh horizon.
+  const TimePoint fold_begin =
+      window_begin -
+      config_.window_advance *
+          static_cast<std::int64_t>(config_.refresh_after - 1);
+  trace::EventVector fold = window_slice(fold_begin, window_end);
+  engine_.reset_baseline();
+  auto ingested = engine_.ingest_baseline(std::move(fold));
+  if (!ingested.ok()) return ingested.error();
+  const api::Error error = engine_.ensure_baseline();
+  if (error.code != api::ErrorCode::None) return error;
+  // The old evidence measured distance to the retired baseline.
+  accumulators_.clear();
+  last_details_.clear();
+  consecutive_shifted_ = 0;
+  ++refreshes_;
+  StreamMetrics::get().refreshes.inc();
+  return {};
+}
+
+}  // namespace tetra::sentinel

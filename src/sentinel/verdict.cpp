@@ -1,0 +1,91 @@
+#include "sentinel/verdict.hpp"
+
+#include "support/json_writer.hpp"
+
+namespace tetra::sentinel {
+
+namespace {
+
+void write_finding(JsonWriter& writer, const DriftFinding& finding) {
+  writer.begin_object();
+  writer.kv("kind", to_string(finding.kind));
+  writer.kv("subject", finding.subject);
+  writer.kv("detail", finding.detail);
+  writer.kv("statistic", finding.statistic);
+  writer.kv("p_value", finding.p_value);
+  writer.kv("evidence", finding.evidence);
+  writer.kv("windows", finding.windows);
+  writer.end_object();
+}
+
+void write_findings(JsonWriter& writer, const char* key,
+                    const std::vector<DriftFinding>& findings) {
+  writer.key(key).begin_array();
+  for (const auto& finding : findings) write_finding(writer, finding);
+  writer.end_array();
+}
+
+}  // namespace
+
+std::string_view to_string(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::VertexAdded: return "vertex-added";
+    case DriftKind::VertexRemoved: return "vertex-removed";
+    case DriftKind::EdgeAdded: return "edge-added";
+    case DriftKind::EdgeRemoved: return "edge-removed";
+    case DriftKind::ExecTimeShift: return "exec-time-shift";
+    case DriftKind::PeriodShift: return "period-shift";
+    case DriftKind::LatencyEnvelope: return "latency-envelope";
+    case DriftKind::DeadlineViolation: return "deadline-violation";
+  }
+  return "unknown";
+}
+
+std::string verdict_to_json(const DriftVerdict& verdict) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.kv("schema_version", kVerdictSchemaVersion);
+  writer.kv("drifted", verdict.drifted);
+  writer.kv("checks", static_cast<std::uint64_t>(verdict.checks));
+  writer.key("baseline").begin_object();
+  writer.kv("events", static_cast<std::uint64_t>(verdict.baseline_events));
+  writer.kv("vertices", static_cast<std::uint64_t>(verdict.baseline_vertices));
+  writer.kv("edges", static_cast<std::uint64_t>(verdict.baseline_edges));
+  writer.end_object();
+  writer.key("window").begin_object();
+  writer.kv("events", static_cast<std::uint64_t>(verdict.window_events));
+  writer.kv("vertices", static_cast<std::uint64_t>(verdict.window_vertices));
+  writer.kv("edges", static_cast<std::uint64_t>(verdict.window_edges));
+  writer.end_object();
+  write_findings(writer, "findings", verdict.findings);
+  writer.end_object();
+  return writer.str();
+}
+
+std::string window_verdict_to_json(const WindowVerdict& verdict) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.kv("schema_version", kVerdictSchemaVersion);
+  writer.kv("window", static_cast<std::uint64_t>(verdict.index));
+  writer.kv("t_begin_ns", verdict.begin.count_ns());
+  writer.kv("t_end_ns", verdict.end.count_ns());
+  writer.kv("events", static_cast<std::uint64_t>(verdict.events));
+  writer.kv("checks", static_cast<std::uint64_t>(verdict.checks));
+  writer.kv("window_drifted", verdict.window_drifted);
+  writer.kv("alarmed", verdict.alarmed);
+  writer.kv("refreshed", verdict.refreshed);
+  write_findings(writer, "alarms", verdict.alarms);
+  write_findings(writer, "transient", verdict.transient);
+  writer.key("localization").begin_array();
+  for (const auto& axis : verdict.localization) {
+    writer.begin_object();
+    writer.kv("axis", axis.axis);
+    writer.kv("score", axis.score);
+    writer.end_object();
+  }
+  writer.end_array();
+  writer.end_object();
+  return writer.str();
+}
+
+}  // namespace tetra::sentinel

@@ -178,6 +178,32 @@ KsTestResult two_sample_ks_test(const std::vector<double>& a,
   return result;
 }
 
+double p_to_e_value(double p, double max_e) {
+  // Guard the calibrator's pole at p = 0: approximate p-values (e.g. the
+  // small-sample KS tail) can underflow to exactly zero, which must not
+  // turn into infinite evidence.
+  const double clamped_p = std::clamp(p, 1e-300, 1.0);
+  const double e = 0.5 / std::sqrt(clamped_p);
+  if (max_e > 0.0) return std::min(e, max_e);
+  return e;
+}
+
+double e_value_log_threshold(double alpha) {
+  if (alpha <= 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("e_value_log_threshold needs alpha in (0,1)");
+  return std::log(1.0 / alpha);
+}
+
+void CusumAccumulator::observe(double x) {
+  s_ = std::max(0.0, s_ + x - reference_);
+  ++observations_;
+}
+
+void CusumAccumulator::reset() {
+  s_ = 0.0;
+  observations_ = 0;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0) throw std::invalid_argument("Histogram needs >=1 bin");

@@ -129,6 +129,53 @@ double kolmogorov_q(double lambda);
 KsTestResult two_sample_ks_test(const std::vector<double>& a,
                                 const std::vector<double>& b);
 
+/// Calibrates a p-value into an e-value with the square-root calibrator
+/// e(p) = 1 / (2 sqrt(p)). The calibrator integrates to 1 over p in
+/// [0, 1], so E[e] <= 1 under the null and the running product of
+/// independent window e-values is a supermartingale; Ville's inequality
+/// then bounds the chance the product ever reaches 1/alpha by alpha
+/// (anytime-valid sequential testing). `max_e` > 0 clamps the per-window
+/// contribution, which keeps one aberrant window (or an optimistic
+/// small-sample KS p approximation) from dominating the accumulated
+/// evidence; 0 leaves the calibrator unclamped.
+double p_to_e_value(double p, double max_e = 0.0);
+
+/// Log-evidence a sequential e-process must accumulate before alarming at
+/// budget `alpha`: ln(1/alpha). Pairs with CusumAccumulator over
+/// log(e-value) increments (reference 0).
+double e_value_log_threshold(double alpha);
+
+/// One-sided CUSUM accumulator: S_t = max(0, S_{t-1} + x_t - reference),
+/// alarming when S_t >= threshold. The reference ("allowance") absorbs
+/// in-control drift per observation; the restart at zero makes the
+/// statistic forget stretches of clean data instead of banking credit
+/// against a future change. With reference 0 and x_t = log(e-value) this
+/// is a restarted e-process: evidence compounds across windows and the
+/// crossing level e_value_log_threshold(alpha) keeps the per-run false
+/// alarm probability at alpha (Ville).
+class CusumAccumulator {
+ public:
+  CusumAccumulator() = default;
+  CusumAccumulator(double reference, double threshold)
+      : reference_(reference), threshold_(threshold) {}
+
+  void observe(double x);
+  void reset();
+
+  double value() const { return s_; }
+  double reference() const { return reference_; }
+  double threshold() const { return threshold_; }
+  bool crossed() const { return s_ >= threshold_; }
+  /// Observations since construction or the last reset().
+  std::size_t observations() const { return observations_; }
+
+ private:
+  double reference_ = 0.0;
+  double threshold_ = 1.0;
+  double s_ = 0.0;
+  std::size_t observations_ = 0;
+};
+
 /// Equal-width histogram over a fixed range; used in reports of
 /// execution-time profiles.
 class Histogram {

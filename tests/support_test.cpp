@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "support/json_parser.hpp"
 #include "support/json_writer.hpp"
@@ -228,6 +229,71 @@ TEST(KsTest, DegenerateInputsNeverReject) {
   r = two_sample_ks_test({1.0}, {1000.0});
   EXPECT_DOUBLE_EQ(r.statistic, 1.0);
   EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(SequentialTest, CalibratorClosedForm) {
+  // e(p) = 1 / (2 sqrt(p)): e(0.25) = 1 (the break-even p), e(0.01) = 5,
+  // e(1) = 0.5 (a boring window *loses* evidence).
+  EXPECT_DOUBLE_EQ(p_to_e_value(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(p_to_e_value(0.01), 5.0);
+  EXPECT_DOUBLE_EQ(p_to_e_value(1.0), 0.5);
+  // Tiny p-values clamp at max_e so one freak window cannot alarm alone.
+  EXPECT_DOUBLE_EQ(p_to_e_value(1e-12, 20.0), 20.0);
+  EXPECT_DOUBLE_EQ(p_to_e_value(0.01, 20.0), 5.0);
+  // p = 0 is clamped, not infinite.
+  EXPECT_TRUE(std::isfinite(p_to_e_value(0.0)));
+}
+
+TEST(SequentialTest, EValueLogThreshold) {
+  EXPECT_DOUBLE_EQ(e_value_log_threshold(0.001), std::log(1000.0));
+  EXPECT_DOUBLE_EQ(e_value_log_threshold(0.05), std::log(20.0));
+  EXPECT_THROW(e_value_log_threshold(0.0), std::invalid_argument);
+  EXPECT_THROW(e_value_log_threshold(1.0), std::invalid_argument);
+}
+
+TEST(SequentialTest, CusumAccumulatesAboveReferenceOnly) {
+  CusumAccumulator acc(0.5, 2.0);
+  acc.observe(0.5);  // exactly at reference: no movement
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+  acc.observe(1.5);  // +1.0
+  EXPECT_DOUBLE_EQ(acc.value(), 1.0);
+  acc.observe(0.0);  // -0.5
+  EXPECT_DOUBLE_EQ(acc.value(), 0.5);
+  EXPECT_FALSE(acc.crossed());
+  acc.observe(2.0);  // +1.5 -> 2.0, at threshold counts as crossed
+  EXPECT_DOUBLE_EQ(acc.value(), 2.0);
+  EXPECT_TRUE(acc.crossed());
+  EXPECT_EQ(acc.observations(), 4u);
+}
+
+TEST(SequentialTest, CusumClampsAtZeroAndResets) {
+  CusumAccumulator acc(0.5, 2.0);
+  acc.observe(0.0);
+  acc.observe(0.0);
+  // Clean windows cannot build negative credit that later drift must
+  // first pay off.
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+  acc.observe(3.0);
+  EXPECT_DOUBLE_EQ(acc.value(), 2.5);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.value(), 0.0);
+  EXPECT_EQ(acc.observations(), 0u);
+  EXPECT_FALSE(acc.crossed());
+}
+
+TEST(SequentialTest, EProcessAlarmsAtClosedFormWindowCount) {
+  // A restarted e-process is a CUSUM of log e-values with reference 0.
+  // Constant per-window p = 0.01 gives e = 5; at alpha = 1e-3 the budget
+  // is ln(1000), so the alarm fires at window ceil(ln 1000 / ln 5) = 5.
+  CusumAccumulator acc(0.0, e_value_log_threshold(1e-3));
+  std::size_t alarm_at = 0;
+  for (std::size_t window = 1; window <= 10 && alarm_at == 0; ++window) {
+    acc.observe(std::log(p_to_e_value(0.01)));
+    if (acc.crossed()) alarm_at = window;
+  }
+  EXPECT_EQ(alarm_at, 5u);
+  // The anytime-valid p bound at the crossing is below the budget.
+  EXPECT_LT(std::exp(-acc.value()), 1e-3);
 }
 
 TEST(RngTest, Deterministic) {

@@ -45,12 +45,14 @@
 // --stats-out dump the telemetry snapshot (docs/TELEMETRY.md).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 
 #include "api/ingest_service.hpp"
+#include "cli.hpp"
 #include "core/export.hpp"
 #include "overhead/profile.hpp"
 #include "scenario/generator.hpp"
@@ -61,20 +63,6 @@
 #include "trace/ttb.hpp"
 
 namespace {
-
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --seed N [--count K] [--validate]\n"
-               "          [--cpus C] [--duration-ms D] [--interference T]\n"
-               "          [--threads W] [--modes] [--mt | --st]\n"
-               "          [--mutate KIND] [--run-index N]\n"
-               "          [--probe-cost SPEC] [--sample-every K]\n"
-               "          [--compensate-overhead]\n"
-               "          [--json FILE] [--dot FILE]\n"
-               "          [--trace-out FILE] [--ttb-out FILE] [--quiet]\n"
-               "          [--shards N] [--stats] [--stats-out FILE]\n",
-               argv0);
-}
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream f(path, std::ios::trunc);
@@ -101,131 +89,127 @@ int main(int argc, char** argv) {
   scenario::GeneratorOptions generator_options;
   scenario::RunnerOptions runner_options;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--seed") {
-      seed = std::strtoull(next().c_str(), nullptr, 10);
-      seed_given = true;
-    } else if (arg == "--count") {
-      count = std::atoi(next().c_str());
-    } else if (arg == "--validate") {
-      validate = true;
-    } else if (arg == "--cpus") {
-      generator_options.num_cpus = std::atoi(next().c_str());
-    } else if (arg == "--duration-ms") {
-      generator_options.run_duration = Duration::ms(std::atoi(next().c_str()));
-    } else if (arg == "--interference") {
-      runner_options.interference_threads = std::atoi(next().c_str());
-    } else if (arg == "--threads") {
-      // Worker threads of the synthesis session (multi-mode synthesis
-      // parallelizes per mode trace).
-      const std::string value = next();
-      runner_options.threads = std::atoi(value.c_str());
-      if (runner_options.threads < 1) {
-        std::fprintf(stderr,
-                     "error: --threads expects a positive integer, got '%s'\n",
-                     value.c_str());
-        return 2;
-      }
-    } else if (arg == "--modes") {
-      run_modes = true;
-    } else if (arg == "--mutate") {
-      const std::string value = next();
-      const auto parsed = scenario::mutation_kind_from_string(value);
-      if (!parsed.has_value()) {
-        std::fprintf(stderr,
-                     "error: --mutate expects drop-edge | add-edge | "
-                     "retime-timer | scale-exec-time | reprioritize, got "
-                     "'%s'\n",
-                     value.c_str());
-        return 2;
-      }
-      mutation = parsed;
-    } else if (arg == "--run-index") {
-      run_index = std::strtoull(next().c_str(), nullptr, 10);
-    } else if (arg == "--probe-cost") {
-      const std::string value = next();
-      const auto profile = overhead::ProbeCostProfile::parse(value);
-      if (!profile.has_value()) {
-        std::fprintf(stderr,
-                     "error: --probe-cost expects uprobe | usdt | lttng | "
-                     "free or COST[~JITTER] (e.g. 5us~500ns), got '%s'\n",
-                     value.c_str());
-        return 2;
-      }
-      const unsigned keep_sampling = runner_options.probe_profile.sample_every;
-      runner_options.probe_profile = *profile;
-      runner_options.probe_profile.sample_every = keep_sampling;
-    } else if (arg == "--sample-every") {
-      const std::string value = next();
-      const int k = std::atoi(value.c_str());
-      if (k < 1) {
-        std::fprintf(stderr,
-                     "error: --sample-every expects a positive integer, got "
-                     "'%s'\n",
-                     value.c_str());
-        return 2;
-      }
-      runner_options.probe_profile.sample_every = static_cast<unsigned>(k);
-    } else if (arg == "--compensate-overhead") {
-      runner_options.compensate_overhead = true;
-    } else if (arg == "--mt") {
-      generator_options.p_multithreaded = 1.0;
-    } else if (arg == "--st") {
-      generator_options.p_multithreaded = 0.0;
-    } else if (arg == "--json") {
-      json_path = next();
-    } else if (arg == "--dot") {
-      dot_path = next();
-    } else if (arg == "--trace-out") {
-      trace_path = next();
-    } else if (arg == "--ttb-out") {
-      ttb_path = next();
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--shards") {
-      const std::string value = next();
-      shards = std::atoi(value.c_str());
-      if (shards < 1) {
-        std::fprintf(stderr,
-                     "error: --shards expects a positive integer, got '%s'\n",
-                     value.c_str());
-        return 2;
-      }
-    } else if (arg == "--stats") {
-      stats.summary = true;
-    } else if (arg == "--stats-out") {
-      stats.out_path = next();
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
-      usage(argv[0]);
-      return 2;
-    } else {
-      std::fprintf(stderr, "error: unexpected positional argument '%s'\n",
-                   arg.c_str());
-      usage(argv[0]);
-      return 2;
-    }
+  int duration_ms = 0;
+  bool duration_given = false;
+
+  tools::FlagRegistry cli("tetra_scenario");
+  cli.flag("--seed", "N", "base scenario seed (required)",
+           [&seed, &seed_given](const std::string& value, std::string* error) {
+             char* end = nullptr;
+             const unsigned long long parsed =
+                 std::strtoull(value.c_str(), &end, 10);
+             if (end == value.c_str() || *end != '\0') {
+               *error = "--seed expects a non-negative integer, got '" +
+                        value + "'";
+               return false;
+             }
+             seed = parsed;
+             seed_given = true;
+             return true;
+           })
+      .flag("--count", "K", "scenarios to run, seeds N..N+K-1", &count, 1)
+      .flag("--validate", "diff each synthesized DAG against ground truth",
+            &validate)
+      .flag("--cpus", "C", "simulated CPU count", &generator_options.num_cpus,
+            1)
+      .flag("--duration-ms", "D", "simulated run duration",
+            [&duration_ms, &duration_given](const std::string& value,
+                                            std::string* error) {
+              char* end = nullptr;
+              const long parsed = std::strtol(value.c_str(), &end, 10);
+              if (end == value.c_str() || *end != '\0' || parsed < 1) {
+                *error = "--duration-ms expects a positive integer, got '" +
+                         value + "'";
+                return false;
+              }
+              duration_ms = static_cast<int>(parsed);
+              duration_given = true;
+              return true;
+            })
+      .flag("--interference", "T", "busy-loop interference threads",
+            &runner_options.interference_threads, 0)
+      .flag("--threads", "W", "synthesis session worker threads",
+            &runner_options.threads, 1)
+      .flag("--modes", "run per-mode traces (multi-mode synthesis)",
+            &run_modes)
+      .flag("--mutate", "KIND",
+            "perturb each spec: drop-edge | add-edge | retime-timer | "
+            "scale-exec-time | reprioritize",
+            [&mutation](const std::string& value, std::string* error) {
+              const auto parsed = scenario::mutation_kind_from_string(value);
+              if (!parsed.has_value()) {
+                *error = "--mutate expects drop-edge | add-edge | "
+                         "retime-timer | scale-exec-time | reprioritize, "
+                         "got '" + value + "'";
+                return false;
+              }
+              mutation = parsed;
+              return true;
+            })
+      .flag("--run-index", "N", "resampled run of the identical application",
+            &run_index)
+      .flag("--probe-cost", "SPEC",
+            "simulated tracer overhead: uprobe | usdt | lttng | free or "
+            "COST[~JITTER] (e.g. 5us~500ns)",
+            [&runner_options](const std::string& value, std::string* error) {
+              const auto profile = overhead::ProbeCostProfile::parse(value);
+              if (!profile.has_value()) {
+                *error = "--probe-cost expects uprobe | usdt | lttng | free "
+                         "or COST[~JITTER] (e.g. 5us~500ns), got '" + value +
+                         "'";
+                return false;
+              }
+              const unsigned keep_sampling =
+                  runner_options.probe_profile.sample_every;
+              runner_options.probe_profile = *profile;
+              runner_options.probe_profile.sample_every = keep_sampling;
+              return true;
+            })
+      .flag("--sample-every", "K", "trace one in K callback instances",
+            [&runner_options](const std::string& value, std::string* error) {
+              char* end = nullptr;
+              const long k = std::strtol(value.c_str(), &end, 10);
+              if (end == value.c_str() || *end != '\0' || k < 1) {
+                *error = "--sample-every expects a positive integer, got '" +
+                         value + "'";
+                return false;
+              }
+              runner_options.probe_profile.sample_every =
+                  static_cast<unsigned>(k);
+              return true;
+            })
+      .flag("--compensate-overhead",
+            "estimate and subtract the injected probe cost",
+            &runner_options.compensate_overhead)
+      .flag("--mt", "force multi-threaded executors everywhere",
+            [&generator_options] { generator_options.p_multithreaded = 1.0; })
+      .flag("--st", "force single-threaded executors everywhere",
+            [&generator_options] { generator_options.p_multithreaded = 0.0; })
+      .flag("--json", "FILE", "dump the first scenario's spec JSON",
+            &json_path)
+      .flag("--dot", "FILE", "dump the first scenario's synthesized DAG",
+            &dot_path)
+      .flag("--trace-out", "FILE", "dump the first scenario's merged trace",
+            &trace_path)
+      .flag("--ttb-out", "FILE", "same trace in the binary .ttb format",
+            &ttb_path)
+      .flag("--quiet", "suppress per-scenario stdout output", &quiet)
+      .flag("--shards", "N", "cross-check through a sharded ingest service",
+            &shards, 1)
+      .flag("--stats", "print the telemetry summary table", &stats.summary)
+      .flag("--stats-out", "FILE", "write the telemetry JSON snapshot",
+            &stats.out_path);
+
+  switch (cli.parse(argc, argv)) {
+    case tools::FlagRegistry::Parse::Help: return 0;
+    case tools::FlagRegistry::Parse::Error: return 2;
+    case tools::FlagRegistry::Parse::Ok: break;
+  }
+  if (duration_given) {
+    generator_options.run_duration = Duration::ms(duration_ms);
   }
   if (!seed_given) {
-    std::fprintf(stderr, "error: --seed N is required\n");
-    usage(argv[0]);
-    return 2;
-  }
-  if (count < 1) {
-    std::fprintf(stderr, "error: --count must be at least 1\n");
-    usage(argv[0]);
-    return 2;
+    return cli.usage_error(argv[0], "--seed N is required");
   }
 
   const scenario::ScenarioGenerator generator(generator_options);

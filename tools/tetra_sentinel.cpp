@@ -1,47 +1,43 @@
-// tetra_sentinel — model drift detection for CI-style gating.
+// tetra_sentinel — model drift detection, one-shot and streaming.
 //
-// Holds a baseline synthesized from one or more JSONL trace files, checks
-// one or more fresh trace windows against it, and reports structured
-// drift verdicts (added/removed DAG structure, execution-time
-// distribution shifts, timer period shifts, chain-latency envelope and
-// deadline violations).
+// Holds a baseline synthesized from one or more trace files (JSONL or
+// .ttb) and reports structured drift verdicts (added/removed DAG
+// structure, execution-time distribution shifts, timer period shifts,
+// chain-latency envelope and deadline violations) in two modes:
 //
-//   tetra_sentinel --baseline FILE [--baseline FILE ...]
-//                  --window FILE [--window FILE ...]
-//                  [--alpha A] [--min-samples N]
-//                  [--period-tol F] [--latency-tol F]
-//                  [--deadline 'TOPICS=MS'] [--json FILE] [--quiet]
-//                  [--stats] [--stats-out FILE]
+// Batch (CI-style gating): each --window FILE is checked independently,
+// in order; --json writes the verdict JSON (the verdict object for one
+// window, an array for several).
 //
-// Each --window is checked independently, in order. --json writes the
-// verdict JSON (the verdict object for one window, an array for several).
+// Streaming (--follow FILE-or-DIR): the trace is fed through
+// sentinel::StreamSentinel as a continuous stream — a directory is
+// consumed as its segment files in name order, each rebased onto the end
+// of the previous one — and one verdict JSON line is emitted per sliding
+// window advance (--out FILE, stdout otherwise). Per-axis evidence
+// accumulates sequentially across windows (docs/SENTINEL.md); the exit
+// status reports whether any window *alarmed*, not whether a single
+// window looked odd.
+//
 // --deadline attaches a latency deadline to the chain whose plain topic
 // path (joined with " -> ") equals TOPICS, e.g. --deadline '/tp0 ->
 // /tp2=12.5'.
 //
-// Exit status: 0 = no drift in any window, 1 = drift detected, 2 = usage
-// error, 3 = runtime error (unreadable file, synthesis failure).
+// Exit status: 0 = no drift/alarm, 1 = drift detected (batch: any window
+// drifted; streaming: any window alarmed), 2 = usage error, 3 = runtime
+// error (unreadable file, synthesis failure).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "sentinel/sentinel.hpp"
 #include "tool_stats.hpp"
 
 namespace {
-
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --baseline FILE [--baseline FILE ...]\n"
-               "          --window FILE [--window FILE ...]\n"
-               "          [--alpha A] [--min-samples N]\n"
-               "          [--period-tol F] [--latency-tol F]\n"
-               "          [--deadline 'TOPICS=MS'] [--json FILE] [--quiet]\n"
-               "          [--stats] [--stats-out FILE]\n",
-               argv0);
-}
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream f(path, std::ios::trunc);
@@ -49,17 +45,32 @@ void write_file(const std::string& path, const std::string& content) {
   f << content;
 }
 
-double parse_positive_double(const char* argv0, const std::string& flag,
-                             const std::string& value) {
-  char* end = nullptr;
-  const double parsed = std::strtod(value.c_str(), &end);
-  if (end == value.c_str() || *end != '\0' || parsed <= 0.0) {
-    std::fprintf(stderr, "error: %s expects a positive number, got '%s'\n",
-                 flag.c_str(), value.c_str());
-    usage(argv0);
-    std::exit(2);
+/// The segment files of a --follow argument: the file itself, or the
+/// .jsonl/.ttb files of a directory in name order (the deterministic
+/// stream order the CI determinism job byte-diffs).
+std::vector<std::string> follow_segments(const std::string& path,
+                                         std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) return {path};
+  std::vector<std::string> segments;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".jsonl" || ext == ".ttb") {
+      segments.push_back(entry.path().string());
+    }
   }
-  return parsed;
+  if (ec) {
+    *error = "cannot list " + path + ": " + ec.message();
+    return {};
+  }
+  if (segments.empty()) {
+    *error = "no .jsonl or .ttb segments in " + path;
+    return {};
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
 }
 
 }  // namespace
@@ -69,72 +80,179 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> baseline_files;
   std::vector<std::string> window_files;
+  std::string follow_path;
   std::string json_path;
+  std::string out_path;
+  double span_ms = 0.0;
+  double advance_ms = 0.0;
+  std::uint64_t refresh_after = 0;
   bool quiet = false;
   tools::StatsOptions stats;
-  sentinel::SentinelOptions options;
+  sentinel::SentinelConfig config;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
+  tools::FlagRegistry cli("tetra_sentinel");
+  cli.flag("--baseline", "FILE", "baseline trace, JSONL or .ttb (repeatable)",
+           &baseline_files)
+      .flag("--window", "FILE", "trace window to check (repeatable)",
+            &window_files)
+      .flag("--follow", "PATH",
+            "stream a trace file or a directory of segment files",
+            &follow_path)
+      .flag("--span", "MS", "sliding window span in ms (streaming)", &span_ms)
+      .flag("--advance", "MS", "window advance in ms (streaming)",
+            &advance_ms)
+      .flag("--evidence-alpha", "A",
+            "sequential alarm budget per accumulator (streaming)",
+            &config.evidence_alpha)
+      .flag("--refresh-after", "K",
+            "baseline auto-refresh after K clean-but-shifted windows "
+            "(streaming; 0 disables)",
+            &refresh_after)
+      .flag("--alpha", "A", "KS significance level per window", &config.alpha)
+      .flag("--min-samples", "N",
+            "minimum samples per side for a per-window KS finding",
+            [&config](const std::string& value, std::string* error) {
+              char* end = nullptr;
+              const unsigned long long parsed =
+                  std::strtoull(value.c_str(), &end, 10);
+              if (end == value.c_str() || *end != '\0') {
+                *error = "--min-samples expects a non-negative integer, "
+                         "got '" + value + "'";
+                return false;
+              }
+              config.min_samples = static_cast<std::size_t>(parsed);
+              return true;
+            })
+      .flag("--period-tol", "F", "relative timer-period tolerance",
+            &config.period_tolerance)
+      .flag("--latency-tol", "F", "relative mean chain-latency tolerance",
+            &config.latency_tolerance)
+      .flag("--deadline", "TOPICS=MS",
+            "per-chain latency deadline, e.g. '/tp0 -> /tp2=12.5'",
+            [&config](const std::string& value, std::string* error) {
+              const auto eq = value.rfind('=');
+              if (eq == std::string::npos || eq == 0 ||
+                  eq + 1 >= value.size()) {
+                *error = "--deadline expects 'TOPICS=MS', got '" + value + "'";
+                return false;
+              }
+              char* end = nullptr;
+              const std::string ms_text = value.substr(eq + 1);
+              const double ms = std::strtod(ms_text.c_str(), &end);
+              if (end == ms_text.c_str() || *end != '\0' || ms <= 0.0) {
+                *error = "--deadline expects a positive number of ms, got '" +
+                         ms_text + "'";
+                return false;
+              }
+              config.chain_deadlines[value.substr(0, eq)] = Duration::ms_f(ms);
+              return true;
+            })
+      .flag("--json", "FILE", "write the batch verdict JSON", &json_path)
+      .flag("--out", "FILE", "write streaming verdict JSON lines", &out_path)
+      .flag("--quiet", "suppress per-window stdout output", &quiet)
+      .flag("--stats", "print the telemetry summary table", &stats.summary)
+      .flag("--stats-out", "FILE", "write the telemetry JSON snapshot",
+            &stats.out_path);
+
+  switch (cli.parse(argc, argv)) {
+    case tools::FlagRegistry::Parse::Help: return 0;
+    case tools::FlagRegistry::Parse::Error: return 2;
+    case tools::FlagRegistry::Parse::Ok: break;
+  }
+  const bool streaming = !follow_path.empty();
+  if (baseline_files.empty()) {
+    return cli.usage_error(argv[0], "at least one --baseline is required");
+  }
+  if (streaming && !window_files.empty()) {
+    return cli.usage_error(argv[0],
+                           "--follow and --window are mutually exclusive");
+  }
+  if (!streaming && window_files.empty()) {
+    return cli.usage_error(
+        argv[0], "at least one --window (or --follow) is required");
+  }
+  if (!streaming && (span_ms > 0.0 || advance_ms > 0.0 || !out_path.empty())) {
+    return cli.usage_error(argv[0],
+                           "--span/--advance/--out only apply to --follow");
+  }
+  if (span_ms > 0.0) config.window_span = Duration::ms_f(span_ms);
+  if (advance_ms > 0.0) config.window_advance = Duration::ms_f(advance_ms);
+  if (config.window_advance > config.window_span) {
+    return cli.usage_error(argv[0],
+                           "--advance must not exceed --span (windows would "
+                           "skip events)");
+  }
+  config.refresh_after = static_cast<std::size_t>(refresh_after);
+  config.rebase_segments = true;  // directory segments each restart near t=0
+
+  if (streaming) {
+    sentinel::StreamSentinel stream(config);
+    for (const auto& path : baseline_files) {
+      const auto segment = stream.ingest_baseline_file(path);
+      if (!segment.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     segment.error().to_string().c_str());
+        return 3;
       }
-      return argv[++i];
-    };
-    if (arg == "--baseline") {
-      baseline_files.push_back(next());
-    } else if (arg == "--window") {
-      window_files.push_back(next());
-    } else if (arg == "--alpha") {
-      options.alpha = parse_positive_double(argv[0], arg, next());
-    } else if (arg == "--min-samples") {
-      options.min_samples =
-          static_cast<std::size_t>(std::strtoull(next().c_str(), nullptr, 10));
-    } else if (arg == "--period-tol") {
-      options.period_tolerance = parse_positive_double(argv[0], arg, next());
-    } else if (arg == "--latency-tol") {
-      options.latency_tolerance = parse_positive_double(argv[0], arg, next());
-    } else if (arg == "--deadline") {
-      const std::string value = next();
-      const auto eq = value.rfind('=');
-      if (eq == std::string::npos || eq == 0 || eq + 1 >= value.size()) {
-        std::fprintf(stderr,
-                     "error: --deadline expects 'TOPICS=MS', got '%s'\n",
-                     value.c_str());
-        usage(argv[0]);
-        return 2;
-      }
-      const double ms =
-          parse_positive_double(argv[0], arg, value.substr(eq + 1));
-      options.chain_deadlines[value.substr(0, eq)] = Duration::ms_f(ms);
-    } else if (arg == "--json") {
-      json_path = next();
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else if (arg == "--stats") {
-      stats.summary = true;
-    } else if (arg == "--stats-out") {
-      stats.out_path = next();
-    } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
-      return 0;
-    } else {
-      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
-      usage(argv[0]);
-      return 2;
     }
-  }
-  if (baseline_files.empty() || window_files.empty()) {
-    std::fprintf(stderr,
-                 "error: at least one --baseline and one --window are "
-                 "required\n");
-    usage(argv[0]);
-    return 2;
+    std::string list_error;
+    const std::vector<std::string> segments =
+        follow_segments(follow_path, &list_error);
+    if (segments.empty()) {
+      std::fprintf(stderr, "error: %s\n", list_error.c_str());
+      return 3;
+    }
+
+    bool any_alarm = false;
+    std::string out_lines;
+    for (const auto& segment_path : segments) {
+      const auto verdicts = stream.feed_file(segment_path);
+      if (!verdicts.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     verdicts.error().to_string().c_str());
+        return verdicts.error().code == api::ErrorCode::InvalidArgument ? 2
+                                                                        : 3;
+      }
+      for (const auto& window : verdicts.value()) {
+        any_alarm = any_alarm || window.alarmed;
+        const std::string line = sentinel::window_verdict_to_json(window);
+        if (out_path.empty()) {
+          std::printf("%s\n", line.c_str());
+        } else {
+          out_lines += line;
+          out_lines += '\n';
+          if (!quiet) {
+            std::printf("window %zu: %s (%zu alarms, %zu transient, %zu "
+                        "checks)\n",
+                        window.index,
+                        window.alarmed ? "ALARM"
+                        : window.window_drifted ? "shifted"
+                                                : "clean",
+                        window.alarms.size(), window.transient.size(),
+                        window.checks);
+          }
+        }
+        if (window.refreshed) {
+          // Operator-visible by contract: the refresh note survives
+          // --quiet and redirected stdout.
+          std::fprintf(stderr, "baseline refreshed at window %zu\n",
+                       window.index);
+        }
+      }
+    }
+    if (!out_path.empty()) {
+      try {
+        write_file(out_path, out_lines);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
+      }
+    }
+    const int stats_rc = tools::emit_stats(stats);
+    return any_alarm ? 1 : stats_rc;
   }
 
-  sentinel::ModelSentinel sentinel(options);
+  sentinel::ModelSentinel sentinel(config);
   for (const auto& path : baseline_files) {
     const auto segment = sentinel.ingest_baseline_file(path);
     if (!segment.ok()) {
